@@ -1,0 +1,138 @@
+// Command benchrunner regenerates the paper's evaluation: Table 1,
+// Figures 9(a)–(f), 10(a)(b), 11, and the TLA+-style model check — each
+// printed as the rows/series the paper reports, with a note of the
+// published shape for comparison (EXPERIMENTS.md records both).
+//
+// Usage:
+//
+//	benchrunner -exp all            # everything, quick parameters
+//	benchrunner -exp fig9c -full    # one experiment at paper-scale cost
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"netchain/internal/experiments"
+	"netchain/internal/mc"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table1|fig9a|fig9b|fig9c|fig9d|fig9e|fig9f|fig10a|fig10b|fig11|tla|all")
+	full := flag.Bool("full", false, "use longer windows / full parameter sweeps")
+	flag.Parse()
+
+	run := func(name string, fn func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		start := time.Now()
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s took %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	tOpts := experiments.ThroughputOpts{}
+	if !*full {
+		tOpts.StoreSize = 4000
+		tOpts.Window = 40 * time.Millisecond
+		tOpts.ZKWindow = 250 * time.Millisecond
+	}
+
+	run("table1", func() error {
+		tab, err := experiments.MeasureTable1(400 * time.Millisecond)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tab.Format())
+		return nil
+	})
+	run("fig9a", func() error { return printFig(experiments.Fig9a(tOpts)) })
+	run("fig9b", func() error { return printFig(experiments.Fig9b(tOpts)) })
+	run("fig9c", func() error { return printFig(experiments.Fig9c(tOpts)) })
+	run("fig9d", func() error { return printFig(experiments.Fig9d(tOpts)) })
+	run("fig9e", func() error { return printFig(experiments.Fig9e(tOpts)) })
+	run("fig9f", func() error {
+		o := experiments.Fig9fOpts{}
+		if !*full {
+			o.Samples = 2000
+		}
+		return printFig(experiments.Fig9f(o))
+	})
+	run("fig10a", func() error { return runFig10(1, *full) })
+	run("fig10b", func() error { return runFig10(100, *full) })
+	run("fig11", func() error {
+		o := experiments.Fig11Opts{}
+		if !*full {
+			o.Clients = []int{1, 10, 50}
+			o.NetChainWindow = 15 * time.Millisecond
+			o.ZKWindow = time.Second
+			o.ColdKeys = 1000
+		}
+		return printFig(experiments.Fig11(o))
+	})
+	run("tla", func() error {
+		for _, cfg := range []struct {
+			name string
+			mut  func(*mc.Bounds)
+		}{
+			{"default (drop/dup/reorder + 1 failure)", func(*mc.Bounds) {}},
+			{"with recovery", func(b *mc.Bounds) { b.WithRecovery = true }},
+			{"ablation: sequence numbers OFF", func(b *mc.Bounds) {
+				b.DisableSeqCheck = true
+				b.MaxFails = 0
+			}},
+		} {
+			b := mc.DefaultBounds()
+			cfg.mut(&b)
+			ck, err := mc.New(b)
+			if err != nil {
+				return err
+			}
+			res := ck.Run()
+			fmt.Printf("model check [%s]: %d states — ", cfg.name, res.States)
+			if res.Violation == nil {
+				fmt.Println("Consistency + UpdatePropagation HOLD")
+			} else {
+				fmt.Printf("VIOLATION: %s\n  trace: %s\n", res.Reason, res.Violation)
+			}
+		}
+		fmt.Println()
+		return nil
+	})
+}
+
+func printFig(f *experiments.Figure, err error) error {
+	if err != nil {
+		return err
+	}
+	fmt.Println(f.Format())
+	return nil
+}
+
+func runFig10(vgroups int, full bool) error {
+	o := experiments.Fig10Opts{VGroups: vgroups}
+	if !full {
+		o.Scale = 20000
+		o.StoreSize = 2000
+		o.Duration = 60 * time.Second
+		o.FailAt = 10 * time.Second
+		o.RecoverAt = 20 * time.Second
+		o.Bucket = time.Second
+	}
+	res, err := experiments.Fig10(o)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Figure.Format())
+	fmt.Printf("failover done at t=%.1fs; recovery done at t=%.1fs; groups recovered: %d\n",
+		res.FailoverDone.Seconds(), res.RecoveryDone.Seconds(), res.GroupsRecovered)
+	fmt.Printf("baseline %.2f MQPS; minimum during recovery %.2f MQPS (%.1f%% of baseline)\n",
+		res.BaselineRate/1e6, res.MinRateDuringRecovery/1e6,
+		100*res.MinRateDuringRecovery/res.BaselineRate)
+	return nil
+}

@@ -1,0 +1,122 @@
+// Command netchain-controller runs the NetChain control plane (§5): it
+// owns the consistent-hash ring, allocates keys on chains (Insert),
+// serves route lookups to clients, and — on demand via its admin RPC —
+// performs fast failover and failure recovery.
+//
+// Example:
+//
+//	netchain-controller -rpc 127.0.0.1:9200 \
+//	  -switch 10.0.0.1=127.0.0.1:9101 -switch 10.0.0.2=127.0.0.1:9102 \
+//	  -switch 10.0.0.3=127.0.0.1:9103 -spare 10.0.0.4=127.0.0.1:9104
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"netchain/internal/controller"
+	"netchain/internal/packet"
+	"netchain/internal/ring"
+	"netchain/internal/transport"
+)
+
+type switchList []string
+
+func (p *switchList) String() string { return strings.Join(*p, ",") }
+func (p *switchList) Set(v string) error {
+	*p = append(*p, v)
+	return nil
+}
+
+func parseSwitch(spec string) (packet.Addr, transport.RPCAgent, error) {
+	parts := strings.SplitN(spec, "=", 2)
+	if len(parts) != 2 {
+		return 0, transport.RPCAgent{}, fmt.Errorf("bad switch spec %q (want virtual=host:port)", spec)
+	}
+	va, err := packet.ParseAddr(parts[0])
+	if err != nil {
+		return 0, transport.RPCAgent{}, err
+	}
+	agent, err := transport.DialAgent(parts[1])
+	if err != nil {
+		return 0, transport.RPCAgent{}, err
+	}
+	return va, agent, nil
+}
+
+func main() {
+	rpcBind := flag.String("rpc", "127.0.0.1:9200", "TCP bind address for the client-facing RPC service")
+	replicas := flag.Int("replicas", 3, "chain length f+1")
+	vnodes := flag.Int("vnodes", 100, "virtual nodes (groups) per switch")
+	var members, spares switchList
+	flag.Var(&members, "switch", "ring member: virtual=agent host:port (repeatable)")
+	flag.Var(&spares, "spare", "spare switch: virtual=agent host:port (repeatable)")
+	flag.Parse()
+
+	if len(members) < *replicas {
+		fmt.Fprintf(os.Stderr, "need at least %d -switch members\n", *replicas)
+		os.Exit(2)
+	}
+	agents := map[packet.Addr]transport.RPCAgent{}
+	var memberAddrs []packet.Addr
+	for _, spec := range members {
+		va, ag, err := parseSwitch(spec)
+		if err != nil {
+			log.Fatalf("netchain-controller: %v", err)
+		}
+		agents[va] = ag
+		memberAddrs = append(memberAddrs, va)
+	}
+	for _, spec := range spares {
+		va, ag, err := parseSwitch(spec)
+		if err != nil {
+			log.Fatalf("netchain-controller: %v", err)
+		}
+		agents[va] = ag
+	}
+
+	r, err := ring.New(ring.Config{
+		VNodesPerSwitch: *vnodes, Replicas: *replicas, Seed: 0x6e63,
+	}, memberAddrs)
+	if err != nil {
+		log.Fatalf("netchain-controller: %v", err)
+	}
+	cfg := controller.DefaultConfig()
+	cfg.SyncPerItem = 0 // real RPC takes real time
+	ctl, err := controller.New(cfg, r, controller.WallClock{},
+		func(a packet.Addr) (controller.Agent, bool) {
+			ag, ok := agents[a]
+			return ag, ok
+		},
+		func(failed packet.Addr) []packet.Addr {
+			// On a flat deployment every live switch is programmed as a
+			// "neighbor" — a safe superset of the physical neighbor set.
+			var out []packet.Addr
+			for a := range agents {
+				if a != failed {
+					out = append(out, a)
+				}
+			}
+			return out
+		})
+	if err != nil {
+		log.Fatalf("netchain-controller: %v", err)
+	}
+
+	addr, stop, err := transport.ServeController(ctl, *rpcBind)
+	if err != nil {
+		log.Fatalf("netchain-controller: %v", err)
+	}
+	fmt.Printf("netchain-controller: rpc %v, %d members, %d groups, replicas=%d\n",
+		addr, len(memberAddrs), r.Groups(), *replicas)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	stop()
+}

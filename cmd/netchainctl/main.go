@@ -1,0 +1,142 @@
+// Command netchainctl is the NetChain command-line client: it resolves
+// routes from the controller, then issues queries over UDP through a
+// gateway switch (the client agent of §3, as a tool).
+//
+// Examples:
+//
+//	netchainctl -controller 127.0.0.1:9200 -gateway 10.0.0.1=127.0.0.1:9001 insert cfg/x
+//	netchainctl ... put cfg/x '{"timeout": 30}'
+//	netchainctl ... get cfg/x
+//	netchainctl ... lock  locks/a 42
+//	netchainctl ... unlock locks/a 42
+//	netchainctl ... del cfg/x
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+
+	"net/rpc"
+
+	"netchain/internal/kv"
+	"netchain/internal/packet"
+	"netchain/internal/transport"
+)
+
+func main() {
+	ctlAddr := flag.String("controller", "127.0.0.1:9200", "controller RPC address")
+	gateway := flag.String("gateway", "", "gateway switch: virtual=real UDP endpoint (required)")
+	clientAddr := flag.String("client", "10.1.0.1", "this client's virtual address")
+	bind := flag.String("bind", ":0", "local UDP bind address; switches must map the client's virtual address to it")
+	flag.Parse()
+	args := flag.Args()
+	if *gateway == "" || len(args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: netchainctl -gateway V=HOST:PORT [flags] {get|put|del|insert|lock|unlock} KEY [VALUE|OWNER]")
+		os.Exit(2)
+	}
+
+	parts := strings.SplitN(*gateway, "=", 2)
+	if len(parts) != 2 {
+		log.Fatal("netchainctl: -gateway must be virtual=host:port")
+	}
+	gwVirt, err := packet.ParseAddr(parts[0])
+	if err != nil {
+		log.Fatalf("netchainctl: %v", err)
+	}
+	gwReal, err := net.ResolveUDPAddr("udp", parts[1])
+	if err != nil {
+		log.Fatalf("netchainctl: %v", err)
+	}
+	myAddr, err := packet.ParseAddr(*clientAddr)
+	if err != nil {
+		log.Fatalf("netchainctl: %v", err)
+	}
+
+	book := transport.NewAddressBook()
+	book.Set(gwVirt, gwReal)
+	dir, closeDir, err := transport.DialDirectory(*ctlAddr)
+	if err != nil {
+		log.Fatalf("netchainctl: %v", err)
+	}
+	defer closeDir()
+	client, err := transport.NewClient(book, transport.ClientConfig{
+		Addr: myAddr, Gateway: gwVirt, Bind: *bind,
+	})
+	if err != nil {
+		log.Fatalf("netchainctl: %v", err)
+	}
+	defer client.Close()
+	ops := &transport.Ops{Client: client, Dir: dir}
+
+	cmd, key := args[0], kv.KeyFromString(args[1])
+	switch cmd {
+	case "get":
+		v, ver, err := ops.Read(key)
+		if err != nil {
+			log.Fatalf("get: %v", err)
+		}
+		fmt.Printf("%s (version %v)\n", v, ver)
+	case "put":
+		if len(args) < 3 {
+			log.Fatal("put needs a value")
+		}
+		ver, err := ops.Write(key, kv.Value(args[2]))
+		if err != nil {
+			log.Fatalf("put: %v", err)
+		}
+		fmt.Printf("ok (version %v)\n", ver)
+	case "del":
+		if err := ops.Delete(key); err != nil {
+			log.Fatalf("del: %v", err)
+		}
+		fmt.Println("ok")
+	case "insert":
+		// Insert goes through the controller (§4.1): allocate the slot,
+		// then the key is writable.
+		rt, err := insertViaController(*ctlAddr, key)
+		if err != nil {
+			log.Fatalf("insert: %v", err)
+		}
+		fmt.Printf("ok (chain %v)\n", rt)
+	case "lock", "unlock":
+		if len(args) < 3 {
+			log.Fatalf("%s needs an owner id", cmd)
+		}
+		owner, err := strconv.ParseUint(args[2], 10, 64)
+		if err != nil || owner == 0 {
+			log.Fatalf("%s: owner must be a non-zero integer", cmd)
+		}
+		var ok bool
+		if cmd == "lock" {
+			ok, err = ops.Acquire(key, owner)
+		} else {
+			ok, err = ops.Release(key, owner)
+		}
+		if err != nil {
+			log.Fatalf("%s: %v", cmd, err)
+		}
+		fmt.Println(map[bool]string{true: "ok", false: "denied"}[ok])
+	default:
+		log.Fatalf("unknown command %q", cmd)
+	}
+}
+
+func insertViaController(addr string, k kv.Key) ([]packet.Addr, error) {
+	c, err := dialRPC(addr)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	var rep transport.RouteReply
+	if err := c.Call("Controller.Insert", k, &rep); err != nil {
+		return nil, err
+	}
+	return rep.Hops, nil
+}
+
+func dialRPC(addr string) (*rpc.Client, error) { return rpc.Dial("tcp", addr) }

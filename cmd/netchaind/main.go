@@ -1,0 +1,95 @@
+// Command netchaind runs one NetChain software switch: the dataplane
+// behind a UDP socket plus the control-plane agent behind a net/rpc TCP
+// socket (the paper's per-switch agent, §7).
+//
+// The address book maps virtual NetChain addresses to real endpoints;
+// every node of a deployment must share the same book.
+//
+// Example (three chain switches on one machine):
+//
+//	netchaind -addr 10.0.0.1 -udp 127.0.0.1:9001 -rpc 127.0.0.1:9101 \
+//	   -peer 10.0.0.2=127.0.0.1:9002 -peer 10.0.0.3=127.0.0.1:9003
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"netchain/internal/core"
+	"netchain/internal/packet"
+	"netchain/internal/swsim"
+	"netchain/internal/transport"
+)
+
+type peerList []string
+
+func (p *peerList) String() string { return strings.Join(*p, ",") }
+func (p *peerList) Set(v string) error {
+	*p = append(*p, v)
+	return nil
+}
+
+func main() {
+	addrFlag := flag.String("addr", "", "virtual NetChain address of this switch, e.g. 10.0.0.1 (required)")
+	udpBind := flag.String("udp", "127.0.0.1:0", "UDP bind address for the dataplane")
+	rpcBind := flag.String("rpc", "127.0.0.1:0", "TCP bind address for the control-plane agent")
+	slots := flag.Int("slots", 65536, "key slots per stage (the paper's Tofino profile uses 64K)")
+	var peers peerList
+	flag.Var(&peers, "peer", "virtual=real UDP endpoint of a peer (repeatable), e.g. 10.0.0.2=127.0.0.1:9002")
+	flag.Parse()
+
+	if *addrFlag == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	vaddr, err := packet.ParseAddr(*addrFlag)
+	if err != nil {
+		log.Fatalf("netchaind: %v", err)
+	}
+	cfg := swsim.Tofino()
+	cfg.SlotsPerStage = *slots
+
+	sw, err := core.NewSwitch(vaddr, cfg)
+	if err != nil {
+		log.Fatalf("netchaind: %v", err)
+	}
+	book := transport.NewAddressBook()
+	for _, p := range peers {
+		parts := strings.SplitN(p, "=", 2)
+		if len(parts) != 2 {
+			log.Fatalf("netchaind: bad -peer %q (want virtual=host:port)", p)
+		}
+		va, err := packet.ParseAddr(parts[0])
+		if err != nil {
+			log.Fatalf("netchaind: peer %q: %v", p, err)
+		}
+		ep, err := net.ResolveUDPAddr("udp", parts[1])
+		if err != nil {
+			log.Fatalf("netchaind: peer %q: %v", p, err)
+		}
+		book.Set(va, ep)
+	}
+
+	node, err := transport.NewSwitchNode(sw, book, *udpBind)
+	if err != nil {
+		log.Fatalf("netchaind: %v", err)
+	}
+	rpcAddr, stopRPC, err := transport.ServeAgent(sw, *rpcBind)
+	if err != nil {
+		log.Fatalf("netchaind: %v", err)
+	}
+	fmt.Printf("netchaind %v: dataplane %v, agent %v, %d slots/stage\n",
+		vaddr, node.Endpoint(), rpcAddr, *slots)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	stopRPC()
+	node.Close()
+}

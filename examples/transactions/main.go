@@ -1,0 +1,33 @@
+// Transactions: the §8.5 application — distributed transactions using
+// two-phase locking over NetChain locks vs ZooKeeper-style locks, swept
+// across contention levels. Each transaction try-locks ten keys (one from
+// a hot set sized 1/contention-index), executes 100 µs, and releases.
+// This is Fig. 11 in miniature, run on the deterministic simulator.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"netchain/internal/experiments"
+)
+
+func main() {
+	fig, err := experiments.Fig11(experiments.Fig11Opts{
+		ContentionIndexes: []float64{0.01, 0.1, 1},
+		Clients:           []int{1, 10},
+		ColdKeys:          500,
+		NetChainWindow:    10 * time.Millisecond,
+		ZKWindow:          500 * time.Millisecond,
+		ExecTime:          100 * time.Microsecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(fig.Format())
+	fmt.Println("shape to observe: NetChain sustains orders of magnitude more")
+	fmt.Println("transactions/s than the server-based baseline; both fall as the")
+	fmt.Println("contention index approaches 1 (every transaction fights for one")
+	fmt.Println("hot lock), where extra clients stop helping.")
+}

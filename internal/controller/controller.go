@@ -1,0 +1,520 @@
+// Package controller implements the NetChain control plane (§5): the
+// reconfiguration half of Vertical Paxos. It owns the consistent-hash ring
+// and the per-virtual-group session counters, performs fast failover
+// (Algorithm 2) by programming the failed switch's neighbors, and failure
+// recovery (Algorithm 3) by syncing state onto a replacement switch and
+// atomically switching each virtual group's chain in two phases.
+//
+// The controller is substrate-agnostic: switch access goes through the
+// Agent interface (the simulator binds it to core.Switch directly; the
+// real deployment binds it to net/rpc clients, mirroring the paper's
+// Python controller speaking xmlrpc to switch agents), and time goes
+// through the Scheduler interface (simulated or wall-clock).
+package controller
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"netchain/internal/core"
+	"netchain/internal/kv"
+	"netchain/internal/packet"
+	"netchain/internal/ring"
+)
+
+// Agent is the control-plane view of one switch (the paper's per-switch
+// agent driving the ASIC through the compiler-generated API, §7).
+type Agent interface {
+	InstallKey(k kv.Key) error
+	RemoveKey(k kv.Key) error
+	SetSession(group uint16, session uint32) error
+	InstallRule(dst packet.Addr, group int, r core.Rule) error
+	RemoveRule(dst packet.Addr, group int) error
+	ReadItem(k kv.Key) (core.Item, error)
+	WriteItem(it core.Item) error
+}
+
+// LocalAgent adapts a core.Switch to the Agent interface for in-process
+// use (simulation and tests).
+type LocalAgent struct{ Switch *core.Switch }
+
+func (a LocalAgent) InstallKey(k kv.Key) error { return a.Switch.InstallKey(k) }
+func (a LocalAgent) RemoveKey(k kv.Key) error  { return a.Switch.RemoveKey(k) }
+func (a LocalAgent) SetSession(g uint16, s uint32) error {
+	a.Switch.SetSession(g, s)
+	return nil
+}
+func (a LocalAgent) InstallRule(dst packet.Addr, g int, r core.Rule) error {
+	a.Switch.InstallRule(dst, g, r)
+	return nil
+}
+func (a LocalAgent) RemoveRule(dst packet.Addr, g int) error {
+	a.Switch.RemoveRule(dst, g)
+	return nil
+}
+func (a LocalAgent) ReadItem(k kv.Key) (core.Item, error) { return a.Switch.ReadItem(k) }
+func (a LocalAgent) WriteItem(it core.Item) error         { return a.Switch.WriteItem(it) }
+
+// Scheduler abstracts time so the controller's multi-step procedures can
+// run under simulated or wall-clock time.
+type Scheduler interface {
+	After(d time.Duration, fn func())
+}
+
+// WallClock schedules on real time.
+type WallClock struct{}
+
+// After implements Scheduler using time.AfterFunc.
+func (WallClock) After(d time.Duration, fn func()) { time.AfterFunc(d, fn) }
+
+// Config carries the control-plane timing model.
+type Config struct {
+	// RuleDelay is the latency of programming one batch of rules into the
+	// neighbor switches (controller RPC + table write).
+	RuleDelay time.Duration
+	// SyncPerItem is the control-plane cost of copying one key-value item
+	// between switches during recovery. The paper's Python/Thrift path is
+	// slow — their 20K-item store takes ~150 s (Fig. 10), i.e. several ms
+	// per item.
+	SyncPerItem time.Duration
+	// PreSync enables Algorithm 3 Step 1: bulk-copy state *before*
+	// stopping writes, so the stop window covers only the delta. The
+	// paper describes this optimization but its measured prototype blocks
+	// writes for the full sync (Fig. 10(a)); default off to match, on for
+	// the ablation bench.
+	PreSync bool
+	// PreSyncDelta is the residual stop-window duration when PreSync is
+	// enabled (the delta copy).
+	PreSyncDelta time.Duration
+}
+
+// DefaultConfig returns timings calibrated to Fig. 10: ~150 s to recover a
+// 20K-item store.
+func DefaultConfig() Config {
+	return Config{
+		RuleDelay:    10 * time.Millisecond,
+		SyncPerItem:  7 * time.Millisecond,
+		PreSync:      false,
+		PreSyncDelta: 50 * time.Millisecond,
+	}
+}
+
+// Route is what a client needs to reach a key: its virtual group and the
+// current chain (head first). Clients derive write packets (dst = head,
+// list = rest) and read packets (dst = tail, list = reversed rest).
+type Route struct {
+	Group uint16
+	Hops  []packet.Addr
+}
+
+// Controller is the NetChain control plane. It is assumed reliable
+// (replicated in practice, §3); a single instance here.
+type Controller struct {
+	mu        sync.Mutex
+	cfg       Config
+	ring      *ring.Ring
+	sched     Scheduler
+	agent     func(packet.Addr) (Agent, bool)
+	neighbors func(packet.Addr) []packet.Addr
+
+	chains   map[ring.GroupID]ring.Chain // current chain per group (reflects failover/recovery)
+	sessions map[ring.GroupID]uint32
+	keys     map[ring.GroupID][]kv.Key
+	failed   map[packet.Addr]bool
+
+	// OnGroupRecovered, if set, is called (under the scheduler goroutine)
+	// after each virtual group's two-phase switch completes.
+	OnGroupRecovered func(g ring.GroupID)
+}
+
+// New builds a controller over an existing ring. agent resolves a switch
+// address to its control connection; neighbors lists a switch's physical
+// neighbors (where Algorithm 2 rules go).
+func New(cfg Config, r *ring.Ring, sched Scheduler,
+	agent func(packet.Addr) (Agent, bool),
+	neighbors func(packet.Addr) []packet.Addr) (*Controller, error) {
+	if r.Groups() > 1<<16 {
+		return nil, fmt.Errorf("controller: %d virtual groups exceed the packet group field", r.Groups())
+	}
+	c := &Controller{
+		cfg:       cfg,
+		ring:      r,
+		sched:     sched,
+		agent:     agent,
+		neighbors: neighbors,
+		chains:    r.Chains(),
+		sessions:  make(map[ring.GroupID]uint32),
+		keys:      make(map[ring.GroupID][]kv.Key),
+		failed:    make(map[packet.Addr]bool),
+	}
+	return c, nil
+}
+
+// Ring exposes the partitioning state (read-only use).
+func (c *Controller) Ring() *ring.Ring { return c.ring }
+
+// Route returns the current route for key k.
+func (c *Controller) Route(k kv.Key) Route {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	g := c.ring.GroupForKey(k)
+	return c.routeLocked(g)
+}
+
+// GroupRoute returns the current route for a virtual group.
+func (c *Controller) GroupRoute(g ring.GroupID) Route {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.routeLocked(g)
+}
+
+func (c *Controller) routeLocked(g ring.GroupID) Route {
+	ch := c.chains[g]
+	return Route{Group: uint16(g), Hops: append([]packet.Addr(nil), ch.Hops...)}
+}
+
+// Routes snapshots every group's route (client agent refresh).
+func (c *Controller) Routes() map[uint16]Route {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[uint16]Route, len(c.chains))
+	for g := range c.chains {
+		out[uint16(g)] = c.routeLocked(g)
+	}
+	return out
+}
+
+// Insert allocates slots for key k on every switch of its chain (§4.1:
+// "Insert queries require the control plane to set up entries in switch
+// tables") and returns the route the client should write through.
+func (c *Controller) Insert(k kv.Key) (Route, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	g := c.ring.GroupForKey(k)
+	ch := c.chains[g]
+	installed := make([]Agent, 0, len(ch.Hops))
+	for _, hop := range ch.Hops {
+		a, ok := c.agent(hop)
+		if !ok {
+			c.rollback(installed, k)
+			return Route{}, fmt.Errorf("controller: no agent for %v", hop)
+		}
+		if err := a.InstallKey(k); err != nil {
+			c.rollback(installed, k)
+			return Route{}, fmt.Errorf("controller: install %v on %v: %w", k, hop, err)
+		}
+		installed = append(installed, a)
+	}
+	c.keys[g] = append(c.keys[g], k)
+	return c.routeLocked(g), nil
+}
+
+func (c *Controller) rollback(agents []Agent, k kv.Key) {
+	for _, a := range agents {
+		_ = a.RemoveKey(k)
+	}
+}
+
+// GC removes a deleted key's slots from its chain (Delete garbage
+// collection, §4.1). The client must have tombstoned the key first.
+func (c *Controller) GC(k kv.Key) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	g := c.ring.GroupForKey(k)
+	for _, hop := range c.chains[g].Hops {
+		if a, ok := c.agent(hop); ok {
+			_ = a.RemoveKey(k)
+		}
+	}
+	keys := c.keys[g]
+	for i, kk := range keys {
+		if kk == k {
+			c.keys[g] = append(keys[:i], keys[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// KeyCount returns the number of live keys tracked per group (diagnostics).
+func (c *Controller) KeyCount(g ring.GroupID) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.keys[g])
+}
+
+// Session returns the current session number of a group.
+func (c *Controller) Session(g ring.GroupID) uint32 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sessions[g]
+}
+
+// ---------------------------------------------------------------------------
+// Fast failover: Algorithm 2.
+
+// HandleFailure reconfigures the network around a failed switch: installs
+// next-hop rules on every neighbor and degrades every affected chain to
+// its remaining nodes. done (optional) fires when the rules are active.
+func (c *Controller) HandleFailure(failedSw packet.Addr, done func()) error {
+	c.mu.Lock()
+	if c.failed[failedSw] {
+		c.mu.Unlock()
+		return fmt.Errorf("controller: %v already failed over", failedSw)
+	}
+	c.failed[failedSw] = true
+
+	// Degrade chains and bump sessions where the head changed (§5.2: the
+	// new head's writes must dominate the dead head's in-flight writes).
+	type sessionUpdate struct {
+		head  packet.Addr
+		group ring.GroupID
+		sess  uint32
+	}
+	var updates []sessionUpdate
+	for g, ch := range c.chains {
+		if !ch.Contains(failedSw) {
+			continue
+		}
+		hops := make([]packet.Addr, 0, len(ch.Hops)-1)
+		for _, h := range ch.Hops {
+			if h != failedSw {
+				hops = append(hops, h)
+			}
+		}
+		wasHead := ch.Head() == failedSw
+		c.chains[g] = ring.Chain{Group: g, Hops: hops}
+		if wasHead && len(hops) > 0 {
+			c.sessions[g]++
+			updates = append(updates, sessionUpdate{hops[0], g, c.sessions[g]})
+		}
+	}
+	neighbors := c.neighbors(failedSw)
+	c.mu.Unlock()
+
+	c.sched.After(c.cfg.RuleDelay, func() {
+		for _, u := range updates {
+			if a, ok := c.agent(u.head); ok {
+				_ = a.SetSession(uint16(u.group), u.sess)
+			}
+		}
+		for _, nb := range neighbors {
+			if a, ok := c.agent(nb); ok {
+				_ = a.InstallRule(failedSw, core.WildcardGroup, core.Rule{Action: core.ActNextHop})
+			}
+		}
+		if done != nil {
+			done()
+		}
+	})
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Failure recovery: Algorithm 3, one virtual group at a time (§5.2).
+
+// Recover reassigns the failed switch's virtual nodes round-robin over the
+// pool of live replacement switches (§5.2 spreads them "to multiple
+// switches rather than a single switch"), then restores each affected
+// group's chain to full strength with the two-phase atomic switch. done
+// (optional) fires after the last group. Pool switches outside the ring
+// membership are admitted without virtual nodes of their own (the
+// testbed's spare S3).
+func (c *Controller) Recover(failedSw packet.Addr, pool []packet.Addr, done func()) error {
+	c.mu.Lock()
+	if !c.failed[failedSw] {
+		c.mu.Unlock()
+		return fmt.Errorf("controller: recover before failover of %v", failedSw)
+	}
+	if len(pool) == 0 {
+		c.mu.Unlock()
+		return fmt.Errorf("controller: empty replacement pool")
+	}
+	for _, p := range pool {
+		if p == failedSw || c.failed[p] {
+			c.mu.Unlock()
+			return fmt.Errorf("controller: replacement %v is failed", p)
+		}
+		if !c.ring.IsMember(p) {
+			if err := c.ring.AddMember(p); err != nil {
+				c.mu.Unlock()
+				return err
+			}
+		}
+	}
+	// Affected groups: those whose ring chain still references the failed
+	// switch. Deterministic order for reproducible experiments.
+	affected := c.ring.GroupsOfSwitch(failedSw)
+	sort.Slice(affected, func(i, j int) bool { return affected[i] < affected[j] })
+	if err := c.ring.Reassign(failedSw, func(i int) packet.Addr { return pool[i%len(pool)] }); err != nil {
+		c.mu.Unlock()
+		return err
+	}
+	neighbors := c.neighbors(failedSw)
+	c.mu.Unlock()
+
+	c.recoverNext(failedSw, neighbors, affected, 0, done)
+	return nil
+}
+
+// recoverNext runs the state machine for affected[i], then recurses.
+func (c *Controller) recoverNext(failedSw packet.Addr, neighbors []packet.Addr,
+	affected []ring.GroupID, i int, done func()) {
+	if i >= len(affected) {
+		if done != nil {
+			done()
+		}
+		return
+	}
+	g := affected[i]
+
+	c.mu.Lock()
+	newChain, err := c.ring.ChainForGroup(g)
+	if err != nil {
+		c.mu.Unlock()
+		c.recoverNext(failedSw, neighbors, affected, i+1, done)
+		return
+	}
+	degraded := c.chains[g]
+	adds := additions(degraded, newChain)
+	items := len(c.keys[g])
+	c.mu.Unlock()
+
+	if len(adds) == 0 {
+		// Chain unchanged (replacement coincides with existing members);
+		// just adopt the new chain.
+		c.mu.Lock()
+		c.chains[g] = newChain
+		c.mu.Unlock()
+		c.recoverNext(failedSw, neighbors, affected, i+1, done)
+		return
+	}
+
+	syncDur := time.Duration(items*len(adds)) * c.cfg.SyncPerItem
+	doSync := func() {
+		for _, add := range adds {
+			if ref, ok := referenceSwitch(newChain, add, degraded); ok {
+				c.copyGroup(g, ref, add)
+			}
+		}
+	}
+
+	phase1 := func(stopWindow time.Duration) {
+		// Phase 1: stop traffic for this group, finish sync.
+		for _, nb := range neighbors {
+			if a, ok := c.agent(nb); ok {
+				_ = a.InstallRule(failedSw, int(g), core.Rule{Action: core.ActDrop})
+			}
+		}
+		c.sched.After(c.cfg.RuleDelay+stopWindow, func() {
+			doSync()
+			// Phase 2: activation.
+			c.mu.Lock()
+			newHead := newChain.Head()
+			headIsNew := !degraded.Contains(newHead)
+			var sess uint32
+			if headIsNew {
+				c.sessions[g]++
+				sess = c.sessions[g]
+			}
+			c.chains[g] = newChain
+			c.mu.Unlock()
+			if headIsNew {
+				if a, ok := c.agent(newHead); ok {
+					_ = a.SetSession(uint16(g), sess)
+				}
+			}
+			// Traffic still addressed to the failed switch follows the
+			// replacement that took its chain position.
+			for _, nb := range neighbors {
+				if a, ok := c.agent(nb); ok {
+					_ = a.InstallRule(failedSw, int(g),
+						core.Rule{Action: core.ActRedirect, To: adds[0]})
+				}
+			}
+			c.sched.After(c.cfg.RuleDelay, func() {
+				if cb := c.OnGroupRecovered; cb != nil {
+					cb(g)
+				}
+				c.recoverNext(failedSw, neighbors, affected, i+1, done)
+			})
+		})
+	}
+
+	if c.cfg.PreSync {
+		// Step 1 (optimization): bulk copy while the degraded chain keeps
+		// serving; only the delta is copied inside the stop window.
+		c.sched.After(syncDur, func() {
+			doSync()
+			phase1(c.cfg.PreSyncDelta)
+		})
+	} else {
+		phase1(syncDur)
+	}
+}
+
+// copyGroup copies every item of group g from ref to dst (the actual data
+// movement behind the modelled sync duration).
+func (c *Controller) copyGroup(g ring.GroupID, ref, dst packet.Addr) {
+	c.mu.Lock()
+	keys := append([]kv.Key(nil), c.keys[g]...)
+	c.mu.Unlock()
+	src, ok := c.agent(ref)
+	if !ok {
+		return
+	}
+	to, ok := c.agent(dst)
+	if !ok {
+		return
+	}
+	for _, k := range keys {
+		it, err := src.ReadItem(k)
+		if err != nil {
+			// Key may be mid-insert; install the slot so chain writes land.
+			_ = to.InstallKey(k)
+			continue
+		}
+		_ = to.WriteItem(it)
+	}
+}
+
+// additions lists switches present in next but not in cur, chain order.
+func additions(cur, next ring.Chain) []packet.Addr {
+	var out []packet.Addr
+	for _, h := range next.Hops {
+		if !cur.Contains(h) {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// referenceSwitch picks the live switch to copy state from: the new
+// node's successor in the chain, falling back to its predecessor when the
+// new node is the tail (§5.2 "Handling special cases"). Only members of
+// the degraded chain hold data, so additions are skipped.
+func referenceSwitch(next ring.Chain, newSw packet.Addr, degraded ring.Chain) (packet.Addr, bool) {
+	idx := -1
+	for i, h := range next.Hops {
+		if h == newSw {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return 0, false
+	}
+	for i := idx + 1; i < len(next.Hops); i++ {
+		if degraded.Contains(next.Hops[i]) {
+			return next.Hops[i], true
+		}
+	}
+	for i := idx - 1; i >= 0; i-- {
+		if degraded.Contains(next.Hops[i]) {
+			return next.Hops[i], true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,22 @@
+package controller
+
+import (
+	"time"
+
+	"netchain/internal/event"
+)
+
+// SimScheduler drives controller timing from the discrete-event engine.
+type SimScheduler struct{ Sim *event.Sim }
+
+// After implements Scheduler on simulated time.
+func (s SimScheduler) After(d time.Duration, fn func()) {
+	s.Sim.After(event.Duration(d), fn)
+}
+
+// Immediate runs callbacks synchronously with zero delay — for unit tests
+// that do not model control-plane latency.
+type Immediate struct{}
+
+// After implements Scheduler by calling fn inline.
+func (Immediate) After(_ time.Duration, fn func()) { fn() }

@@ -1,0 +1,502 @@
+// Package core implements the NetChain switch dataplane (§4): Algorithm 1
+// query processing over the swsim pipeline, sequence/session write
+// ordering (§4.3, §5.2), compare-and-swap for locks (§8.5), and the
+// neighbor failover rule table of Algorithm 2 (§5.1).
+//
+// The same Switch type runs inside the discrete-event simulator and behind
+// a real UDP socket: both substrates feed it *packet.Frame values and
+// dispatch on the returned Disposition.
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"netchain/internal/kv"
+	"netchain/internal/packet"
+	"netchain/internal/swsim"
+)
+
+// Disposition tells the substrate what to do with a frame after the
+// dataplane touched it.
+type Disposition uint8
+
+const (
+	// Forward: send the frame toward its (possibly rewritten) IP
+	// destination.
+	Forward Disposition = iota
+	// Drop: discard the frame (stale write, unmatched rule action, or a
+	// recovery-phase stop rule).
+	Drop
+)
+
+// RuleAction is the action half of a neighbor rule (Algorithm 2 / §5.2).
+type RuleAction uint8
+
+const (
+	// ActNextHop pops the next chain hop into the destination IP, or
+	// replies to the client when the list is empty — the fast-failover
+	// action of Algorithm 2.
+	ActNextHop RuleAction = iota
+	// ActDrop discards matching queries — phase 1 ("stop and
+	// synchronization") of failure recovery, Algorithm 3.
+	ActDrop
+	// ActRedirect rewrites the destination to Rule.To — phase 2
+	// ("activation") pointing traffic at the recovered replacement.
+	ActRedirect
+)
+
+func (a RuleAction) String() string {
+	switch a {
+	case ActNextHop:
+		return "next-hop"
+	case ActDrop:
+		return "drop"
+	case ActRedirect:
+		return "redirect"
+	}
+	return fmt.Sprintf("action(%d)", uint8(a))
+}
+
+// Rule is a neighbor rule matching frames whose IP destination is a failed
+// switch. Group-scoped rules take priority over the wildcard rule for the
+// same destination, mirroring the paper's rule-priority override.
+type Rule struct {
+	Action RuleAction
+	To     packet.Addr // redirect target for ActRedirect
+}
+
+// WildcardGroup matches every virtual group in InstallRule/RemoveRule.
+const WildcardGroup = -1
+
+// Item is one key-value record as moved by control-plane state sync
+// (Algorithm 3 pre-sync; the paper's Thrift API to the switch agent).
+type Item struct {
+	Key       kv.Key
+	Value     kv.Value
+	Version   kv.Version
+	Tombstone bool
+}
+
+// Stats counts dataplane activity for the evaluation harness.
+type Stats struct {
+	Reads       uint64 // read queries served (replied) here
+	WritesHead  uint64 // fresh writes stamped here as acting head
+	WritesApply uint64 // ordered writes applied (replica/tail)
+	WritesStale uint64 // ordered writes dropped as stale (Fig. 5 fix)
+	CASFails    uint64 // compare-and-swaps rejected at the head
+	Replies     uint64 // replies emitted toward clients
+	RuleHits    uint64 // frames rewritten/dropped by neighbor rules
+	RuleDrops   uint64 // frames dropped by ActDrop rules
+	NotFound    uint64 // queries for keys with no slot
+	Transits    uint64 // frames forwarded without NetChain processing
+	Processed   uint64 // NetChain queries processed locally
+}
+
+// Switch is one NetChain switch's dataplane state. Methods are safe for
+// concurrent use (the real UDP transport serves multiple packets at once;
+// the simulator is single-threaded and pays a negligible uncontended-lock
+// cost).
+type Switch struct {
+	addr packet.Addr
+
+	mu       sync.Mutex
+	pipe     *swsim.Pipeline
+	rules    map[packet.Addr]map[int]Rule // dst -> group (or WildcardGroup) -> rule
+	sessions map[uint16]uint32            // virtual group -> session stamped when acting head
+	stats    Stats
+}
+
+// NewSwitch builds a switch dataplane with the given pipeline resources.
+func NewSwitch(addr packet.Addr, cfg swsim.Config) (*Switch, error) {
+	pipe, err := swsim.NewPipeline(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Switch{
+		addr:     addr,
+		pipe:     pipe,
+		rules:    make(map[packet.Addr]map[int]Rule),
+		sessions: make(map[uint16]uint32),
+	}, nil
+}
+
+// Addr returns the switch's IP.
+func (s *Switch) Addr() packet.Addr { return s.addr }
+
+// Stats returns a snapshot of the dataplane counters.
+func (s *Switch) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// PassesFor returns how many pipeline passes a value of the given length
+// costs on this switch (the simulator charges capacity accordingly, §6).
+func (s *Switch) PassesFor(valueLen int) int {
+	return s.pipe.Config().PassesFor(valueLen)
+}
+
+// PipelinePasses reports packets and pipeline passes consumed (for the
+// recirculation ablation).
+func (s *Switch) PipelinePasses() (packets, passes uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pipe.Stats()
+}
+
+// ItemCount returns the number of installed keys.
+func (s *Switch) ItemCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pipe.ItemCount()
+}
+
+// ---------------------------------------------------------------------------
+// Dataplane: Algorithm 1.
+
+// ProcessLocal handles a NetChain query addressed to this switch and
+// returns the disposition plus the number of pipeline passes the packet
+// consumed (≥1; recirculated big values cost more, §6). On Forward the
+// frame has been rewritten in place: either retargeted at the next chain
+// hop or turned into a reply to the client.
+func (s *Switch) ProcessLocal(f *packet.Frame) (Disposition, int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	s.stats.Processed++
+	passes := s.pipe.CountPacket(len(f.NC.Value))
+
+	switch f.NC.Op {
+	case kv.OpRead:
+		return s.processRead(f), passes
+	case kv.OpWrite, kv.OpDelete, kv.OpCAS:
+		return s.processWrite(f), passes
+	case kv.OpReply:
+		// A reply addressed to a switch is a routing anomaly; drop.
+		return Drop, passes
+	default:
+		f.ToReply(kv.StatusBadRequest)
+		s.stats.Replies++
+		return Forward, passes
+	}
+}
+
+// processRead serves a read (Algorithm 1 lines 2–4) and replies directly:
+// whichever chain switch receives a read serves it — normally the tail;
+// after fast failover, the hop the neighbor rule redirected to.
+func (s *Switch) processRead(f *packet.Frame) Disposition {
+	loc, ok := s.pipe.Lookup(f.NC.Key)
+	if !ok {
+		s.stats.NotFound++
+		f.ToReply(kv.StatusNotFound)
+		s.stats.Replies++
+		return Forward
+	}
+	val, live := s.pipe.ReadValue(loc)
+	if !live {
+		s.stats.NotFound++
+		f.ToReply(kv.StatusNotFound)
+		s.stats.Replies++
+		return Forward
+	}
+	s.stats.Reads++
+	f.NC.Value = val
+	f.NC.SetVersion(s.pipe.Version(loc))
+	f.ToReply(kv.StatusOK)
+	s.stats.Replies++
+	return Forward
+}
+
+// processWrite handles write, delete and CAS (Algorithm 1 lines 5–13 plus
+// the §8.5 CAS extension). A zero version marks a fresh client query, so
+// this switch acts as head: it stamps (session, seq) and, for CAS,
+// adjudicates the swap. Non-zero versions are ordered updates flowing down
+// the chain: applied iff newer than the stored version.
+func (s *Switch) processWrite(f *packet.Frame) Disposition {
+	nc := &f.NC
+	loc, ok := s.pipe.Lookup(nc.Key)
+	if !ok {
+		s.stats.NotFound++
+		f.ToReply(kv.StatusNotFound)
+		s.stats.Replies++
+		return Forward
+	}
+
+	if nc.Version().IsZero() {
+		// Acting head.
+		if nc.Op == kv.OpCAS {
+			newVal, stored, ok := s.casApplies(loc, nc.Value)
+			if !ok {
+				s.stats.CASFails++
+				// Return the stored value so a client whose successful CAS
+				// reply was lost can recognize its own ownership on retry
+				// (retries must stay benign, §4.3).
+				nc.Value = stored
+				f.ToReply(kv.StatusCASFail)
+				s.stats.Replies++
+				return Forward
+			}
+			// Forward only the new value; downstream replicas apply it as
+			// an ordered write.
+			nc.Value = newVal
+		}
+		stored := s.pipe.Version(loc)
+		v := kv.Version{Session: s.sessions[nc.Group], Seq: stored.Seq + 1}
+		nc.SetVersion(v)
+		s.apply(loc, nc)
+		s.stats.WritesHead++
+	} else {
+		// Replica or tail: apply only newer versions (Fig. 5 fix).
+		if !s.pipe.Version(loc).Less(nc.Version()) {
+			s.stats.WritesStale++
+			return Drop
+		}
+		s.apply(loc, nc)
+		s.stats.WritesApply++
+	}
+
+	if next, ok := nc.PopChain(); ok {
+		f.Retarget(next)
+		return Forward
+	}
+	// Tail: reply to the client.
+	f.ToReply(kv.StatusOK)
+	s.stats.Replies++
+	return Forward
+}
+
+// casApplies evaluates a compare-and-swap at the head. The packet value is
+// laid out as [8-byte expected owner][new value]; the stored value's first
+// 8 bytes are the current owner (0 when absent or tombstoned). It returns
+// the new value to propagate, the currently stored value, and whether the
+// swap applies.
+func (s *Switch) casApplies(loc int, casVal []byte) (newVal, stored kv.Value, ok bool) {
+	cur, live := s.pipe.ReadValue(loc)
+	if !live {
+		cur = nil
+	}
+	if len(casVal) < 8 {
+		return nil, cur, false
+	}
+	expect := binary.BigEndian.Uint64(casVal[:8])
+	var owner uint64
+	if len(cur) >= 8 {
+		owner = binary.BigEndian.Uint64(cur[:8])
+	}
+	if owner != expect {
+		return nil, cur, false
+	}
+	return kv.Value(casVal[8:]), cur, true
+}
+
+// apply commits the packet's operation to the pipeline at loc.
+func (s *Switch) apply(loc int, nc *packet.NetChain) {
+	if nc.Op == kv.OpDelete {
+		s.pipe.Tombstone(loc)
+	} else {
+		// WriteValue only fails for oversized values, which the client
+		// rejects before sending; a malformed oversized packet is treated
+		// as a no-op on the value but still advances the version so the
+		// chain stays convergent.
+		_ = s.pipe.WriteValue(loc, nc.Value)
+	}
+	s.pipe.SetVersion(loc, nc.Version())
+}
+
+// ---------------------------------------------------------------------------
+// Neighbor rules: Algorithm 2 and the recovery phases of Algorithm 3.
+
+// ApplyEgressRules checks a frame that this switch is about to forward
+// (either transit traffic or its own output) against the neighbor rule
+// table. It returns Drop for recovery stop rules; otherwise the frame may
+// have been rewritten in place.
+func (s *Switch) ApplyEgressRules(f *packet.Frame) Disposition {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	byGroup, ok := s.rules[f.IP.Dst]
+	if !ok {
+		return Forward
+	}
+	// Only NetChain queries are subject to chain rules.
+	if f.UDP.DstPort != packet.Port {
+		return Forward
+	}
+	rule, ok := byGroup[int(f.NC.Group)]
+	if !ok {
+		if rule, ok = byGroup[WildcardGroup]; !ok {
+			return Forward
+		}
+	}
+	s.stats.RuleHits++
+	switch rule.Action {
+	case ActDrop:
+		s.stats.RuleDrops++
+		return Drop
+	case ActRedirect:
+		f.Retarget(rule.To)
+		return Forward
+	case ActNextHop:
+		if next, ok := f.NC.PopChain(); ok {
+			f.Retarget(next)
+			return Forward
+		}
+		// The failed switch was the packet's final chain hop. For a write
+		// the predecessors already applied it: complete the query on the
+		// chain's behalf. For a read nothing can serve it (every listed
+		// hop is gone): report unavailable.
+		status := kv.StatusOK
+		if f.NC.Op == kv.OpRead {
+			status = kv.StatusUnavailable
+		}
+		f.ToReply(status)
+		s.stats.Replies++
+		return Forward
+	default:
+		return Drop
+	}
+}
+
+// Transit records a plain forwarding traversal (for switch-capacity
+// accounting in the simulator).
+func (s *Switch) Transit() {
+	s.mu.Lock()
+	s.stats.Transits++
+	s.mu.Unlock()
+}
+
+// InstallRule adds or replaces the rule for (dst, group). group may be
+// WildcardGroup. This is the control-plane path of Algorithms 2 and 3.
+func (s *Switch) InstallRule(dst packet.Addr, group int, r Rule) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	byGroup, ok := s.rules[dst]
+	if !ok {
+		byGroup = make(map[int]Rule)
+		s.rules[dst] = byGroup
+	}
+	byGroup[group] = r
+}
+
+// RemoveRule deletes the rule for (dst, group) if present.
+func (s *Switch) RemoveRule(dst packet.Addr, group int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if byGroup, ok := s.rules[dst]; ok {
+		delete(byGroup, group)
+		if len(byGroup) == 0 {
+			delete(s.rules, dst)
+		}
+	}
+}
+
+// Rules snapshots the rule table (diagnostics, tests).
+func (s *Switch) Rules() map[packet.Addr]map[int]Rule {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[packet.Addr]map[int]Rule, len(s.rules))
+	for dst, byGroup := range s.rules {
+		m := make(map[int]Rule, len(byGroup))
+		for g, r := range byGroup {
+			m[g] = r
+		}
+		out[dst] = m
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Control-plane state access (the paper's switch-agent Thrift API, §7).
+
+// InstallKey allocates a slot for k (Insert step 1, §4.1).
+func (s *Switch) InstallKey(k kv.Key) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, err := s.pipe.Alloc(k)
+	return err
+}
+
+// RemoveKey frees k's slot (Delete garbage collection, §4.1).
+func (s *Switch) RemoveKey(k kv.Key) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pipe.Free(k)
+}
+
+// HasKey reports whether k has a slot.
+func (s *Switch) HasKey(k kv.Key) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.pipe.Lookup(k)
+	return ok
+}
+
+// SetSession installs the session number this switch stamps on fresh
+// writes of the given virtual group when acting as head (§5.2: bumped by
+// the controller on every head change).
+func (s *Switch) SetSession(group uint16, session uint32) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sessions[group] = session
+}
+
+// Session returns the current session for a group.
+func (s *Switch) Session(group uint16) uint32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sessions[group]
+}
+
+// ReadItem dumps one record for state sync.
+func (s *Switch) ReadItem(k kv.Key) (Item, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	loc, ok := s.pipe.Lookup(k)
+	if !ok {
+		return Item{}, kv.ErrNotFound
+	}
+	val, live := s.pipe.ReadValue(loc)
+	return Item{Key: k, Value: val, Version: s.pipe.Version(loc), Tombstone: !live}, nil
+}
+
+// WriteItem installs one record during state sync, allocating the slot if
+// needed. Unlike dataplane writes it copies the version verbatim and only
+// moves forward: an item older than the stored version is ignored so a
+// sync never regresses state that concurrent chain writes advanced.
+func (s *Switch) WriteItem(it Item) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	loc, ok := s.pipe.Lookup(it.Key)
+	if !ok {
+		var err error
+		if loc, err = s.pipe.Alloc(it.Key); err != nil {
+			return err
+		}
+	}
+	if !s.pipe.Version(loc).Less(it.Version) && s.pipe.Version(loc) != (kv.Version{}) {
+		return nil
+	}
+	if it.Tombstone {
+		s.pipe.Tombstone(loc)
+	} else if err := s.pipe.WriteValue(loc, it.Value); err != nil {
+		return err
+	}
+	s.pipe.SetVersion(loc, it.Version)
+	return nil
+}
+
+// Keys lists installed keys (control-plane sync enumeration).
+func (s *Switch) Keys() []kv.Key {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pipe.Keys()
+}
+
+// MemoryBytes reports value storage in use (§6 accounting).
+func (s *Switch) MemoryBytes() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pipe.MemoryBytes()
+}

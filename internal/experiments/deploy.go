@@ -1,0 +1,170 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§8) on the simulated substrate: Table 1 and Figs. 9(a)–(f),
+// 10(a)(b), 11. Each experiment returns structured rows that the
+// benchrunner binary and the root bench suite print alongside the paper's
+// published values (EXPERIMENTS.md records the comparison).
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"netchain/internal/controller"
+	"netchain/internal/core"
+	"netchain/internal/event"
+	"netchain/internal/kv"
+	"netchain/internal/netsim"
+	"netchain/internal/packet"
+	"netchain/internal/query"
+	"netchain/internal/ring"
+	"netchain/internal/simclient"
+	"netchain/internal/workload"
+)
+
+// Deployment is a fully wired simulated NetChain: the Fig. 8 testbed, a
+// ring over S0..S2 (S3 spare), the controller, and one client mux per
+// host.
+type Deployment struct {
+	Sim     *event.Sim
+	TB      *netsim.Testbed
+	Ring    *ring.Ring
+	Ctl     *controller.Controller
+	Muxes   []*simclient.Mux
+	Profile netsim.Profile
+}
+
+// NewDeployment builds the standard testbed deployment. scale divides all
+// rates (see netsim.Profile); vnodes is virtual nodes per switch.
+func NewDeployment(scale float64, vnodes int, seed int64) (*Deployment, error) {
+	sim := event.New()
+	prof := netsim.PaperProfile(scale)
+	tb, err := netsim.NewTestbed(sim, prof, seed)
+	if err != nil {
+		return nil, err
+	}
+	r, err := ring.New(ring.Config{VNodesPerSwitch: vnodes, Replicas: 3, Seed: uint64(seed)},
+		[]packet.Addr{tb.Switches[0], tb.Switches[1], tb.Switches[2]})
+	if err != nil {
+		return nil, err
+	}
+	agent := func(a packet.Addr) (controller.Agent, bool) {
+		sw, ok := tb.Net.Switch(a)
+		if !ok {
+			return nil, false
+		}
+		return controller.LocalAgent{Switch: sw}, true
+	}
+	ctl, err := controller.New(controller.DefaultConfig(), r,
+		controller.SimScheduler{Sim: sim}, agent, tb.Net.SwitchNeighbors)
+	if err != nil {
+		return nil, err
+	}
+	d := &Deployment{Sim: sim, TB: tb, Ring: r, Ctl: ctl, Profile: prof}
+	for _, h := range tb.Hosts {
+		mux, err := simclient.NewMux(sim, tb.Net, h)
+		if err != nil {
+			return nil, err
+		}
+		d.Muxes = append(d.Muxes, mux)
+	}
+	return d, nil
+}
+
+// Directory returns an always-fresh route lookup backed by the controller.
+func (d *Deployment) Directory() simclient.Directory {
+	return func(k kv.Key) query.Route {
+		rt := d.Ctl.Route(k)
+		return query.Route{Group: rt.Group, Hops: rt.Hops}
+	}
+}
+
+// FrozenDirectory snapshots the current routes: clients keep using them
+// through failures, exactly like the paper's agents whose chain mappings
+// propagate slowly (§4.2) — the neighbor rules make stale routes work.
+func (d *Deployment) FrozenDirectory() simclient.Directory {
+	snap := d.Ctl.Routes()
+	return func(k kv.Key) query.Route {
+		rt := snap[uint16(d.Ring.GroupForKey(k))]
+		return query.Route{Group: rt.Group, Hops: rt.Hops}
+	}
+}
+
+// LoadStore inserts n keys and preloads valueSize-byte values through the
+// control plane (versions start at 1, as after one chain write). It
+// returns the keys.
+func (d *Deployment) LoadStore(n, valueSize int) ([]kv.Key, error) {
+	keys := workload.KeySpace(n)
+	for i, k := range keys {
+		rt, err := d.Ctl.Insert(k)
+		if err != nil {
+			return nil, fmt.Errorf("load key %d: %w", i, err)
+		}
+		it := core.Item{Key: k, Value: workload.Value(valueSize, uint64(i)),
+			Version: kv.Version{Seq: 1}}
+		for _, hop := range rt.Hops {
+			sw, ok := d.TB.Net.Switch(hop)
+			if !ok {
+				return nil, fmt.Errorf("no switch %v", hop)
+			}
+			if err := sw.WriteItem(it); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return keys, nil
+}
+
+// KeysInGroup filters keys to those owned by virtual group g — used by the
+// Fig. 10(a) "single virtual group" scenario.
+func (d *Deployment) KeysInGroup(keys []kv.Key, g ring.GroupID) []kv.Key {
+	var out []kv.Key
+	for _, k := range keys {
+		if d.Ring.GroupForKey(k) == g {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// mixSource adapts a workload mix over concrete keys to a generator feed.
+func mixSource(keys []kv.Key, writeRatio float64, valueSize int, seed int64) func(n uint64) (kv.Op, kv.Key, kv.Value) {
+	rng := rand.New(rand.NewSource(seed))
+	val := workload.Value(valueSize, uint64(seed))
+	return func(n uint64) (kv.Op, kv.Key, kv.Value) {
+		k := keys[rng.Intn(len(keys))]
+		if rng.Float64() < writeRatio {
+			return kv.OpWrite, k, val
+		}
+		return kv.OpRead, k, nil
+	}
+}
+
+// runGenerators starts one open-loop generator per mux (the paper's 1–4
+// client servers) for the window and returns delivered OK QPS, scaled
+// back to unscaled units.
+func (d *Deployment) runGenerators(servers int, keys []kv.Key, writeRatio float64,
+	valueSize int, window event.Time) (deliveredQPS float64, gens []*simclient.Generator) {
+	if servers > len(d.Muxes) {
+		servers = len(d.Muxes)
+	}
+	cfg := simclient.DefaultConfig()
+	rate := d.Profile.HostRate / d.Profile.Scale
+	dir := d.Directory()
+	for i := 0; i < servers; i++ {
+		g := d.Muxes[i].NewGenerator(cfg, dir, mixSource(keys, writeRatio, valueSize, int64(i+1)))
+		gens = append(gens, g)
+		g.Start(rate)
+	}
+	d.Sim.After(window, func() {
+		for _, g := range gens {
+			g.Stop()
+		}
+	})
+	d.Sim.Run()
+	var ok uint64
+	for _, g := range gens {
+		ok += g.OKCount()
+	}
+	deliveredQPS = float64(ok) / (float64(window) / 1e9) * d.Profile.Scale
+	return deliveredQPS, gens
+}

@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"netchain/internal/event"
+	"netchain/internal/kv"
+	"netchain/internal/lock"
+	"netchain/internal/simclient"
+	"netchain/internal/workload"
+	"netchain/internal/zab"
+)
+
+// Fig11Opts parameterizes the §8.5 distributed-transactions experiment:
+// two-phase locking, ten locks per transaction (one hot), contention
+// index sweeping the hot-set size.
+type Fig11Opts struct {
+	ContentionIndexes []float64     // default {0.001, 0.01, 0.1, 1}
+	Clients           []int         // default {1, 10, 100}
+	ColdKeys          int           // default 2000
+	NetChainWindow    time.Duration // default 30 ms simulated
+	ZKWindow          time.Duration // default 2 s simulated
+	ExecTime          time.Duration // in-memory txn time (default 100 µs, §6)
+	Seed              int64
+}
+
+func (o *Fig11Opts) defaults() {
+	if len(o.ContentionIndexes) == 0 {
+		o.ContentionIndexes = []float64{0.001, 0.01, 0.1, 1}
+	}
+	if len(o.Clients) == 0 {
+		o.Clients = []int{1, 10, 100}
+	}
+	if o.ColdKeys == 0 {
+		o.ColdKeys = 2000
+	}
+	if o.NetChainWindow == 0 {
+		o.NetChainWindow = 30 * time.Millisecond
+	}
+	if o.ZKWindow == 0 {
+		o.ZKWindow = 2 * time.Second
+	}
+	if o.ExecTime == 0 {
+		o.ExecTime = 100 * time.Microsecond
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// Fig11 reproduces the transaction throughput comparison: NetChain CAS
+// locks vs baseline ephemeral-node locks, across contention indexes and
+// client counts. Shape targets: orders-of-magnitude gap between the
+// systems; throughput falls as contention rises; the 100-client line
+// converges toward (or below) the 1-client line at contention index 1.
+func Fig11(o Fig11Opts) (*Figure, error) {
+	o.defaults()
+	f := &Figure{
+		ID: "fig11", Title: "Transaction throughput vs contention index",
+		XLabel: "contention", YLabel: "txn/s",
+		PaperNote: "NetChain ~10⁴ (1 client) to ~10⁶ (100 clients, low contention); " +
+			"ZooKeeper orders of magnitude lower; both fall as contention rises",
+	}
+	for _, ci := range o.ContentionIndexes {
+		for _, clients := range o.Clients {
+			nc, err := fig11NetChain(o, ci, clients)
+			if err != nil {
+				return nil, err
+			}
+			f.Add(fmt.Sprintf("NetChain (%d clients)", clients), ci, nc)
+			zk, err := fig11ZK(o, ci, clients)
+			if err != nil {
+				return nil, err
+			}
+			f.Add(fmt.Sprintf("ZooKeeper (%d clients)", clients), ci, zk)
+		}
+	}
+	return f, nil
+}
+
+func fig11NetChain(o Fig11Opts, ci float64, clients int) (float64, error) {
+	d, err := NewDeployment(1, 4, o.Seed) // true rates: lock latency matters
+	if err != nil {
+		return 0, err
+	}
+	wl0, err := workload.NewTxnWorkload(ci, o.ColdKeys, o.Seed)
+	if err != nil {
+		return 0, err
+	}
+	keys := make([]kv.Key, wl0.TotalKeys())
+	for i := range keys {
+		keys[i] = kv.KeyFromUint64(uint64(i))
+		if _, err := d.Ctl.Insert(keys[i]); err != nil {
+			return 0, err
+		}
+	}
+	dir := d.Directory()
+	execs := make([]*lock.Executor, clients)
+	for i := 0; i < clients; i++ {
+		mux := d.Muxes[i%len(d.Muxes)]
+		cl, err := mux.NewClient(simclient.DefaultConfig(), dir)
+		if err != nil {
+			return 0, err
+		}
+		wl, err := workload.NewTxnWorkload(ci, o.ColdKeys, o.Seed+int64(i))
+		if err != nil {
+			return 0, err
+		}
+		cfg := lock.DefaultExecutorConfig()
+		cfg.ExecTime = event.Duration(o.ExecTime)
+		cfg.Seed = int64(i)
+		execs[i] = lock.NewExecutor(d.Sim, lock.NetChainLocks{Client: cl}, wl, keys, uint64(i+1), cfg)
+		execs[i].Start()
+	}
+	d.Sim.After(event.Duration(o.NetChainWindow), func() {
+		for _, ex := range execs {
+			ex.Stop()
+		}
+	})
+	d.Sim.Run()
+	var committed uint64
+	for _, ex := range execs {
+		committed += ex.Committed
+	}
+	return float64(committed) / o.NetChainWindow.Seconds(), nil
+}
+
+func fig11ZK(o Fig11Opts, ci float64, clients int) (float64, error) {
+	sim := event.New()
+	cfg := zab.DefaultConfig()
+	cfg.Seed = o.Seed
+	cl, err := zab.NewCluster(sim, cfg)
+	if err != nil {
+		return 0, err
+	}
+	wl0, err := workload.NewTxnWorkload(ci, o.ColdKeys, o.Seed)
+	if err != nil {
+		return 0, err
+	}
+	keys := make([]kv.Key, wl0.TotalKeys())
+	for i := range keys {
+		keys[i] = kv.KeyFromUint64(uint64(i))
+	}
+	execs := make([]*lock.Executor, clients)
+	for i := 0; i < clients; i++ {
+		wl, err := workload.NewTxnWorkload(ci, o.ColdKeys, o.Seed+int64(i))
+		if err != nil {
+			return 0, err
+		}
+		ecfg := lock.DefaultExecutorConfig()
+		ecfg.ExecTime = event.Duration(o.ExecTime)
+		ecfg.Seed = int64(i)
+		execs[i] = lock.NewExecutor(sim, lock.ZabLocks{Cluster: cl}, wl, keys, uint64(i+1), ecfg)
+		execs[i].Start()
+	}
+	sim.After(event.Duration(o.ZKWindow), func() {
+		for _, ex := range execs {
+			ex.Stop()
+		}
+	})
+	sim.Run()
+	var committed uint64
+	for _, ex := range execs {
+		committed += ex.Committed
+	}
+	return float64(committed) / o.ZKWindow.Seconds(), nil
+}

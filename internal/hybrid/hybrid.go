@@ -1,0 +1,308 @@
+// Package hybrid implements the accelerator deployment of §6: "NetChain
+// can be used as an accelerator to server-based solutions ... The key
+// space is partitioned to store data in the network and the servers
+// separately. NetChain can be used to store hot data with small value
+// size, and servers store big and less popular data."
+//
+// The Store routes each key to a tier:
+//
+//   - values larger than the switch line-rate budget always live on the
+//     backing (server) store — the dataplane cannot hold them (§6);
+//   - small values start on the backing store and are promoted into
+//     NetChain once their read rate proves them hot (insert + copy);
+//   - a bounded in-network footprint demotes the coldest resident when a
+//     promotion would exceed it, keeping switch SRAM for what earns it.
+//
+// Reads hit NetChain first (sub-RTT) and fall through to the backing
+// store; writes follow the key's current tier so each key has exactly one
+// authoritative home and the combined store stays consistent.
+package hybrid
+
+import (
+	"fmt"
+	"sync"
+
+	"netchain/internal/kv"
+)
+
+// NetKV is the in-network tier: the NetChain client plus the control-plane
+// insert/remove hooks (satisfied by netchain.Cluster + Client glue).
+type NetKV interface {
+	Insert(k kv.Key) error // allocate chain slots (control plane)
+	Remove(k kv.Key) error // free chain slots after demotion
+	Read(k kv.Key) (kv.Value, kv.Version, error)
+	Write(k kv.Key, v kv.Value) (kv.Version, error)
+	Delete(k kv.Key) error
+}
+
+// BackKV is the server-based tier (zkkv.Client satisfies it via adapter).
+type BackKV interface {
+	Read(k kv.Key) (kv.Value, error)
+	Write(k kv.Key, v kv.Value) error
+	Delete(k kv.Key) error
+}
+
+// Config tunes tiering.
+type Config struct {
+	// MaxInlineValue is the largest value NetChain holds (the paper's
+	// line-rate bound: stages × slot bytes, 128 B). Default 128.
+	MaxInlineValue int
+	// PromoteAfter is the number of backing-store reads within the decay
+	// window that makes a key hot. Default 3.
+	PromoteAfter int
+	// MaxResident bounds how many keys live in NetChain. Default 1024.
+	MaxResident int
+}
+
+func (c *Config) defaults() {
+	if c.MaxInlineValue == 0 {
+		c.MaxInlineValue = 128
+	}
+	if c.PromoteAfter == 0 {
+		c.PromoteAfter = 3
+	}
+	if c.MaxResident == 0 {
+		c.MaxResident = 1024
+	}
+}
+
+// Stats counts tier activity.
+type Stats struct {
+	NetReads, BackReads   uint64
+	NetWrites, BackWrites uint64
+	Promotions, Demotions uint64
+	Oversize              uint64 // writes too big for the network tier
+}
+
+// Store is the tiered coordinator store.
+type Store struct {
+	cfg  Config
+	net  NetKV
+	back BackKV
+
+	mu       sync.Mutex
+	resident map[kv.Key]*entry // keys currently in NetChain
+	heat     map[kv.Key]int    // backing-store read counts since promotion scan
+	clock    uint64            // logical clock for LRU demotion
+	stats    Stats
+}
+
+type entry struct {
+	key      kv.Key
+	lastUsed uint64
+}
+
+// New builds a tiered store.
+func New(cfg Config, net NetKV, back BackKV) (*Store, error) {
+	if net == nil || back == nil {
+		return nil, fmt.Errorf("hybrid: both tiers required")
+	}
+	cfg.defaults()
+	return &Store{
+		cfg:      cfg,
+		net:      net,
+		back:     back,
+		resident: make(map[kv.Key]*entry),
+		heat:     make(map[kv.Key]int),
+	}, nil
+}
+
+// Stats snapshots the counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Resident reports whether k currently lives in the network tier.
+func (s *Store) Resident(k kv.Key) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.resident[k]
+	return ok
+}
+
+// ResidentCount returns the network-tier population.
+func (s *Store) ResidentCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.resident)
+}
+
+// Read returns k's value from its current tier, counting heat and
+// promoting when a backing-store key proves hot.
+func (s *Store) Read(k kv.Key) (kv.Value, error) {
+	if s.touchResident(k) {
+		v, _, err := s.net.Read(k)
+		if err == nil {
+			s.bump(&s.stats.NetReads)
+			return v, nil
+		}
+		if err != kv.ErrNotFound {
+			return nil, err
+		}
+		// Not in the network after all (lost race with demotion): fall
+		// through.
+	}
+	v, err := s.back.Read(k)
+	if err != nil {
+		return nil, err
+	}
+	s.bump(&s.stats.BackReads)
+	s.recordHeat(k, v)
+	return v, nil
+}
+
+// Write stores v in k's tier. Values over the inline bound always go to
+// the backing store, demoting the key if it was resident.
+func (s *Store) Write(k kv.Key, v kv.Value) error {
+	if len(v) > s.cfg.MaxInlineValue {
+		s.mu.Lock()
+		s.stats.Oversize++
+		wasResident := s.resident[k] != nil
+		s.mu.Unlock()
+		if wasResident {
+			if err := s.demote(k); err != nil {
+				return err
+			}
+		}
+		s.bump(&s.stats.BackWrites)
+		return s.back.Write(k, v)
+	}
+	if s.touchResident(k) {
+		if _, err := s.net.Write(k, v); err != nil {
+			return err
+		}
+		s.bump(&s.stats.NetWrites)
+		return nil
+	}
+	s.bump(&s.stats.BackWrites)
+	return s.back.Write(k, v)
+}
+
+// Delete removes k from both tiers.
+func (s *Store) Delete(k kv.Key) error {
+	if s.touchResident(k) {
+		if err := s.net.Delete(k); err != nil && err != kv.ErrNotFound {
+			return err
+		}
+		if err := s.demote(k); err != nil {
+			return err
+		}
+	}
+	err := s.back.Delete(k)
+	if err == kv.ErrNotFound {
+		return nil
+	}
+	return err
+}
+
+// touchResident updates LRU state and reports residency.
+func (s *Store) touchResident(k kv.Key) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.resident[k]
+	if ok {
+		s.clock++
+		e.lastUsed = s.clock
+	}
+	return ok
+}
+
+func (s *Store) bump(c *uint64) {
+	s.mu.Lock()
+	*c++
+	s.mu.Unlock()
+}
+
+// recordHeat counts a backing read and promotes when hot.
+func (s *Store) recordHeat(k kv.Key, v kv.Value) {
+	if len(v) > s.cfg.MaxInlineValue {
+		return // never promotable
+	}
+	s.mu.Lock()
+	s.heat[k]++
+	hot := s.heat[k] >= s.cfg.PromoteAfter
+	if hot {
+		delete(s.heat, k)
+	}
+	s.mu.Unlock()
+	if hot {
+		// Best effort: promotion failure leaves the key on the backing
+		// store, which stays correct.
+		_ = s.promote(k, v)
+	}
+}
+
+// promote moves k into the network tier, demoting the LRU resident if the
+// footprint is full.
+func (s *Store) promote(k kv.Key, v kv.Value) error {
+	s.mu.Lock()
+	if _, already := s.resident[k]; already {
+		s.mu.Unlock()
+		return nil
+	}
+	var victim kv.Key
+	evict := false
+	if len(s.resident) >= s.cfg.MaxResident {
+		victim = s.lruLocked()
+		evict = true
+	}
+	s.mu.Unlock()
+
+	if evict {
+		if err := s.demote(victim); err != nil {
+			return err
+		}
+	}
+	if err := s.net.Insert(k); err != nil {
+		return err
+	}
+	if _, err := s.net.Write(k, v); err != nil {
+		_ = s.net.Remove(k)
+		return err
+	}
+	s.mu.Lock()
+	s.clock++
+	s.resident[k] = &entry{key: k, lastUsed: s.clock}
+	s.stats.Promotions++
+	s.mu.Unlock()
+	return nil
+}
+
+// demote writes the network copy back to the backing store and frees the
+// chain slots.
+func (s *Store) demote(k kv.Key) error {
+	s.mu.Lock()
+	_, ok := s.resident[k]
+	if !ok {
+		s.mu.Unlock()
+		return nil
+	}
+	delete(s.resident, k)
+	s.stats.Demotions++
+	s.mu.Unlock()
+
+	v, _, err := s.net.Read(k)
+	if err == nil {
+		if werr := s.back.Write(k, v); werr != nil {
+			return werr
+		}
+	} else if err != kv.ErrNotFound {
+		return err
+	}
+	return s.net.Remove(k)
+}
+
+// lruLocked picks the least recently used resident. Called with s.mu held.
+func (s *Store) lruLocked() kv.Key {
+	var victim kv.Key
+	best := ^uint64(0)
+	for k, e := range s.resident {
+		if e.lastUsed < best {
+			best = e.lastUsed
+			victim = k
+		}
+	}
+	return victim
+}

@@ -1,0 +1,361 @@
+package hybrid_test
+
+import (
+	"fmt"
+	"testing"
+
+	"netchain"
+	"netchain/internal/hybrid"
+	"netchain/internal/kv"
+	"netchain/internal/zkkv"
+)
+
+// fakeNet is an in-memory NetKV with failure injection.
+type fakeNet struct {
+	slots      map[kv.Key]bool
+	vals       map[kv.Key]kv.Value
+	seq        uint64
+	failInsert bool
+}
+
+func newFakeNet() *fakeNet {
+	return &fakeNet{slots: map[kv.Key]bool{}, vals: map[kv.Key]kv.Value{}}
+}
+
+func (f *fakeNet) Insert(k kv.Key) error {
+	if f.failInsert {
+		return kv.ErrNoSpace
+	}
+	f.slots[k] = true
+	return nil
+}
+func (f *fakeNet) Remove(k kv.Key) error {
+	delete(f.slots, k)
+	delete(f.vals, k)
+	return nil
+}
+func (f *fakeNet) Read(k kv.Key) (kv.Value, kv.Version, error) {
+	v, ok := f.vals[k]
+	if !ok {
+		return nil, kv.Version{}, kv.ErrNotFound
+	}
+	return v.Clone(), kv.Version{Seq: f.seq}, nil
+}
+func (f *fakeNet) Write(k kv.Key, v kv.Value) (kv.Version, error) {
+	if !f.slots[k] {
+		return kv.Version{}, kv.ErrNotFound
+	}
+	f.seq++
+	f.vals[k] = v.Clone()
+	return kv.Version{Seq: f.seq}, nil
+}
+func (f *fakeNet) Delete(k kv.Key) error {
+	delete(f.vals, k)
+	return nil
+}
+
+// fakeBack is an in-memory BackKV.
+type fakeBack struct{ vals map[kv.Key]kv.Value }
+
+func newFakeBack() *fakeBack { return &fakeBack{vals: map[kv.Key]kv.Value{}} }
+
+func (f *fakeBack) Read(k kv.Key) (kv.Value, error) {
+	v, ok := f.vals[k]
+	if !ok {
+		return nil, kv.ErrNotFound
+	}
+	return v.Clone(), nil
+}
+func (f *fakeBack) Write(k kv.Key, v kv.Value) error {
+	f.vals[k] = v.Clone()
+	return nil
+}
+func (f *fakeBack) Delete(k kv.Key) error {
+	if _, ok := f.vals[k]; !ok {
+		return kv.ErrNotFound
+	}
+	delete(f.vals, k)
+	return nil
+}
+
+func newStore(t *testing.T, cfg hybrid.Config) (*hybrid.Store, *fakeNet, *fakeBack) {
+	t.Helper()
+	n, b := newFakeNet(), newFakeBack()
+	s, err := hybrid.New(cfg, n, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, n, b
+}
+
+func TestColdKeysStayOnBackingStore(t *testing.T) {
+	s, _, _ := newStore(t, hybrid.Config{PromoteAfter: 3})
+	k := kv.KeyFromString("cold")
+	if err := s.Write(k, kv.Value("v")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.Read(k)
+	if err != nil || string(v) != "v" {
+		t.Fatalf("read: %q %v", v, err)
+	}
+	if s.Resident(k) {
+		t.Fatal("one read must not promote")
+	}
+	st := s.Stats()
+	if st.BackReads != 1 || st.BackWrites != 1 || st.Promotions != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestHotKeyPromotes(t *testing.T) {
+	s, _, _ := newStore(t, hybrid.Config{PromoteAfter: 3})
+	k := kv.KeyFromString("hot")
+	s.Write(k, kv.Value("v"))
+	for i := 0; i < 3; i++ {
+		if _, err := s.Read(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !s.Resident(k) {
+		t.Fatal("3 reads must promote")
+	}
+	// Subsequent reads come from the network tier.
+	pre := s.Stats().NetReads
+	if _, err := s.Read(k); err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats().NetReads != pre+1 {
+		t.Fatal("promoted key must be served by NetChain")
+	}
+	// Writes follow the tier.
+	if err := s.Write(k, kv.Value("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats().NetWrites != 1 {
+		t.Fatalf("stats = %+v", s.Stats())
+	}
+	v, _ := s.Read(k)
+	if string(v) != "v2" {
+		t.Fatalf("read after promoted write: %q", v)
+	}
+}
+
+func TestOversizeValuesNeverPromoteAndDemote(t *testing.T) {
+	s, _, _ := newStore(t, hybrid.Config{MaxInlineValue: 16, PromoteAfter: 2})
+	k := kv.KeyFromString("big")
+	big := make(kv.Value, 64)
+	s.Write(k, big)
+	for i := 0; i < 5; i++ {
+		s.Read(k)
+	}
+	if s.Resident(k) {
+		t.Fatal("oversize value must never promote")
+	}
+	// Promote with a small value, then grow it: the key must demote.
+	small := kv.KeyFromString("grow")
+	s.Write(small, kv.Value("s"))
+	s.Read(small)
+	s.Read(small)
+	if !s.Resident(small) {
+		t.Fatal("small key should have promoted")
+	}
+	if err := s.Write(small, big); err != nil {
+		t.Fatal(err)
+	}
+	if s.Resident(small) {
+		t.Fatal("oversize write must demote")
+	}
+	v, err := s.Read(small)
+	if err != nil || len(v) != 64 {
+		t.Fatalf("read after demotion: %d bytes, %v", len(v), err)
+	}
+	if s.Stats().Oversize != 2 {
+		t.Fatalf("stats = %+v", s.Stats())
+	}
+}
+
+func TestFootprintBoundEvictsLRU(t *testing.T) {
+	s, _, _ := newStore(t, hybrid.Config{PromoteAfter: 1, MaxResident: 2})
+	keys := []kv.Key{kv.KeyFromString("a"), kv.KeyFromString("b"), kv.KeyFromString("c")}
+	for _, k := range keys {
+		s.Write(k, kv.Value("v-"+k.String()))
+		s.Read(k) // promotes (PromoteAfter=1)
+	}
+	if s.ResidentCount() != 2 {
+		t.Fatalf("resident = %d, want 2", s.ResidentCount())
+	}
+	if s.Resident(keys[0]) {
+		t.Fatal("LRU key 'a' should have been demoted")
+	}
+	if s.Stats().Demotions != 1 {
+		t.Fatalf("stats = %+v", s.Stats())
+	}
+	// Demoted key still readable with its latest value (this read itself
+	// re-promotes at PromoteAfter=1, evicting the next LRU — the bound
+	// must hold throughout).
+	v, err := s.Read(keys[0])
+	if err != nil || string(v) != "v-a" {
+		t.Fatalf("demoted read: %q %v", v, err)
+	}
+	if s.ResidentCount() > 2 {
+		t.Fatalf("footprint bound violated: %d", s.ResidentCount())
+	}
+}
+
+func TestDeleteClearsBothTiers(t *testing.T) {
+	s, n, _ := newStore(t, hybrid.Config{PromoteAfter: 1})
+	k := kv.KeyFromString("k")
+	s.Write(k, kv.Value("v"))
+	s.Read(k) // promote
+	if !s.Resident(k) {
+		t.Fatal("setup: not promoted")
+	}
+	if err := s.Delete(k); err != nil {
+		t.Fatal(err)
+	}
+	if s.Resident(k) || n.slots[k] {
+		t.Fatal("delete must free the network slot")
+	}
+	if _, err := s.Read(k); err != kv.ErrNotFound {
+		t.Fatalf("read after delete: %v", err)
+	}
+}
+
+func TestPromotionFailureIsBenign(t *testing.T) {
+	s, n, _ := newStore(t, hybrid.Config{PromoteAfter: 1})
+	n.failInsert = true
+	k := kv.KeyFromString("k")
+	s.Write(k, kv.Value("v"))
+	if _, err := s.Read(k); err != nil {
+		t.Fatal(err)
+	}
+	if s.Resident(k) {
+		t.Fatal("failed promotion must not mark resident")
+	}
+	v, err := s.Read(k)
+	if err != nil || string(v) != "v" {
+		t.Fatalf("backing store must keep serving: %q %v", v, err)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := hybrid.New(hybrid.Config{}, nil, newFakeBack()); err == nil {
+		t.Fatal("nil net tier must be rejected")
+	}
+	if _, err := hybrid.New(hybrid.Config{}, newFakeNet(), nil); err == nil {
+		t.Fatal("nil back tier must be rejected")
+	}
+}
+
+// --- Integration: real NetChain cluster + real TCP ensemble ---------------
+
+// ncAdapter glues a real cluster+client to the NetKV interface.
+type ncAdapter struct {
+	cluster *netchain.Cluster
+	client  *netchain.Client
+}
+
+func (a ncAdapter) Insert(k kv.Key) error { return a.cluster.Insert(k) }
+func (a ncAdapter) Remove(k kv.Key) error { return a.cluster.GC(k) }
+func (a ncAdapter) Read(k kv.Key) (kv.Value, kv.Version, error) {
+	return a.client.Read(k)
+}
+func (a ncAdapter) Write(k kv.Key, v kv.Value) (kv.Version, error) {
+	return a.client.Write(k, v)
+}
+func (a ncAdapter) Delete(k kv.Key) error { return a.client.Delete(k) }
+
+// zkAdapter glues the real TCP ensemble to BackKV.
+type zkAdapter struct{ c *zkkv.Client }
+
+func (a zkAdapter) Read(k kv.Key) (kv.Value, error)  { return a.c.ReadLeader(k) }
+func (a zkAdapter) Write(k kv.Key, v kv.Value) error { return a.c.Write(k, v) }
+func (a zkAdapter) Delete(k kv.Key) error {
+	return a.c.Delete(k)
+}
+
+func TestIntegrationRealTiers(t *testing.T) {
+	cluster, err := netchain.StartLocalCluster(netchain.ClusterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	client, err := cluster.NewClient(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	addrs, stop, err := zkkv.StartEnsemble(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	zc, err := zkkv.Dial(addrs[0], addrs[1:]...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer zc.Close()
+
+	s, err := hybrid.New(hybrid.Config{PromoteAfter: 2, MaxResident: 8},
+		ncAdapter{cluster: cluster, client: client}, zkAdapter{c: zc})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Hot small key: lands on servers, earns its way into the network.
+	hot := kv.KeyFromString("hot/config")
+	if err := s.Write(hot, kv.Value("fast")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := s.Read(hot); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !s.Resident(hot) {
+		t.Fatal("hot key not promoted into the real chain")
+	}
+	v, err := s.Read(hot)
+	if err != nil || string(v) != "fast" {
+		t.Fatalf("network-tier read: %q %v", v, err)
+	}
+
+	// Big value: always server-side.
+	big := kv.KeyFromString("blob/snapshot")
+	blob := make(kv.Value, 4096)
+	for i := range blob {
+		blob[i] = byte(i)
+	}
+	if err := s.Write(big, blob); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := s.Read(big); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Resident(big) {
+		t.Fatal("blob must never enter the switch tier")
+	}
+	got, err := s.Read(big)
+	if err != nil || len(got) != 4096 || got[100] != 100 {
+		t.Fatalf("blob read: %d bytes, %v", len(got), err)
+	}
+
+	// Mixed churn: values stay correct across promotions/demotions.
+	for i := 0; i < 20; i++ {
+		k := kv.KeyFromUint64(uint64(i % 12))
+		want := kv.Value(fmt.Sprintf("gen-%d", i))
+		if err := s.Write(k, want); err != nil {
+			t.Fatalf("churn write %d: %v", i, err)
+		}
+		gotV, err := s.Read(k)
+		if err != nil || string(gotV) != string(want) {
+			t.Fatalf("churn read %d: %q %v", i, gotV, err)
+		}
+	}
+	if s.ResidentCount() > 8 {
+		t.Fatalf("footprint bound violated: %d", s.ResidentCount())
+	}
+}

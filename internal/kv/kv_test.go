@@ -1,0 +1,130 @@
+package kv
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKeyFromString(t *testing.T) {
+	k := KeyFromString("lock/alpha")
+	if got := k.String(); got != "lock/alpha" {
+		t.Fatalf("String() = %q, want %q", got, "lock/alpha")
+	}
+	long := KeyFromString("0123456789abcdefOVERFLOW")
+	if got := long.String(); got != "0123456789abcdef" {
+		t.Fatalf("String() = %q, want truncation to 16 bytes", got)
+	}
+}
+
+func TestKeyFromStringBinaryRendersHex(t *testing.T) {
+	k := Key{0x01, 0x02}
+	if got := k.String(); got != "01020000000000000000000000000000" {
+		t.Fatalf("String() = %q, want hex form", got)
+	}
+}
+
+func TestKeyUint64RoundTrip(t *testing.T) {
+	f := func(v uint64) bool { return KeyFromUint64(v).Uint64() == v }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValueClone(t *testing.T) {
+	v := Value("hello")
+	c := v.Clone()
+	c[0] = 'H'
+	if string(v) != "hello" {
+		t.Fatalf("Clone aliases the original: %q", v)
+	}
+	if Value(nil).Clone() != nil {
+		t.Fatal("Clone(nil) should stay nil")
+	}
+}
+
+func TestOpNames(t *testing.T) {
+	cases := map[Op]string{
+		OpRead: "read", OpWrite: "write", OpInsert: "insert",
+		OpDelete: "delete", OpCAS: "cas", OpReply: "reply", OpSync: "sync",
+	}
+	for op, want := range cases {
+		if op.String() != want {
+			t.Errorf("%d.String() = %q, want %q", op, op.String(), want)
+		}
+		if !op.Valid() {
+			t.Errorf("%s should be valid", want)
+		}
+	}
+	if Op(0).Valid() || Op(99).Valid() {
+		t.Error("zero/unknown ops must be invalid")
+	}
+}
+
+func TestStatusErr(t *testing.T) {
+	if StatusOK.Err() != nil {
+		t.Fatal("StatusOK must map to nil error")
+	}
+	if StatusNotFound.Err() != ErrNotFound {
+		t.Fatal("StatusNotFound must map to ErrNotFound")
+	}
+	if StatusCASFail.Err() != ErrCASFail {
+		t.Fatal("StatusCASFail must map to ErrCASFail")
+	}
+	if StatusStale.Err() != ErrStale {
+		t.Fatal("StatusStale must map to ErrStale")
+	}
+	if StatusNoSpace.Err() != ErrNoSpace {
+		t.Fatal("StatusNoSpace must map to ErrNoSpace")
+	}
+	if StatusBadRequest.Err() == nil {
+		t.Fatal("StatusBadRequest must map to an error")
+	}
+}
+
+func TestVersionOrdering(t *testing.T) {
+	cases := []struct {
+		a, b Version
+		less bool
+	}{
+		{Version{0, 0}, Version{0, 1}, true},
+		{Version{0, 5}, Version{1, 0}, true}, // session dominates seq
+		{Version{1, 0}, Version{0, 99}, false},
+		{Version{2, 7}, Version{2, 7}, false},
+		{Version{2, 8}, Version{2, 7}, false},
+	}
+	for _, c := range cases {
+		if got := c.a.Less(c.b); got != c.less {
+			t.Errorf("%v.Less(%v) = %v, want %v", c.a, c.b, got, c.less)
+		}
+	}
+}
+
+func TestVersionLessIsStrictOrder(t *testing.T) {
+	f := func(s1 uint32, q1 uint64, s2 uint32, q2 uint64) bool {
+		a, b := Version{s1, q1}, Version{s2, q2}
+		// Exactly one of a<b, b<a, a==b.
+		n := 0
+		if a.Less(b) {
+			n++
+		}
+		if b.Less(a) {
+			n++
+		}
+		if a == b {
+			n++
+		}
+		return n == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVersionIsZero(t *testing.T) {
+	if !(Version{}).IsZero() {
+		t.Fatal("zero Version must report IsZero")
+	}
+	if (Version{0, 1}).IsZero() || (Version{1, 0}).IsZero() {
+		t.Fatal("non-zero Version must not report IsZero")
+	}
+}

@@ -1,0 +1,519 @@
+// Package mc is an explicit-state model checker for the NetChain protocol,
+// reproducing the paper's TLA+ verification (Appendix): a bounded chain of
+// switches processing reads and writes over channels that may drop,
+// duplicate and reorder packets, with switch failure, fast failover and
+// failure recovery transitions. Two properties are checked over every
+// reachable state:
+//
+//	Consistency        — versions observed by client reads never decrease
+//	                     (the Appendix's Consistency invariant), and a
+//	                     given version is always observed with the same
+//	                     value.
+//	UpdatePropagation  — along the live chain, an upstream switch's stored
+//	                     version is ≥ its downstream successor's
+//	                     (Invariant 1 of §4.5).
+//
+// The checker exhaustively enumerates interleavings breadth-first under
+// configurable bounds (writes, in-flight messages, duplications, drops,
+// failures) exactly as the TLA+ model constrains its state space. The
+// DisableSeqCheck knob removes the sequence-number comparison of
+// Algorithm 1 — re-introducing the Fig. 5 out-of-order anomaly — and the
+// checker then finds the violation, which is the ablation demonstrating
+// why the ordering protocol exists.
+package mc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Bounds caps the explored state space, mirroring the TLA+ CONSTANTS
+// (maxQLen, maxFailedCount, maxVersion, maxBufOpCount).
+type Bounds struct {
+	Switches    int // chain length (plus one spare for recovery)
+	MaxWrites   int // distinct client writes (maxVersion)
+	MaxReads    int // client read queries issued
+	MaxInFlight int // channel capacity (maxQLen)
+	MaxDups     int // duplication operations (part of maxBufOpCount)
+	MaxDrops    int // drop operations (part of maxBufOpCount)
+	MaxFails    int // switch failures (maxFailedCount)
+	// DisableSeqCheck removes Algorithm 1's version comparison at
+	// replicas: the Fig. 5 anomaly returns and the invariants break.
+	DisableSeqCheck bool
+	// WithRecovery enables the failure-recovery transition (sync + chain
+	// restore via the spare switch).
+	WithRecovery bool
+}
+
+// DefaultBounds is a space small enough to exhaust in well under a second
+// yet rich enough to exercise reordering, duplication, loss and failover.
+func DefaultBounds() Bounds {
+	return Bounds{
+		Switches:    3,
+		MaxWrites:   2,
+		MaxReads:    2,
+		MaxInFlight: 3,
+		MaxDups:     1,
+		MaxDrops:    1,
+		MaxFails:    1,
+	}
+}
+
+// version is the lexicographic (session, seq) pair.
+type version struct {
+	sess uint8
+	seq  uint8
+}
+
+func (v version) less(w version) bool {
+	if v.sess != w.sess {
+		return v.sess < w.sess
+	}
+	return v.seq < w.seq
+}
+
+// msg is an in-flight packet. Chain lists are encoded as the remaining
+// hop indexes (into the ORIGINAL chain), matching the packet format.
+type msg struct {
+	read  bool
+	dst   int8 // switch index the packet is addressed to
+	val   int8 // value id being written (writes) or read result (replies)
+	ver   version
+	rest  [3]int8 // remaining chain hops (-1 terminated)
+	reply bool
+}
+
+// state is one global configuration. It must be comparable; all slices
+// are fixed arrays bounded by the model size.
+type state struct {
+	// Per switch: stored value id (-1 none) and version; alive flag.
+	val   [4]int8
+	ver   [4]version
+	alive [4]bool
+	// Chain membership as switch indexes (-1 = removed); head first.
+	chain [3]int8
+	// Controller session counter for the single virtual group.
+	session uint8
+	// Head session installed on each switch (stamped on fresh writes).
+	swSession [4]uint8
+	// In-flight messages (unordered ⇒ reordering is implicit).
+	msgs  [6]msg
+	nmsgs int8
+	// Budgets consumed.
+	writes, reads, dups, drops, fails int8
+	recovered                         bool
+	// readPending serializes client reads: the Consistency property is
+	// about the order of non-overlapping reads (concurrent reads may
+	// legitimately observe in either order).
+	readPending bool
+	// Client observation: previous and current version/value observed by
+	// replies (the TLA+ prevKVs/currentKVs pair).
+	prevVer version
+	prevVal int8
+	obsVer  version
+	obsVal  int8
+}
+
+// observe records a client-visible reply, shifting current → previous.
+func (s *state) observe(v version, val int8) {
+	s.prevVer, s.prevVal = s.obsVer, s.obsVal
+	s.obsVer, s.obsVal = v, val
+}
+
+// Trace is a counterexample: the action names from the initial state.
+type Trace []string
+
+// Result summarizes a run.
+type Result struct {
+	States    int
+	Violation Trace // nil when all invariants hold
+	Reason    string
+}
+
+// Checker explores the model.
+type Checker struct {
+	b Bounds
+}
+
+// New builds a checker.
+func New(b Bounds) (*Checker, error) {
+	if b.Switches != 3 {
+		return nil, fmt.Errorf("mc: model supports chains of 3 switches, got %d", b.Switches)
+	}
+	if b.MaxWrites > 5 || b.MaxInFlight > 6 {
+		return nil, fmt.Errorf("mc: bounds too large for the fixed-size state encoding")
+	}
+	return &Checker{b: b}, nil
+}
+
+func initialState() state {
+	var s state
+	for i := range s.val {
+		s.val[i] = -1
+		s.alive[i] = true
+	}
+	s.chain = [3]int8{0, 1, 2}
+	s.obsVal = -1
+	s.prevVal = -1
+	return s
+}
+
+type node struct {
+	s      state
+	parent int
+	action string
+}
+
+// Run explores the state space and returns the first invariant violation
+// found (breadth-first ⇒ shortest counterexample), or Violation == nil.
+func (c *Checker) Run() Result {
+	start := initialState()
+	visited := map[state]bool{start: true}
+	nodes := []node{{s: start, parent: -1}}
+	frontier := []int{0}
+
+	for len(frontier) > 0 {
+		var next []int
+		for _, idx := range frontier {
+			cur := nodes[idx].s
+			succ := c.successors(cur)
+			for _, sa := range succ {
+				if visited[sa.s] {
+					continue
+				}
+				visited[sa.s] = true
+				nodes = append(nodes, node{s: sa.s, parent: idx, action: sa.action})
+				ni := len(nodes) - 1
+				if reason := c.check(sa.s); reason != "" {
+					return Result{States: len(visited), Violation: trace(nodes, ni), Reason: reason}
+				}
+				next = append(next, ni)
+			}
+		}
+		frontier = next
+	}
+	return Result{States: len(visited)}
+}
+
+func trace(nodes []node, i int) Trace {
+	var out Trace
+	for i >= 0 && nodes[i].action != "" {
+		out = append(out, nodes[i].action)
+		i = nodes[i].parent
+	}
+	// reverse
+	for l, r := 0, len(out)-1; l < r; l, r = l+1, r-1 {
+		out[l], out[r] = out[r], out[l]
+	}
+	return out
+}
+
+// check evaluates the invariants; empty string means they hold.
+func (c *Checker) check(s state) string {
+	// Consistency: observed versions never regress, and re-observing the
+	// same version yields the same value (TLA+ Consistency).
+	if s.obsVer.less(s.prevVer) {
+		return fmt.Sprintf("Consistency: observed %v after %v", s.obsVer, s.prevVer)
+	}
+	if s.obsVer == s.prevVer && s.obsVer != (version{}) &&
+		s.obsVal != s.prevVal {
+		return fmt.Sprintf("Consistency: version %v observed with values %d then %d",
+			s.obsVer, s.prevVal, s.obsVal)
+	}
+	// UpdatePropagation: along live chain members, upstream ver >= downstream.
+	var live []int8
+	for _, sw := range s.chain {
+		if sw >= 0 && s.alive[sw] {
+			live = append(live, sw)
+		}
+	}
+	for i := 0; i+1 < len(live); i++ {
+		up, down := live[i], live[i+1]
+		if s.ver[up].less(s.ver[down]) {
+			return fmt.Sprintf("UpdatePropagation: S%d(%v) < S%d(%v)",
+				up, s.ver[up], down, s.ver[down])
+		}
+	}
+	// Value/version agreement: two switches holding the same version hold
+	// the same value (per-key single history).
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			if s.val[i] >= 0 && s.val[j] >= 0 &&
+				s.ver[i] == s.ver[j] && s.ver[i] != (version{}) &&
+				s.val[i] != s.val[j] {
+				return fmt.Sprintf("Divergence: S%d and S%d both at %v with values %d vs %d",
+					i, j, s.ver[i], s.val[i], s.val[j])
+			}
+		}
+	}
+	return "" // Consistency (monotonic observation) is checked on delivery.
+}
+
+type action struct {
+	s      state
+	action string
+}
+
+// successors enumerates every enabled transition.
+func (c *Checker) successors(s state) []action {
+	var out []action
+	add := func(ns state, name string) { out = append(out, action{ns, name}) }
+
+	liveChain := func(st state) []int8 {
+		var l []int8
+		for _, sw := range st.chain {
+			if sw >= 0 && st.alive[sw] {
+				l = append(l, sw)
+			}
+		}
+		return l
+	}
+
+	// Client write: fresh packet addressed to the ORIGINAL chain head —
+	// clients are stale (§4.2 propagates chain updates slowly); neighbor
+	// rules redirect around failures at delivery time.
+	if int(s.writes) < c.b.MaxWrites && int(s.nmsgs) < c.b.MaxInFlight {
+		ns := s
+		ns.writes++
+		m := msg{dst: 0, val: int8(s.writes), rest: [3]int8{1, 2, -1}}
+		pushMsg(&ns, m)
+		add(ns, fmt.Sprintf("Write(v%d)", s.writes))
+	}
+	// Client read: packet to the original tail with the reverse list, one
+	// outstanding read at a time (sequential reader).
+	if int(s.reads) < c.b.MaxReads && int(s.nmsgs) < c.b.MaxInFlight && !s.readPending {
+		ns := s
+		ns.reads++
+		ns.readPending = true
+		pushMsg(&ns, msg{read: true, dst: 2, rest: [3]int8{1, 0, -1}})
+		add(ns, "Read")
+	}
+	// Deliver any in-flight message (set semantics ⇒ arbitrary reorder).
+	for i := int8(0); i < s.nmsgs; i++ {
+		m := s.msgs[i]
+		ns := s
+		removeMsg(&ns, i)
+		name := c.deliver(&ns, m)
+		add(ns, name)
+		// Duplicate a write query: deliver without removing (a client
+		// retransmission; reads and replies are deduplicated by query id
+		// at the client, so duplicating them adds no behaviours).
+		if int(s.dups) < c.b.MaxDups && !m.reply && !m.read {
+			ds := s
+			ds.dups++
+			name := c.deliver(&ds, m)
+			add(ds, "Dup+"+name)
+		}
+		// Drop. A dropped read or read-reply times out at the client,
+		// which then issues its next (sequential) read.
+		if int(s.drops) < c.b.MaxDrops {
+			ds := s
+			ds.drops++
+			removeMsg(&ds, i)
+			if m.read {
+				ds.readPending = false
+			}
+			add(ds, "Drop")
+		}
+	}
+	// Fail a live chain switch, immediately followed by the controller's
+	// fast failover (rule rewrite is modelled at delivery time; the session
+	// bump happens here, §5.2).
+	if int(s.fails) < c.b.MaxFails {
+		for _, sw := range liveChain(s) {
+			ns := s
+			ns.fails++
+			ns.alive[sw] = false
+			wasHead := liveChain(s)[0] == sw
+			if l := liveChain(ns); wasHead && len(l) > 0 {
+				ns.session++
+				ns.swSession[l[0]] = ns.session
+			}
+			add(ns, fmt.Sprintf("Fail(S%d)+Failover", sw))
+		}
+	}
+	// Recovery: copy state from a live reference onto the spare (S3) and
+	// splice it into the failed position (two-phase switch collapsed into
+	// one atomic action; in-flight messages to the failed switch will be
+	// redirected at delivery, like the activation rules).
+	if c.b.WithRecovery && !s.recovered && int(s.fails) > 0 {
+		failedPos := -1
+		for i, sw := range s.chain {
+			if sw >= 0 && !s.alive[sw] {
+				failedPos = i
+				break
+			}
+		}
+		if failedPos >= 0 {
+			ns := s
+			ns.recovered = true
+			// Reference: successor if any, else predecessor (§5.2).
+			l := liveChain(s)
+			if len(l) > 0 {
+				ref := l[len(l)-1]
+				for i := failedPos + 1; i < 3; i++ {
+					if sw := s.chain[i]; sw >= 0 && s.alive[sw] {
+						ref = sw
+						break
+					}
+				}
+				ns.val[3] = s.val[ref]
+				ns.ver[3] = s.ver[ref]
+				ns.chain[failedPos] = 3
+				if failedPos == 0 {
+					ns.session++
+					ns.swSession[3] = ns.session
+				}
+				// The recovery stop phase drains the affected chain's
+				// traffic before activation; the TLA+ spec models this as
+				// SwitchBufClear on the recovering pair. Purge in-flight
+				// queries (clients re-issue after timeouts).
+				for ns.nmsgs > 0 {
+					if ns.msgs[0].read {
+						ns.readPending = false
+					}
+					removeMsg(&ns, 0)
+				}
+				add(ns, "Recover(S3)")
+			}
+		}
+	}
+	return out
+}
+
+// deliver applies Algorithm 1 at the destination, with neighbor-rule
+// semantics when the destination is dead: pop the next hop (failover) or
+// complete on the chain's behalf.
+func (c *Checker) deliver(s *state, m msg) string {
+	// Replies go to the client. Read replies are the observation point for
+	// Consistency ("the versions exposed to client read queries are
+	// monotonically increasing", §4.5); write acks just complete the write.
+	if m.reply {
+		if m.read {
+			s.observe(m.ver, m.val)
+			s.readPending = false
+			return fmt.Sprintf("Observe(v%d@%d.%d)", m.val, m.ver.sess, m.ver.seq)
+		}
+		return "WriteAcked"
+	}
+	// Redirect through dead switches (Algorithm 2 / activation rules).
+	for !s.alive[m.dst] || !chainContains(s, m.dst) {
+		// If the dst position was recovered, follow the redirect.
+		if redirected, ok := redirect(s, m.dst); ok {
+			m.dst = redirected
+			break
+		}
+		next, rest := popRest(m.rest)
+		if next < 0 {
+			if m.read {
+				s.readPending = false // Unavailable reply
+				return "ReadFail"     // all replicas gone
+			}
+			// Write completed on the chain's behalf (predecessors applied).
+			return "WriteAckedByRule"
+		}
+		m.dst, m.rest = next, rest
+	}
+
+	sw := m.dst
+	if m.read {
+		if s.val[sw] < 0 {
+			s.readPending = false // NotFound reply
+			return "ReadMiss"
+		}
+		rep := msg{reply: true, read: true, val: s.val[sw], ver: s.ver[sw], rest: [3]int8{-1, -1, -1}}
+		if int(s.nmsgs) < len(s.msgs) {
+			pushMsg(s, rep)
+			return fmt.Sprintf("ServeRead(S%d)", sw)
+		}
+		// No buffer space: observe directly (a single client's replies are
+		// FIFO in practice).
+		s.observe(rep.ver, rep.val)
+		s.readPending = false
+		return fmt.Sprintf("ServeReadDirect(S%d)", sw)
+	}
+
+	// Write path.
+	ver := m.ver
+	if ver == (version{}) {
+		// Acting head: stamp (session, seq+1).
+		ver = version{sess: s.swSession[sw], seq: s.ver[sw].seq + 1}
+	}
+	apply := s.ver[sw].less(ver)
+	if c.b.DisableSeqCheck {
+		apply = true // the Fig. 5 anomaly: last writer wins regardless
+	}
+	if apply {
+		s.val[sw] = m.val
+		s.ver[sw] = ver
+	} else {
+		return fmt.Sprintf("StaleDrop(S%d)", sw)
+	}
+	next, rest := popRest(m.rest)
+	if next < 0 {
+		// Tail: ack the write (not an observation; Consistency concerns
+		// reads).
+		rep := msg{reply: true, val: m.val, ver: ver, rest: [3]int8{-1, -1, -1}}
+		if int(s.nmsgs) < len(s.msgs) {
+			pushMsg(s, rep)
+		}
+		return fmt.Sprintf("ApplyTail(S%d,v%d)", sw, m.val)
+	}
+	fwd := msg{dst: next, val: m.val, ver: ver, rest: rest}
+	if int(s.nmsgs) < len(s.msgs) {
+		pushMsg(s, fwd)
+	}
+	// else: forwarding squeezed out by the bound — equivalent to a drop.
+	return fmt.Sprintf("Apply(S%d,v%d)", sw, m.val)
+}
+
+func chainContains(s *state, sw int8) bool {
+	for _, x := range s.chain {
+		if x == sw {
+			return true
+		}
+	}
+	return false
+}
+
+// redirect models the activation rules: traffic addressed to a dead
+// switch whose position was taken by the spare goes to the spare.
+func redirect(s *state, dead int8) (int8, bool) {
+	if !s.recovered {
+		return 0, false
+	}
+	if chainContains(s, dead) {
+		return 0, false
+	}
+	return 3, s.alive[3]
+}
+
+func popRest(rest [3]int8) (int8, [3]int8) {
+	next := rest[0]
+	return next, [3]int8{rest[1], rest[2], -1}
+}
+
+func pushMsg(s *state, m msg) {
+	s.msgs[s.nmsgs] = m
+	s.nmsgs++
+	// Canonicalize: sorted msg array so the unordered multiset has one
+	// encoding.
+	active := s.msgs[:s.nmsgs]
+	sort.Slice(active, func(i, j int) bool { return msgLess(active[i], active[j]) })
+}
+
+func removeMsg(s *state, i int8) {
+	copy(s.msgs[i:], s.msgs[i+1:s.nmsgs])
+	s.nmsgs--
+	s.msgs[s.nmsgs] = msg{}
+}
+
+func msgLess(a, b msg) bool {
+	ka := fmt.Sprintf("%v", a)
+	kb := fmt.Sprintf("%v", b)
+	return ka < kb
+}
+
+// String renders a trace for failure reports.
+func (t Trace) String() string { return strings.Join(t, " → ") }

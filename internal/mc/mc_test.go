@@ -1,0 +1,124 @@
+package mc
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestInvariantsHoldUnderDefaultBounds(t *testing.T) {
+	c, err := New(DefaultBounds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := c.Run()
+	if res.Violation != nil {
+		t.Fatalf("violation after %d states: %s\n%s", res.States, res.Reason, res.Violation)
+	}
+	if res.States < 1000 {
+		t.Fatalf("suspiciously small state space: %d", res.States)
+	}
+	t.Logf("explored %d states", res.States)
+}
+
+func TestInvariantsHoldWithRecovery(t *testing.T) {
+	b := DefaultBounds()
+	b.WithRecovery = true
+	c, err := New(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := c.Run()
+	if res.Violation != nil {
+		t.Fatalf("violation after %d states: %s\n%s", res.States, res.Reason, res.Violation)
+	}
+	t.Logf("explored %d states (with recovery)", res.States)
+}
+
+func TestInvariantsHoldWithMoreWrites(t *testing.T) {
+	b := DefaultBounds()
+	b.MaxWrites = 3
+	b.MaxReads = 1
+	b.MaxDups = 0
+	b.MaxDrops = 0
+	c, err := New(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := c.Run()
+	if res.Violation != nil {
+		t.Fatalf("violation after %d states: %s\n%s", res.States, res.Reason, res.Violation)
+	}
+}
+
+func TestSeqCheckRemovalBreaksInvariants(t *testing.T) {
+	// The Fig. 5 ablation: without Algorithm 1's version comparison,
+	// out-of-order delivery corrupts the chain and the checker must find a
+	// counterexample.
+	b := DefaultBounds()
+	b.DisableSeqCheck = true
+	b.MaxFails = 0 // the anomaly needs no failures at all
+	c, err := New(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := c.Run()
+	if res.Violation == nil {
+		t.Fatalf("expected a violation without sequence checks (%d states)", res.States)
+	}
+	if len(res.Violation) == 0 || res.Reason == "" {
+		t.Fatalf("empty counterexample: %+v", res)
+	}
+	t.Logf("counterexample (%d states): %s\n%s", res.States, res.Reason, res.Violation)
+}
+
+func TestReadOnlyModelTrivial(t *testing.T) {
+	b := DefaultBounds()
+	b.MaxWrites = 0
+	b.MaxFails = 0
+	c, err := New(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := c.Run()
+	if res.Violation != nil {
+		t.Fatalf("read-only model violated: %s", res.Reason)
+	}
+}
+
+func TestBoundsValidation(t *testing.T) {
+	if _, err := New(Bounds{Switches: 2}); err == nil {
+		t.Fatal("wrong chain length must be rejected")
+	}
+	b := DefaultBounds()
+	b.MaxWrites = 9
+	if _, err := New(b); err == nil {
+		t.Fatal("oversized write bound must be rejected")
+	}
+	b = DefaultBounds()
+	b.MaxInFlight = 7
+	if _, err := New(b); err == nil {
+		t.Fatal("oversized in-flight bound must be rejected")
+	}
+}
+
+func TestTraceString(t *testing.T) {
+	tr := Trace{"Write(v0)", "Apply(S0,v0)"}
+	if got := tr.String(); !strings.Contains(got, "→") {
+		t.Fatalf("trace format: %q", got)
+	}
+}
+
+func TestFailoverStateSpace(t *testing.T) {
+	// Ensure failures are actually explored: with MaxFails=1 the space
+	// must strictly exceed the failure-free space.
+	b := DefaultBounds()
+	b.MaxFails = 0
+	c0, _ := New(b)
+	n0 := c0.Run().States
+	b.MaxFails = 1
+	c1, _ := New(b)
+	n1 := c1.Run().States
+	if n1 <= n0 {
+		t.Fatalf("failure transitions unexplored: %d vs %d", n1, n0)
+	}
+}

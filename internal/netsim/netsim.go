@@ -1,0 +1,482 @@
+// Package netsim is a deterministic discrete-event datacenter network
+// simulator: the evaluation substrate standing in for the paper's hardware
+// testbed (four Tofino switches + four servers, Fig. 8) and for the
+// spine-leaf simulations of §8.3.
+//
+// The model captures exactly what the paper's results depend on:
+//
+//   - per-switch packet budgets (a Tofino processes ~4 BQPS; every
+//     traversal — transit or NetChain processing — consumes budget, and
+//     recirculated big values consume extra passes),
+//   - constant sub-microsecond switch processing delay,
+//   - link propagation latency,
+//   - random loss injection (Fig. 9(d)),
+//   - underlay L3 routing: shortest path by destination IP with
+//     deterministic tie-breaks and per-node route overrides (the paper
+//     pins read and write paths through different switches in §8.4).
+//
+// Because all reported quantities are ratios of capacities, the Scale knob
+// divides every rate to keep event counts tractable; shapes are preserved.
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"netchain/internal/core"
+	"netchain/internal/event"
+	"netchain/internal/packet"
+)
+
+// Kind distinguishes node roles.
+type Kind uint8
+
+const (
+	// KindSwitch forwards traffic and may run the NetChain dataplane.
+	KindSwitch Kind = iota
+	// KindHost terminates traffic (clients, baseline servers).
+	KindHost
+)
+
+// NodeConfig sets a node's performance envelope.
+type NodeConfig struct {
+	// Rate is the packet budget in packets/second; 0 means infinite.
+	Rate float64
+	// ProcDelay is the fixed per-packet processing latency.
+	ProcDelay event.Time
+	// LossRate drops arriving packets with this probability (Fig. 9(d)
+	// injects loss "to each switch").
+	LossRate float64
+	// MaxQueue bounds queueing delay; packets that would wait longer are
+	// tail-dropped. 0 means a generous default (1 ms).
+	MaxQueue event.Time
+}
+
+// Stats aggregates network-wide counters.
+type Stats struct {
+	Delivered  uint64 // frames handed to hosts
+	Hops       uint64 // node traversals
+	LossDrops  uint64 // random loss
+	QueueDrops uint64 // tail drops at saturated nodes
+	FailDrops  uint64 // frames arriving at failed switches
+	RouteDrops uint64 // no route / TTL expiry
+	RuleDrops  uint64 // dropped by recovery stop rules
+	StaleDrops uint64 // stale chain writes dropped by the dataplane
+}
+
+type node struct {
+	addr      packet.Addr
+	kind      Kind
+	cfg       NodeConfig
+	sw        *core.Switch // nil for hosts
+	recv      func(*packet.Frame)
+	busyUntil event.Time
+	failed    bool
+	links     []packet.Addr // neighbors
+}
+
+type routeKey struct {
+	at, dst packet.Addr
+}
+
+// Network is the simulated fabric.
+type Network struct {
+	Sim   *event.Sim
+	rng   *rand.Rand
+	nodes map[packet.Addr]*node
+	// linkLatency[{a,b}] with a<b
+	latency  map[routeKey]event.Time
+	routes   map[routeKey]packet.Addr // computed next hops
+	override map[routeKey]packet.Addr
+	stats    Stats
+}
+
+// New creates an empty network over the given simulator. seed drives loss
+// and ECMP randomness deterministically.
+func New(sim *event.Sim, seed int64) *Network {
+	return &Network{
+		Sim:      sim,
+		rng:      rand.New(rand.NewSource(seed)),
+		nodes:    make(map[packet.Addr]*node),
+		latency:  make(map[routeKey]event.Time),
+		routes:   make(map[routeKey]packet.Addr),
+		override: make(map[routeKey]packet.Addr),
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+// AddSwitch registers a switch node running the given dataplane.
+func (n *Network) AddSwitch(sw *core.Switch, cfg NodeConfig) error {
+	return n.add(&node{addr: sw.Addr(), kind: KindSwitch, cfg: cfg, sw: sw})
+}
+
+// AddHost registers a host; recv is invoked for every frame delivered to
+// addr (after the host's ProcDelay and rate gate).
+func (n *Network) AddHost(addr packet.Addr, cfg NodeConfig, recv func(*packet.Frame)) error {
+	return n.add(&node{addr: addr, kind: KindHost, cfg: cfg, recv: recv})
+}
+
+func (n *Network) add(nd *node) error {
+	if nd.addr.IsZero() {
+		return fmt.Errorf("netsim: node needs a non-zero address")
+	}
+	if _, dup := n.nodes[nd.addr]; dup {
+		return fmt.Errorf("netsim: duplicate node %v", nd.addr)
+	}
+	if nd.cfg.MaxQueue == 0 {
+		nd.cfg.MaxQueue = event.Duration(1e6) // 1 ms of queueing
+	}
+	n.nodes[nd.addr] = nd
+	return nil
+}
+
+// Link connects a and b bidirectionally with the given propagation latency.
+func (n *Network) Link(a, b packet.Addr, latency event.Time) error {
+	na, ok := n.nodes[a]
+	if !ok {
+		return fmt.Errorf("netsim: unknown node %v", a)
+	}
+	nb, ok := n.nodes[b]
+	if !ok {
+		return fmt.Errorf("netsim: unknown node %v", b)
+	}
+	if a == b {
+		return fmt.Errorf("netsim: self link at %v", a)
+	}
+	na.links = append(na.links, b)
+	nb.links = append(nb.links, a)
+	n.latency[linkKey(a, b)] = latency
+	return nil
+}
+
+func linkKey(a, b packet.Addr) routeKey {
+	if a > b {
+		a, b = b, a
+	}
+	return routeKey{a, b}
+}
+
+// ComputeRoutes builds all-pairs next-hop tables by BFS (hop-count
+// shortest path, deterministic neighbor order by address). Call after the
+// topology is final; overrides survive recomputation.
+func (n *Network) ComputeRoutes() {
+	n.routes = make(map[routeKey]packet.Addr, len(n.nodes)*len(n.nodes))
+	// Deterministic node iteration.
+	addrs := n.sortedAddrs()
+	for _, dst := range addrs {
+		// BFS from dst over reversed edges (undirected here) recording the
+		// next hop toward dst for every node.
+		dist := map[packet.Addr]int{dst: 0}
+		queue := []packet.Addr{dst}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			// The underlay fast-reroutes around failed switches (§4.2), so
+			// they do not carry transit traffic — but they still attract
+			// traffic addressed *to* them, which is how neighbor rules
+			// intercept it (Algorithm 2).
+			if n.nodes[cur].failed && cur != dst {
+				continue
+			}
+			neighbors := append([]packet.Addr(nil), n.nodes[cur].links...)
+			sortAddrs(neighbors)
+			for _, nb := range neighbors {
+				if _, seen := dist[nb]; seen {
+					continue
+				}
+				dist[nb] = dist[cur] + 1
+				n.routes[routeKey{nb, dst}] = cur
+				queue = append(queue, nb)
+			}
+		}
+	}
+}
+
+func (n *Network) sortedAddrs() []packet.Addr {
+	addrs := make([]packet.Addr, 0, len(n.nodes))
+	for a := range n.nodes {
+		addrs = append(addrs, a)
+	}
+	sortAddrs(addrs)
+	return addrs
+}
+
+func sortAddrs(a []packet.Addr) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// SetRoute pins the next hop used at node `at` for destination dst —
+// mirroring §8.4's deliberate read/write path split (S0-S1-S2 for writes,
+// S0-S3-S2 for reads is achieved by pinning at the relevant hops).
+func (n *Network) SetRoute(at, dst, via packet.Addr) {
+	n.override[routeKey{at, dst}] = via
+}
+
+// ClearRoute removes an override.
+func (n *Network) ClearRoute(at, dst packet.Addr) {
+	delete(n.override, routeKey{at, dst})
+}
+
+// NextHop resolves the forwarding decision at node `at` for dst.
+func (n *Network) NextHop(at, dst packet.Addr) (packet.Addr, bool) {
+	if via, ok := n.override[routeKey{at, dst}]; ok {
+		return via, true
+	}
+	via, ok := n.routes[routeKey{at, dst}]
+	return via, ok
+}
+
+// PathLen returns the number of links between a and b (diagnostics and the
+// Fig. 9(f) hop accounting); ok is false if unreachable.
+func (n *Network) PathLen(a, b packet.Addr) (int, bool) {
+	hops := 0
+	cur := a
+	for cur != b {
+		next, ok := n.NextHop(cur, b)
+		if !ok || hops > len(n.nodes) {
+			return 0, false
+		}
+		cur = next
+		hops++
+	}
+	return hops, true
+}
+
+// FailSwitch marks a switch fail-stop: every frame arriving there is
+// dropped until RestoreSwitch.
+func (n *Network) FailSwitch(addr packet.Addr) error {
+	nd, ok := n.nodes[addr]
+	if !ok || nd.kind != KindSwitch {
+		return fmt.Errorf("netsim: %v is not a switch", addr)
+	}
+	nd.failed = true
+	n.ComputeRoutes() // underlay fast reroute (§4.2)
+	return nil
+}
+
+// RestoreSwitch clears the failed flag (new switch onboarding).
+func (n *Network) RestoreSwitch(addr packet.Addr) error {
+	nd, ok := n.nodes[addr]
+	if !ok || nd.kind != KindSwitch {
+		return fmt.Errorf("netsim: %v is not a switch", addr)
+	}
+	nd.failed = false
+	n.ComputeRoutes()
+	return nil
+}
+
+// Failed reports the fail-stop flag.
+func (n *Network) Failed(addr packet.Addr) bool {
+	nd, ok := n.nodes[addr]
+	return ok && nd.failed
+}
+
+// Switch returns the dataplane of a switch node (controller access).
+func (n *Network) Switch(addr packet.Addr) (*core.Switch, bool) {
+	nd, ok := n.nodes[addr]
+	if !ok || nd.sw == nil {
+		return nil, false
+	}
+	return nd.sw, true
+}
+
+// IsSwitch reports whether addr names a switch node.
+func (n *Network) IsSwitch(addr packet.Addr) bool {
+	nd, ok := n.nodes[addr]
+	return ok && nd.kind == KindSwitch
+}
+
+// Switches lists all switch addresses.
+func (n *Network) Switches() []packet.Addr {
+	var out []packet.Addr
+	for _, a := range n.sortedAddrs() {
+		if n.nodes[a].kind == KindSwitch {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Inject puts a frame on the wire at the sending host. The frame is owned
+// by the network from this point.
+func (n *Network) Inject(from packet.Addr, f *packet.Frame) {
+	nd, ok := n.nodes[from]
+	if !ok {
+		n.stats.RouteDrops++
+		return
+	}
+	n.forward(nd, f)
+}
+
+// forward moves f from nd toward f.IP.Dst across one link.
+func (n *Network) forward(nd *node, f *packet.Frame) {
+	if f.IP.Dst == nd.addr {
+		// Delivered to self (host loopback is not modelled).
+		n.stats.RouteDrops++
+		return
+	}
+	via, ok := n.NextHop(nd.addr, f.IP.Dst)
+	if !ok {
+		n.stats.RouteDrops++
+		return
+	}
+	lat := n.latency[linkKey(nd.addr, via)]
+	next := n.nodes[via]
+	n.Sim.After(lat, func() { n.arrive(next, f) })
+}
+
+// arrive handles ingress at a node: loss, fail-stop, capacity, then
+// processing after the node's service + processing delay.
+func (n *Network) arrive(nd *node, f *packet.Frame) {
+	n.stats.Hops++
+	if nd.failed {
+		n.stats.FailDrops++
+		return
+	}
+	if nd.cfg.LossRate > 0 && n.rng.Float64() < nd.cfg.LossRate {
+		n.stats.LossDrops++
+		return
+	}
+	// Capacity gate: serialize packets through the node's budget.
+	now := n.Sim.Now()
+	start := nd.busyUntil
+	if start < now {
+		start = now
+	}
+	if wait := start - now; wait > nd.cfg.MaxQueue {
+		n.stats.QueueDrops++
+		return
+	}
+	svc := n.serviceTime(nd, f)
+	nd.busyUntil = start + svc
+	done := nd.busyUntil + nd.cfg.ProcDelay
+	n.Sim.At(done, func() { n.process(nd, f) })
+}
+
+// serviceTime charges the node's packet budget: one slot per traversal,
+// multiplied by pipeline passes for NetChain values that recirculate (§6).
+func (n *Network) serviceTime(nd *node, f *packet.Frame) event.Time {
+	if nd.cfg.Rate <= 0 {
+		return 0
+	}
+	passes := 1
+	if nd.sw != nil && f.UDP.DstPort == packet.Port && f.IP.Dst == nd.addr {
+		passes = nd.sw.PassesFor(len(f.NC.Value))
+	}
+	return event.Time(float64(passes) * 1e9 / nd.cfg.Rate)
+}
+
+// process runs a frame through a node after its service completes.
+func (n *Network) process(nd *node, f *packet.Frame) {
+	if nd.failed {
+		n.stats.FailDrops++
+		return
+	}
+	if nd.kind == KindHost {
+		if f.IP.Dst == nd.addr {
+			n.stats.Delivered++
+			if nd.recv != nil {
+				nd.recv(f)
+			}
+			return
+		}
+		// Hosts do not forward.
+		n.stats.RouteDrops++
+		return
+	}
+
+	// Switch node.
+	if f.IP.Dst == nd.addr && f.UDP.DstPort == packet.Port {
+		if !n.processLocal(nd, f) {
+			return
+		}
+	} else if f.IP.Dst == nd.addr {
+		// Non-NetChain traffic addressed to a switch: no application.
+		n.stats.RouteDrops++
+		return
+	} else {
+		nd.sw.Transit()
+	}
+
+	// TTL check before leaving.
+	if f.IP.TTL == 0 {
+		n.stats.RouteDrops++
+		return
+	}
+	f.IP.TTL--
+
+	// Egress rules may retarget the frame at this very switch (the paper's
+	// "if N overlaps with S0 (S2)" case, §5.1): loop it back through local
+	// processing. Each NextHop rule consumes a chain hop, so this
+	// terminates.
+	for hop := 0; hop < packet.MaxChainHops+1; hop++ {
+		if d := nd.sw.ApplyEgressRules(f); d == core.Drop {
+			n.stats.RuleDrops++
+			return
+		}
+		if f.IP.Dst != nd.addr {
+			break
+		}
+		if f.UDP.DstPort != packet.Port {
+			n.stats.RouteDrops++
+			return
+		}
+		if !n.processLocal(nd, f) {
+			return
+		}
+	}
+	n.forward(nd, f)
+}
+
+// processLocal runs the dataplane on a frame addressed to this switch and
+// reports whether the frame continues.
+func (n *Network) processLocal(nd *node, f *packet.Frame) bool {
+	pre := nd.sw.Stats().WritesStale
+	d, _ := nd.sw.ProcessLocal(f)
+	if d == core.Drop {
+		if nd.sw.Stats().WritesStale > pre {
+			n.stats.StaleDrops++
+		}
+		return false
+	}
+	return true
+}
+
+// LossRateSet updates a switch's injected loss rate (Fig. 9(d) sweeps).
+func (n *Network) LossRateSet(addr packet.Addr, rate float64) error {
+	nd, ok := n.nodes[addr]
+	if !ok {
+		return fmt.Errorf("netsim: unknown node %v", addr)
+	}
+	nd.cfg.LossRate = rate
+	return nil
+}
+
+// Neighbors returns the link neighbors of addr (the controller installs
+// Algorithm 2 rules on exactly these nodes).
+func (n *Network) Neighbors(addr packet.Addr) []packet.Addr {
+	nd, ok := n.nodes[addr]
+	if !ok {
+		return nil
+	}
+	out := append([]packet.Addr(nil), nd.links...)
+	sortAddrs(out)
+	return out
+}
+
+// SwitchNeighbors returns only the switch neighbors of addr.
+func (n *Network) SwitchNeighbors(addr packet.Addr) []packet.Addr {
+	var out []packet.Addr
+	for _, a := range n.Neighbors(addr) {
+		if nd, ok := n.nodes[a]; ok && nd.kind == KindSwitch {
+			out = append(out, a)
+		}
+	}
+	return out
+}

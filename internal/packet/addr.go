@@ -1,0 +1,65 @@
+// Package packet implements the NetChain wire formats of Fig. 2(b):
+// Ethernet / IPv4 / UDP carrier layers plus the custom NetChain header
+// (OP, SEQ, SESSION, KEY, VALUE, SC and the chain IP list).
+//
+// The codec follows the gopacket DecodingLayer discipline: DecodeFromBytes
+// parses into a preallocated struct without retaining the input slice for
+// header fields, and SerializeTo appends into a caller-provided buffer, so
+// steady-state encode/decode performs no allocation.
+package packet
+
+import (
+	"fmt"
+	"net/netip"
+)
+
+// Addr is an IPv4 address in host integer form. Switches, hosts and the
+// controller are all identified by an Addr; the underlay routes on it.
+type Addr uint32
+
+// AddrFrom4 builds an Addr from four octets a.b.c.d.
+func AddrFrom4(a, b, c, d byte) Addr {
+	return Addr(uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8 | uint32(d))
+}
+
+// ParseAddr parses dotted-quad text into an Addr.
+func ParseAddr(s string) (Addr, error) {
+	ip, err := netip.ParseAddr(s)
+	if err != nil {
+		return 0, fmt.Errorf("packet: parse addr %q: %w", s, err)
+	}
+	if !ip.Is4() {
+		return 0, fmt.Errorf("packet: addr %q is not IPv4", s)
+	}
+	b := ip.As4()
+	return AddrFrom4(b[0], b[1], b[2], b[3]), nil
+}
+
+// MustParseAddr is ParseAddr that panics on error; for tests and tables.
+func MustParseAddr(s string) Addr {
+	a, err := ParseAddr(s)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Octets returns the four dotted-quad octets.
+func (a Addr) Octets() [4]byte {
+	return [4]byte{byte(a >> 24), byte(a >> 16), byte(a >> 8), byte(a)}
+}
+
+func (a Addr) String() string {
+	o := a.Octets()
+	return fmt.Sprintf("%d.%d.%d.%d", o[0], o[1], o[2], o[3])
+}
+
+// IsZero reports whether a is the unspecified address.
+func (a Addr) IsZero() bool { return a == 0 }
+
+// MAC is a 48-bit Ethernet address.
+type MAC [6]byte
+
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}

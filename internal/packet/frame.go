@@ -1,0 +1,108 @@
+package packet
+
+import (
+	"fmt"
+
+	"netchain/internal/kv"
+)
+
+// Frame is a fully parsed NetChain datagram: Ethernet + IPv4 + UDP +
+// NetChain. The real transport serializes frames to bytes; the simulator
+// passes *Frame values directly (both run the same dataplane code).
+type Frame struct {
+	Eth Ethernet
+	IP  IPv4
+	UDP UDP
+	NC  NetChain
+}
+
+// NewQuery builds a frame for a client query addressed to first, carrying
+// the remaining chain hops.
+func NewQuery(src, first Addr, srcPort uint16, nc *NetChain) *Frame {
+	f := &Frame{NC: *nc}
+	n := copy(f.NC.chainBuf[:], nc.Chain)
+	f.NC.Chain = f.NC.chainBuf[:n]
+	f.SetAddrs(src, first, srcPort, Port)
+	f.fixLengths()
+	return f
+}
+
+// SetAddrs fills the IP/UDP addressing fields.
+func (f *Frame) SetAddrs(src, dst Addr, srcPort, dstPort uint16) {
+	f.IP.Src, f.IP.Dst = src, dst
+	f.UDP.SrcPort, f.UDP.DstPort = srcPort, dstPort
+	f.IP.TTL = 64
+	f.IP.Protocol = ProtoUDP
+	f.Eth.EtherType = EtherTypeIPv4
+}
+
+// Retarget points the frame at a new IP destination (the next chain hop).
+func (f *Frame) Retarget(dst Addr) { f.IP.Dst = dst }
+
+// ToReply flips the frame into a reply to the original client: swaps
+// src/dst addresses and ports, marks the op, and clears the chain list
+// (matching Fig. 4's SC=0 reply packets).
+func (f *Frame) ToReply(status kv.Status) {
+	f.IP.Src, f.IP.Dst = f.IP.Dst, f.IP.Src
+	f.UDP.SrcPort, f.UDP.DstPort = f.UDP.DstPort, f.UDP.SrcPort
+	f.NC.Op = kv.OpReply
+	f.NC.Status = status
+	f.NC.Chain = f.NC.chainBuf[:0]
+	f.fixLengths()
+}
+
+// fixLengths recomputes the IP and UDP length fields from the payload.
+func (f *Frame) fixLengths() {
+	nclen := f.NC.WireLen()
+	f.UDP.Length = uint16(UDPLen + nclen)
+	f.IP.TotalLen = uint16(IPv4Len + UDPLen + nclen)
+}
+
+// WireLen returns the full on-wire frame size in bytes, used by the
+// simulator for link serialization delay.
+func (f *Frame) WireLen() int {
+	return EthernetLen + IPv4Len + UDPLen + f.NC.WireLen()
+}
+
+// Serialize appends the complete frame to buf and returns it.
+func (f *Frame) Serialize(buf []byte) ([]byte, error) {
+	f.fixLengths()
+	buf = f.Eth.SerializeTo(buf)
+	buf = f.IP.SerializeTo(buf)
+	buf = f.UDP.SerializeTo(buf)
+	return f.NC.SerializeTo(buf)
+}
+
+// Decode parses a complete frame from data. The NC.Value field aliases
+// data.
+func (f *Frame) Decode(data []byte) error {
+	if err := f.Eth.DecodeFromBytes(data); err != nil {
+		return err
+	}
+	if f.Eth.EtherType != EtherTypeIPv4 {
+		return fmt.Errorf("packet: ethertype %#04x is not IPv4", f.Eth.EtherType)
+	}
+	data = data[EthernetLen:]
+	if err := f.IP.DecodeFromBytes(data); err != nil {
+		return err
+	}
+	if f.IP.Protocol != ProtoUDP {
+		return fmt.Errorf("packet: protocol %d is not UDP", f.IP.Protocol)
+	}
+	data = data[IPv4Len:]
+	if err := f.UDP.DecodeFromBytes(data); err != nil {
+		return err
+	}
+	if f.UDP.DstPort != Port && f.UDP.SrcPort != Port {
+		return fmt.Errorf("packet: neither UDP port is the NetChain port")
+	}
+	return f.NC.DecodeFromBytes(data[UDPLen:f.UDP.Length])
+}
+
+// Clone deep-copies the frame.
+func (f *Frame) Clone() *Frame {
+	c := &Frame{}
+	*c = *f
+	c.NC = *f.NC.Clone()
+	return c
+}

@@ -1,0 +1,390 @@
+package packet
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"netchain/internal/kv"
+)
+
+func TestAddrRoundTrip(t *testing.T) {
+	a := AddrFrom4(10, 0, 1, 2)
+	if a.String() != "10.0.1.2" {
+		t.Fatalf("String() = %q", a.String())
+	}
+	b, err := ParseAddr("10.0.1.2")
+	if err != nil || b != a {
+		t.Fatalf("ParseAddr = %v, %v; want %v", b, err, a)
+	}
+	if _, err := ParseAddr("::1"); err == nil {
+		t.Fatal("IPv6 must be rejected")
+	}
+	if _, err := ParseAddr("not-an-ip"); err == nil {
+		t.Fatal("garbage must be rejected")
+	}
+	if !Addr(0).IsZero() || a.IsZero() {
+		t.Fatal("IsZero misbehaves")
+	}
+}
+
+func TestAddrParseProperty(t *testing.T) {
+	f := func(v uint32) bool {
+		a := Addr(v)
+		back, err := ParseAddr(a.String())
+		return err == nil && back == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEthernetRoundTrip(t *testing.T) {
+	e := Ethernet{
+		Dst:       MAC{0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff},
+		Src:       MAC{1, 2, 3, 4, 5, 6},
+		EtherType: EtherTypeIPv4,
+	}
+	buf := e.SerializeTo(nil)
+	if len(buf) != EthernetLen {
+		t.Fatalf("serialized %d bytes, want %d", len(buf), EthernetLen)
+	}
+	var d Ethernet
+	if err := d.DecodeFromBytes(buf); err != nil {
+		t.Fatal(err)
+	}
+	if d != e {
+		t.Fatalf("round trip mismatch: %+v vs %+v", d, e)
+	}
+	if err := d.DecodeFromBytes(buf[:13]); err == nil {
+		t.Fatal("truncated header must fail")
+	}
+}
+
+func TestIPv4RoundTripAndChecksum(t *testing.T) {
+	ip := IPv4{
+		TotalLen: 100, ID: 7, TTL: 64, Protocol: ProtoUDP,
+		Src: AddrFrom4(10, 0, 0, 1), Dst: AddrFrom4(10, 0, 0, 2),
+	}
+	buf := ip.SerializeTo(nil)
+	if len(buf) != IPv4Len {
+		t.Fatalf("serialized %d bytes, want %d", len(buf), IPv4Len)
+	}
+	var d IPv4
+	if err := d.DecodeFromBytes(buf); err != nil {
+		t.Fatal(err)
+	}
+	if d.Src != ip.Src || d.Dst != ip.Dst || d.TotalLen != ip.TotalLen || d.TTL != 64 {
+		t.Fatalf("round trip mismatch: %+v", d)
+	}
+	// Corrupt one byte: checksum must catch it.
+	buf[16] ^= 0x01
+	if err := d.DecodeFromBytes(buf); err == nil {
+		t.Fatal("corrupted header must fail checksum")
+	}
+}
+
+func TestIPv4RejectsOptionsAndVersion(t *testing.T) {
+	ip := IPv4{TotalLen: 40, TTL: 1, Protocol: ProtoUDP}
+	buf := ip.SerializeTo(nil)
+	bad := append([]byte(nil), buf...)
+	bad[0] = 0x46 // IHL=6 -> options
+	if err := new(IPv4).DecodeFromBytes(bad); err == nil {
+		t.Fatal("options must be rejected")
+	}
+	bad[0] = 0x65 // version 6
+	if err := new(IPv4).DecodeFromBytes(bad); err == nil {
+		t.Fatal("version 6 must be rejected")
+	}
+}
+
+func TestUDPRoundTrip(t *testing.T) {
+	u := UDP{SrcPort: 1234, DstPort: Port, Length: UDPLen + 5}
+	buf := u.SerializeTo(nil)
+	payload := append(buf, 1, 2, 3, 4, 5)
+	var d UDP
+	if err := d.DecodeFromBytes(payload); err != nil {
+		t.Fatal(err)
+	}
+	if d.SrcPort != 1234 || d.DstPort != Port || d.Length != UDPLen+5 {
+		t.Fatalf("round trip mismatch: %+v", d)
+	}
+	// Length larger than datagram must fail.
+	short := append([]byte(nil), buf...)
+	if err := d.DecodeFromBytes(short[:UDPLen]); err == nil {
+		t.Fatal("udp length beyond datagram must fail")
+	}
+	u.Length = 3
+	buf = u.SerializeTo(nil)
+	if err := d.DecodeFromBytes(buf); err == nil {
+		t.Fatal("udp length below header must fail")
+	}
+}
+
+func sampleHeader() *NetChain {
+	h := &NetChain{
+		Op:      kv.OpWrite,
+		Status:  kv.StatusOK,
+		Group:   17,
+		Seq:     42,
+		Session: 3,
+		QueryID: 0xdeadbeef,
+		Key:     kv.KeyFromString("foo"),
+		Value:   []byte("the-value"),
+	}
+	h.SetChain([]Addr{AddrFrom4(10, 0, 0, 2), AddrFrom4(10, 0, 0, 3)})
+	return h
+}
+
+func TestNetChainRoundTrip(t *testing.T) {
+	h := sampleHeader()
+	buf, err := h.SerializeTo(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != h.WireLen() {
+		t.Fatalf("WireLen=%d but serialized %d", h.WireLen(), len(buf))
+	}
+	var d NetChain
+	if err := d.DecodeFromBytes(buf); err != nil {
+		t.Fatal(err)
+	}
+	if d.Op != h.Op || d.Seq != h.Seq || d.Session != h.Session ||
+		d.QueryID != h.QueryID || d.Key != h.Key || d.Group != h.Group {
+		t.Fatalf("fixed fields mismatch: %+v", &d)
+	}
+	if !bytes.Equal(d.Value, h.Value) {
+		t.Fatalf("value mismatch: %q", d.Value)
+	}
+	if len(d.Chain) != 2 || d.Chain[0] != h.Chain[0] || d.Chain[1] != h.Chain[1] {
+		t.Fatalf("chain mismatch: %v", d.Chain)
+	}
+}
+
+func TestNetChainDecodeErrors(t *testing.T) {
+	h := sampleHeader()
+	buf, _ := h.SerializeTo(nil)
+
+	var d NetChain
+	if err := d.DecodeFromBytes(buf[:10]); err == nil {
+		t.Fatal("truncated fixed header must fail")
+	}
+	if err := d.DecodeFromBytes(buf[:len(buf)-1]); err == nil {
+		t.Fatal("truncated chain list must fail")
+	}
+	bad := append([]byte(nil), buf...)
+	bad[0] = 0
+	if err := d.DecodeFromBytes(bad); err == nil {
+		t.Fatal("bad magic must fail")
+	}
+	bad = append([]byte(nil), buf...)
+	bad[2] = 9
+	if err := d.DecodeFromBytes(bad); err == nil {
+		t.Fatal("bad version must fail")
+	}
+	bad = append([]byte(nil), buf...)
+	bad[3] = 0
+	if err := d.DecodeFromBytes(bad); err == nil {
+		t.Fatal("invalid op must fail")
+	}
+	bad = append([]byte(nil), buf...)
+	bad[5] = MaxChainHops + 1
+	if err := d.DecodeFromBytes(bad); err == nil {
+		t.Fatal("oversized chain count must fail")
+	}
+}
+
+func TestNetChainPopAndSetChain(t *testing.T) {
+	h := &NetChain{}
+	hops := []Addr{1, 2, 3}
+	if err := h.SetChain(hops); err != nil {
+		t.Fatal(err)
+	}
+	hops[0] = 99 // caller's slice must not alias
+	next, ok := h.PopChain()
+	if !ok || next != 1 {
+		t.Fatalf("PopChain = %v, %v; want 1, true", next, ok)
+	}
+	if next, ok = h.PopChain(); !ok || next != 2 {
+		t.Fatalf("PopChain = %v, %v; want 2, true", next, ok)
+	}
+	if next, ok = h.PopChain(); !ok || next != 3 {
+		t.Fatalf("PopChain = %v, %v; want 3, true", next, ok)
+	}
+	if _, ok = h.PopChain(); ok {
+		t.Fatal("empty chain must report ok=false")
+	}
+	long := make([]Addr, MaxChainHops+1)
+	if err := h.SetChain(long); err == nil {
+		t.Fatal("oversized chain must be rejected")
+	}
+}
+
+func TestNetChainClone(t *testing.T) {
+	h := sampleHeader()
+	c := h.Clone()
+	c.Value[0] = 'X'
+	c.Chain[0] = 0
+	if h.Value[0] == 'X' || h.Chain[0] == 0 {
+		t.Fatal("Clone must not alias value or chain")
+	}
+}
+
+func TestNetChainRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		h := &NetChain{
+			Op:      kv.Op(1 + rng.Intn(7)),
+			Status:  kv.Status(rng.Intn(6)),
+			Group:   uint16(rng.Uint32()),
+			Seq:     rng.Uint64(),
+			Session: rng.Uint32(),
+			QueryID: rng.Uint64(),
+		}
+		rng.Read(h.Key[:])
+		if n := rng.Intn(kv.MaxValueSize + 1); n > 0 {
+			h.Value = make([]byte, n)
+			rng.Read(h.Value)
+		}
+		hops := make([]Addr, rng.Intn(MaxChainHops+1))
+		for j := range hops {
+			hops[j] = Addr(rng.Uint32())
+		}
+		h.SetChain(hops)
+
+		buf, err := h.SerializeTo(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var d NetChain
+		if err := d.DecodeFromBytes(buf); err != nil {
+			t.Fatalf("iter %d: %v (header %v)", i, err, h)
+		}
+		if d.Op != h.Op || d.Status != h.Status || d.Seq != h.Seq ||
+			d.Group != h.Group ||
+			d.Session != h.Session || d.QueryID != h.QueryID || d.Key != h.Key ||
+			!bytes.Equal(d.Value, h.Value) || len(d.Chain) != len(h.Chain) {
+			t.Fatalf("iter %d: round trip mismatch", i)
+		}
+		for j := range d.Chain {
+			if d.Chain[j] != h.Chain[j] {
+				t.Fatalf("iter %d: chain[%d] mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	nc := sampleHeader()
+	f := NewQuery(AddrFrom4(10, 1, 0, 1), AddrFrom4(10, 0, 0, 1), 5555, nc)
+	buf, err := f.Serialize(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != f.WireLen() {
+		t.Fatalf("WireLen=%d but serialized %d bytes", f.WireLen(), len(buf))
+	}
+	var d Frame
+	if err := d.Decode(buf); err != nil {
+		t.Fatal(err)
+	}
+	if d.IP.Src != f.IP.Src || d.IP.Dst != f.IP.Dst {
+		t.Fatalf("IP mismatch: %+v", d.IP)
+	}
+	if d.UDP.SrcPort != 5555 || d.UDP.DstPort != Port {
+		t.Fatalf("UDP mismatch: %+v", d.UDP)
+	}
+	if d.NC.Key != nc.Key || !bytes.Equal(d.NC.Value, nc.Value) {
+		t.Fatal("NetChain payload mismatch")
+	}
+}
+
+func TestFrameToReply(t *testing.T) {
+	nc := sampleHeader()
+	client := AddrFrom4(10, 1, 0, 1)
+	tail := AddrFrom4(10, 0, 0, 3)
+	f := NewQuery(client, tail, 7777, nc)
+	f.ToReply(kv.StatusOK)
+	if f.IP.Dst != client || f.IP.Src != tail {
+		t.Fatalf("reply addressing wrong: %+v", f.IP)
+	}
+	if f.UDP.DstPort != 7777 || f.UDP.SrcPort != Port {
+		t.Fatalf("reply ports wrong: %+v", f.UDP)
+	}
+	if f.NC.Op != kv.OpReply || len(f.NC.Chain) != 0 {
+		t.Fatalf("reply header wrong: %v", &f.NC)
+	}
+}
+
+func TestFrameDecodeRejectsForeign(t *testing.T) {
+	nc := sampleHeader()
+	f := NewQuery(1, 2, 9, nc)
+	buf, _ := f.Serialize(nil)
+
+	var d Frame
+	eth := append([]byte(nil), buf...)
+	eth[12], eth[13] = 0x86, 0xdd // IPv6 ethertype
+	if err := d.Decode(eth); err == nil {
+		t.Fatal("non-IPv4 ethertype must fail")
+	}
+
+	proto := append([]byte(nil), buf...)
+	proto[EthernetLen+9] = 6 // TCP
+	// fix IPv4 checksum after mutation
+	var ip IPv4
+	ip.TotalLen = f.IP.TotalLen
+	ip.TTL = f.IP.TTL
+	ip.Protocol = 6
+	ip.Src, ip.Dst = f.IP.Src, f.IP.Dst
+	fixed := ip.SerializeTo(nil)
+	copy(proto[EthernetLen:], fixed)
+	if err := d.Decode(proto); err == nil {
+		t.Fatal("non-UDP protocol must fail")
+	}
+}
+
+func TestFrameClone(t *testing.T) {
+	nc := sampleHeader()
+	f := NewQuery(1, 2, 9, nc)
+	c := f.Clone()
+	c.NC.Value[0] = 'Z'
+	if f.NC.Value[0] == 'Z' {
+		t.Fatal("Clone must not alias NC value")
+	}
+}
+
+func TestNewQueryCopiesChain(t *testing.T) {
+	nc := sampleHeader()
+	f := NewQuery(1, 2, 9, nc)
+	nc.Chain[0] = 0xffffffff
+	if f.NC.Chain[0] == 0xffffffff {
+		t.Fatal("NewQuery must copy the chain list")
+	}
+}
+
+func BenchmarkNetChainSerialize(b *testing.B) {
+	h := sampleHeader()
+	buf := make([]byte, 0, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = buf[:0]
+		var err error
+		buf, err = h.SerializeTo(buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNetChainDecode(b *testing.B) {
+	h := sampleHeader()
+	buf, _ := h.SerializeTo(nil)
+	var d NetChain
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := d.DecodeFromBytes(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+// Package query builds client-side NetChain frames from routes: the agent
+// logic of §3 that translates API calls into the custom packet format.
+// Write-family queries target the chain head and carry the remaining hops
+// in order; reads target the tail and carry the reverse list, which is
+// consumed only by failover rules (§4.2).
+package query
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"netchain/internal/kv"
+	"netchain/internal/packet"
+)
+
+// Route mirrors controller.Route without importing it (group + chain).
+type Route struct {
+	Group uint16
+	Hops  []packet.Addr
+}
+
+// Endpoint identifies the sending client.
+type Endpoint struct {
+	Addr packet.Addr
+	Port uint16
+}
+
+// NewRead builds a read query: dst = tail, chain list = reversed
+// predecessors (tail excluded).
+func NewRead(ep Endpoint, qid uint64, rt Route, key kv.Key) (*packet.Frame, error) {
+	if len(rt.Hops) == 0 {
+		return nil, kv.ErrUnavailable
+	}
+	rev := make([]packet.Addr, 0, len(rt.Hops)-1)
+	for i := len(rt.Hops) - 2; i >= 0; i-- {
+		rev = append(rev, rt.Hops[i])
+	}
+	nc := &packet.NetChain{Op: kv.OpRead, Group: rt.Group, QueryID: qid, Key: key}
+	if err := nc.SetChain(rev); err != nil {
+		return nil, err
+	}
+	return packet.NewQuery(ep.Addr, rt.Hops[len(rt.Hops)-1], ep.Port, nc), nil
+}
+
+// NewWrite builds a write query: dst = head, chain list = the remaining
+// hops head-exclusive.
+func NewWrite(ep Endpoint, qid uint64, rt Route, key kv.Key, value kv.Value) (*packet.Frame, error) {
+	return newHeadQuery(ep, qid, rt, key, kv.OpWrite, value)
+}
+
+// NewDelete builds a tombstone query (§4.1).
+func NewDelete(ep Endpoint, qid uint64, rt Route, key kv.Key) (*packet.Frame, error) {
+	return newHeadQuery(ep, qid, rt, key, kv.OpDelete, nil)
+}
+
+// NewCAS builds a compare-and-swap: the head applies newValue iff the
+// stored owner (first 8 value bytes) equals expect (§8.5 locks).
+func NewCAS(ep Endpoint, qid uint64, rt Route, key kv.Key, expect uint64, newValue kv.Value) (*packet.Frame, error) {
+	val := make(kv.Value, 8+len(newValue))
+	binary.BigEndian.PutUint64(val, expect)
+	copy(val[8:], newValue)
+	return newHeadQuery(ep, qid, rt, key, kv.OpCAS, val)
+}
+
+// OwnerValue encodes a lock value: 8-byte owner followed by payload.
+func OwnerValue(owner uint64, payload []byte) kv.Value {
+	v := make(kv.Value, 8+len(payload))
+	binary.BigEndian.PutUint64(v, owner)
+	copy(v[8:], payload)
+	return v
+}
+
+// Owner extracts the lock owner from a stored value (0 when absent).
+func Owner(v kv.Value) uint64 {
+	if len(v) < 8 {
+		return 0
+	}
+	return binary.BigEndian.Uint64(v[:8])
+}
+
+func newHeadQuery(ep Endpoint, qid uint64, rt Route, key kv.Key, op kv.Op, value kv.Value) (*packet.Frame, error) {
+	if len(rt.Hops) == 0 {
+		return nil, kv.ErrUnavailable
+	}
+	if len(value) > 0xffff {
+		return nil, kv.ErrTooLarge
+	}
+	nc := &packet.NetChain{Op: op, Group: rt.Group, QueryID: qid, Key: key, Value: value}
+	if err := nc.SetChain(rt.Hops[1:]); err != nil {
+		return nil, err
+	}
+	return packet.NewQuery(ep.Addr, rt.Hops[0], ep.Port, nc), nil
+}
+
+// Reply summarizes a response frame for the client API.
+type Reply struct {
+	QueryID uint64
+	Status  kv.Status
+	Value   kv.Value
+	Version kv.Version
+}
+
+// ParseReply validates and extracts a reply frame addressed to the client.
+func ParseReply(f *packet.Frame) (Reply, error) {
+	if f.NC.Op != kv.OpReply {
+		return Reply{}, fmt.Errorf("query: frame is %v, not a reply", f.NC.Op)
+	}
+	return Reply{
+		QueryID: f.NC.QueryID,
+		Status:  f.NC.Status,
+		Value:   kv.Value(f.NC.Value).Clone(),
+		Version: f.NC.Version(),
+	}, nil
+}

@@ -1,0 +1,340 @@
+// Package ring implements NetChain's data partitioning (§4.1): consistent
+// hashing with virtual nodes. Keys are mapped to a hash ring; each switch
+// owns m/n virtual nodes; the keys of each ring segment are assigned to the
+// f+1 subsequent virtual nodes that belong to distinct switches.
+//
+// Each virtual node doubles as a *virtual group* (§5.2): failure recovery
+// proceeds one group at a time so that only 1/groups of the key space loses
+// write availability at any instant.
+package ring
+
+import (
+	"fmt"
+	"sort"
+
+	"netchain/internal/kv"
+	"netchain/internal/packet"
+)
+
+// Config parameterizes a Ring.
+type Config struct {
+	// VNodesPerSwitch is the number of virtual nodes (= virtual groups)
+	// each switch owns. The paper's Fig. 10(b) uses 100.
+	VNodesPerSwitch int
+	// Replicas is the chain length f+1. The paper's testbed uses 3.
+	Replicas int
+	// Seed salts the placement hash so distinct deployments shuffle
+	// differently while remaining deterministic under test.
+	Seed uint64
+}
+
+// DefaultConfig mirrors the paper's testbed: 3-way replication.
+func DefaultConfig() Config {
+	return Config{VNodesPerSwitch: 100, Replicas: 3, Seed: 0x6e6574636861696e}
+}
+
+// vnode is one position on the ring.
+type vnode struct {
+	point uint64      // position on the ring
+	owner packet.Addr // switch that owns this virtual node
+	group GroupID     // stable virtual-group identifier
+}
+
+// GroupID names a virtual group. Group ids are stable across reassignment:
+// when a failed switch's virtual nodes move to live switches, the ids (and
+// therefore the key→group mapping) do not change — only the chains do.
+type GroupID int
+
+// Chain is the replica chain serving one virtual group, head first.
+type Chain struct {
+	Group GroupID
+	Hops  []packet.Addr // head .. tail, all distinct switches
+}
+
+// Head returns the chain head (first hop of writes).
+func (c Chain) Head() packet.Addr { return c.Hops[0] }
+
+// Tail returns the chain tail (serves reads, replies to writes).
+func (c Chain) Tail() packet.Addr { return c.Hops[len(c.Hops)-1] }
+
+// Contains reports whether sw is a member of the chain.
+func (c Chain) Contains(sw packet.Addr) bool {
+	for _, h := range c.Hops {
+		if h == sw {
+			return true
+		}
+	}
+	return false
+}
+
+// clone returns an independent copy of the chain.
+func (c Chain) clone() Chain {
+	return Chain{Group: c.Group, Hops: append([]packet.Addr(nil), c.Hops...)}
+}
+
+// Ring is the partitioning state. It is a value owned by the controller;
+// clients hold immutable snapshots of the derived chains.
+type Ring struct {
+	cfg      Config
+	switches []packet.Addr
+	vnodes   []vnode // sorted by point
+}
+
+// New builds a ring over the given switches.
+func New(cfg Config, switches []packet.Addr) (*Ring, error) {
+	if cfg.Replicas < 1 {
+		return nil, fmt.Errorf("ring: replicas must be >= 1, got %d", cfg.Replicas)
+	}
+	if cfg.VNodesPerSwitch < 1 {
+		return nil, fmt.Errorf("ring: vnodes per switch must be >= 1, got %d", cfg.VNodesPerSwitch)
+	}
+	if len(switches) < cfg.Replicas {
+		return nil, fmt.Errorf("ring: %d switches cannot host %d-replica chains",
+			len(switches), cfg.Replicas)
+	}
+	seen := make(map[packet.Addr]bool, len(switches))
+	for _, s := range switches {
+		if seen[s] {
+			return nil, fmt.Errorf("ring: duplicate switch %v", s)
+		}
+		seen[s] = true
+	}
+	r := &Ring{cfg: cfg, switches: append([]packet.Addr(nil), switches...)}
+	g := GroupID(0)
+	for _, sw := range r.switches {
+		for i := 0; i < cfg.VNodesPerSwitch; i++ {
+			r.vnodes = append(r.vnodes, vnode{
+				point: pointHash(cfg.Seed, sw, i),
+				owner: sw,
+				group: g,
+			})
+			g++
+		}
+	}
+	sort.Slice(r.vnodes, func(i, j int) bool {
+		a, b := r.vnodes[i], r.vnodes[j]
+		if a.point != b.point {
+			return a.point < b.point
+		}
+		return a.group < b.group // deterministic tie-break
+	})
+	return r, nil
+}
+
+// Switches returns the ring membership.
+func (r *Ring) Switches() []packet.Addr {
+	return append([]packet.Addr(nil), r.switches...)
+}
+
+// Groups returns the total number of virtual groups.
+func (r *Ring) Groups() int { return len(r.vnodes) }
+
+// Replicas returns the chain length f+1.
+func (r *Ring) Replicas() int { return r.cfg.Replicas }
+
+// GroupForKey maps a key to the virtual group owning its ring segment.
+func (r *Ring) GroupForKey(k kv.Key) GroupID {
+	return r.vnodes[r.vnodeIndexForKey(k)].group
+}
+
+// ChainForKey returns the replica chain serving k.
+func (r *Ring) ChainForKey(k kv.Key) Chain {
+	return r.chainAt(r.vnodeIndexForKey(k))
+}
+
+// ChainForGroup returns the replica chain serving group g.
+func (r *Ring) ChainForGroup(g GroupID) (Chain, error) {
+	for i, v := range r.vnodes {
+		if v.group == g {
+			return r.chainAt(i), nil
+		}
+	}
+	return Chain{}, fmt.Errorf("ring: unknown group %d", g)
+}
+
+// Chains enumerates every virtual group's chain, keyed by group id.
+func (r *Ring) Chains() map[GroupID]Chain {
+	out := make(map[GroupID]Chain, len(r.vnodes))
+	for i := range r.vnodes {
+		c := r.chainAt(i)
+		out[c.Group] = c
+	}
+	return out
+}
+
+// GroupsOfSwitch returns every group whose chain includes sw — the groups
+// affected when sw fails. With n switches and m virtual nodes the expected
+// count is m(f+1)/n (§5.1).
+func (r *Ring) GroupsOfSwitch(sw packet.Addr) []GroupID {
+	var out []GroupID
+	for i := range r.vnodes {
+		c := r.chainAt(i)
+		if c.Contains(sw) {
+			out = append(out, c.Group)
+		}
+	}
+	return out
+}
+
+// Reassign moves every virtual node owned by failed to replacement
+// switches chosen by pick (called once per moved vnode; §5.2 assigns them
+// randomly to spread recovery load). The failed switch leaves membership.
+func (r *Ring) Reassign(failed packet.Addr, pick func(i int) packet.Addr) error {
+	idx := -1
+	for i, s := range r.switches {
+		if s == failed {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return fmt.Errorf("ring: switch %v is not a member", failed)
+	}
+	if len(r.switches)-1 < r.cfg.Replicas {
+		return fmt.Errorf("ring: removing %v leaves %d switches for %d-replica chains",
+			failed, len(r.switches)-1, r.cfg.Replicas)
+	}
+	r.switches = append(r.switches[:idx], r.switches[idx+1:]...)
+	moved := 0
+	for i := range r.vnodes {
+		if r.vnodes[i].owner != failed {
+			continue
+		}
+		nw := pick(moved)
+		if nw == failed {
+			return fmt.Errorf("ring: replacement for vnode %d is the failed switch", i)
+		}
+		ok := false
+		for _, s := range r.switches {
+			if s == nw {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("ring: replacement %v is not a live member", nw)
+		}
+		r.vnodes[i].owner = nw
+		moved++
+	}
+	return nil
+}
+
+// AddMember admits a switch into membership without assigning it virtual
+// nodes: it becomes eligible as a reassignment target during failure
+// recovery (the testbed's spare S3, §8.4) but owns no key ranges yet.
+func (r *Ring) AddMember(sw packet.Addr) error {
+	for _, s := range r.switches {
+		if s == sw {
+			return fmt.Errorf("ring: switch %v already a member", sw)
+		}
+	}
+	r.switches = append(r.switches, sw)
+	return nil
+}
+
+// IsMember reports whether sw is in the ring membership.
+func (r *Ring) IsMember(sw packet.Addr) bool {
+	for _, s := range r.switches {
+		if s == sw {
+			return true
+		}
+	}
+	return false
+}
+
+// AddSwitch admits a new switch and gives it its own virtual nodes (new
+// switch onboarding is handled like failure recovery, §5 overview).
+func (r *Ring) AddSwitch(sw packet.Addr) error {
+	if err := r.AddMember(sw); err != nil {
+		return err
+	}
+	g := GroupID(0)
+	for _, v := range r.vnodes {
+		if v.group >= g {
+			g = v.group + 1
+		}
+	}
+	for i := 0; i < r.cfg.VNodesPerSwitch; i++ {
+		r.vnodes = append(r.vnodes, vnode{
+			point: pointHash(r.cfg.Seed, sw, i),
+			owner: sw,
+			group: g,
+		})
+		g++
+	}
+	sort.Slice(r.vnodes, func(i, j int) bool {
+		a, b := r.vnodes[i], r.vnodes[j]
+		if a.point != b.point {
+			return a.point < b.point
+		}
+		return a.group < b.group
+	})
+	return nil
+}
+
+func (r *Ring) vnodeIndexForKey(k kv.Key) int {
+	p := keyHash(r.cfg.Seed, k)
+	// First vnode clockwise from p.
+	i := sort.Search(len(r.vnodes), func(i int) bool { return r.vnodes[i].point >= p })
+	if i == len(r.vnodes) {
+		i = 0
+	}
+	return i
+}
+
+// chainAt builds the chain anchored at vnode i: walk clockwise collecting
+// the first Replicas *distinct* switches. When two subsequent virtual nodes
+// live on the same switch the walk skips forward (§4.1).
+func (r *Ring) chainAt(i int) Chain {
+	c := Chain{Group: r.vnodes[i].group}
+	seen := make(map[packet.Addr]bool, r.cfg.Replicas)
+	for j := 0; j < len(r.vnodes) && len(c.Hops) < r.cfg.Replicas; j++ {
+		owner := r.vnodes[(i+j)%len(r.vnodes)].owner
+		if seen[owner] {
+			continue
+		}
+		seen[owner] = true
+		c.Hops = append(c.Hops, owner)
+	}
+	return c
+}
+
+// pointHash places virtual node (sw, replica) on the ring.
+func pointHash(seed uint64, sw packet.Addr, replica int) uint64 {
+	h := fnv64(seed)
+	h = fnv64Step(h, uint64(sw))
+	h = fnv64Step(h, uint64(replica)+0x9e3779b97f4a7c15)
+	return h
+}
+
+// keyHash places a key on the ring.
+func keyHash(seed uint64, k kv.Key) uint64 {
+	h := fnv64(seed)
+	for i := 0; i < len(k); i += 8 {
+		var v uint64
+		for j := 0; j < 8; j++ {
+			v = v<<8 | uint64(k[i+j])
+		}
+		h = fnv64Step(h, v)
+	}
+	return h
+}
+
+const (
+	fnvOffset = 0xcbf29ce484222325
+	fnvPrime  = 0x100000001b3
+)
+
+func fnv64(seed uint64) uint64 {
+	return fnv64Step(fnvOffset, seed)
+}
+
+func fnv64Step(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime
+		v >>= 8
+	}
+	return h
+}

@@ -1,0 +1,225 @@
+// Package stats provides the measurement utilities used by the evaluation
+// harness: log-bucketed latency histograms with percentile queries, and
+// fixed-width throughput time series (the Fig. 10 plots).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Histogram is a log-bucketed latency histogram: buckets grow by a fixed
+// ratio so percentiles stay within a few percent of exact across eight
+// orders of magnitude, in O(1) memory — the standard HDR approach.
+type Histogram struct {
+	min     float64 // lowest representable value
+	growth  float64 // bucket ratio
+	logG    float64
+	counts  []uint64
+	total   uint64
+	sum     float64
+	maxSeen float64
+	minSeen float64
+}
+
+// NewHistogram returns a histogram covering [min, max] with the given
+// per-bucket growth ratio (e.g. 1.05 for 5% resolution).
+func NewHistogram(min, max, growth float64) *Histogram {
+	if min <= 0 || max <= min || growth <= 1 {
+		panic(fmt.Sprintf("stats: bad histogram config min=%v max=%v growth=%v", min, max, growth))
+	}
+	n := int(math.Ceil(math.Log(max/min)/math.Log(growth))) + 1
+	return &Histogram{
+		min:     min,
+		growth:  growth,
+		logG:    math.Log(growth),
+		counts:  make([]uint64, n),
+		minSeen: math.Inf(1),
+	}
+}
+
+// NewLatencyHistogram covers 100 ns .. 100 s at 2% resolution — suitable
+// for every latency in the paper (9.7 µs to 2.35 ms and beyond).
+func NewLatencyHistogram() *Histogram {
+	return NewHistogram(100, 100e9, 1.02)
+}
+
+// Observe records one value (clamped to the histogram range).
+func (h *Histogram) Observe(v float64) {
+	h.total++
+	h.sum += v
+	if v > h.maxSeen {
+		h.maxSeen = v
+	}
+	if v < h.minSeen {
+		h.minSeen = v
+	}
+	h.counts[h.bucket(v)]++
+}
+
+// ObserveDuration records a duration in nanoseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(float64(d.Nanoseconds())) }
+
+func (h *Histogram) bucket(v float64) int {
+	if v <= h.min {
+		return 0
+	}
+	i := int(math.Log(v/h.min) / h.logG)
+	if i >= len(h.counts) {
+		i = len(h.counts) - 1
+	}
+	return i
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Mean returns the arithmetic mean of observations (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Max and Min return observed extremes (0 when empty).
+func (h *Histogram) Max() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.maxSeen
+}
+
+func (h *Histogram) Min() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.minSeen
+}
+
+// Quantile returns the value at quantile q in [0,1] (bucket upper bound).
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(h.total))
+	if rank >= h.total {
+		rank = h.total - 1
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum > rank {
+			return h.min * math.Pow(h.growth, float64(i+1))
+		}
+	}
+	return h.maxSeen
+}
+
+// P50, P99 are convenience accessors.
+func (h *Histogram) P50() float64 { return h.Quantile(0.50) }
+func (h *Histogram) P99() float64 { return h.Quantile(0.99) }
+
+// Merge adds other's observations into h. Both histograms must share a
+// configuration.
+func (h *Histogram) Merge(other *Histogram) error {
+	if len(h.counts) != len(other.counts) || h.min != other.min || h.growth != other.growth {
+		return fmt.Errorf("stats: merging incompatible histograms")
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.total += other.total
+	h.sum += other.sum
+	if other.maxSeen > h.maxSeen {
+		h.maxSeen = other.maxSeen
+	}
+	if other.minSeen < h.minSeen {
+		h.minSeen = other.minSeen
+	}
+	return nil
+}
+
+// TimeSeries accumulates event counts into fixed-width buckets — the
+// throughput-over-time plots of Fig. 10.
+type TimeSeries struct {
+	width   time.Duration
+	buckets []uint64
+}
+
+// NewTimeSeries creates a series with the given bucket width.
+func NewTimeSeries(width time.Duration) *TimeSeries {
+	if width <= 0 {
+		panic("stats: non-positive bucket width")
+	}
+	return &TimeSeries{width: width}
+}
+
+// Add records n events at time t since start.
+func (ts *TimeSeries) Add(t time.Duration, n uint64) {
+	i := int(t / ts.width)
+	if i < 0 {
+		return
+	}
+	for len(ts.buckets) <= i {
+		ts.buckets = append(ts.buckets, 0)
+	}
+	ts.buckets[i] += n
+}
+
+// Rates returns per-bucket event rates in events/second.
+func (ts *TimeSeries) Rates() []float64 {
+	out := make([]float64, len(ts.buckets))
+	sec := ts.width.Seconds()
+	for i, c := range ts.buckets {
+		out[i] = float64(c) / sec
+	}
+	return out
+}
+
+// Buckets returns the raw counts.
+func (ts *TimeSeries) Buckets() []uint64 {
+	return append([]uint64(nil), ts.buckets...)
+}
+
+// Width returns the bucket width.
+func (ts *TimeSeries) Width() time.Duration { return ts.width }
+
+// FormatSeries renders a compact "t=... rate" table for reports.
+func (ts *TimeSeries) FormatSeries() string {
+	var b strings.Builder
+	for i, r := range ts.Rates() {
+		fmt.Fprintf(&b, "t=%-6s %.0f/s\n", time.Duration(i)*ts.width, r)
+	}
+	return b.String()
+}
+
+// Summary is a one-line latency digest used in experiment tables.
+func (h *Histogram) Summary() string {
+	if h.total == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d mean=%.1fµs p50=%.1fµs p99=%.1fµs max=%.1fµs",
+		h.total, h.Mean()/1e3, h.P50()/1e3, h.P99()/1e3, h.Max()/1e3)
+}
+
+// Percentile sorts a small sample slice and returns the q-quantile — for
+// tests that want exact values on small data.
+func Percentile(sample []float64, q float64) float64 {
+	if len(sample) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), sample...)
+	sort.Float64s(s)
+	i := int(q * float64(len(s)-1))
+	return s[i]
+}

@@ -1,0 +1,142 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewLatencyHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.Max() != 0 || h.Min() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	h.Observe(10e3) // 10 µs
+	h.Observe(20e3)
+	h.Observe(30e3)
+	if h.Count() != 3 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.Mean(); got != 20e3 {
+		t.Fatalf("mean = %v", got)
+	}
+	if h.Max() != 30e3 || h.Min() != 10e3 {
+		t.Fatalf("max/min = %v/%v", h.Max(), h.Min())
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	h := NewLatencyHistogram()
+	rng := rand.New(rand.NewSource(1))
+	var exact []float64
+	for i := 0; i < 50000; i++ {
+		// Log-uniform between 1 µs and 10 ms.
+		v := math.Exp(rng.Float64()*math.Log(1e4)) * 1e3
+		exact = append(exact, v)
+		h.Observe(v)
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		want := Percentile(exact, q)
+		got := h.Quantile(q)
+		if ratio := got / want; ratio < 0.95 || ratio > 1.07 {
+			t.Errorf("q=%v: got %v, want ~%v (ratio %.3f)", q, got, want, ratio)
+		}
+	}
+}
+
+func TestHistogramClamping(t *testing.T) {
+	h := NewHistogram(100, 1000, 1.1)
+	h.Observe(1)    // below range
+	h.Observe(1e12) // above range
+	if h.Count() != 2 {
+		t.Fatal("clamped observations must count")
+	}
+	if q := h.Quantile(0); q < 100 {
+		t.Fatalf("quantile below range: %v", q)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewLatencyHistogram(), NewLatencyHistogram()
+	a.Observe(1000)
+	b.Observe(5000)
+	b.Observe(9000)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count() != 3 || a.Max() != 9000 || a.Min() != 1000 {
+		t.Fatalf("merged: n=%d max=%v min=%v", a.Count(), a.Max(), a.Min())
+	}
+	c := NewHistogram(1, 10, 2)
+	if err := a.Merge(c); err == nil {
+		t.Fatal("incompatible merge must fail")
+	}
+}
+
+func TestHistogramObserveDurationAndSummary(t *testing.T) {
+	h := NewLatencyHistogram()
+	h.ObserveDuration(9700 * time.Nanosecond)
+	if h.Count() != 1 {
+		t.Fatal("duration not recorded")
+	}
+	if s := h.Summary(); s == "" || s == "n=0" {
+		t.Fatalf("summary = %q", s)
+	}
+	if NewLatencyHistogram().Summary() != "n=0" {
+		t.Fatal("empty summary wrong")
+	}
+}
+
+func TestHistogramBadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad config must panic")
+		}
+	}()
+	NewHistogram(0, 10, 1.5)
+}
+
+func TestTimeSeries(t *testing.T) {
+	ts := NewTimeSeries(time.Second)
+	ts.Add(0, 10)
+	ts.Add(500*time.Millisecond, 5)
+	ts.Add(2500*time.Millisecond, 7)
+	ts.Add(-time.Second, 99) // ignored
+	counts := ts.Buckets()
+	if len(counts) != 3 || counts[0] != 15 || counts[1] != 0 || counts[2] != 7 {
+		t.Fatalf("buckets = %v", counts)
+	}
+	rates := ts.Rates()
+	if rates[0] != 15 || rates[2] != 7 {
+		t.Fatalf("rates = %v", rates)
+	}
+	if ts.Width() != time.Second {
+		t.Fatal("width accessor wrong")
+	}
+	if ts.FormatSeries() == "" {
+		t.Fatal("format empty")
+	}
+}
+
+func TestTimeSeriesBadWidthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero width must panic")
+		}
+	}()
+	NewTimeSeries(0)
+}
+
+func TestPercentileHelper(t *testing.T) {
+	if Percentile(nil, 0.5) != 0 {
+		t.Fatal("empty percentile must be 0")
+	}
+	s := []float64{5, 1, 3, 2, 4}
+	if Percentile(s, 0) != 1 || Percentile(s, 1) != 5 || Percentile(s, 0.5) != 3 {
+		t.Fatal("percentile wrong")
+	}
+	if s[0] != 5 {
+		t.Fatal("input must not be mutated")
+	}
+}

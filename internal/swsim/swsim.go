@@ -1,0 +1,337 @@
+// Package swsim models the programmable switch ASIC substrate NetChain
+// runs on (§4.1, §6, §7): exact-match tables that map keys to indexes, and
+// per-stage register arrays that hold values, with the resource limits of a
+// real pipeline — k stages that can each read or write n bytes per pass,
+// a bounded number of slots per stage, and packet recirculation when a
+// value exceeds k·n bytes (which costs extra pipeline passes and therefore
+// divides effective throughput, §6).
+//
+// The paper's prototype: 16-byte keys, 8 value stages × 64K slots × 16
+// bytes = 8 MB of value storage per switch, values up to 128 B at line
+// rate, and a Tofino budget of ~4 billion packets per second.
+package swsim
+
+import (
+	"fmt"
+
+	"netchain/internal/kv"
+)
+
+// Config fixes the pipeline resources of one switch.
+type Config struct {
+	Stages        int     // value stages traversable per pass (paper: 8)
+	SlotBytes     int     // bytes a stage reads/writes per packet (paper: 16)
+	SlotsPerStage int     // register-array entries per stage (paper: 64K)
+	PPS           float64 // line-rate packet budget per second (paper: 4e9)
+}
+
+// Tofino returns the paper's prototype configuration (§7).
+func Tofino() Config {
+	return Config{Stages: 8, SlotBytes: 16, SlotsPerStage: 64 * 1024, PPS: 4e9}
+}
+
+// MaxValueBytes is the largest value storable in this pipeline, including
+// recirculation passes: every pass exposes Stages×SlotBytes fresh bytes and
+// the parser bounds total value size at 8 passes' worth.
+func (c Config) MaxValueBytes() int { return 8 * c.Stages * c.SlotBytes }
+
+// LineRateValueBytes is the largest value processable in a single pass —
+// the paper's "k·n = 192 bytes at line rate" bound (§6).
+func (c Config) LineRateValueBytes() int { return c.Stages * c.SlotBytes }
+
+// StorageBytes is the total on-chip value storage (paper: 8 MB).
+func (c Config) StorageBytes() int { return c.Stages * c.SlotBytes * c.SlotsPerStage }
+
+// PassesFor returns how many pipeline passes a value of n bytes needs:
+// one, plus one recirculation per additional k·n chunk (§6). Effective
+// switch throughput divides by this number.
+func (c Config) PassesFor(valueLen int) int {
+	if valueLen <= 0 {
+		return 1
+	}
+	per := c.LineRateValueBytes()
+	return (valueLen + per - 1) / per
+}
+
+func (c Config) validate() error {
+	if c.Stages < 1 || c.SlotBytes < 1 || c.SlotsPerStage < 1 {
+		return fmt.Errorf("swsim: non-positive pipeline dimension %+v", c)
+	}
+	return nil
+}
+
+// RegisterArray is one stage's register file: SlotsPerStage entries of
+// SlotBytes each, stored flat. Reads return views; writes copy in.
+type RegisterArray struct {
+	slotBytes int
+	data      []byte
+}
+
+// NewRegisterArray allocates a zeroed array.
+func NewRegisterArray(slots, slotBytes int) *RegisterArray {
+	return &RegisterArray{slotBytes: slotBytes, data: make([]byte, slots*slotBytes)}
+}
+
+// Slots returns the entry count.
+func (r *RegisterArray) Slots() int { return len(r.data) / r.slotBytes }
+
+// Read returns a read-only view of slot i.
+func (r *RegisterArray) Read(i int) []byte {
+	return r.data[i*r.slotBytes : (i+1)*r.slotBytes]
+}
+
+// Write copies at most SlotBytes from v into slot i and zero-fills the
+// remainder, mirroring a register write of the full word.
+func (r *RegisterArray) Write(i int, v []byte) {
+	dst := r.data[i*r.slotBytes : (i+1)*r.slotBytes]
+	n := copy(dst, v)
+	for j := n; j < len(dst); j++ {
+		dst[j] = 0
+	}
+}
+
+// MatchTable is an exact-match table from key to register index — the
+// "Match-Action Table" of Fig. 3. Entries are installed by the control
+// plane (Insert) and removed by garbage collection (Delete).
+type MatchTable struct {
+	capacity int
+	index    map[kv.Key]int
+}
+
+// NewMatchTable builds a table bounded at capacity entries.
+func NewMatchTable(capacity int) *MatchTable {
+	return &MatchTable{capacity: capacity, index: make(map[kv.Key]int)}
+}
+
+// Lookup is the dataplane match: key → register index.
+func (t *MatchTable) Lookup(k kv.Key) (int, bool) {
+	loc, ok := t.index[k]
+	return loc, ok
+}
+
+// Install adds an entry (control-plane operation).
+func (t *MatchTable) Install(k kv.Key, loc int) error {
+	if _, dup := t.index[k]; dup {
+		return fmt.Errorf("swsim: key %v already installed", k)
+	}
+	if len(t.index) >= t.capacity {
+		return kv.ErrNoSpace
+	}
+	t.index[k] = loc
+	return nil
+}
+
+// Remove deletes an entry (control-plane garbage collection).
+func (t *MatchTable) Remove(k kv.Key) (int, bool) {
+	loc, ok := t.index[k]
+	if ok {
+		delete(t.index, k)
+	}
+	return loc, ok
+}
+
+// Len returns the number of installed entries.
+func (t *MatchTable) Len() int { return len(t.index) }
+
+// Keys enumerates installed keys (control-plane use: state sync).
+func (t *MatchTable) Keys() []kv.Key {
+	out := make([]kv.Key, 0, len(t.index))
+	for k := range t.index {
+		out = append(out, k)
+	}
+	return out
+}
+
+// slotMeta is the per-slot bookkeeping a real pipeline keeps in additional
+// register arrays: the value length, liveness (tombstone flag) and the
+// ordering version (sequence + session arrays of §4.3/§5.2).
+type slotMeta struct {
+	valueLen int
+	live     bool
+	version  kv.Version
+	// overflow holds the bytes beyond one pipeline pass's budget. A real
+	// switch dedicates further register slots reached by recirculation
+	// (§6); the memory accounting charges for them identically.
+	overflow []byte
+}
+
+// Pipeline is the full on-chip key-value engine of one switch: a match
+// table plus Stages register arrays for values and the metadata arrays.
+type Pipeline struct {
+	cfg     Config
+	table   *MatchTable
+	stages  []*RegisterArray
+	meta    []slotMeta
+	free    []int // free slot indexes, LIFO
+	packets uint64
+	passes  uint64
+}
+
+// NewPipeline allocates the pipeline for cfg.
+func NewPipeline(cfg Config) (*Pipeline, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	p := &Pipeline{
+		cfg:   cfg,
+		table: NewMatchTable(cfg.SlotsPerStage),
+		meta:  make([]slotMeta, cfg.SlotsPerStage),
+	}
+	for i := 0; i < cfg.Stages; i++ {
+		p.stages = append(p.stages, NewRegisterArray(cfg.SlotsPerStage, cfg.SlotBytes))
+	}
+	p.free = make([]int, cfg.SlotsPerStage)
+	for i := range p.free {
+		p.free[i] = cfg.SlotsPerStage - 1 - i
+	}
+	return p, nil
+}
+
+// Config returns the pipeline's resource configuration.
+func (p *Pipeline) Config() Config { return p.cfg }
+
+// Alloc installs key k and reserves a register slot for it. Control-plane
+// path (§4.1: "Insert queries require the control plane to set up entries
+// in switch tables").
+func (p *Pipeline) Alloc(k kv.Key) (int, error) {
+	if len(p.free) == 0 {
+		return 0, kv.ErrNoSpace
+	}
+	loc := p.free[len(p.free)-1]
+	if err := p.table.Install(k, loc); err != nil {
+		return 0, err
+	}
+	p.free = p.free[:len(p.free)-1]
+	p.meta[loc] = slotMeta{}
+	return loc, nil
+}
+
+// Free removes key k's match entry and returns its slot to the free list
+// (control-plane garbage collection after Delete, §4.1).
+func (p *Pipeline) Free(k kv.Key) error {
+	loc, ok := p.table.Remove(k)
+	if !ok {
+		return kv.ErrNotFound
+	}
+	p.meta[loc] = slotMeta{}
+	for _, st := range p.stages {
+		st.Write(loc, nil)
+	}
+	p.free = append(p.free, loc)
+	return nil
+}
+
+// Lookup is the dataplane match stage.
+func (p *Pipeline) Lookup(k kv.Key) (int, bool) { return p.table.Lookup(k) }
+
+// ReadValue copies the value at loc out of the stage registers; ok is
+// false for a tombstoned slot.
+func (p *Pipeline) ReadValue(loc int) (kv.Value, bool) {
+	m := p.meta[loc]
+	if !m.live {
+		return nil, false
+	}
+	out := make([]byte, m.valueLen)
+	p.copyValue(out, loc)
+	return out, true
+}
+
+// ReadValueInto copies the value at loc into dst (which must be large
+// enough) and returns the number of bytes, avoiding allocation on the
+// simulator's hot path.
+func (p *Pipeline) ReadValueInto(dst []byte, loc int) (int, bool) {
+	m := p.meta[loc]
+	if !m.live {
+		return 0, false
+	}
+	p.copyValue(dst[:m.valueLen], loc)
+	return m.valueLen, true
+}
+
+func (p *Pipeline) copyValue(out []byte, loc int) {
+	for i := 0; i < len(p.stages) && len(out) > 0; i++ {
+		n := copy(out, p.stages[i].Read(loc))
+		out = out[n:]
+	}
+	copy(out, p.meta[loc].overflow)
+}
+
+// WriteValue spreads v across the stage registers at loc: the first
+// Stages×SlotBytes land in the per-stage arrays; any remainder goes to the
+// overflow bank that models the extra register slots recirculation passes
+// reach (§6).
+func (p *Pipeline) WriteValue(loc int, v kv.Value) error {
+	if len(v) > p.cfg.MaxValueBytes() {
+		return kv.ErrTooLarge
+	}
+	rest := []byte(v)
+	for _, st := range p.stages {
+		n := len(rest)
+		if n > p.cfg.SlotBytes {
+			n = p.cfg.SlotBytes
+		}
+		st.Write(loc, rest[:n])
+		rest = rest[n:]
+	}
+	if len(rest) > 0 {
+		p.meta[loc].overflow = append(p.meta[loc].overflow[:0], rest...)
+	} else {
+		p.meta[loc].overflow = nil
+	}
+	p.meta[loc].valueLen = len(v)
+	p.meta[loc].live = true
+	return nil
+}
+
+// Tombstone invalidates the slot in the dataplane (Delete, §4.1).
+func (p *Pipeline) Tombstone(loc int) {
+	p.meta[loc].live = false
+	p.meta[loc].valueLen = 0
+	p.meta[loc].overflow = nil
+}
+
+// Version returns the ordering version stored for loc.
+func (p *Pipeline) Version(loc int) kv.Version { return p.meta[loc].version }
+
+// SetVersion stores the ordering version for loc.
+func (p *Pipeline) SetVersion(loc int, v kv.Version) { p.meta[loc].version = v }
+
+// CountPacket records that one packet consulted the pipeline, carrying a
+// value of valueLen bytes (for recirculation accounting). Returns the
+// number of passes the packet consumed.
+func (p *Pipeline) CountPacket(valueLen int) int {
+	n := p.cfg.PassesFor(valueLen)
+	p.packets++
+	p.passes += uint64(n)
+	return n
+}
+
+// Stats reports packets processed and pipeline passes consumed; the ratio
+// is the recirculation overhead factor.
+func (p *Pipeline) Stats() (packets, passes uint64) { return p.packets, p.passes }
+
+// ItemCount returns the number of installed keys.
+func (p *Pipeline) ItemCount() int { return p.table.Len() }
+
+// FreeSlots returns the number of unallocated slots.
+func (p *Pipeline) FreeSlots() int { return len(p.free) }
+
+// Keys enumerates installed keys for control-plane state sync.
+func (p *Pipeline) Keys() []kv.Key { return p.table.Keys() }
+
+// MemoryBytes reports the value storage consumed by live items, as a real
+// controller would account against the on-chip SRAM budget (§6).
+func (p *Pipeline) MemoryBytes() int {
+	total := 0
+	for _, m := range p.meta {
+		if m.live {
+			// A slot pins SlotBytes in every stage it touches.
+			n := (m.valueLen + p.cfg.SlotBytes - 1) / p.cfg.SlotBytes
+			if n == 0 {
+				n = 1
+			}
+			total += n * p.cfg.SlotBytes
+		}
+	}
+	return total
+}

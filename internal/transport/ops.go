@@ -1,0 +1,114 @@
+package transport
+
+import (
+	"fmt"
+
+	"netchain/internal/kv"
+	"netchain/internal/packet"
+	"netchain/internal/query"
+)
+
+// Directory resolves a key to its current route (usually backed by the
+// controller's RPC service; static for fixed deployments).
+type Directory func(k kv.Key) (query.Route, error)
+
+// Ops binds a Client to a Directory, providing the blocking key-value API
+// the NetChain agent exposes to applications (§3).
+type Ops struct {
+	Client *Client
+	Dir    Directory
+}
+
+func (o *Ops) endpoint() query.Endpoint {
+	a, p := o.Client.Endpoint()
+	return query.Endpoint{Addr: a, Port: p}
+}
+
+// Read returns the value and version of key k.
+func (o *Ops) Read(k kv.Key) (kv.Value, kv.Version, error) {
+	rep, err := o.roundTrip(k, func(ep query.Endpoint, qid uint64, rt query.Route) (*packet.Frame, error) {
+		return query.NewRead(ep, qid, rt, k)
+	})
+	if err != nil {
+		return nil, kv.Version{}, err
+	}
+	return rep.Value, rep.Version, rep.Status.Err()
+}
+
+// Write stores value under key k.
+func (o *Ops) Write(k kv.Key, v kv.Value) (kv.Version, error) {
+	rep, err := o.roundTrip(k, func(ep query.Endpoint, qid uint64, rt query.Route) (*packet.Frame, error) {
+		return query.NewWrite(ep, qid, rt, k, v)
+	})
+	if err != nil {
+		return kv.Version{}, err
+	}
+	return rep.Version, rep.Status.Err()
+}
+
+// Delete tombstones key k (the controller garbage-collects later, §4.1).
+func (o *Ops) Delete(k kv.Key) error {
+	rep, err := o.roundTrip(k, func(ep query.Endpoint, qid uint64, rt query.Route) (*packet.Frame, error) {
+		return query.NewDelete(ep, qid, rt, k)
+	})
+	if err != nil {
+		return err
+	}
+	return rep.Status.Err()
+}
+
+// CAS applies newValue iff the stored owner equals expect; it returns the
+// stored value on failure so lock retries stay benign (§8.5, §4.3).
+func (o *Ops) CAS(k kv.Key, expect uint64, newValue kv.Value) (swapped bool, stored kv.Value, err error) {
+	rep, err := o.roundTrip(k, func(ep query.Endpoint, qid uint64, rt query.Route) (*packet.Frame, error) {
+		return query.NewCAS(ep, qid, rt, k, expect, newValue)
+	})
+	if err != nil {
+		return false, nil, err
+	}
+	switch rep.Status {
+	case kv.StatusOK:
+		return true, rep.Value, nil
+	case kv.StatusCASFail:
+		return false, rep.Value, nil
+	default:
+		return false, nil, rep.Status.Err()
+	}
+}
+
+// Acquire takes an exclusive lock for owner; ok reports success. A lost
+// reply followed by a retry that sees our own ownership counts as success.
+func (o *Ops) Acquire(lock kv.Key, owner uint64) (bool, error) {
+	swapped, stored, err := o.CAS(lock, 0, query.OwnerValue(owner, nil))
+	if err != nil {
+		return false, err
+	}
+	return swapped || query.Owner(stored) == owner, nil
+}
+
+// Release returns the lock held by owner.
+func (o *Ops) Release(lock kv.Key, owner uint64) (bool, error) {
+	swapped, stored, err := o.CAS(lock, owner, query.OwnerValue(0, nil))
+	if err != nil {
+		return false, err
+	}
+	return swapped || query.Owner(stored) == 0, nil
+}
+
+func (o *Ops) roundTrip(k kv.Key,
+	build func(ep query.Endpoint, qid uint64, rt query.Route) (*packet.Frame, error)) (query.Reply, error) {
+	if o.Dir == nil {
+		return query.Reply{}, fmt.Errorf("transport: no directory configured")
+	}
+	f, err := o.Client.do(func(qid uint64) (*packet.Frame, error) {
+		rt, err := o.Dir(k) // fresh per attempt: retries pick up new chains
+		if err != nil {
+			return nil, err
+		}
+		return build(o.endpoint(), qid, rt)
+	})
+	if err != nil {
+		return query.Reply{}, err
+	}
+	return query.ParseReply(f)
+}

@@ -1,0 +1,205 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"net/rpc"
+
+	"netchain/internal/controller"
+	"netchain/internal/core"
+	"netchain/internal/kv"
+	"netchain/internal/packet"
+	"netchain/internal/query"
+)
+
+// AgentService exposes a switch's control-plane API over net/rpc — the
+// per-switch agent of §7 (the paper used a Python process speaking Thrift
+// to the ASIC and xmlrpc to the controller).
+type AgentService struct {
+	sw *core.Switch
+}
+
+// RuleArgs carries an InstallRule/RemoveRule request.
+type RuleArgs struct {
+	Dst    packet.Addr
+	Group  int
+	Rule   core.Rule
+	Remove bool
+}
+
+// SessionArgs carries a SetSession request.
+type SessionArgs struct {
+	Group   uint16
+	Session uint32
+}
+
+// ItemArgs carries a key or item for state access.
+type ItemArgs struct {
+	Key  kv.Key
+	Item core.Item
+}
+
+// None is an empty reply.
+type None struct{}
+
+// InstallKey allocates a slot (Insert step, §4.1).
+func (a *AgentService) InstallKey(k kv.Key, _ *None) error { return a.sw.InstallKey(k) }
+
+// RemoveKey frees a slot (Delete GC, §4.1).
+func (a *AgentService) RemoveKey(k kv.Key, _ *None) error { return a.sw.RemoveKey(k) }
+
+// SetSession installs a head session number (§5.2).
+func (a *AgentService) SetSession(args SessionArgs, _ *None) error {
+	a.sw.SetSession(args.Group, args.Session)
+	return nil
+}
+
+// Rule installs or removes a neighbor rule (Algorithms 2 and 3).
+func (a *AgentService) Rule(args RuleArgs, _ *None) error {
+	if args.Remove {
+		a.sw.RemoveRule(args.Dst, args.Group)
+	} else {
+		a.sw.InstallRule(args.Dst, args.Group, args.Rule)
+	}
+	return nil
+}
+
+// ReadItem dumps one record (recovery state sync).
+func (a *AgentService) ReadItem(k kv.Key, out *core.Item) error {
+	it, err := a.sw.ReadItem(k)
+	if err != nil {
+		return err
+	}
+	*out = it
+	return nil
+}
+
+// WriteItem installs one record (recovery state sync).
+func (a *AgentService) WriteItem(it core.Item, _ *None) error { return a.sw.WriteItem(it) }
+
+// ServeAgent starts the RPC server for a switch on bind and returns the
+// listener address.
+func ServeAgent(sw *core.Switch, bind string) (net.Addr, func() error, error) {
+	srv := rpc.NewServer()
+	if err := srv.RegisterName("Agent", &AgentService{sw: sw}); err != nil {
+		return nil, nil, err
+	}
+	ln, err := net.Listen("tcp", bind)
+	if err != nil {
+		return nil, nil, err
+	}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go srv.ServeConn(conn)
+		}
+	}()
+	return ln.Addr(), ln.Close, nil
+}
+
+// RPCAgent adapts an rpc.Client to the controller.Agent interface.
+type RPCAgent struct{ C *rpc.Client }
+
+var _ controller.Agent = RPCAgent{}
+
+func (a RPCAgent) InstallKey(k kv.Key) error { return a.C.Call("Agent.InstallKey", k, &None{}) }
+func (a RPCAgent) RemoveKey(k kv.Key) error  { return a.C.Call("Agent.RemoveKey", k, &None{}) }
+func (a RPCAgent) SetSession(g uint16, s uint32) error {
+	return a.C.Call("Agent.SetSession", SessionArgs{Group: g, Session: s}, &None{})
+}
+func (a RPCAgent) InstallRule(dst packet.Addr, g int, r core.Rule) error {
+	return a.C.Call("Agent.Rule", RuleArgs{Dst: dst, Group: g, Rule: r}, &None{})
+}
+func (a RPCAgent) RemoveRule(dst packet.Addr, g int) error {
+	return a.C.Call("Agent.Rule", RuleArgs{Dst: dst, Group: g, Remove: true}, &None{})
+}
+func (a RPCAgent) ReadItem(k kv.Key) (core.Item, error) {
+	var it core.Item
+	err := a.C.Call("Agent.ReadItem", k, &it)
+	return it, err
+}
+func (a RPCAgent) WriteItem(it core.Item) error {
+	return a.C.Call("Agent.WriteItem", it, &None{})
+}
+
+// DialAgent connects to a switch agent.
+func DialAgent(addr string) (RPCAgent, error) {
+	c, err := rpc.Dial("tcp", addr)
+	if err != nil {
+		return RPCAgent{}, fmt.Errorf("transport: dial agent %s: %w", addr, err)
+	}
+	return RPCAgent{C: c}, nil
+}
+
+// ControllerService exposes the controller's client-facing API over
+// net/rpc: route lookup and key insertion (§3's agent ↔ controller path).
+type ControllerService struct {
+	Ctl *controller.Controller
+}
+
+// RouteReply carries a route.
+type RouteReply struct {
+	Group uint16
+	Hops  []packet.Addr
+}
+
+// RouteFor returns the current route for a key.
+func (s *ControllerService) RouteFor(k kv.Key, out *RouteReply) error {
+	rt := s.Ctl.Route(k)
+	out.Group, out.Hops = rt.Group, rt.Hops
+	return nil
+}
+
+// Insert allocates a key on its chain and returns the route.
+func (s *ControllerService) Insert(k kv.Key, out *RouteReply) error {
+	rt, err := s.Ctl.Insert(k)
+	if err != nil {
+		return err
+	}
+	out.Group, out.Hops = rt.Group, rt.Hops
+	return nil
+}
+
+// GC removes a tombstoned key's slots.
+func (s *ControllerService) GC(k kv.Key, _ *None) error { return s.Ctl.GC(k) }
+
+// ServeController starts the controller RPC endpoint.
+func ServeController(ctl *controller.Controller, bind string) (net.Addr, func() error, error) {
+	srv := rpc.NewServer()
+	if err := srv.RegisterName("Controller", &ControllerService{Ctl: ctl}); err != nil {
+		return nil, nil, err
+	}
+	ln, err := net.Listen("tcp", bind)
+	if err != nil {
+		return nil, nil, err
+	}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go srv.ServeConn(conn)
+		}
+	}()
+	return ln.Addr(), ln.Close, nil
+}
+
+// DialDirectory returns a Directory backed by the controller RPC service.
+func DialDirectory(addr string) (Directory, func() error, error) {
+	c, err := rpc.Dial("tcp", addr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("transport: dial controller %s: %w", addr, err)
+	}
+	dir := func(k kv.Key) (query.Route, error) {
+		var rep RouteReply
+		if err := c.Call("Controller.RouteFor", k, &rep); err != nil {
+			return query.Route{}, err
+		}
+		return query.Route{Group: rep.Group, Hops: rep.Hops}, nil
+	}
+	return dir, c.Close, nil
+}

@@ -1,0 +1,341 @@
+// Package transport deploys NetChain on a real network: each switch is a
+// Go process (or goroutine) running the same core.Switch dataplane behind
+// a UDP socket, the controller drives switch agents over net/rpc (the
+// paper's Python controller spoke xmlrpc to per-switch agents, §7), and
+// clients issue queries over UDP with timeout-based retries (§4.3).
+//
+// NetChain addresses (the virtual 10.x.y.z identifiers that appear in
+// packet headers and chain lists) are mapped to real UDP endpoints by an
+// AddressBook, so a whole deployment can run across machines or on
+// loopback. Frames travel fully serialized — Ethernet/IPv4/UDP/NetChain —
+// as UDP payloads, exercising the exact wire codec the dataplane parses.
+//
+// Clients send through a gateway switch (their ToR in the paper's
+// testbed); every switch forwards transit frames toward the header's IP
+// destination after consulting its neighbor rule table, which is how
+// Algorithm 2 failover redirection happens on the real network too.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"netchain/internal/core"
+	"netchain/internal/packet"
+)
+
+// AddressBook maps virtual NetChain addresses to real UDP endpoints.
+type AddressBook struct {
+	mu sync.RWMutex
+	m  map[packet.Addr]*net.UDPAddr
+}
+
+// NewAddressBook returns an empty book.
+func NewAddressBook() *AddressBook {
+	return &AddressBook{m: make(map[packet.Addr]*net.UDPAddr)}
+}
+
+// Set registers or replaces a mapping.
+func (b *AddressBook) Set(a packet.Addr, ep *net.UDPAddr) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.m[a] = ep
+}
+
+// Get resolves a mapping.
+func (b *AddressBook) Get(a packet.Addr) (*net.UDPAddr, bool) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	ep, ok := b.m[a]
+	return ep, ok
+}
+
+// SwitchNode runs one NetChain switch dataplane behind a real UDP socket.
+type SwitchNode struct {
+	sw   *core.Switch
+	book *AddressBook
+	conn *net.UDPConn
+
+	mu     sync.Mutex
+	closed bool
+	done   chan struct{}
+}
+
+// NewSwitchNode binds a UDP socket (pass "127.0.0.1:0" for tests), records
+// the mapping in the book, and starts serving.
+func NewSwitchNode(sw *core.Switch, book *AddressBook, bind string) (*SwitchNode, error) {
+	laddr, err := net.ResolveUDPAddr("udp", bind)
+	if err != nil {
+		return nil, fmt.Errorf("transport: resolve %q: %w", bind, err)
+	}
+	conn, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen: %w", err)
+	}
+	n := &SwitchNode{sw: sw, book: book, conn: conn, done: make(chan struct{})}
+	book.Set(sw.Addr(), conn.LocalAddr().(*net.UDPAddr))
+	go n.serve()
+	return n, nil
+}
+
+// Switch exposes the dataplane (local agent access in-process).
+func (n *SwitchNode) Switch() *core.Switch { return n.sw }
+
+// Endpoint returns the real UDP address of the node.
+func (n *SwitchNode) Endpoint() *net.UDPAddr { return n.conn.LocalAddr().(*net.UDPAddr) }
+
+// Close stops the node (fail-stop: packets to it are lost, like a dead
+// switch).
+func (n *SwitchNode) Close() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil
+	}
+	n.closed = true
+	err := n.conn.Close()
+	<-n.done
+	return err
+}
+
+func (n *SwitchNode) serve() {
+	defer close(n.done)
+	buf := make([]byte, 64*1024)
+	for {
+		sz, _, err := n.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // closed
+		}
+		f := &packet.Frame{}
+		if err := f.Decode(buf[:sz]); err != nil {
+			continue // not a NetChain frame; drop
+		}
+		n.handle(f)
+	}
+}
+
+// handle runs the dataplane on a frame, looping through local processing
+// when egress rules retarget the frame at this very switch (the "N
+// overlaps with S0" case of §5.1).
+func (n *SwitchNode) handle(f *packet.Frame) {
+	if f.IP.Dst == n.sw.Addr() && f.UDP.DstPort == packet.Port {
+		if d, _ := n.sw.ProcessLocal(f); d == core.Drop {
+			return
+		}
+	} else if f.IP.Dst != n.sw.Addr() {
+		n.sw.Transit()
+	} else {
+		return
+	}
+	if f.IP.TTL == 0 {
+		return
+	}
+	f.IP.TTL--
+	for hop := 0; hop < packet.MaxChainHops+1; hop++ {
+		if d := n.sw.ApplyEgressRules(f); d == core.Drop {
+			return
+		}
+		if f.IP.Dst != n.sw.Addr() {
+			break
+		}
+		if f.UDP.DstPort != packet.Port {
+			return
+		}
+		if d, _ := n.sw.ProcessLocal(f); d == core.Drop {
+			return
+		}
+	}
+	n.forward(f)
+}
+
+func (n *SwitchNode) forward(f *packet.Frame) {
+	ep, ok := n.book.Get(f.IP.Dst)
+	if !ok {
+		return
+	}
+	out, err := f.Serialize(make([]byte, 0, f.WireLen()))
+	if err != nil {
+		return
+	}
+	n.mu.Lock()
+	closed := n.closed
+	n.mu.Unlock()
+	if closed {
+		return
+	}
+	_, _ = n.conn.WriteToUDP(out, ep)
+}
+
+// ErrClosed is returned by client operations after Close.
+var ErrClosed = errors.New("transport: client closed")
+
+// sendFunc lets tests intercept outbound frames.
+type pendingReply struct {
+	ch chan *packet.Frame
+}
+
+// Client is a blocking NetChain client over real UDP. Safe for concurrent
+// use; each in-flight query is matched by its QueryID.
+type Client struct {
+	book    *AddressBook
+	conn    *net.UDPConn
+	addr    packet.Addr
+	port    uint16
+	gateway packet.Addr
+
+	timeout time.Duration
+	retries int
+
+	mu      sync.Mutex
+	nextQID uint64
+	pending map[uint64]pendingReply
+	closed  bool
+	done    chan struct{}
+}
+
+// ClientConfig tunes the client.
+type ClientConfig struct {
+	// Addr is the client's virtual NetChain address (must be unique).
+	Addr packet.Addr
+	// Gateway is the switch the client sends through (its ToR).
+	Gateway packet.Addr
+	// Bind is the local UDP bind address ("127.0.0.1:0" for tests).
+	Bind string
+	// Timeout per attempt (client-side retries, §4.3). Default 50 ms.
+	Timeout time.Duration
+	// Retries before giving up. Default 5.
+	Retries int
+}
+
+// NewClient binds a socket and registers the client's virtual address.
+func NewClient(book *AddressBook, cfg ClientConfig) (*Client, error) {
+	if cfg.Addr.IsZero() {
+		return nil, fmt.Errorf("transport: client needs a virtual address")
+	}
+	if cfg.Timeout == 0 {
+		cfg.Timeout = 50 * time.Millisecond
+	}
+	if cfg.Retries == 0 {
+		cfg.Retries = 5
+	}
+	laddr, err := net.ResolveUDPAddr("udp", cfg.Bind)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		book:    book,
+		conn:    conn,
+		addr:    cfg.Addr,
+		port:    uint16(conn.LocalAddr().(*net.UDPAddr).Port),
+		gateway: cfg.Gateway,
+		timeout: cfg.Timeout,
+		retries: cfg.Retries,
+		pending: make(map[uint64]pendingReply),
+		done:    make(chan struct{}),
+	}
+	book.Set(cfg.Addr, conn.LocalAddr().(*net.UDPAddr))
+	go c.serve()
+	return c, nil
+}
+
+// Close shuts the client down.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	err := c.conn.Close()
+	<-c.done
+	return err
+}
+
+func (c *Client) serve() {
+	defer close(c.done)
+	buf := make([]byte, 64*1024)
+	for {
+		sz, _, err := c.conn.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		f := &packet.Frame{}
+		if err := f.Decode(buf[:sz]); err != nil {
+			continue
+		}
+		c.mu.Lock()
+		p, ok := c.pending[f.NC.QueryID]
+		if ok {
+			delete(c.pending, f.NC.QueryID)
+		}
+		c.mu.Unlock()
+		if ok {
+			p.ch <- f.Clone()
+		}
+	}
+}
+
+// do sends the frame built by build (fresh per attempt) and waits for the
+// matching reply, retrying on timeout.
+func (c *Client) do(build func(qid uint64) (*packet.Frame, error)) (*packet.Frame, error) {
+	var lastErr error = errTimeout
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return nil, ErrClosed
+		}
+		c.nextQID++
+		qid := c.nextQID
+		ch := make(chan *packet.Frame, 1)
+		c.pending[qid] = pendingReply{ch: ch}
+		c.mu.Unlock()
+
+		f, err := build(qid)
+		if err != nil {
+			c.abandon(qid)
+			return nil, err
+		}
+		gw, ok := c.book.Get(c.gateway)
+		if !ok {
+			c.abandon(qid)
+			return nil, fmt.Errorf("transport: no endpoint for gateway %v", c.gateway)
+		}
+		out, err := f.Serialize(make([]byte, 0, f.WireLen()))
+		if err != nil {
+			c.abandon(qid)
+			return nil, err
+		}
+		if _, err := c.conn.WriteToUDP(out, gw); err != nil {
+			c.abandon(qid)
+			lastErr = err
+			continue
+		}
+		select {
+		case rep := <-ch:
+			return rep, nil
+		case <-time.After(c.timeout):
+			c.abandon(qid)
+		}
+	}
+	return nil, lastErr
+}
+
+var errTimeout = errors.New("transport: query timed out")
+
+func (c *Client) abandon(qid uint64) {
+	c.mu.Lock()
+	delete(c.pending, qid)
+	c.mu.Unlock()
+}
+
+// Endpoint returns the client identity used in frames.
+func (c *Client) Endpoint() (packet.Addr, uint16) { return c.addr, c.port }

@@ -1,0 +1,164 @@
+// Package workload generates the query mixes of the evaluation section:
+// uniform and Zipf key popularity with a configurable write ratio
+// (Fig. 9), and the contention-index transaction workload of §8.5 — ten
+// locks per transaction, one drawn from a small hot set whose size is the
+// inverse of the contention index (after Calvin/VLL [34, 35]).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"netchain/internal/kv"
+)
+
+// KeyChooser selects key indexes in [0, n).
+type KeyChooser interface {
+	Next() int
+}
+
+// Uniform picks keys uniformly at random.
+type Uniform struct {
+	n   int
+	rng *rand.Rand
+}
+
+// NewUniform returns a uniform chooser over n keys.
+func NewUniform(n int, seed int64) *Uniform {
+	if n <= 0 {
+		panic("workload: need at least one key")
+	}
+	return &Uniform{n: n, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next implements KeyChooser.
+func (u *Uniform) Next() int { return u.rng.Intn(u.n) }
+
+// Zipf picks keys with a Zipfian popularity skew (coordination workloads
+// concentrate on hot configuration entries and locks).
+type Zipf struct {
+	z *rand.Zipf
+}
+
+// NewZipf returns a Zipf chooser over n keys with skew s > 1.
+func NewZipf(n int, s float64, seed int64) *Zipf {
+	if n <= 0 {
+		panic("workload: need at least one key")
+	}
+	if s <= 1 {
+		panic("workload: zipf skew must exceed 1")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return &Zipf{z: rand.NewZipf(rng, s, 1, uint64(n-1))}
+}
+
+// Next implements KeyChooser.
+func (z *Zipf) Next() int { return int(z.z.Uint64()) }
+
+// Mix draws read/write operations with a fixed write ratio over a key
+// chooser — the §8.1 workloads.
+type Mix struct {
+	WriteRatio float64
+	Keys       KeyChooser
+	rng        *rand.Rand
+}
+
+// NewMix builds a query mix. writeRatio in [0,1].
+func NewMix(writeRatio float64, keys KeyChooser, seed int64) *Mix {
+	if writeRatio < 0 || writeRatio > 1 {
+		panic(fmt.Sprintf("workload: write ratio %v out of range", writeRatio))
+	}
+	return &Mix{WriteRatio: writeRatio, Keys: keys, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next returns the next operation and key index.
+func (m *Mix) Next() (op kv.Op, key int) {
+	key = m.Keys.Next()
+	if m.rng.Float64() < m.WriteRatio {
+		return kv.OpWrite, key
+	}
+	return kv.OpRead, key
+}
+
+// KeySpace materializes n deterministic keys named by index.
+func KeySpace(n int) []kv.Key {
+	out := make([]kv.Key, n)
+	for i := range out {
+		out[i] = kv.KeyFromUint64(uint64(i))
+	}
+	return out
+}
+
+// Value builds a deterministic value of the given size, tagged by seq so
+// tests can tell writes apart.
+func Value(size int, seq uint64) kv.Value {
+	v := make(kv.Value, size)
+	for i := range v {
+		v[i] = byte(seq + uint64(i)*131)
+	}
+	return v
+}
+
+// Transaction is one §8.5 transaction: the ordered list of lock key
+// indexes to acquire (2PL), one hot and nine cold.
+type Transaction struct {
+	Locks []int
+}
+
+// TxnWorkload generates contention-index transactions: each transaction
+// takes one lock from a hot set of size ceil(1/ContentionIndex) and nine
+// from a large cold set, mirroring the new-order benchmark of [34, 35].
+type TxnWorkload struct {
+	HotKeys     int // hot set size = round(1/contention index)
+	ColdKeys    int
+	LocksPerTxn int
+	rng         *rand.Rand
+}
+
+// NewTxnWorkload builds the generator. contentionIndex in (0, 1]:
+// 0.001 → 1000 hot items; 1 → a single hot item everybody fights over.
+func NewTxnWorkload(contentionIndex float64, coldKeys int, seed int64) (*TxnWorkload, error) {
+	if contentionIndex <= 0 || contentionIndex > 1 {
+		return nil, fmt.Errorf("workload: contention index %v out of (0,1]", contentionIndex)
+	}
+	hot := int(1/contentionIndex + 0.5)
+	if hot < 1 {
+		hot = 1
+	}
+	if coldKeys < 9 {
+		return nil, fmt.Errorf("workload: need at least 9 cold keys, got %d", coldKeys)
+	}
+	return &TxnWorkload{
+		HotKeys:     hot,
+		ColdKeys:    coldKeys,
+		LocksPerTxn: 10,
+		rng:         rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+// TotalKeys returns the size of the lock key space (hot ∪ cold). Hot keys
+// occupy indexes [0, HotKeys); cold keys follow.
+func (w *TxnWorkload) TotalKeys() int { return w.HotKeys + w.ColdKeys }
+
+// Next generates one transaction. Lock indexes are distinct and sorted so
+// 2PL acquires in a deadlock-free global order.
+func (w *TxnWorkload) Next() Transaction {
+	locks := make([]int, 0, w.LocksPerTxn)
+	locks = append(locks, w.rng.Intn(w.HotKeys)) // the contended lock
+	seen := map[int]bool{}
+	for len(locks) < w.LocksPerTxn {
+		k := w.HotKeys + w.rng.Intn(w.ColdKeys)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		locks = append(locks, k)
+	}
+	// Sort ascending: global lock order prevents deadlock.
+	for i := 1; i < len(locks); i++ {
+		for j := i; j > 0 && locks[j] < locks[j-1]; j-- {
+			locks[j], locks[j-1] = locks[j-1], locks[j]
+		}
+	}
+	return Transaction{Locks: locks}
+}

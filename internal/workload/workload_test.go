@@ -1,0 +1,170 @@
+package workload
+
+import (
+	"testing"
+
+	"netchain/internal/kv"
+)
+
+func TestUniformCoversRange(t *testing.T) {
+	u := NewUniform(10, 1)
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		k := u.Next()
+		if k < 0 || k >= 10 {
+			t.Fatalf("key %d out of range", k)
+		}
+		seen[k] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("only %d keys seen", len(seen))
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	z := NewZipf(1000, 1.5, 1)
+	counts := map[int]int{}
+	for i := 0; i < 100000; i++ {
+		counts[z.Next()]++
+	}
+	if counts[0] < counts[500]*10 {
+		t.Fatalf("zipf not skewed: head=%d mid=%d", counts[0], counts[500])
+	}
+}
+
+func TestMixWriteRatio(t *testing.T) {
+	m := NewMix(0.25, NewUniform(100, 2), 3)
+	writes := 0
+	const n = 40000
+	for i := 0; i < n; i++ {
+		op, k := m.Next()
+		if k < 0 || k >= 100 {
+			t.Fatalf("key %d out of range", k)
+		}
+		if op == kv.OpWrite {
+			writes++
+		} else if op != kv.OpRead {
+			t.Fatalf("unexpected op %v", op)
+		}
+	}
+	ratio := float64(writes) / n
+	if ratio < 0.23 || ratio > 0.27 {
+		t.Fatalf("write ratio = %.3f, want ~0.25", ratio)
+	}
+}
+
+func TestMixExtremes(t *testing.T) {
+	ro := NewMix(0, NewUniform(10, 1), 1)
+	for i := 0; i < 100; i++ {
+		if op, _ := ro.Next(); op != kv.OpRead {
+			t.Fatal("0% write mix produced a write")
+		}
+	}
+	wo := NewMix(1, NewUniform(10, 1), 1)
+	for i := 0; i < 100; i++ {
+		if op, _ := wo.Next(); op != kv.OpWrite {
+			t.Fatal("100% write mix produced a read")
+		}
+	}
+}
+
+func TestKeySpaceAndValue(t *testing.T) {
+	keys := KeySpace(5)
+	if len(keys) != 5 || keys[3] != kv.KeyFromUint64(3) {
+		t.Fatal("keyspace wrong")
+	}
+	v1, v2 := Value(16, 1), Value(16, 2)
+	if len(v1) != 16 {
+		t.Fatal("value size wrong")
+	}
+	same := true
+	for i := range v1 {
+		if v1[i] != v2[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("values for different seqs must differ")
+	}
+}
+
+func TestTxnWorkload(t *testing.T) {
+	w, err := NewTxnWorkload(0.01, 10000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.HotKeys != 100 {
+		t.Fatalf("hot keys = %d, want 100", w.HotKeys)
+	}
+	if w.TotalKeys() != 10100 {
+		t.Fatalf("total keys = %d", w.TotalKeys())
+	}
+	for i := 0; i < 1000; i++ {
+		txn := w.Next()
+		if len(txn.Locks) != 10 {
+			t.Fatalf("locks = %d", len(txn.Locks))
+		}
+		hot := 0
+		for j, l := range txn.Locks {
+			if l < w.HotKeys {
+				hot++
+			}
+			if j > 0 {
+				if txn.Locks[j] < txn.Locks[j-1] {
+					t.Fatal("locks not sorted")
+				}
+				if txn.Locks[j] == txn.Locks[j-1] {
+					t.Fatal("duplicate lock")
+				}
+			}
+		}
+		if hot != 1 {
+			t.Fatalf("hot locks = %d, want exactly 1", hot)
+		}
+	}
+}
+
+func TestTxnWorkloadMaxContention(t *testing.T) {
+	w, err := NewTxnWorkload(1, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.HotKeys != 1 {
+		t.Fatalf("hot keys = %d, want 1", w.HotKeys)
+	}
+	a, b := w.Next(), w.Next()
+	if a.Locks[0] != 0 || b.Locks[0] != 0 {
+		t.Fatal("all transactions must contend on hot key 0")
+	}
+}
+
+func TestTxnWorkloadValidation(t *testing.T) {
+	if _, err := NewTxnWorkload(0, 100, 1); err == nil {
+		t.Fatal("zero contention index must fail")
+	}
+	if _, err := NewTxnWorkload(2, 100, 1); err == nil {
+		t.Fatal("contention index > 1 must fail")
+	}
+	if _, err := NewTxnWorkload(0.5, 5, 1); err == nil {
+		t.Fatal("tiny cold set must fail")
+	}
+}
+
+func TestChooserPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"uniform-zero": func() { NewUniform(0, 1) },
+		"zipf-zero":    func() { NewZipf(0, 1.5, 1) },
+		"zipf-skew":    func() { NewZipf(10, 1.0, 1) },
+		"mix-ratio":    func() { NewMix(1.5, NewUniform(1, 1), 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

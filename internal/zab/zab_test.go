@@ -1,0 +1,195 @@
+package zab
+
+import (
+	"testing"
+	"time"
+
+	"netchain/internal/event"
+	"netchain/internal/kv"
+)
+
+func cluster(t *testing.T, mut func(*Config)) (*event.Sim, *Cluster) {
+	t.Helper()
+	sim := event.New()
+	cfg := DefaultConfig()
+	if mut != nil {
+		mut(&cfg)
+	}
+	c, err := NewCluster(sim, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim, c
+}
+
+func TestWriteThenRead(t *testing.T) {
+	sim, c := cluster(t, nil)
+	k := kv.KeyFromString("cfg")
+	var wlat, rlat time.Duration
+	var got kv.Value
+	start := sim.Now()
+	c.Write(k, kv.Value("v1"), func(err error) {
+		if err != nil {
+			t.Error(err)
+		}
+		wlat = time.Duration(sim.Now() - start)
+		rstart := sim.Now()
+		c.Read(k, func(v kv.Value, err error) {
+			if err != nil {
+				t.Error(err)
+			}
+			got = v
+			rlat = time.Duration(sim.Now() - rstart)
+		})
+	})
+	sim.Run()
+	if string(got) != "v1" {
+		t.Fatalf("read %q", got)
+	}
+	// Paper anchors: ~2350 µs writes, ~170 µs reads at low load.
+	if wlat < 2*time.Millisecond || wlat > 3*time.Millisecond {
+		t.Fatalf("write latency = %v, want ~2.35 ms", wlat)
+	}
+	if rlat < 140*time.Microsecond || rlat > 220*time.Microsecond {
+		t.Fatalf("read latency = %v, want ~170 µs", rlat)
+	}
+}
+
+func TestReadMissing(t *testing.T) {
+	sim, c := cluster(t, nil)
+	errSeen := error(nil)
+	c.Read(kv.KeyFromString("nope"), func(v kv.Value, err error) { errSeen = err })
+	sim.Run()
+	if errSeen != kv.ErrNotFound {
+		t.Fatalf("err = %v", errSeen)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	sim, c := cluster(t, nil)
+	k := kv.KeyFromString("k")
+	c.Write(k, kv.Value("x"), func(error) {
+		c.Delete(k, func(error) {})
+	})
+	sim.Run()
+	if _, ok := c.Store(k); ok {
+		t.Fatal("key survived delete")
+	}
+}
+
+// closedLoop drives n concurrent sessions for the given simulated window
+// and returns completed ops.
+func closedLoop(sim *event.Sim, c *Cluster, n int, write bool, window time.Duration) int {
+	done := 0
+	var loop func(i int)
+	loop = func(i int) {
+		k := kv.KeyFromUint64(uint64(i % 64))
+		if write {
+			c.Write(k, kv.Value("v"), func(error) { done++; loop(i) })
+		} else {
+			c.Read(k, func(kv.Value, error) { done++; loop(i) })
+		}
+	}
+	// Preload keys.
+	for i := 0; i < 64; i++ {
+		c.Write(kv.KeyFromUint64(uint64(i)), kv.Value("v"), func(error) {})
+	}
+	sim.Run()
+	for i := 0; i < n; i++ {
+		loop(i)
+	}
+	sim.RunFor(event.Duration(window))
+	return done
+}
+
+func TestReadThroughputAnchor(t *testing.T) {
+	sim, c := cluster(t, nil)
+	done := closedLoop(sim, c, 100, false, 200*time.Millisecond)
+	qps := float64(done) / 0.2
+	// Paper: ~230 KQPS read-only on 3 servers.
+	if qps < 150e3 || qps > 320e3 {
+		t.Fatalf("read-only throughput = %.0f QPS, want ~230K", qps)
+	}
+}
+
+func TestWriteThroughputAnchor(t *testing.T) {
+	sim, c := cluster(t, nil)
+	done := closedLoop(sim, c, 100, true, 200*time.Millisecond)
+	qps := float64(done) / 0.2
+	// Paper: ~27 KQPS write-only (leader-bound).
+	if qps < 18e3 || qps > 40e3 {
+		t.Fatalf("write-only throughput = %.0f QPS, want ~27K", qps)
+	}
+}
+
+func TestLossCollapsesThroughput(t *testing.T) {
+	sim, c := cluster(t, func(cfg *Config) { cfg.LossRate = 0.01 })
+	lossy := closedLoop(sim, c, 100, false, 200*time.Millisecond)
+	sim2, c2 := cluster(t, nil)
+	clean := closedLoop(sim2, c2, 100, false, 200*time.Millisecond)
+	if lossy*2 >= clean {
+		t.Fatalf("1%% loss should collapse TCP throughput: lossy=%d clean=%d", lossy, clean)
+	}
+}
+
+func TestLocks(t *testing.T) {
+	sim, c := cluster(t, nil)
+	lock := kv.KeyFromString("lock/a")
+	var trace []string
+	c.Acquire(lock, 1, func(ok bool, err error) {
+		trace = append(trace, "a1")
+		if !ok || err != nil {
+			t.Errorf("first acquire failed: %v %v", ok, err)
+		}
+		c.Acquire(lock, 2, func(ok bool, err error) {
+			trace = append(trace, "a2")
+			if ok {
+				t.Error("second owner must not acquire")
+			}
+			c.Release(lock, 2, func(ok bool, err error) {
+				trace = append(trace, "r2")
+				if ok {
+					t.Error("non-owner release must fail")
+				}
+				c.Release(lock, 1, func(ok bool, err error) {
+					trace = append(trace, "r1")
+					if !ok {
+						t.Error("owner release failed")
+					}
+					c.Acquire(lock, 2, func(ok bool, err error) {
+						trace = append(trace, "a2b")
+						if !ok {
+							t.Error("acquire after release failed")
+						}
+					})
+				})
+			})
+		})
+	})
+	sim.Run()
+	if len(trace) != 5 {
+		t.Fatalf("trace = %v", trace)
+	}
+	if owner, ok := c.LockOwner(lock); !ok || owner != 2 {
+		t.Fatalf("final owner = %d, %v", owner, ok)
+	}
+}
+
+func TestAcquireReentrant(t *testing.T) {
+	sim, c := cluster(t, nil)
+	lock := kv.KeyFromString("lock/a")
+	c.Acquire(lock, 1, func(ok bool, err error) {
+		c.Acquire(lock, 1, func(ok bool, err error) {
+			if !ok {
+				t.Error("same-owner acquire must succeed")
+			}
+		})
+	})
+	sim.Run()
+}
+
+func TestNewClusterValidation(t *testing.T) {
+	if _, err := NewCluster(event.New(), Config{Servers: 0}); err == nil {
+		t.Fatal("zero servers must be rejected")
+	}
+}

@@ -1,0 +1,409 @@
+// Package zkkv is a real-network implementation of the server-based
+// baseline: a ZooKeeper-style replicated key-value store with a leader
+// sequencing all writes through a majority quorum and any replica serving
+// reads — the same protocol the zab package simulates, here running over
+// actual TCP connections (net/rpc) so integration tests and examples can
+// measure NetChain's software chain against a software server ensemble on
+// the same machine.
+//
+// The protocol: the leader assigns a monotonically increasing zxid to
+// every mutation, applies it locally, replicates to all followers in
+// parallel, and acknowledges the client once a majority (including
+// itself) has accepted. Followers apply mutations idempotently in zxid
+// order. Exclusive locks are ephemeral-node-style owner records mutated
+// through the same path (§8.5's Curator locks).
+package zkkv
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/rpc"
+	"sync"
+
+	"netchain/internal/kv"
+)
+
+// ErrNotLeader is returned when a mutation hits a follower.
+var ErrNotLeader = errors.New("zkkv: not the leader")
+
+type record struct {
+	Value kv.Value
+	Zxid  uint64
+}
+
+// Server is one ensemble member.
+type Server struct {
+	mu       sync.Mutex
+	store    map[kv.Key]record
+	locks    map[kv.Key]uint64
+	zxid     uint64
+	isLeader bool
+	peers    []*rpc.Client // leader's connections to followers
+
+	ln net.Listener
+}
+
+// None is an empty RPC reply.
+type None struct{}
+
+// ReadReply carries a read result.
+type ReadReply struct {
+	Value kv.Value
+	Found bool
+}
+
+// WriteArgs carries a client mutation.
+type WriteArgs struct {
+	Key    kv.Key
+	Value  kv.Value
+	Delete bool
+}
+
+// RepArgs carries a replicated mutation.
+type RepArgs struct {
+	Zxid     uint64
+	Key      kv.Key
+	Value    kv.Value
+	Delete   bool
+	LockOp   bool
+	LockFree bool
+	Owner    uint64
+}
+
+// LockArgs carries a lock request.
+type LockArgs struct {
+	Lock  kv.Key
+	Owner uint64
+}
+
+// LockReply reports lock outcomes.
+type LockReply struct {
+	OK bool
+}
+
+// NewServer creates a member; call Lead on exactly one after connecting it
+// to the others.
+func NewServer() *Server {
+	return &Server{store: make(map[kv.Key]record), locks: make(map[kv.Key]uint64)}
+}
+
+// Serve starts the RPC endpoint and returns its address.
+func (s *Server) Serve(bind string) (net.Addr, error) {
+	srv := rpc.NewServer()
+	if err := srv.RegisterName("ZK", s); err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", bind)
+	if err != nil {
+		return nil, err
+	}
+	s.ln = ln
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go srv.ServeConn(conn)
+		}
+	}()
+	return ln.Addr(), nil
+}
+
+// Close stops the endpoint.
+func (s *Server) Close() error {
+	if s.ln != nil {
+		return s.ln.Close()
+	}
+	return nil
+}
+
+// Lead promotes the server to leader with connections to its followers.
+func (s *Server) Lead(followers []string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, addr := range followers {
+		c, err := rpc.Dial("tcp", addr)
+		if err != nil {
+			return fmt.Errorf("zkkv: dial follower %s: %w", addr, err)
+		}
+		s.peers = append(s.peers, c)
+	}
+	s.isLeader = true
+	return nil
+}
+
+// Read serves a local read — any replica answers (RPC method).
+func (s *Server) Read(k kv.Key, out *ReadReply) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.store[k]
+	if ok {
+		out.Value = rec.Value.Clone()
+		out.Found = true
+	}
+	return nil
+}
+
+// Write commits a mutation through the quorum (RPC method; leader only).
+func (s *Server) Write(args WriteArgs, _ *None) error {
+	rep, err := s.begin(RepArgs{Key: args.Key, Value: args.Value, Delete: args.Delete})
+	if err != nil {
+		return err
+	}
+	return s.finish(rep)
+}
+
+// Acquire takes an exclusive lock (RPC method; leader only).
+func (s *Server) Acquire(args LockArgs, out *LockReply) error {
+	s.mu.Lock()
+	if !s.isLeader {
+		s.mu.Unlock()
+		return ErrNotLeader
+	}
+	if cur, held := s.locks[args.Lock]; held && cur != args.Owner {
+		s.mu.Unlock()
+		out.OK = false
+		return nil
+	}
+	s.mu.Unlock()
+	rep, err := s.begin(RepArgs{Key: args.Lock, LockOp: true, Owner: args.Owner})
+	if err != nil {
+		return err
+	}
+	if err := s.finish(rep); err != nil {
+		return err
+	}
+	out.OK = true
+	return nil
+}
+
+// Release drops a lock held by owner (RPC method; leader only).
+func (s *Server) Release(args LockArgs, out *LockReply) error {
+	s.mu.Lock()
+	if !s.isLeader {
+		s.mu.Unlock()
+		return ErrNotLeader
+	}
+	if cur, held := s.locks[args.Lock]; !held || cur != args.Owner {
+		s.mu.Unlock()
+		out.OK = false
+		return nil
+	}
+	s.mu.Unlock()
+	rep, err := s.begin(RepArgs{Key: args.Lock, LockOp: true, LockFree: true, Owner: args.Owner})
+	if err != nil {
+		return err
+	}
+	if err := s.finish(rep); err != nil {
+		return err
+	}
+	out.OK = true
+	return nil
+}
+
+// begin sequences a mutation on the leader and applies it locally.
+func (s *Server) begin(rep RepArgs) (RepArgs, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.isLeader {
+		return RepArgs{}, ErrNotLeader
+	}
+	s.zxid++
+	rep.Zxid = s.zxid
+	s.applyLocked(rep)
+	return rep, nil
+}
+
+// finish replicates to followers and waits for a majority of the ensemble
+// (the leader counts toward the quorum).
+func (s *Server) finish(rep RepArgs) error {
+	s.mu.Lock()
+	peers := append([]*rpc.Client(nil), s.peers...)
+	s.mu.Unlock()
+	need := (len(peers)+1)/2 + 1 - 1 // follower acks beyond the leader
+	if need <= 0 {
+		return nil
+	}
+	acks := make(chan error, len(peers))
+	for _, p := range peers {
+		p := p
+		go func() { acks <- p.Call("ZK.Replicate", rep, &None{}) }()
+	}
+	got := 0
+	var firstErr error
+	for i := 0; i < len(peers); i++ {
+		err := <-acks
+		if err == nil {
+			got++
+			if got >= need {
+				return nil
+			}
+		} else if firstErr == nil {
+			firstErr = err
+		}
+	}
+	return fmt.Errorf("zkkv: quorum failed (%d/%d acks): %w", got, need, firstErr)
+}
+
+// Replicate applies a leader mutation on a follower (RPC method).
+func (s *Server) Replicate(rep RepArgs, _ *None) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.applyLocked(rep)
+	return nil
+}
+
+func (s *Server) applyLocked(rep RepArgs) {
+	if rep.Zxid <= 0 {
+		return
+	}
+	if rep.LockOp {
+		if rep.LockFree {
+			delete(s.locks, rep.Key)
+		} else {
+			s.locks[rep.Key] = rep.Owner
+		}
+		if rep.Zxid > s.zxid {
+			s.zxid = rep.Zxid
+		}
+		return
+	}
+	cur, ok := s.store[rep.Key]
+	if ok && cur.Zxid >= rep.Zxid {
+		return // idempotent / stale
+	}
+	if rep.Delete {
+		delete(s.store, rep.Key)
+	} else {
+		s.store[rep.Key] = record{Value: rep.Value.Clone(), Zxid: rep.Zxid}
+	}
+	if rep.Zxid > s.zxid {
+		s.zxid = rep.Zxid
+	}
+}
+
+// Client talks to the ensemble: mutations to the leader, reads spread
+// round-robin over all members.
+type Client struct {
+	mu      sync.Mutex
+	leader  *rpc.Client
+	members []*rpc.Client
+	next    int
+}
+
+// Dial connects to the ensemble; the first address must be the leader.
+func Dial(leader string, followers ...string) (*Client, error) {
+	lc, err := rpc.Dial("tcp", leader)
+	if err != nil {
+		return nil, fmt.Errorf("zkkv: dial leader: %w", err)
+	}
+	c := &Client{leader: lc, members: []*rpc.Client{lc}}
+	for _, f := range followers {
+		fc, err := rpc.Dial("tcp", f)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("zkkv: dial follower %s: %w", f, err)
+		}
+		c.members = append(c.members, fc)
+	}
+	return c, nil
+}
+
+// Close drops all connections.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var first error
+	for _, m := range c.members {
+		if err := m.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Read fetches a value from the next replica.
+func (c *Client) Read(k kv.Key) (kv.Value, error) {
+	c.mu.Lock()
+	m := c.members[c.next%len(c.members)]
+	c.next++
+	c.mu.Unlock()
+	var rep ReadReply
+	if err := m.Call("ZK.Read", k, &rep); err != nil {
+		return nil, err
+	}
+	if !rep.Found {
+		return nil, kv.ErrNotFound
+	}
+	return rep.Value, nil
+}
+
+// ReadLeader fetches from the leader (read-your-writes).
+func (c *Client) ReadLeader(k kv.Key) (kv.Value, error) {
+	var rep ReadReply
+	if err := c.leader.Call("ZK.Read", k, &rep); err != nil {
+		return nil, err
+	}
+	if !rep.Found {
+		return nil, kv.ErrNotFound
+	}
+	return rep.Value, nil
+}
+
+// Write commits a value.
+func (c *Client) Write(k kv.Key, v kv.Value) error {
+	return c.leader.Call("ZK.Write", WriteArgs{Key: k, Value: v}, &None{})
+}
+
+// Delete removes a key.
+func (c *Client) Delete(k kv.Key) error {
+	return c.leader.Call("ZK.Write", WriteArgs{Key: k, Delete: true}, &None{})
+}
+
+// Acquire takes an exclusive lock.
+func (c *Client) Acquire(lock kv.Key, owner uint64) (bool, error) {
+	var rep LockReply
+	if err := c.leader.Call("ZK.Acquire", LockArgs{Lock: lock, Owner: owner}, &rep); err != nil {
+		return false, err
+	}
+	return rep.OK, nil
+}
+
+// Release frees a lock.
+func (c *Client) Release(lock kv.Key, owner uint64) (bool, error) {
+	var rep LockReply
+	if err := c.leader.Call("ZK.Release", LockArgs{Lock: lock, Owner: owner}, &rep); err != nil {
+		return false, err
+	}
+	return rep.OK, nil
+}
+
+// StartEnsemble spins up n servers on loopback, makes the first the
+// leader, and returns their addresses plus a shutdown function — the
+// three-server comparison rig of §8.
+func StartEnsemble(n int) (addrs []string, stop func(), err error) {
+	if n < 1 {
+		return nil, nil, fmt.Errorf("zkkv: need at least one server")
+	}
+	servers := make([]*Server, n)
+	addrs = make([]string, n)
+	for i := range servers {
+		servers[i] = NewServer()
+		a, err := servers[i].Serve("127.0.0.1:0")
+		if err != nil {
+			return nil, nil, err
+		}
+		addrs[i] = a.String()
+	}
+	if err := servers[0].Lead(addrs[1:]); err != nil {
+		return nil, nil, err
+	}
+	stop = func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}
+	return addrs, stop, nil
+}

@@ -1,0 +1,292 @@
+// Package netchain is a software reproduction of NetChain (NSDI 2018):
+// scale-free sub-RTT coordination — a strongly-consistent, fault-tolerant
+// key-value store that lives in the network dataplane, replicated with a
+// chain-replication variant (Vertical Paxos steady state) and repaired by
+// a controller (fast failover + two-phase failure recovery).
+//
+// Two substrates run the same protocol code:
+//
+//   - a real deployment: switch dataplanes behind UDP sockets, a
+//     controller speaking net/rpc to per-switch agents, clients with
+//     timeout-based retries — see StartLocalCluster;
+//   - a deterministic discrete-event simulation of the paper's testbed
+//     (four switches, four servers) used by the evaluation harness — see
+//     NewSimCluster and the bench suite, which regenerates every table
+//     and figure of the paper (EXPERIMENTS.md).
+package netchain
+
+import (
+	"fmt"
+	"time"
+
+	"netchain/internal/controller"
+	"netchain/internal/core"
+	"netchain/internal/kv"
+	"netchain/internal/packet"
+	"netchain/internal/query"
+	"netchain/internal/ring"
+	"netchain/internal/swsim"
+	"netchain/internal/transport"
+)
+
+// Key is a fixed 16-byte key (§7).
+type Key = kv.Key
+
+// Value is a bounded value (≤128 B at line rate in the paper's prototype).
+type Value = kv.Value
+
+// Version is the (session, sequence) write-ordering pair (§4.3, §5.2).
+type Version = kv.Version
+
+// Sentinel errors returned by clients.
+var (
+	ErrNotFound    = kv.ErrNotFound
+	ErrCASFail     = kv.ErrCASFail
+	ErrTimeout     = kv.ErrTimeout
+	ErrUnavailable = kv.ErrUnavailable
+)
+
+// KeyFromString builds a key from text (truncated/padded to 16 bytes).
+func KeyFromString(s string) Key { return kv.KeyFromString(s) }
+
+// KeyFromUint64 builds a key from an integer (synthetic workloads).
+func KeyFromUint64(v uint64) Key { return kv.KeyFromUint64(v) }
+
+// ClusterConfig sizes a local real-network cluster.
+type ClusterConfig struct {
+	// Switches is the number of switch nodes (≥ Replicas; one extra makes
+	// a spare for recovery, like the testbed's S3). Default 4.
+	Switches int
+	// Replicas is the chain length f+1. Default 3.
+	Replicas int
+	// VNodesPerSwitch sets virtual-group granularity. Default 8.
+	VNodesPerSwitch int
+	// Slots bounds keys per switch. Default 4096.
+	Slots int
+}
+
+func (c *ClusterConfig) defaults() {
+	if c.Switches == 0 {
+		c.Switches = 4
+	}
+	if c.Replicas == 0 {
+		c.Replicas = 3
+	}
+	if c.VNodesPerSwitch == 0 {
+		c.VNodesPerSwitch = 8
+	}
+	if c.Slots == 0 {
+		c.Slots = 4096
+	}
+}
+
+// Cluster is a real NetChain deployment on loopback: every switch is a
+// dataplane goroutine behind its own UDP socket, and the controller drives
+// them through net/rpc agents exactly as a multi-process deployment would.
+type Cluster struct {
+	cfg    ClusterConfig
+	book   *transport.AddressBook
+	nodes  []*transport.SwitchNode
+	agents map[packet.Addr]transport.RPCAgent
+	stops  []func() error
+	ctl    *controller.Controller
+	ringV  *ring.Ring
+	nextCl byte
+}
+
+// StartLocalCluster boots a cluster. The first cfg.Replicas switches are
+// ring members; the rest are spares available to Recover.
+func StartLocalCluster(cfg ClusterConfig) (*Cluster, error) {
+	cfg.defaults()
+	if cfg.Switches < cfg.Replicas {
+		return nil, fmt.Errorf("netchain: %d switches cannot host %d replicas", cfg.Switches, cfg.Replicas)
+	}
+	cl := &Cluster{
+		cfg:    cfg,
+		book:   transport.NewAddressBook(),
+		agents: make(map[packet.Addr]transport.RPCAgent),
+	}
+	var members []packet.Addr
+	for i := 0; i < cfg.Switches; i++ {
+		addr := packet.AddrFrom4(10, 0, 0, byte(i+1))
+		sw, err := core.NewSwitch(addr, swsim.Config{
+			Stages: 8, SlotBytes: 16, SlotsPerStage: cfg.Slots, PPS: 1e9,
+		})
+		if err != nil {
+			cl.Close()
+			return nil, err
+		}
+		node, err := transport.NewSwitchNode(sw, cl.book, "127.0.0.1:0")
+		if err != nil {
+			cl.Close()
+			return nil, err
+		}
+		cl.nodes = append(cl.nodes, node)
+		cl.stops = append(cl.stops, node.Close)
+
+		rpcAddr, stop, err := transport.ServeAgent(sw, "127.0.0.1:0")
+		if err != nil {
+			cl.Close()
+			return nil, err
+		}
+		cl.stops = append(cl.stops, stop)
+		agent, err := transport.DialAgent(rpcAddr.String())
+		if err != nil {
+			cl.Close()
+			return nil, err
+		}
+		cl.agents[addr] = agent
+		if i < cfg.Replicas {
+			members = append(members, addr)
+		}
+	}
+	r, err := ring.New(ring.Config{
+		VNodesPerSwitch: cfg.VNodesPerSwitch, Replicas: cfg.Replicas, Seed: 0x6e63,
+	}, members)
+	if err != nil {
+		cl.Close()
+		return nil, err
+	}
+	cl.ringV = r
+	ctlCfg := controller.DefaultConfig()
+	ctlCfg.RuleDelay = time.Millisecond
+	ctlCfg.SyncPerItem = 0
+	ctl, err := controller.New(ctlCfg, r, controller.WallClock{},
+		func(a packet.Addr) (controller.Agent, bool) {
+			ag, ok := cl.agents[a]
+			return ag, ok
+		},
+		func(failed packet.Addr) []packet.Addr {
+			var out []packet.Addr
+			for a := range cl.agents {
+				if a != failed {
+					out = append(out, a)
+				}
+			}
+			return out
+		})
+	if err != nil {
+		cl.Close()
+		return nil, err
+	}
+	cl.ctl = ctl
+	return cl, nil
+}
+
+// Close shuts everything down.
+func (c *Cluster) Close() error {
+	var first error
+	for i := len(c.stops) - 1; i >= 0; i-- {
+		if err := c.stops[i](); err != nil && first == nil {
+			first = err
+		}
+	}
+	c.stops = nil
+	return first
+}
+
+// SwitchAddr returns the virtual address of switch i.
+func (c *Cluster) SwitchAddr(i int) packet.Addr {
+	return c.nodes[i].Switch().Addr()
+}
+
+// Insert allocates a key on its chain; required before writes (§4.1).
+func (c *Cluster) Insert(k Key) error {
+	_, err := c.ctl.Insert(k)
+	return err
+}
+
+// Delete tombstones must be issued by a client; GC reclaims the slots.
+func (c *Cluster) GC(k Key) error { return c.ctl.GC(k) }
+
+// Controller exposes the control plane for advanced use.
+func (c *Cluster) Controller() *controller.Controller { return c.ctl }
+
+// FailSwitch kills switch i (fail-stop) and runs fast failover
+// (Algorithm 2). Returns when the neighbor rules are installed.
+func (c *Cluster) FailSwitch(i int) error {
+	addr := c.SwitchAddr(i)
+	if err := c.nodes[i].Close(); err != nil {
+		return err
+	}
+	done := make(chan struct{})
+	if err := c.ctl.HandleFailure(addr, func() { close(done) }); err != nil {
+		return err
+	}
+	select {
+	case <-done:
+		return nil
+	case <-time.After(10 * time.Second):
+		return fmt.Errorf("netchain: failover timed out")
+	}
+}
+
+// Recover restores the failed switch i's chains using spare switch j
+// (Algorithm 3: pre-sync + two-phase atomic switching, per virtual group).
+func (c *Cluster) Recover(i, spare int) error {
+	done := make(chan struct{})
+	if err := c.ctl.Recover(c.SwitchAddr(i),
+		[]packet.Addr{c.SwitchAddr(spare)}, func() { close(done) }); err != nil {
+		return err
+	}
+	select {
+	case <-done:
+		return nil
+	case <-time.After(60 * time.Second):
+		return fmt.Errorf("netchain: recovery timed out")
+	}
+}
+
+// Client is a blocking NetChain client: the agent of §3 translating API
+// calls to in-network queries with retries.
+type Client struct {
+	ops    *transport.Ops
+	client *transport.Client
+}
+
+// NewClient attaches a client through the given switch (its "ToR").
+func (c *Cluster) NewClient(gateway int) (*Client, error) {
+	c.nextCl++
+	tc, err := transport.NewClient(c.book, transport.ClientConfig{
+		Addr:    packet.AddrFrom4(10, 1, 0, c.nextCl),
+		Gateway: c.SwitchAddr(gateway),
+		Bind:    "127.0.0.1:0",
+	})
+	if err != nil {
+		return nil, err
+	}
+	ops := &transport.Ops{Client: tc, Dir: func(k kv.Key) (query.Route, error) {
+		rt := c.ctl.Route(k)
+		return query.Route{Group: rt.Group, Hops: rt.Hops}, nil
+	}}
+	return &Client{ops: ops, client: tc}, nil
+}
+
+// Close releases the client socket.
+func (cl *Client) Close() error { return cl.client.Close() }
+
+// Read returns the value and version of k.
+func (cl *Client) Read(k Key) (Value, Version, error) { return cl.ops.Read(k) }
+
+// Write stores v under k and returns the committed version.
+func (cl *Client) Write(k Key, v Value) (Version, error) { return cl.ops.Write(k, v) }
+
+// Delete tombstones k.
+func (cl *Client) Delete(k Key) error { return cl.ops.Delete(k) }
+
+// CAS swaps k's value iff its owner field equals expect (§8.5).
+func (cl *Client) CAS(k Key, expect uint64, newValue Value) (bool, Value, error) {
+	return cl.ops.CAS(k, expect, newValue)
+}
+
+// Acquire takes the exclusive lock k for owner.
+func (cl *Client) Acquire(k Key, owner uint64) (bool, error) { return cl.ops.Acquire(k, owner) }
+
+// Release frees the lock k held by owner.
+func (cl *Client) Release(k Key, owner uint64) (bool, error) { return cl.ops.Release(k, owner) }
+
+// LockValue builds a lock record: owner id plus payload.
+func LockValue(owner uint64, payload []byte) Value { return query.OwnerValue(owner, payload) }
+
+// LockOwner extracts the owner of a lock record (0 = free).
+func LockOwner(v Value) uint64 { return query.Owner(v) }

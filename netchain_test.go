@@ -1,0 +1,198 @@
+package netchain
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestLocalClusterLifecycle(t *testing.T) {
+	cl, err := StartLocalCluster(ClusterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	c, err := cl.NewClient(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	k := KeyFromString("app/config")
+	if err := cl.Insert(k); err != nil {
+		t.Fatal(err)
+	}
+	ver, err := c.Write(k, Value(`{"timeout": 30}`))
+	if err != nil || ver.Seq != 1 {
+		t.Fatalf("write: %v %v", ver, err)
+	}
+	v, rv, err := c.Read(k)
+	if err != nil || string(v) != `{"timeout": 30}` || rv != ver {
+		t.Fatalf("read: %q %v %v", v, rv, err)
+	}
+	if err := c.Delete(k); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Read(k); err != ErrNotFound {
+		t.Fatalf("read after delete: %v", err)
+	}
+	if err := cl.GC(k); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLocalClusterLocksAndCAS(t *testing.T) {
+	cl, err := StartLocalCluster(ClusterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	c, _ := cl.NewClient(0)
+	defer c.Close()
+
+	lk := KeyFromString("lock/api")
+	cl.Insert(lk)
+	if ok, err := c.Acquire(lk, 7); err != nil || !ok {
+		t.Fatalf("acquire: %v %v", ok, err)
+	}
+	if ok, _ := c.Acquire(lk, 8); ok {
+		t.Fatal("contender acquired a held lock")
+	}
+	swapped, stored, err := c.CAS(lk, 999, LockValue(1, nil))
+	if err != nil || swapped {
+		t.Fatalf("CAS with wrong expect must fail: %v %v", swapped, err)
+	}
+	if LockOwner(stored) != 7 {
+		t.Fatalf("stored owner = %d, want 7", LockOwner(stored))
+	}
+	if ok, _ := c.Release(lk, 7); !ok {
+		t.Fatal("owner release failed")
+	}
+}
+
+func TestLocalClusterFailoverRecovery(t *testing.T) {
+	cl, err := StartLocalCluster(ClusterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	c, _ := cl.NewClient(0)
+	defer c.Close()
+
+	keys := make([]Key, 6)
+	for i := range keys {
+		keys[i] = KeyFromUint64(uint64(i))
+		if err := cl.Insert(keys[i]); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Write(keys[i], Value(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cl.FailSwitch(1); err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range keys {
+		v, _, err := c.Read(k)
+		if err != nil || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("read %d after failover: %q %v", i, v, err)
+		}
+	}
+	if err := cl.Recover(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range keys {
+		if _, err := c.Write(k, Value(fmt.Sprintf("w%d", i))); err != nil {
+			t.Fatalf("write %d after recovery: %v", i, err)
+		}
+	}
+}
+
+func TestLocalClusterValidation(t *testing.T) {
+	if _, err := StartLocalCluster(ClusterConfig{Switches: 2, Replicas: 3}); err == nil {
+		t.Fatal("too few switches must be rejected")
+	}
+}
+
+func TestSimClusterQuickPath(t *testing.T) {
+	s, err := NewSimCluster(SimConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := s.NewClient(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.NewClient(99); err == nil {
+		t.Fatal("bad host index must be rejected")
+	}
+
+	k := KeyFromString("sim/key")
+	if err := s.Insert(k); err != nil {
+		t.Fatal(err)
+	}
+	ver, err := c.Write(k, Value("hello"))
+	if err != nil || ver.Seq != 1 {
+		t.Fatalf("write: %v %v", ver, err)
+	}
+	v, _, err := c.Read(k)
+	if err != nil || string(v) != "hello" {
+		t.Fatalf("read: %q %v", v, err)
+	}
+	if err := c.Delete(k); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Read(k); err != ErrNotFound {
+		t.Fatalf("read after delete: %v", err)
+	}
+	if got := c.LatencySummary(); !strings.Contains(got, "n=") {
+		t.Fatalf("latency summary: %q", got)
+	}
+}
+
+func TestSimClusterFailureLifecycle(t *testing.T) {
+	s, err := NewSimCluster(SimConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := s.NewClient(0)
+	k := KeyFromString("sim/ha")
+	s.Insert(k)
+	if _, err := c.Write(k, Value("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.FailSwitch(1, 5*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if v, _, err := c.Read(k); err != nil || string(v) != "v1" {
+		t.Fatalf("read after failover: %q %v", v, err)
+	}
+	if err := s.Recover(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write(k, Value("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if v, _, err := c.Read(k); err != nil || string(v) != "v2" {
+		t.Fatalf("read after recovery: %q %v", v, err)
+	}
+	if s.Now() == 0 {
+		t.Fatal("simulated clock did not advance")
+	}
+}
+
+func TestSimClusterCAS(t *testing.T) {
+	s, _ := NewSimCluster(SimConfig{})
+	c, _ := s.NewClient(0)
+	lk := KeyFromString("sim/lock")
+	s.Insert(lk)
+	ok, _, err := c.CAS(lk, 0, LockValue(5, nil))
+	if err != nil || !ok {
+		t.Fatalf("CAS acquire: %v %v", ok, err)
+	}
+	ok, stored, err := c.CAS(lk, 0, LockValue(6, nil))
+	if err != nil || ok || LockOwner(stored) != 5 {
+		t.Fatalf("CAS steal: ok=%v stored=%d err=%v", ok, LockOwner(stored), err)
+	}
+}

@@ -1,0 +1,28 @@
+package netchain
+
+import (
+	"time"
+
+	"netchain/internal/watch"
+)
+
+// WatchEvent is a change notification from a Watcher.
+type WatchEvent = watch.Event
+
+// Watch event types.
+const (
+	WatchCreated = watch.Created
+	WatchUpdated = watch.Updated
+	WatchDeleted = watch.Deleted
+)
+
+// Watcher polls keys and notifies subscribers of version changes — the
+// ZooKeeper-style watches the paper lists as future work (§6),
+// implemented client-side because switches cannot originate packets.
+type Watcher = watch.Watcher
+
+// NewWatcher starts a watcher polling through this client at the given
+// interval. Stop it when done.
+func (cl *Client) NewWatcher(interval time.Duration) (*Watcher, error) {
+	return watch.New(cl.ops, interval)
+}

@@ -7,6 +7,10 @@
 package netchain
 
 import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -133,6 +137,27 @@ func BenchmarkFig9e(b *testing.B) {
 		if y, ok := firstPointOf(f, "ZooKeeper (write)"); ok {
 			b.ReportMetric(y, "ZKwrite_µs")
 		}
+	}
+}
+
+// BenchmarkFig9eWindow sweeps the client's outstanding-query window at a
+// fixed offered load on the simulated substrate: window=1 is the
+// serialized closed loop (throughput ≈ 1/RTT); window=16 pipelines the
+// same client into the open-loop regime Fig. 9(e) is measured in, and
+// must deliver ≥2× the ops/sec at equal or better tail latency.
+func BenchmarkFig9eWindow(b *testing.B) {
+	for _, w := range []int{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("window=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pts, err := experiments.Fig9eWindows(quickOpts(), []int{w})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(pts[0].QPS/1e6, "MQPS")
+				b.ReportMetric(pts[0].P50us, "p50_µs")
+				b.ReportMetric(pts[0].P99us, "p99_µs")
+			}
+		})
 	}
 }
 
@@ -311,6 +336,61 @@ func BenchmarkRealUDPWriteLatency(b *testing.B) {
 		if _, err := c.Write(k, v); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkRealUDPWritePipelined: b.N writes through one client and the
+// real three-switch software chain with the given in-flight window.
+// window=1 issues serially (the pre-pipelining closed loop); larger
+// windows keep the pipe full through WriteAsync with the transport's own
+// backpressure pacing submission. Per-op latency is measured submit→reply.
+func BenchmarkRealUDPWritePipelined(b *testing.B) {
+	for _, w := range []int{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("window=%d", w), func(b *testing.B) {
+			cl, err := StartLocalCluster(ClusterConfig{ClientWindow: w})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer cl.Close()
+			c, err := cl.NewClient(0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			k := KeyFromString("bench")
+			if err := cl.Insert(k); err != nil {
+				b.Fatal(err)
+			}
+			v := Value("0123456789abcdef")
+			if _, err := c.Write(k, v); err != nil { // warm the chain
+				b.Fatal(err)
+			}
+			lat := make([]time.Duration, b.N)
+			var fails atomic.Uint64
+			var wg sync.WaitGroup
+			b.ResetTimer()
+			wg.Add(b.N)
+			for i := 0; i < b.N; i++ {
+				i := i
+				start := time.Now()
+				c.WriteAsync(k, v, func(_ Version, err error) {
+					lat[i] = time.Since(start)
+					if err != nil {
+						fails.Add(1)
+					}
+					wg.Done()
+				})
+			}
+			wg.Wait()
+			b.StopTimer()
+			if n := fails.Load(); n > 0 {
+				b.Fatalf("%d of %d writes failed", n, b.N)
+			}
+			sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+			b.ReportMetric(float64(lat[len(lat)*50/100].Microseconds()), "p50_µs")
+			b.ReportMetric(float64(lat[len(lat)*99/100].Microseconds()), "p99_µs")
+		})
 	}
 }
 

@@ -13,6 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"netchain/internal/experiments"
@@ -20,14 +22,18 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|fig9a|fig9b|fig9c|fig9d|fig9e|fig9f|fig10a|fig10b|fig11|tla|all")
+	exp := flag.String("exp", "all", "experiment: table1|fig9a|fig9b|fig9c|fig9d|fig9e|fig9f|fig10a|fig10b|fig11|pipeline|tla|all")
 	full := flag.Bool("full", false, "use longer windows / full parameter sweeps")
+	windows := flag.String("windows", "1,4,16,64", "outstanding-window sweep for -exp pipeline (comma-separated)")
+	window := flag.Int("window", 0, "client outstanding-query window for the fig9 experiments (0 = unbounded open loop)")
 	flag.Parse()
 
+	ran := false
 	run := func(name string, fn func() error) {
 		if *exp != "all" && *exp != name {
 			return
 		}
+		ran = true
 		start := time.Now()
 		if err := fn(); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
@@ -36,7 +42,7 @@ func main() {
 		fmt.Printf("[%s took %v]\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
 
-	tOpts := experiments.ThroughputOpts{}
+	tOpts := experiments.ThroughputOpts{ClientWindow: *window}
 	if !*full {
 		tOpts.StoreSize = 4000
 		tOpts.Window = 40 * time.Millisecond
@@ -75,6 +81,26 @@ func main() {
 		}
 		return printFig(experiments.Fig11(o))
 	})
+	run("pipeline", func() error {
+		var ws []int
+		for _, s := range strings.Split(*windows, ",") {
+			w, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || w < 1 {
+				return fmt.Errorf("bad -windows entry %q", s)
+			}
+			ws = append(ws, w)
+		}
+		pts, err := experiments.Fig9eWindows(tOpts, ws)
+		if err != nil {
+			return err
+		}
+		fmt.Println("client pipeline sweep (one client server, fixed offered load):")
+		fmt.Printf("%8s %12s %10s %10s %12s\n", "window", "MQPS", "p50 µs", "p99 µs", "suppressed")
+		for _, p := range pts {
+			fmt.Printf("%8d %12.3f %10.2f %10.2f %12d\n", p.Window, p.QPS/1e6, p.P50us, p.P99us, p.Suppressed)
+		}
+		return nil
+	})
 	run("tla", func() error {
 		for _, cfg := range []struct {
 			name string
@@ -104,6 +130,10 @@ func main() {
 		fmt.Println()
 		return nil
 	})
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; see -exp usage\n", *exp)
+		os.Exit(2)
+	}
 }
 
 func printFig(f *experiments.Figure, err error) error {

@@ -1,0 +1,3 @@
+module netchain
+
+go 1.24

@@ -141,13 +141,15 @@ func mixSource(keys []kv.Key, writeRatio float64, valueSize int, seed int64) fun
 
 // runGenerators starts one open-loop generator per mux (the paper's 1–4
 // client servers) for the window and returns delivered OK QPS, scaled
-// back to unscaled units.
+// back to unscaled units. outWindow caps each generator's outstanding
+// queries (0 = unbounded).
 func (d *Deployment) runGenerators(servers int, keys []kv.Key, writeRatio float64,
-	valueSize int, window event.Time) (deliveredQPS float64, gens []*simclient.Generator) {
+	valueSize int, window event.Time, outWindow int) (deliveredQPS float64, gens []*simclient.Generator) {
 	if servers > len(d.Muxes) {
 		servers = len(d.Muxes)
 	}
 	cfg := simclient.DefaultConfig()
+	cfg.Window = outWindow
 	rate := d.Profile.HostRate / d.Profile.Scale
 	dir := d.Directory()
 	for i := 0; i < servers; i++ {

@@ -23,7 +23,11 @@ type ThroughputOpts struct {
 	Window     time.Duration // measurement window (default 100 ms simulated)
 	ZKClients  int           // closed-loop baseline sessions (default 100)
 	ZKWindow   time.Duration // baseline window (default 400 ms simulated)
-	Seed       int64
+	// ClientWindow caps each generator's outstanding queries (0 = unbounded
+	// open loop, the paper's DPDK source); sweep it to reproduce the
+	// pipelining crossover of Fig. 9(e).
+	ClientWindow int
+	Seed         int64
 }
 
 func (o *ThroughputOpts) defaults() {
@@ -73,7 +77,7 @@ func netchainThroughput(o ThroughputOpts, servers int, lossRate float64) (qps, m
 			}
 		}
 	}
-	delivered, gens := d.runGenerators(servers, keys, o.WriteRatio, o.ValueSize, event.Duration(o.Window))
+	delivered, gens := d.runGenerators(servers, keys, o.WriteRatio, o.ValueSize, event.Duration(o.Window), o.ClientWindow)
 
 	// NetChain(max): the chain saturates when its busiest switch exhausts
 	// its packet budget; traversals-per-query comes from the measured run.
@@ -286,25 +290,12 @@ func Fig9e(o ThroughputOpts) (*Figure, error) {
 	// NetChain: one client server swept across offered loads. Latency must
 	// be measured at true rates (Scale=1): scaled-down capacities would
 	// inflate per-packet service times into the latency signal.
-	ncWindow := 4 * time.Millisecond
 	for _, frac := range []float64{0.1, 0.25, 0.5, 0.75, 1.0} {
-		d, err := NewDeployment(1, 10, o.Seed)
+		p, err := fig9ePoint(o, o.ClientWindow, frac)
 		if err != nil {
 			return nil, err
 		}
-		keys, err := d.LoadStore(4096, o.ValueSize)
-		if err != nil {
-			return nil, err
-		}
-		cfg := simclient.DefaultConfig()
-		g := d.Muxes[0].NewGenerator(cfg, d.Directory(),
-			mixSource(keys, 0.5, o.ValueSize, o.Seed))
-		rate := frac * d.Profile.HostRate
-		g.Start(rate)
-		d.Sim.After(event.Duration(ncWindow), g.Stop)
-		d.Sim.Run()
-		qps := float64(g.OKCount()) / ncWindow.Seconds()
-		f.Add("NetChain (read/write)", qps, g.Latency.P50()/1e3)
+		f.Add("NetChain (read/write)", p.QPS, p.P50us)
 	}
 	// Baseline: client count sweep, read-only and write-only.
 	for _, clients := range []int{1, 2, 5, 10, 25, 50, 100} {
@@ -320,4 +311,64 @@ func Fig9e(o ThroughputOpts) (*Figure, error) {
 		f.Add("ZooKeeper (write)", wqps, writeLat.P50()/1e3)
 	}
 	return f, nil
+}
+
+// WindowPoint is one measurement of the client-pipeline sweep: delivered
+// throughput and latency at a fixed offered load with the given
+// outstanding-query window.
+type WindowPoint struct {
+	Window     int
+	QPS        float64
+	P50us      float64
+	P99us      float64
+	Suppressed uint64
+}
+
+// Fig9eWindows drives one client server at full offered load across
+// in-flight windows. Window=1 degenerates to the serialized closed loop
+// (throughput ≈ 1/RTT); larger windows pipeline the same client toward the
+// paper's open-loop saturating load, which is the regime Fig. 9(e) is
+// measured in. Latency must stay flat while throughput multiplies — that
+// is the sub-RTT pipelining claim in miniature.
+func Fig9eWindows(o ThroughputOpts, windows []int) ([]WindowPoint, error) {
+	o.defaults()
+	out := make([]WindowPoint, 0, len(windows))
+	for _, w := range windows {
+		p, err := fig9ePoint(o, w, 1.0)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// fig9ePoint runs the Fig. 9(e) single-client measurement: a fresh
+// unscaled deployment, a 4096-key store, and one 50/50 read-write
+// generator with the given outstanding window offered rateFrac of the
+// host budget for 4 ms of simulated time.
+func fig9ePoint(o ThroughputOpts, window int, rateFrac float64) (WindowPoint, error) {
+	const ncWindow = 4 * time.Millisecond
+	d, err := NewDeployment(1, 10, o.Seed)
+	if err != nil {
+		return WindowPoint{}, err
+	}
+	keys, err := d.LoadStore(4096, o.ValueSize)
+	if err != nil {
+		return WindowPoint{}, err
+	}
+	cfg := simclient.DefaultConfig()
+	cfg.Window = window
+	g := d.Muxes[0].NewGenerator(cfg, d.Directory(),
+		mixSource(keys, 0.5, o.ValueSize, o.Seed))
+	g.Start(rateFrac * d.Profile.HostRate)
+	d.Sim.After(event.Duration(ncWindow), g.Stop)
+	d.Sim.Run()
+	return WindowPoint{
+		Window:     window,
+		QPS:        float64(g.OKCount()) / ncWindow.Seconds(),
+		P50us:      g.Latency.P50() / 1e3,
+		P99us:      g.Latency.P99() / 1e3,
+		Suppressed: g.Suppressed,
+	}, nil
 }

@@ -19,7 +19,13 @@ type Frame struct {
 // NewQuery builds a frame for a client query addressed to first, carrying
 // the remaining chain hops.
 func NewQuery(src, first Addr, srcPort uint16, nc *NetChain) *Frame {
-	f := &Frame{NC: *nc}
+	return NewQueryInto(&Frame{}, src, first, srcPort, nc)
+}
+
+// NewQueryInto is NewQuery writing into caller-provided storage (usually a
+// pooled frame from GetFrame), keeping the encode path allocation-free.
+func NewQueryInto(f *Frame, src, first Addr, srcPort uint16, nc *NetChain) *Frame {
+	f.NC = *nc
 	n := copy(f.NC.chainBuf[:], nc.Chain)
 	f.NC.Chain = f.NC.chainBuf[:n]
 	f.SetAddrs(src, first, srcPort, Port)
@@ -99,10 +105,41 @@ func (f *Frame) Decode(data []byte) error {
 	return f.NC.DecodeFromBytes(data[UDPLen:f.UDP.Length])
 }
 
+// NextFrame decodes the first frame in data and returns the bytes that
+// follow it. Transports concatenate whole frames back-to-back inside one
+// datagram (DPDK-style burst batching); the IP total-length field
+// delimits them, and a lone frame is simply a batch of one.
+func NextFrame(f *Frame, data []byte) (rest []byte, err error) {
+	if err := f.Decode(data); err != nil {
+		return nil, err
+	}
+	n := EthernetLen + int(f.IP.TotalLen)
+	if n < EthernetLen+IPv4Len+UDPLen || n > len(data) {
+		return nil, fmt.Errorf("packet: frame length %d outside datagram of %d bytes", n, len(data))
+	}
+	return data[n:], nil
+}
+
 // Clone deep-copies the frame.
 func (f *Frame) Clone() *Frame {
 	c := &Frame{}
-	*c = *f
-	c.NC = *f.NC.Clone()
+	f.CloneTo(c)
 	return c
+}
+
+// CloneTo deep-copies f into dst (usually a pooled frame from GetFrame),
+// detaching Value and Chain from any buffers f aliases.
+func (f *Frame) CloneTo(dst *Frame) {
+	dst.Eth, dst.IP, dst.UDP = f.Eth, f.IP, f.UDP
+	dst.NC = f.NC
+	if f.NC.Value != nil {
+		dst.NC.Value = append([]byte(nil), f.NC.Value...)
+	}
+	n := copy(dst.NC.chainBuf[:], f.NC.Chain)
+	dst.NC.Chain = dst.NC.chainBuf[:n]
+}
+
+// Reset zeroes the frame for reuse.
+func (f *Frame) Reset() {
+	*f = Frame{}
 }

@@ -26,20 +26,29 @@ type Endpoint struct {
 }
 
 // NewRead builds a read query: dst = tail, chain list = reversed
-// predecessors (tail excluded).
+// predecessors (tail excluded). The frame comes from the packet pool;
+// transports return it with packet.PutFrame once serialized.
 func NewRead(ep Endpoint, qid uint64, rt Route, key kv.Key) (*packet.Frame, error) {
 	if len(rt.Hops) == 0 {
 		return nil, kv.ErrUnavailable
 	}
-	rev := make([]packet.Addr, 0, len(rt.Hops)-1)
-	for i := len(rt.Hops) - 2; i >= 0; i-- {
-		rev = append(rev, rt.Hops[i])
+	if len(rt.Hops)-1 > packet.MaxChainHops {
+		return nil, fmt.Errorf("query: chain of %d hops exceeds max %d", len(rt.Hops)-1, packet.MaxChainHops)
 	}
-	nc := &packet.NetChain{Op: kv.OpRead, Group: rt.Group, QueryID: qid, Key: key}
-	if err := nc.SetChain(rev); err != nil {
+	var rev [packet.MaxChainHops]packet.Addr
+	n := 0
+	for i := len(rt.Hops) - 2; i >= 0; i-- {
+		rev[n] = rt.Hops[i]
+		n++
+	}
+	f := packet.GetFrame()
+	nc := &f.NC
+	nc.Op, nc.Group, nc.QueryID, nc.Key = kv.OpRead, rt.Group, qid, key
+	if err := nc.SetChain(rev[:n]); err != nil {
+		packet.PutFrame(f)
 		return nil, err
 	}
-	return packet.NewQuery(ep.Addr, rt.Hops[len(rt.Hops)-1], ep.Port, nc), nil
+	return packet.NewQueryInto(f, ep.Addr, rt.Hops[len(rt.Hops)-1], ep.Port, nc), nil
 }
 
 // NewWrite builds a write query: dst = head, chain list = the remaining
@@ -85,11 +94,14 @@ func newHeadQuery(ep Endpoint, qid uint64, rt Route, key kv.Key, op kv.Op, value
 	if len(value) > 0xffff {
 		return nil, kv.ErrTooLarge
 	}
-	nc := &packet.NetChain{Op: op, Group: rt.Group, QueryID: qid, Key: key, Value: value}
+	f := packet.GetFrame()
+	nc := &f.NC
+	nc.Op, nc.Group, nc.QueryID, nc.Key, nc.Value = op, rt.Group, qid, key, value
 	if err := nc.SetChain(rt.Hops[1:]); err != nil {
+		packet.PutFrame(f)
 		return nil, err
 	}
-	return packet.NewQuery(ep.Addr, rt.Hops[0], ep.Port, nc), nil
+	return packet.NewQueryInto(f, ep.Addr, rt.Hops[0], ep.Port, nc), nil
 }
 
 // Reply summarizes a response frame for the client API.

@@ -57,10 +57,13 @@ type Config struct {
 	// stack share of the 9.7 µs end-to-end latency).
 	HostDelay event.Time
 	// Timeout is how long a tracked query waits before retry (client-side
-	// retries, §4.3).
+	// retries, §4.3); generators use it to age out lost queries.
 	Timeout event.Time
 	// MaxRetries bounds retransmissions before reporting ErrTimeout.
 	MaxRetries int
+	// Window caps a generator's outstanding queries, mirroring the real
+	// transport's in-flight window. 0 leaves the open loop unbounded.
+	Window int
 }
 
 // DefaultConfig mirrors the paper's client: 2 µs per stack traversal,

@@ -97,18 +97,89 @@ func (o *Ops) Release(lock kv.Key, owner uint64) (bool, error) {
 
 func (o *Ops) roundTrip(k kv.Key,
 	build func(ep query.Endpoint, qid uint64, rt query.Route) (*packet.Frame, error)) (query.Reply, error) {
-	if o.Dir == nil {
-		return query.Reply{}, fmt.Errorf("transport: no directory configured")
+	type result struct {
+		rep query.Reply
+		err error
 	}
-	f, err := o.Client.do(func(qid uint64) (*packet.Frame, error) {
+	ch := make(chan result, 1)
+	o.submit(k, build, func(rep query.Reply, err error) { ch <- result{rep, err} })
+	r := <-ch
+	return r.rep, r.err
+}
+
+// ReadAsync issues a pipelined read. done runs on the client's receive
+// goroutine and must not block; use the client's Window for backpressure.
+func (o *Ops) ReadAsync(k kv.Key, done func(kv.Value, kv.Version, error)) {
+	o.submit(k, func(ep query.Endpoint, qid uint64, rt query.Route) (*packet.Frame, error) {
+		return query.NewRead(ep, qid, rt, k)
+	}, func(rep query.Reply, err error) {
+		if err == nil {
+			err = rep.Status.Err()
+		}
+		if err != nil {
+			done(nil, kv.Version{}, err)
+			return
+		}
+		done(rep.Value, rep.Version, nil)
+	})
+}
+
+// WriteAsync issues a pipelined write; done receives the committed version.
+func (o *Ops) WriteAsync(k kv.Key, v kv.Value, done func(kv.Version, error)) {
+	o.submit(k, func(ep query.Endpoint, qid uint64, rt query.Route) (*packet.Frame, error) {
+		return query.NewWrite(ep, qid, rt, k, v)
+	}, func(rep query.Reply, err error) {
+		if err == nil {
+			err = rep.Status.Err()
+		}
+		if err != nil {
+			done(kv.Version{}, err)
+			return
+		}
+		done(rep.Version, nil)
+	})
+}
+
+// CASAsync issues a pipelined compare-and-swap; see CAS for the contract.
+func (o *Ops) CASAsync(k kv.Key, expect uint64, newValue kv.Value,
+	done func(swapped bool, stored kv.Value, err error)) {
+	o.submit(k, func(ep query.Endpoint, qid uint64, rt query.Route) (*packet.Frame, error) {
+		return query.NewCAS(ep, qid, rt, k, expect, newValue)
+	}, func(rep query.Reply, err error) {
+		if err != nil {
+			done(false, nil, err)
+			return
+		}
+		switch rep.Status {
+		case kv.StatusOK:
+			done(true, rep.Value, nil)
+		case kv.StatusCASFail:
+			done(false, rep.Value, nil)
+		default:
+			done(false, nil, rep.Status.Err())
+		}
+	})
+}
+
+func (o *Ops) submit(k kv.Key,
+	build func(ep query.Endpoint, qid uint64, rt query.Route) (*packet.Frame, error),
+	done func(query.Reply, error)) {
+	if o.Dir == nil {
+		done(query.Reply{}, fmt.Errorf("transport: no directory configured"))
+		return
+	}
+	o.Client.Submit(func(qid uint64) (*packet.Frame, error) {
 		rt, err := o.Dir(k) // fresh per attempt: retries pick up new chains
 		if err != nil {
 			return nil, err
 		}
 		return build(o.endpoint(), qid, rt)
+	}, func(f *packet.Frame, err error) {
+		if err != nil {
+			done(query.Reply{}, err)
+			return
+		}
+		// f aliases the receive buffer; ParseReply clones the value out.
+		done(query.ParseReply(f))
 	})
-	if err != nil {
-		return query.Reply{}, err
-	}
-	return query.ParseReply(f)
 }

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"netchain/internal/core"
@@ -53,15 +54,68 @@ func (b *AddressBook) Get(a packet.Addr) (*net.UDPAddr, bool) {
 	return ep, ok
 }
 
+// switchQueueDepth sizes the inter-stage queues of a switch node: deep
+// enough to absorb pipelined client windows, shallow enough that a stalled
+// stage backpressures into the UDP socket buffer like a real switch queue.
+const switchQueueDepth = 512
+
+// maxBatchBytes caps how many back-to-back frames one datagram may carry
+// when a send stage coalesces its queue (burst batching, like the paper's
+// DPDK clients). Latency is unaffected: batches only form when frames are
+// already waiting behind one syscall.
+const maxBatchBytes = 4096
+
+// outFrame is one serialized frame (or a growing batch) awaiting the wire.
+type outFrame struct {
+	buf *[]byte
+	ep  *net.UDPAddr
+}
+
+// writeCoalesced sends o, first folding in any already-queued frames bound
+// for the same endpoint so a single sendto carries the burst. Endpoint
+// identity is pointer equality — the AddressBook hands out stable pointers.
+func writeCoalesced(conn *net.UDPConn, ch <-chan outFrame, o outFrame) {
+	flush := func() {
+		_, _ = conn.WriteToUDP(*o.buf, o.ep)
+		packet.PutBuf(o.buf)
+	}
+	for {
+		select {
+		case next, ok := <-ch:
+			if !ok {
+				flush()
+				return
+			}
+			if next.ep == o.ep && len(*o.buf)+len(*next.buf) <= maxBatchBytes {
+				*o.buf = append(*o.buf, *next.buf...)
+				packet.PutBuf(next.buf)
+				continue
+			}
+			flush()
+			o = next
+		default:
+			flush()
+			return
+		}
+	}
+}
+
 // SwitchNode runs one NetChain switch dataplane behind a real UDP socket.
+// Internally it is a three-stage pipeline — receive+decode, dataplane
+// processing, serialize+send — so the two syscalls overlap the match-action
+// work and multiple in-flight client queries stream through instead of
+// being handled one datagram at a time.
 type SwitchNode struct {
 	sw   *core.Switch
 	book *AddressBook
 	conn *net.UDPConn
 
-	mu     sync.Mutex
-	closed bool
-	done   chan struct{}
+	in  chan *packet.Frame // decoded, detached frames awaiting the dataplane
+	out chan outFrame      // serialized datagrams awaiting the wire
+
+	mu       sync.Mutex
+	closed   bool
+	sendDone chan struct{}
 }
 
 // NewSwitchNode binds a UDP socket (pass "127.0.0.1:0" for tests), records
@@ -75,9 +129,16 @@ func NewSwitchNode(sw *core.Switch, book *AddressBook, bind string) (*SwitchNode
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen: %w", err)
 	}
-	n := &SwitchNode{sw: sw, book: book, conn: conn, done: make(chan struct{})}
+	n := &SwitchNode{
+		sw: sw, book: book, conn: conn,
+		in:       make(chan *packet.Frame, switchQueueDepth),
+		out:      make(chan outFrame, switchQueueDepth),
+		sendDone: make(chan struct{}),
+	}
 	book.Set(sw.Addr(), conn.LocalAddr().(*net.UDPAddr))
-	go n.serve()
+	go n.recvLoop()
+	go n.processLoop()
+	go n.sendLoop()
 	return n, nil
 }
 
@@ -88,32 +149,59 @@ func (n *SwitchNode) Switch() *core.Switch { return n.sw }
 func (n *SwitchNode) Endpoint() *net.UDPAddr { return n.conn.LocalAddr().(*net.UDPAddr) }
 
 // Close stops the node (fail-stop: packets to it are lost, like a dead
-// switch).
+// switch). The pipeline drains stage by stage behind the dead socket.
 func (n *SwitchNode) Close() error {
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	if n.closed {
+		n.mu.Unlock()
 		return nil
 	}
 	n.closed = true
+	n.mu.Unlock()
 	err := n.conn.Close()
-	<-n.done
+	<-n.sendDone
 	return err
 }
 
-func (n *SwitchNode) serve() {
-	defer close(n.done)
+// recvLoop reads datagrams, decodes every frame batched inside each, and
+// detaches them into pooled storage for the processing stage. Closing the
+// socket unwinds the pipeline: recv closes in, process drains and closes
+// out, send finishes.
+func (n *SwitchNode) recvLoop() {
+	defer close(n.in)
 	buf := make([]byte, 64*1024)
+	var f packet.Frame
 	for {
 		sz, _, err := n.conn.ReadFromUDP(buf)
 		if err != nil {
 			return // closed
 		}
-		f := &packet.Frame{}
-		if err := f.Decode(buf[:sz]); err != nil {
-			continue // not a NetChain frame; drop
+		data := buf[:sz]
+		for len(data) > 0 {
+			rest, err := packet.NextFrame(&f, data)
+			if err != nil {
+				break // not a NetChain frame (or a torn batch); drop the rest
+			}
+			data = rest
+			g := packet.GetFrame()
+			f.CloneTo(g) // detach from buf before the next read lands in it
+			n.in <- g
 		}
+	}
+}
+
+func (n *SwitchNode) processLoop() {
+	defer close(n.out)
+	for f := range n.in {
 		n.handle(f)
+		packet.PutFrame(f)
+	}
+}
+
+func (n *SwitchNode) sendLoop() {
+	defer close(n.sendDone)
+	for o := range n.out {
+		writeCoalesced(n.conn, n.out, o)
 	}
 }
 
@@ -151,34 +239,65 @@ func (n *SwitchNode) handle(f *packet.Frame) {
 	n.forward(f)
 }
 
+// forward serializes in the processing stage — while the frame's value may
+// still alias dataplane storage, matching the pre-pipeline ordering — and
+// hands the finished datagram to the send stage.
 func (n *SwitchNode) forward(f *packet.Frame) {
 	ep, ok := n.book.Get(f.IP.Dst)
 	if !ok {
 		return
 	}
-	out, err := f.Serialize(make([]byte, 0, f.WireLen()))
+	bp := packet.GetBuf()
+	out, err := f.Serialize((*bp)[:0])
 	if err != nil {
+		packet.PutBuf(bp)
 		return
 	}
-	n.mu.Lock()
-	closed := n.closed
-	n.mu.Unlock()
-	if closed {
-		return
-	}
-	_, _ = n.conn.WriteToUDP(out, ep)
+	*bp = out
+	n.out <- outFrame{buf: bp, ep: ep}
 }
 
 // ErrClosed is returned by client operations after Close.
 var ErrClosed = errors.New("transport: client closed")
 
-// sendFunc lets tests intercept outbound frames.
-type pendingReply struct {
-	ch chan *packet.Frame
+// pendingShards is the number of independent locks over the in-flight
+// table; a power of two so qid&(pendingShards-1) picks a shard. Sequential
+// QueryIDs stripe round-robin, so concurrent submitters and the receive
+// loop rarely contend on the same lock.
+const pendingShards = 16
+
+type pendingShard struct {
+	mu sync.Mutex
+	m  map[uint64]*call
 }
 
-// Client is a blocking NetChain client over real UDP. Safe for concurrent
-// use; each in-flight query is matched by its QueryID.
+// call is one logical request. It survives retries — every attempt gets a
+// fresh QueryID so a late reply to an abandoned attempt can never be
+// mistaken for the current one — and it holds exactly one window slot from
+// Submit until its callback fires. Ownership discipline: whoever removes
+// the call's entry from its pending shard (reply, timer, or Close) is the
+// one that finishes it, so each call completes exactly once.
+type call struct {
+	c       *Client
+	build   func(qid uint64) (*packet.Frame, error)
+	done    func(*packet.Frame, error)
+	qid     uint64
+	attempt int
+	timer   *time.Timer
+}
+
+// ClientStats counts transport-level events since the client started.
+type ClientStats struct {
+	Sent     uint64 // datagrams handed to the socket (including retries)
+	Retries  uint64 // retransmitted attempts
+	Timeouts uint64 // calls that exhausted every attempt
+	Late     uint64 // replies matching no pending query (late or duplicate)
+}
+
+// Client is a pipelined NetChain client over real UDP: up to Window
+// queries ride the wire at once, each matched to its caller by QueryID and
+// guarded by its own retransmission timer (§4.3). Safe for concurrent use;
+// Submit applies backpressure when the window is full.
 type Client struct {
 	book    *AddressBook
 	conn    *net.UDPConn
@@ -188,12 +307,21 @@ type Client struct {
 
 	timeout time.Duration
 	retries int
+	window  chan struct{} // in-flight slots; nil = unlimited
 
-	mu      sync.Mutex
-	nextQID uint64
-	pending map[uint64]pendingReply
-	closed  bool
-	done    chan struct{}
+	nextQID atomic.Uint64
+	shards  [pendingShards]pendingShard
+
+	sendCh   chan outFrame
+	sendDone chan struct{}
+
+	sent     atomic.Uint64
+	retried  atomic.Uint64
+	timeouts atomic.Uint64
+	late     atomic.Uint64
+
+	closed atomic.Bool
+	done   chan struct{}
 }
 
 // ClientConfig tunes the client.
@@ -208,6 +336,10 @@ type ClientConfig struct {
 	Timeout time.Duration
 	// Retries before giving up. Default 5.
 	Retries int
+	// Window caps in-flight queries; Submit blocks while the pipe is full.
+	// 0 leaves admission uncapped (each blocking call still has exactly one
+	// outstanding query, so serial callers behave as before).
+	Window int
 }
 
 // NewClient binds a socket and registers the client's virtual address.
@@ -230,112 +362,255 @@ func NewClient(book *AddressBook, cfg ClientConfig) (*Client, error) {
 		return nil, err
 	}
 	c := &Client{
-		book:    book,
-		conn:    conn,
-		addr:    cfg.Addr,
-		port:    uint16(conn.LocalAddr().(*net.UDPAddr).Port),
-		gateway: cfg.Gateway,
-		timeout: cfg.Timeout,
-		retries: cfg.Retries,
-		pending: make(map[uint64]pendingReply),
-		done:    make(chan struct{}),
+		book:     book,
+		conn:     conn,
+		addr:     cfg.Addr,
+		port:     uint16(conn.LocalAddr().(*net.UDPAddr).Port),
+		gateway:  cfg.Gateway,
+		timeout:  cfg.Timeout,
+		retries:  cfg.Retries,
+		sendCh:   make(chan outFrame, switchQueueDepth),
+		sendDone: make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	if cfg.Window > 0 {
+		c.window = make(chan struct{}, cfg.Window)
+	}
+	for i := range c.shards {
+		c.shards[i].m = make(map[uint64]*call)
 	}
 	book.Set(cfg.Addr, conn.LocalAddr().(*net.UDPAddr))
 	go c.serve()
+	go c.sendLoop()
 	return c, nil
 }
 
-// Close shuts the client down.
+// Close shuts the client down and fails every pending call with ErrClosed.
 func (c *Client) Close() error {
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
+	if !c.closed.CompareAndSwap(false, true) {
 		return nil
 	}
-	c.closed = true
-	c.mu.Unlock()
 	err := c.conn.Close()
 	<-c.done
+	<-c.sendDone
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		calls := make([]*call, 0, len(sh.m))
+		for qid, cl := range sh.m {
+			delete(sh.m, qid)
+			calls = append(calls, cl)
+		}
+		sh.mu.Unlock()
+		for _, cl := range calls {
+			cl.timer.Stop()
+			c.finish(cl, nil, ErrClosed)
+		}
+	}
 	return err
+}
+
+// Stats returns a snapshot of the transport counters.
+func (c *Client) Stats() ClientStats {
+	return ClientStats{
+		Sent:     c.sent.Load(),
+		Retries:  c.retried.Load(),
+		Timeouts: c.timeouts.Load(),
+		Late:     c.late.Load(),
+	}
+}
+
+// InFlight returns the number of queries currently awaiting a reply.
+func (c *Client) InFlight() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += len(sh.m)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+func (c *Client) shard(qid uint64) *pendingShard {
+	return &c.shards[qid&(pendingShards-1)]
 }
 
 func (c *Client) serve() {
 	defer close(c.done)
 	buf := make([]byte, 64*1024)
+	f := &packet.Frame{}
 	for {
 		sz, _, err := c.conn.ReadFromUDP(buf)
 		if err != nil {
 			return
 		}
-		f := &packet.Frame{}
-		if err := f.Decode(buf[:sz]); err != nil {
-			continue
-		}
-		c.mu.Lock()
-		p, ok := c.pending[f.NC.QueryID]
-		if ok {
-			delete(c.pending, f.NC.QueryID)
-		}
-		c.mu.Unlock()
-		if ok {
-			p.ch <- f.Clone()
+		data := buf[:sz]
+		for len(data) > 0 {
+			rest, err := packet.NextFrame(f, data)
+			if err != nil {
+				break
+			}
+			data = rest
+			c.deliver(f)
 		}
 	}
 }
 
-// do sends the frame built by build (fresh per attempt) and waits for the
-// matching reply, retrying on timeout.
-func (c *Client) do(build func(qid uint64) (*packet.Frame, error)) (*packet.Frame, error) {
-	var lastErr error = errTimeout
-	for attempt := 0; attempt <= c.retries; attempt++ {
-		c.mu.Lock()
-		if c.closed {
-			c.mu.Unlock()
-			return nil, ErrClosed
-		}
-		c.nextQID++
-		qid := c.nextQID
-		ch := make(chan *packet.Frame, 1)
-		c.pending[qid] = pendingReply{ch: ch}
-		c.mu.Unlock()
+// deliver routes one decoded reply to its pending call. f aliases the
+// receive buffer and is handed to the callback synchronously — the
+// callback copies what it keeps (ParseReply clones the value), so the
+// reply crosses the hot path without an intermediate frame copy.
+func (c *Client) deliver(f *packet.Frame) {
+	qid := f.NC.QueryID
+	sh := c.shard(qid)
+	sh.mu.Lock()
+	cl, ok := sh.m[qid]
+	if ok {
+		delete(sh.m, qid)
+	}
+	sh.mu.Unlock()
+	if !ok {
+		// Duplicate delivery, or a reply to an attempt already abandoned
+		// by its timer: the qid is spent, so it cannot match anything.
+		c.late.Add(1)
+		return
+	}
+	cl.timer.Stop()
+	c.finish(cl, f, nil)
+}
 
-		f, err := build(qid)
-		if err != nil {
-			c.abandon(qid)
-			return nil, err
-		}
-		gw, ok := c.book.Get(c.gateway)
-		if !ok {
-			c.abandon(qid)
-			return nil, fmt.Errorf("transport: no endpoint for gateway %v", c.gateway)
-		}
-		out, err := f.Serialize(make([]byte, 0, f.WireLen()))
-		if err != nil {
-			c.abandon(qid)
-			return nil, err
-		}
-		if _, err := c.conn.WriteToUDP(out, gw); err != nil {
-			c.abandon(qid)
-			lastErr = err
-			continue
-		}
+// sendLoop drains the client's outbound queue, coalescing queued frames
+// for the gateway into single datagrams when submissions outpace sendto.
+func (c *Client) sendLoop() {
+	defer close(c.sendDone)
+	for {
 		select {
-		case rep := <-ch:
-			return rep, nil
-		case <-time.After(c.timeout):
-			c.abandon(qid)
+		case o := <-c.sendCh:
+			writeCoalesced(c.conn, c.sendCh, o)
+		case <-c.done:
+			return
 		}
 	}
-	return nil, lastErr
+}
+
+// Submit issues one request asynchronously: build is called with a fresh
+// QueryID (again on every retry, so retries pick up new chains), and done
+// fires exactly once with the reply frame or an error. The reply frame is
+// valid only for the duration of the callback — it aliases the receive
+// buffer, so the callback must copy anything it keeps. done runs on the
+// receive or timer goroutine and must not block; Submit itself blocks
+// only while the in-flight window is full.
+func (c *Client) Submit(build func(qid uint64) (*packet.Frame, error), done func(*packet.Frame, error)) {
+	if c.closed.Load() {
+		done(nil, ErrClosed)
+		return
+	}
+	if c.window != nil {
+		select {
+		case c.window <- struct{}{}:
+		case <-c.done:
+			done(nil, ErrClosed)
+			return
+		}
+	}
+	cl := &call{c: c, build: build, done: done}
+	if err := cl.send(); err != nil {
+		c.finish(cl, nil, err)
+	}
+}
+
+// finish releases the call's window slot and delivers its outcome.
+func (c *Client) finish(cl *call, f *packet.Frame, err error) {
+	if c.window != nil {
+		<-c.window
+	}
+	cl.done(f, err)
+}
+
+// send transmits one attempt: fresh qid, register, arm the per-request
+// timer, then write. Registration happens before the datagram leaves so
+// the reply can never race past its table entry.
+func (cl *call) send() error {
+	c := cl.c
+	qid := c.nextQID.Add(1)
+	f, err := cl.build(qid)
+	if err != nil {
+		return err
+	}
+	gw, ok := c.book.Get(c.gateway)
+	if !ok {
+		packet.PutFrame(f)
+		return fmt.Errorf("transport: no endpoint for gateway %v", c.gateway)
+	}
+	bp := packet.GetBuf()
+	out, err := f.Serialize((*bp)[:0])
+	if err != nil {
+		packet.PutBuf(bp)
+		packet.PutFrame(f)
+		return err
+	}
+	*bp = out
+
+	packet.PutFrame(f)
+
+	sh := c.shard(qid)
+	sh.mu.Lock()
+	if c.closed.Load() {
+		sh.mu.Unlock()
+		packet.PutBuf(bp)
+		return ErrClosed
+	}
+	cl.qid = qid
+	sh.m[qid] = cl
+	if cl.timer == nil {
+		cl.timer = time.AfterFunc(c.timeout, cl.onTimeout)
+	} else {
+		cl.timer.Reset(c.timeout)
+	}
+	sh.mu.Unlock()
+
+	// Hand the datagram to the send stage; past this point a lost write
+	// surfaces as a timeout, exactly like a drop on the wire.
+	select {
+	case c.sendCh <- outFrame{buf: bp, ep: gw}:
+		c.sent.Add(1)
+	case <-c.done:
+		packet.PutBuf(bp)
+	}
+	return nil
+}
+
+// onTimeout runs on the call's own timer: abandon the current attempt and
+// either retransmit or give up. If the reply won the race for the table
+// entry, the timer is a no-op.
+func (cl *call) onTimeout() {
+	c := cl.c
+	sh := c.shard(cl.qid)
+	sh.mu.Lock()
+	if sh.m[cl.qid] != cl {
+		sh.mu.Unlock()
+		return
+	}
+	delete(sh.m, cl.qid)
+	sh.mu.Unlock()
+	if c.closed.Load() {
+		c.finish(cl, nil, ErrClosed) // cancelled by Close, not a wire timeout
+		return
+	}
+	if cl.attempt >= c.retries {
+		c.timeouts.Add(1)
+		c.finish(cl, nil, errTimeout)
+		return
+	}
+	cl.attempt++
+	c.retried.Add(1)
+	if err := cl.send(); err != nil {
+		c.finish(cl, nil, err)
+	}
 }
 
 var errTimeout = errors.New("transport: query timed out")
-
-func (c *Client) abandon(qid uint64) {
-	c.mu.Lock()
-	delete(c.pending, qid)
-	c.mu.Unlock()
-}
 
 // Endpoint returns the client identity used in frames.
 func (c *Client) Endpoint() (packet.Addr, uint16) { return c.addr, c.port }

@@ -1,0 +1,319 @@
+package transport
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"netchain/internal/kv"
+	"netchain/internal/packet"
+	"netchain/internal/query"
+)
+
+// fakeSwitch is a scriptable gateway: it decodes every query the client
+// sends and hands it to the test, which decides when (and how often) to
+// reply — the loss, duplication, and reordering harness for the pipelined
+// client.
+type fakeSwitch struct {
+	t    *testing.T
+	conn *net.UDPConn
+
+	mu  sync.Mutex
+	cli *net.UDPAddr // the client's real endpoint, from the last query
+
+	queries chan *packet.Frame
+}
+
+func newFakeSwitch(t *testing.T, book *AddressBook, addr packet.Addr) *fakeSwitch {
+	t.Helper()
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	book.Set(addr, conn.LocalAddr().(*net.UDPAddr))
+	s := &fakeSwitch{t: t, conn: conn, queries: make(chan *packet.Frame, 64)}
+	t.Cleanup(func() { conn.Close() })
+	go s.serve()
+	return s
+}
+
+func (s *fakeSwitch) serve() {
+	buf := make([]byte, 64*1024)
+	var f packet.Frame
+	for {
+		sz, from, err := s.conn.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		s.cli = from
+		s.mu.Unlock()
+		data := buf[:sz]
+		for len(data) > 0 {
+			rest, err := packet.NextFrame(&f, data)
+			if err != nil {
+				break
+			}
+			data = rest
+			s.queries <- f.Clone()
+		}
+	}
+}
+
+// reply sends an OK response to q carrying value. Safe to call repeatedly
+// with the same query to fabricate duplicate deliveries.
+func (s *fakeSwitch) reply(q *packet.Frame, value []byte) {
+	s.t.Helper()
+	f := q.Clone()
+	f.NC.Value = value
+	f.ToReply(kv.StatusOK)
+	out, err := f.Serialize(nil)
+	if err != nil {
+		s.t.Fatal(err)
+	}
+	s.mu.Lock()
+	cli := s.cli
+	s.mu.Unlock()
+	if _, err := s.conn.WriteToUDP(out, cli); err != nil {
+		s.t.Fatal(err)
+	}
+}
+
+// nextQuery waits for one query to arrive at the switch.
+func (s *fakeSwitch) nextQuery(timeout time.Duration) (*packet.Frame, bool) {
+	select {
+	case f := <-s.queries:
+		return f, true
+	case <-time.After(timeout):
+		return nil, false
+	}
+}
+
+func newWindowClient(t *testing.T, book *AddressBook, gw packet.Addr,
+	window int, timeout time.Duration, retries int) (*Client, *Ops) {
+	t.Helper()
+	c, err := NewClient(book, ClientConfig{
+		Addr:    packet.AddrFrom4(10, 1, 0, 9),
+		Gateway: gw,
+		Bind:    "127.0.0.1:0",
+		Timeout: timeout,
+		Retries: retries,
+		Window:  window,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	ops := &Ops{Client: c, Dir: func(k kv.Key) (query.Route, error) {
+		return query.Route{Hops: []packet.Addr{gw}}, nil
+	}}
+	return c, ops
+}
+
+func waitForStat(t *testing.T, get func() uint64, want uint64) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if get() >= want {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("stat = %d, want >= %d", get(), want)
+}
+
+// A duplicated reply must complete the query once and be dropped, counted,
+// the second time.
+func TestDuplicateReplyDropped(t *testing.T) {
+	book := NewAddressBook()
+	gw := packet.AddrFrom4(10, 0, 0, 1)
+	s := newFakeSwitch(t, book, gw)
+	c, ops := newWindowClient(t, book, gw, 4, time.Second, 1)
+
+	go func() {
+		q, ok := s.nextQuery(2 * time.Second)
+		if !ok {
+			return
+		}
+		s.reply(q, []byte("once"))
+		s.reply(q, []byte("twice")) // duplicate delivery of the same qid
+	}()
+	v, _, err := ops.Read(kv.KeyFromString("dup"))
+	if err != nil || string(v) != "once" {
+		t.Fatalf("read = %q, %v", v, err)
+	}
+	waitForStat(t, func() uint64 { return c.Stats().Late }, 1)
+	if n := c.InFlight(); n != 0 {
+		t.Fatalf("in-flight = %d after completion", n)
+	}
+}
+
+// A reply that arrives after its attempt timed out must be discarded: the
+// retry owns a fresh qid, and only its answer reaches the caller even when
+// the stale reply is delivered first.
+func TestLateReplyAfterAbandonAndRetryReorder(t *testing.T) {
+	book := NewAddressBook()
+	gw := packet.AddrFrom4(10, 0, 0, 1)
+	s := newFakeSwitch(t, book, gw)
+	c, ops := newWindowClient(t, book, gw, 4, 40*time.Millisecond, 3)
+
+	go func() {
+		q1, ok := s.nextQuery(2 * time.Second)
+		if !ok {
+			return
+		}
+		// Withhold the answer until the client has retried.
+		q2, ok := s.nextQuery(2 * time.Second)
+		if !ok {
+			return
+		}
+		if q2.NC.QueryID == q1.NC.QueryID {
+			t.Error("retry reused the abandoned qid")
+		}
+		s.reply(q1, []byte("stale")) // reordered: the abandoned attempt answers first
+		s.reply(q2, []byte("fresh"))
+	}()
+	v, _, err := ops.Read(kv.KeyFromString("late"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(v) != "fresh" {
+		t.Fatalf("read = %q, want the retry's reply", v)
+	}
+	st := c.Stats()
+	if st.Retries == 0 {
+		t.Fatal("expected at least one retry")
+	}
+	waitForStat(t, func() uint64 { return c.Stats().Late }, 1)
+}
+
+// With a full window, Submit must block until a reply frees a slot — and
+// queries beyond the window must not reach the wire.
+func TestWindowFullBackpressure(t *testing.T) {
+	book := NewAddressBook()
+	gw := packet.AddrFrom4(10, 0, 0, 1)
+	s := newFakeSwitch(t, book, gw)
+	c, ops := newWindowClient(t, book, gw, 2, 5*time.Second, 0)
+
+	results := make(chan error, 3)
+	go func() {
+		for i := 0; i < 3; i++ {
+			ops.ReadAsync(kv.KeyFromString("bp"), func(_ kv.Value, _ kv.Version, err error) {
+				results <- err
+			})
+		}
+	}()
+
+	q1, ok := s.nextQuery(2 * time.Second)
+	if !ok {
+		t.Fatal("first query never arrived")
+	}
+	if _, ok := s.nextQuery(500 * time.Millisecond); !ok {
+		t.Fatal("second query never arrived")
+	}
+	// The third submission is blocked on the window: nothing else on the wire.
+	if extra, ok := s.nextQuery(200 * time.Millisecond); ok {
+		t.Fatalf("query %d leaked past the window", extra.NC.QueryID)
+	}
+	if n := c.InFlight(); n != 2 {
+		t.Fatalf("in-flight = %d, want 2", n)
+	}
+
+	s.reply(q1, []byte("v")) // free one slot
+	q3, ok := s.nextQuery(2 * time.Second)
+	if !ok {
+		t.Fatal("third query not released by the freed slot")
+	}
+	s.reply(q3, []byte("v"))
+	// Drain the remaining in-flight query too.
+	for len(results) < 3 {
+		select {
+		case q := <-s.queries:
+			s.reply(q, []byte("v"))
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if err := <-results; err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+	}
+}
+
+// Close must fail every pending call with ErrClosed instead of leaving its
+// callback hanging.
+func TestCloseFailsPending(t *testing.T) {
+	book := NewAddressBook()
+	gw := packet.AddrFrom4(10, 0, 0, 1)
+	s := newFakeSwitch(t, book, gw)
+	c, ops := newWindowClient(t, book, gw, 2, 5*time.Second, 0)
+
+	got := make(chan error, 1)
+	ops.ReadAsync(kv.KeyFromString("hang"), func(_ kv.Value, _ kv.Version, err error) {
+		got <- err
+	})
+	if _, ok := s.nextQuery(2 * time.Second); !ok {
+		t.Fatal("query never arrived")
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-got:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("err = %v, want ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("pending call never failed after Close")
+	}
+	// Submissions after Close fail immediately.
+	done := make(chan error, 1)
+	ops.ReadAsync(kv.KeyFromString("hang"), func(_ kv.Value, _ kv.Version, err error) {
+		done <- err
+	})
+	if err := <-done; !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-close err = %v, want ErrClosed", err)
+	}
+}
+
+// A query that exhausts every retry must report a timeout, and the late
+// replies to its spent attempts must not disturb later queries.
+func TestTimeoutExhaustionThenRecovery(t *testing.T) {
+	book := NewAddressBook()
+	gw := packet.AddrFrom4(10, 0, 0, 1)
+	s := newFakeSwitch(t, book, gw)
+	c, ops := newWindowClient(t, book, gw, 4, 30*time.Millisecond, 2)
+
+	// Swallow the 3 attempts (initial + 2 retries) without answering.
+	silenced := make(chan *packet.Frame, 3)
+	go func() {
+		for i := 0; i < 3; i++ {
+			if q, ok := s.nextQuery(2 * time.Second); ok {
+				silenced <- q
+			}
+		}
+	}()
+	if _, _, err := ops.Read(kv.KeyFromString("void")); err == nil {
+		t.Fatal("read must time out")
+	}
+	if st := c.Stats(); st.Timeouts != 1 || st.Retries != 2 {
+		t.Fatalf("stats = %+v, want 1 timeout after 2 retries", st)
+	}
+
+	// Every spent attempt answers now — ancient history.
+	for i := 0; i < 3; i++ {
+		s.reply(<-silenced, []byte("zombie"))
+	}
+	go func() {
+		if q, ok := s.nextQuery(2 * time.Second); ok {
+			s.reply(q, []byte("alive"))
+		}
+	}()
+	v, _, err := ops.Read(kv.KeyFromString("next"))
+	if err != nil || string(v) != "alive" {
+		t.Fatalf("read after timeout = %q, %v", v, err)
+	}
+	waitForStat(t, func() uint64 { return c.Stats().Late }, 3)
+}

@@ -63,6 +63,14 @@ type ClusterConfig struct {
 	VNodesPerSwitch int
 	// Slots bounds keys per switch. Default 4096.
 	Slots int
+	// ClientWindow caps each client's in-flight queries; async calls block
+	// when the pipe is full. 0 leaves admission uncapped (blocking calls
+	// keep one query outstanding each, the pre-pipelining behavior).
+	ClientWindow int
+	// ClientTimeout is the per-attempt retry timer (default 50 ms).
+	ClientTimeout time.Duration
+	// ClientRetries bounds retransmissions per query (default 5).
+	ClientRetries int
 }
 
 func (c *ClusterConfig) defaults() {
@@ -251,6 +259,9 @@ func (c *Cluster) NewClient(gateway int) (*Client, error) {
 		Addr:    packet.AddrFrom4(10, 1, 0, c.nextCl),
 		Gateway: c.SwitchAddr(gateway),
 		Bind:    "127.0.0.1:0",
+		Window:  c.cfg.ClientWindow,
+		Timeout: c.cfg.ClientTimeout,
+		Retries: c.cfg.ClientRetries,
 	})
 	if err != nil {
 		return nil, err
@@ -278,6 +289,28 @@ func (cl *Client) Delete(k Key) error { return cl.ops.Delete(k) }
 func (cl *Client) CAS(k Key, expect uint64, newValue Value) (bool, Value, error) {
 	return cl.ops.CAS(k, expect, newValue)
 }
+
+// ReadAsync issues a pipelined read: it returns once the query is on the
+// wire (blocking only while the client's in-flight window is full) and
+// invokes done from the receive goroutine, which must not block. Use
+// ClusterConfig.ClientWindow to size the pipe.
+func (cl *Client) ReadAsync(k Key, done func(Value, Version, error)) {
+	cl.ops.ReadAsync(k, done)
+}
+
+// WriteAsync issues a pipelined write; see ReadAsync for the contract.
+func (cl *Client) WriteAsync(k Key, v Value, done func(Version, error)) {
+	cl.ops.WriteAsync(k, v, done)
+}
+
+// CASAsync issues a pipelined compare-and-swap; see CAS and ReadAsync.
+func (cl *Client) CASAsync(k Key, expect uint64, newValue Value, done func(bool, Value, error)) {
+	cl.ops.CASAsync(k, expect, newValue, done)
+}
+
+// TransportStats exposes the client's transport counters (sent datagrams,
+// retries, timeouts, late/duplicate replies).
+func (cl *Client) TransportStats() transport.ClientStats { return cl.client.Stats() }
 
 // Acquire takes the exclusive lock k for owner.
 func (cl *Client) Acquire(k Key, owner uint64) (bool, error) { return cl.ops.Acquire(k, owner) }

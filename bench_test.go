@@ -220,6 +220,29 @@ func BenchmarkFig10b(b *testing.B) {
 	}
 }
 
+// BenchmarkResize: elastic scale-out + scale-in via live virtual-group
+// migration — read availability and groups moved while the ring grows by
+// S4 and drains S1 (the scale-free half of the paper's title, Fig. 8
+// testbed).
+func BenchmarkResize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunResize(experiments.ResizeOpts{
+			Scale:     50000,
+			VNodes:    4,
+			StoreSize: 300,
+			Duration:  12 * time.Second,
+			AddAt:     2 * time.Second,
+			RemoveAt:  7 * time.Second,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.MinReadRateDuring/res.BaselineReadRate, "minRead%ofBaseline")
+		b.ReportMetric(float64(res.GroupsMigratedOut+res.GroupsMigratedIn), "groupsMigrated")
+		b.ReportMetric(float64(res.WritesUnavailable), "writesBounced")
+	}
+}
+
 // BenchmarkFig11: transaction throughput vs contention.
 func BenchmarkFig11(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|fig9a|fig9b|fig9c|fig9d|fig9e|fig9f|fig10a|fig10b|fig11|pipeline|tla|all")
+	exp := flag.String("exp", "all", "experiment: table1|fig9a|fig9b|fig9c|fig9d|fig9e|fig9f|fig10a|fig10b|fig11|resize|pipeline|tla|all")
 	full := flag.Bool("full", false, "use longer windows / full parameter sweeps")
 	windows := flag.String("windows", "1,4,16,64", "outstanding-window sweep for -exp pipeline (comma-separated)")
 	window := flag.Int("window", 0, "client outstanding-query window for the fig9 experiments (0 = unbounded open loop)")
@@ -71,6 +71,7 @@ func main() {
 	})
 	run("fig10a", func() error { return runFig10(1, *full) })
 	run("fig10b", func() error { return runFig10(100, *full) })
+	run("resize", func() error { return runResize(*full) })
 	run("fig11", func() error {
 		o := experiments.Fig11Opts{}
 		if !*full {
@@ -164,5 +165,32 @@ func runFig10(vgroups int, full bool) error {
 	fmt.Printf("baseline %.2f MQPS; minimum during recovery %.2f MQPS (%.1f%% of baseline)\n",
 		res.BaselineRate/1e6, res.MinRateDuringRecovery/1e6,
 		100*res.MinRateDuringRecovery/res.BaselineRate)
+	return nil
+}
+
+func runResize(full bool) error {
+	o := experiments.ResizeOpts{}
+	if !full {
+		o.Scale = 20000
+		o.StoreSize = 1000
+		o.Duration = 20 * time.Second
+		o.AddAt = 4 * time.Second
+		o.RemoveAt = 12 * time.Second
+	}
+	res, err := experiments.RunResize(o)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Figure.Format())
+	fmt.Printf("scale-out done at t=%.1fs (%d groups); scale-in done at t=%.1fs (%d groups)\n",
+		res.ScaleOutDone.Seconds(), res.GroupsMigratedOut,
+		res.ScaleInDone.Seconds(), res.GroupsMigratedIn)
+	fmt.Printf("reads: baseline %.2f MQPS, worst bucket during resize %.2f MQPS (%.1f%%); "+
+		"read p99 %.1fµs quiet vs %.1fµs during migration\n",
+		res.BaselineReadRate/1e6, res.MinReadRateDuring/1e6,
+		100*res.MinReadRateDuring/res.BaselineReadRate,
+		float64(res.BaselineReadP99.Nanoseconds())/1e3,
+		float64(res.ResizeReadP99.Nanoseconds())/1e3)
+	fmt.Printf("writes bounced by per-group migration freeze: %d\n", res.WritesUnavailable)
 	return nil
 }

@@ -17,6 +17,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"syscall"
 
 	"netchain/internal/controller"
@@ -62,6 +63,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "need at least %d -switch members\n", *replicas)
 		os.Exit(2)
 	}
+	// The agent registry is mutable at runtime: the add-switch admin verb
+	// registers new switches while the controller is live.
+	var agentMu sync.RWMutex
 	agents := map[packet.Addr]transport.RPCAgent{}
 	var memberAddrs []packet.Addr
 	for _, spec := range members {
@@ -90,12 +94,16 @@ func main() {
 	cfg.SyncPerItem = 0 // real RPC takes real time
 	ctl, err := controller.New(cfg, r, controller.WallClock{},
 		func(a packet.Addr) (controller.Agent, bool) {
+			agentMu.RLock()
+			defer agentMu.RUnlock()
 			ag, ok := agents[a]
 			return ag, ok
 		},
 		func(failed packet.Addr) []packet.Addr {
 			// On a flat deployment every live switch is programmed as a
 			// "neighbor" — a safe superset of the physical neighbor set.
+			agentMu.RLock()
+			defer agentMu.RUnlock()
 			var out []packet.Addr
 			for a := range agents {
 				if a != failed {
@@ -108,7 +116,17 @@ func main() {
 		log.Fatalf("netchain-controller: %v", err)
 	}
 
-	addr, stop, err := transport.ServeController(ctl, *rpcBind)
+	register := func(sw packet.Addr, agentAddr string) error {
+		ag, err := transport.DialAgent(agentAddr)
+		if err != nil {
+			return err
+		}
+		agentMu.Lock()
+		agents[sw] = ag
+		agentMu.Unlock()
+		return nil
+	}
+	addr, stop, err := transport.ServeControllerWithRegister(ctl, register, *rpcBind)
 	if err != nil {
 		log.Fatalf("netchain-controller: %v", err)
 	}

@@ -10,6 +10,11 @@
 //	netchainctl ... lock  locks/a 42
 //	netchainctl ... unlock locks/a 42
 //	netchainctl ... del cfg/x
+//
+// Elastic membership (no -gateway needed; talks to the controller only):
+//
+//	netchainctl -controller 127.0.0.1:9200 add-switch 10.0.0.5=127.0.0.1:9105
+//	netchainctl -controller 127.0.0.1:9200 remove-switch 10.0.0.2
 package main
 
 import (
@@ -35,8 +40,23 @@ func main() {
 	bind := flag.String("bind", ":0", "local UDP bind address; switches must map the client's virtual address to it")
 	flag.Parse()
 	args := flag.Args()
+
+	// Membership verbs only need the controller; handle them before the
+	// UDP client plumbing.
+	if len(args) >= 1 && (args[0] == "add-switch" || args[0] == "remove-switch") {
+		if len(args) < 2 {
+			log.Fatalf("%s needs a switch argument", args[0])
+		}
+		if err := resizeViaController(*ctlAddr, args[0], args[1]); err != nil {
+			log.Fatalf("%s: %v", args[0], err)
+		}
+		fmt.Println("ok")
+		return
+	}
+
 	if *gateway == "" || len(args) < 2 {
 		fmt.Fprintln(os.Stderr, "usage: netchainctl -gateway V=HOST:PORT [flags] {get|put|del|insert|lock|unlock} KEY [VALUE|OWNER]")
+		fmt.Fprintln(os.Stderr, "       netchainctl -controller HOST:PORT {add-switch V=AGENTHOST:PORT | remove-switch V}")
 		os.Exit(2)
 	}
 
@@ -124,6 +144,43 @@ func main() {
 	default:
 		log.Fatalf("unknown command %q", cmd)
 	}
+}
+
+// resizeViaController drives the elastic membership verbs. add-switch
+// takes "virtual=agentHost:port" (the controller dials the new switch's
+// agent); remove-switch takes just the virtual address and blocks until
+// the drain completes.
+func resizeViaController(addr, verb, spec string) error {
+	var args transport.ResizeArgs
+	if verb == "add-switch" {
+		parts := strings.SplitN(spec, "=", 2)
+		if len(parts) != 2 {
+			return fmt.Errorf("add-switch wants virtual=agentHost:port, got %q", spec)
+		}
+		va, err := packet.ParseAddr(parts[0])
+		if err != nil {
+			return err
+		}
+		args = transport.ResizeArgs{Switch: va, AgentAddr: parts[1]}
+	} else {
+		va, err := packet.ParseAddr(spec)
+		if err != nil {
+			return err
+		}
+		args = transport.ResizeArgs{Switch: va}
+	}
+	c, err := dialRPC(addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	var rep transport.ResizeReply
+	method := map[string]string{"add-switch": "Controller.AddSwitch", "remove-switch": "Controller.RemoveSwitch"}[verb]
+	if err := c.Call(method, args, &rep); err != nil {
+		return err
+	}
+	fmt.Printf("migrated %d virtual groups\n", rep.GroupsMigrated)
+	return nil
 }
 
 func insertViaController(addr string, k kv.Key) ([]packet.Addr, error) {

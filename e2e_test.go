@@ -32,10 +32,13 @@ func TestEndToEndBinaries(t *testing.T) {
 
 	// Fixed loopback ports for a deterministic address book.
 	type sw struct{ virt, udp, rpc string }
+	// The fourth switch boots with the others (static address books) but
+	// is NOT given to the controller: the add-switch verb admits it live.
 	switches := []sw{
 		{"10.0.0.1", "127.0.0.1:19001", "127.0.0.1:19101"},
 		{"10.0.0.2", "127.0.0.1:19002", "127.0.0.1:19102"},
 		{"10.0.0.3", "127.0.0.1:19003", "127.0.0.1:19103"},
+		{"10.0.0.4", "127.0.0.1:19004", "127.0.0.1:19104"},
 	}
 	clientVirt := "10.1.0.1"
 
@@ -146,5 +149,29 @@ func TestEndToEndBinaries(t *testing.T) {
 	if out, err = run("del", "e2e/key"); err != nil || !strings.Contains(out, "ok") {
 		t.Fatalf("del: %v %q", err, out)
 	}
-	fmt.Println("e2e verified: insert/put/get/lock/unlock/del across real processes")
+
+	// Elastic membership through the binaries: admit the pre-cabled fourth
+	// switch live, keep serving, then drain it back out.
+	if out, err = run("insert", "e2e/elastic"); err != nil {
+		t.Fatalf("insert elastic: %v\n%s", err, out)
+	}
+	if out, err = run("put", "e2e/elastic", "before-resize"); err != nil {
+		t.Fatalf("put elastic: %v\n%s", err, out)
+	}
+	if out, err = run("add-switch", "10.0.0.4=127.0.0.1:19104"); err != nil || !strings.Contains(out, "migrated") {
+		t.Fatalf("add-switch: %v %q", err, out)
+	}
+	if out, err = run("get", "e2e/elastic"); err != nil || !strings.Contains(out, "before-resize") {
+		t.Fatalf("get after add-switch: %v %q", err, out)
+	}
+	if out, err = run("put", "e2e/elastic", "after-scale-out"); err != nil {
+		t.Fatalf("put after add-switch: %v\n%s", err, out)
+	}
+	if out, err = run("remove-switch", "10.0.0.4"); err != nil || !strings.Contains(out, "migrated") {
+		t.Fatalf("remove-switch: %v %q", err, out)
+	}
+	if out, err = run("get", "e2e/elastic"); err != nil || !strings.Contains(out, "after-scale-out") {
+		t.Fatalf("get after remove-switch: %v %q", err, out)
+	}
+	fmt.Println("e2e verified: insert/put/get/lock/unlock/del + add-switch/remove-switch across real processes")
 }

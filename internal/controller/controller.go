@@ -30,6 +30,7 @@ type Agent interface {
 	InstallKey(k kv.Key) error
 	RemoveKey(k kv.Key) error
 	SetSession(group uint16, session uint32) error
+	FreezeWrites(group uint16, frozen bool) error
 	InstallRule(dst packet.Addr, group int, r core.Rule) error
 	RemoveRule(dst packet.Addr, group int) error
 	ReadItem(k kv.Key) (core.Item, error)
@@ -44,6 +45,10 @@ func (a LocalAgent) InstallKey(k kv.Key) error { return a.Switch.InstallKey(k) }
 func (a LocalAgent) RemoveKey(k kv.Key) error  { return a.Switch.RemoveKey(k) }
 func (a LocalAgent) SetSession(g uint16, s uint32) error {
 	a.Switch.SetSession(g, s)
+	return nil
+}
+func (a LocalAgent) FreezeWrites(g uint16, frozen bool) error {
+	a.Switch.SetWriteFreeze(g, frozen)
 	return nil
 }
 func (a LocalAgent) InstallRule(dst packet.Addr, g int, r core.Rule) error {
@@ -124,8 +129,25 @@ type Controller struct {
 	keys     map[ring.GroupID][]kv.Key
 	failed   map[packet.Addr]bool
 
+	// moved maps keys whose ring placement changed in an in-flight resize
+	// to the group still serving them: the route a client gets stays on the
+	// donor chain until the receiving group's migration flips.
+	moved map[kv.Key]ring.GroupID
+	// resizing guards against overlapping long-running reconfigurations.
+	resizing bool
+	// migratingGroups marks groups whose resize migration has not flipped
+	// yet: Insert refuses keys landing there (a slot installed on the old
+	// chain after the state copy snapshots would be lost at the flip, and
+	// would dodge the leaver GC).
+	migratingGroups map[ring.GroupID]bool
+	// droppedKeys records keys GC'd while a resize was in flight: their
+	// pending moves are cancelled so the migration cannot resurrect a
+	// deleted key (reinstalled slots, re-tracked in c.keys).
+	droppedKeys map[kv.Key]bool
+
 	// OnGroupRecovered, if set, is called (under the scheduler goroutine)
-	// after each virtual group's two-phase switch completes.
+	// after each virtual group's two-phase switch completes — during
+	// failure recovery and during planned resize migrations alike.
 	OnGroupRecovered func(g ring.GroupID)
 }
 
@@ -139,15 +161,18 @@ func New(cfg Config, r *ring.Ring, sched Scheduler,
 		return nil, fmt.Errorf("controller: %d virtual groups exceed the packet group field", r.Groups())
 	}
 	c := &Controller{
-		cfg:       cfg,
-		ring:      r,
-		sched:     sched,
-		agent:     agent,
-		neighbors: neighbors,
-		chains:    r.Chains(),
-		sessions:  make(map[ring.GroupID]uint32),
-		keys:      make(map[ring.GroupID][]kv.Key),
-		failed:    make(map[packet.Addr]bool),
+		cfg:             cfg,
+		ring:            r,
+		sched:           sched,
+		agent:           agent,
+		neighbors:       neighbors,
+		chains:          r.Chains(),
+		sessions:        make(map[ring.GroupID]uint32),
+		keys:            make(map[ring.GroupID][]kv.Key),
+		failed:          make(map[packet.Addr]bool),
+		moved:           make(map[kv.Key]ring.GroupID),
+		migratingGroups: make(map[ring.GroupID]bool),
+		droppedKeys:     make(map[kv.Key]bool),
 	}
 	return c, nil
 }
@@ -155,12 +180,23 @@ func New(cfg Config, r *ring.Ring, sched Scheduler,
 // Ring exposes the partitioning state (read-only use).
 func (c *Controller) Ring() *ring.Ring { return c.ring }
 
-// Route returns the current route for key k.
+// Route returns the current route for key k. During a live resize, a key
+// whose ring placement already changed keeps routing to its donor group
+// until the receiving group's migration flips, so clients never observe a
+// chain that does not yet hold the key's data.
 func (c *Controller) Route(k kv.Key) Route {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	g := c.ring.GroupForKey(k)
-	return c.routeLocked(g)
+	return c.routeLocked(c.servingGroupLocked(k))
+}
+
+// servingGroupLocked resolves the group currently serving k: the ring
+// placement, overridden by the in-flight-resize move table.
+func (c *Controller) servingGroupLocked(k kv.Key) ring.GroupID {
+	if g, ok := c.moved[k]; ok {
+		return g
+	}
+	return c.ring.GroupForKey(k)
 }
 
 // GroupRoute returns the current route for a virtual group.
@@ -192,8 +228,15 @@ func (c *Controller) Routes() map[uint16]Route {
 func (c *Controller) Insert(k kv.Key) (Route, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	g := c.ring.GroupForKey(k)
-	ch := c.chains[g]
+	g := c.servingGroupLocked(k)
+	ch, ok := c.chains[g]
+	if !ok || len(ch.Hops) == 0 || c.migratingGroups[c.ring.GroupForKey(k)] {
+		// The key maps to a group whose resize migration has not flipped
+		// yet: a slot installed on the serving chain now would miss the
+		// state copy and be lost at the flip. Callers retry after the
+		// group activates.
+		return Route{}, fmt.Errorf("controller: group %d is mid-migration, retry insert", g)
+	}
 	installed := make([]Agent, 0, len(ch.Hops))
 	for _, hop := range ch.Hops {
 		a, ok := c.agent(hop)
@@ -222,7 +265,14 @@ func (c *Controller) rollback(agents []Agent, k kv.Key) {
 func (c *Controller) GC(k kv.Key) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	g := c.ring.GroupForKey(k)
+	g := c.servingGroupLocked(k)
+	if c.resizing {
+		// Cancel any pending move of this key: a resize migration finding
+		// the donor unreadable would otherwise reinstall slots for (and
+		// re-track) a key the client just deleted.
+		c.droppedKeys[k] = true
+		delete(c.moved, k)
+	}
 	for _, hop := range c.chains[g].Hops {
 		if a, ok := c.agent(hop); ok {
 			_ = a.RemoveKey(k)
@@ -313,6 +363,147 @@ func (c *Controller) HandleFailure(failedSw packet.Addr, done func()) error {
 }
 
 // ---------------------------------------------------------------------------
+// Migration engine: the two-phase atomic group switch of Algorithm 3,
+// factored out so failure recovery and planned resize share it. A migration
+// processes one virtual group at a time (§5.2: only 1/groups of the key
+// space loses write availability at any instant): phase 1 stops fresh
+// writes for the group and syncs state inside the stop window; phase 2
+// bumps the session where the head changed, flips the serving chain, and
+// reprograms routing.
+
+// migration is one virtual group's two-phase reconfiguration.
+type migration struct {
+	group ring.GroupID
+	old   ring.Chain // chain serving the group when the migration starts
+	next  ring.Chain // chain after activation
+
+	// adoptOnly short-circuits both phases: the new chain is a subset of
+	// the serving one (no data movement, no stop window needed).
+	adoptOnly bool
+
+	// preSync, when set, bulk-copies state for preWait *before* the stop
+	// window so only the delta is copied inside it (Algorithm 3 Step 1).
+	preSync func()
+	preWait time.Duration
+	// stop installs the phase-1 write stop: neighbor drop rules for
+	// failure recovery, head write-freezes for planned resize.
+	stop func()
+	// stopWait models phase 1's duration: rule/freeze installation plus
+	// the state sync performed inside the window.
+	stopWait time.Duration
+	// sync copies state inside the stop window.
+	sync func()
+	// sessionFloor raises the group's session before the bump so writes
+	// stamped after activation dominate versions imported from donor
+	// groups (their sessions advanced independently).
+	sessionFloor uint32
+	// bumpSession forces a session bump even when the head is unchanged
+	// (a group that absorbs keys needs its future writes to dominate the
+	// donors' stamps).
+	bumpSession bool
+	// flip runs under c.mu at activation, right after the serving chain is
+	// swapped — key-ownership bookkeeping for resize moves.
+	flip func()
+	// activate reprograms routing after the flip: redirect rules for
+	// failure recovery, unfreezes and donor-slot GC for resize.
+	activate func()
+}
+
+// liveChainLocked filters switches marked failed out of a planned chain
+// (their groups re-heal through Recover, not by re-installing them).
+func (c *Controller) liveChainLocked(ch ring.Chain) ring.Chain {
+	live := ring.Chain{Group: ch.Group, Hops: make([]packet.Addr, 0, len(ch.Hops))}
+	for _, h := range ch.Hops {
+		if !c.failed[h] {
+			live.Hops = append(live.Hops, h)
+		}
+	}
+	return live
+}
+
+// runMigrations executes n migrations sequentially. build is invoked
+// lazily when each group's turn arrives so it observes the chains as
+// earlier migrations (and any concurrent failovers) left them; returning
+// nil skips the group. done (optional) fires after the last group.
+func (c *Controller) runMigrations(n int, build func(i int) *migration, done func()) {
+	c.migrateNext(n, build, 0, done)
+}
+
+func (c *Controller) migrateNext(n int, build func(i int) *migration, i int, done func()) {
+	if i >= n {
+		if done != nil {
+			done()
+		}
+		return
+	}
+	m := build(i)
+	if m == nil {
+		c.migrateNext(n, build, i+1, done)
+		return
+	}
+	if m.adoptOnly {
+		c.mu.Lock()
+		c.chains[m.group] = c.liveChainLocked(m.next)
+		c.mu.Unlock()
+		c.migrateNext(n, build, i+1, done)
+		return
+	}
+	phase1 := func() {
+		if m.stop != nil {
+			m.stop()
+		}
+		c.sched.After(m.stopWait, func() {
+			if m.sync != nil {
+				m.sync()
+			}
+			// Phase 2: activation. Switches that failed while this group's
+			// stop window ran are filtered here, at flip time — installing
+			// them would overwrite the degradation a concurrent
+			// HandleFailure applied and route clients at a dead hop.
+			c.mu.Lock()
+			next := c.liveChainLocked(m.next)
+			headIsNew := len(next.Hops) > 0 && !m.old.Contains(next.Head())
+			if c.sessions[m.group] < m.sessionFloor {
+				c.sessions[m.group] = m.sessionFloor
+			}
+			var sess uint32
+			needSession := headIsNew || m.bumpSession
+			if needSession {
+				c.sessions[m.group]++
+				sess = c.sessions[m.group]
+			}
+			c.chains[m.group] = next
+			if m.flip != nil {
+				m.flip()
+			}
+			c.mu.Unlock()
+			if needSession && len(next.Hops) > 0 {
+				if a, ok := c.agent(next.Head()); ok {
+					_ = a.SetSession(uint16(m.group), sess)
+				}
+			}
+			if m.activate != nil {
+				m.activate()
+			}
+			c.sched.After(c.cfg.RuleDelay, func() {
+				if cb := c.OnGroupRecovered; cb != nil {
+					cb(m.group)
+				}
+				c.migrateNext(n, build, i+1, done)
+			})
+		})
+	}
+	if m.preSync != nil {
+		c.sched.After(m.preWait, func() {
+			m.preSync()
+			phase1()
+		})
+	} else {
+		phase1()
+	}
+}
+
+// ---------------------------------------------------------------------------
 // Failure recovery: Algorithm 3, one virtual group at a time (§5.2).
 
 // Recover reassigns the failed switch's virtual nodes round-robin over the
@@ -355,27 +546,22 @@ func (c *Controller) Recover(failedSw packet.Addr, pool []packet.Addr, done func
 	neighbors := c.neighbors(failedSw)
 	c.mu.Unlock()
 
-	c.recoverNext(failedSw, neighbors, affected, 0, done)
+	c.runMigrations(len(affected), func(i int) *migration {
+		return c.buildRecoverMigration(failedSw, neighbors, affected[i])
+	}, done)
 	return nil
 }
 
-// recoverNext runs the state machine for affected[i], then recurses.
-func (c *Controller) recoverNext(failedSw packet.Addr, neighbors []packet.Addr,
-	affected []ring.GroupID, i int, done func()) {
-	if i >= len(affected) {
-		if done != nil {
-			done()
-		}
-		return
-	}
-	g := affected[i]
-
+// buildRecoverMigration plans one group's recovery migration: the stop is
+// a per-group drop rule on the failed switch's neighbors, the activation a
+// redirect rule pointing stale traffic at the replacement (Algorithm 3).
+func (c *Controller) buildRecoverMigration(failedSw packet.Addr,
+	neighbors []packet.Addr, g ring.GroupID) *migration {
 	c.mu.Lock()
 	newChain, err := c.ring.ChainForGroup(g)
 	if err != nil {
 		c.mu.Unlock()
-		c.recoverNext(failedSw, neighbors, affected, i+1, done)
-		return
+		return nil
 	}
 	degraded := c.chains[g]
 	adds := additions(degraded, newChain)
@@ -385,11 +571,7 @@ func (c *Controller) recoverNext(failedSw packet.Addr, neighbors []packet.Addr,
 	if len(adds) == 0 {
 		// Chain unchanged (replacement coincides with existing members);
 		// just adopt the new chain.
-		c.mu.Lock()
-		c.chains[g] = newChain
-		c.mu.Unlock()
-		c.recoverNext(failedSw, neighbors, affected, i+1, done)
-		return
+		return &migration{group: g, old: degraded, next: newChain, adoptOnly: true}
 	}
 
 	syncDur := time.Duration(items*len(adds)) * c.cfg.SyncPerItem
@@ -400,32 +582,19 @@ func (c *Controller) recoverNext(failedSw packet.Addr, neighbors []packet.Addr,
 			}
 		}
 	}
-
-	phase1 := func(stopWindow time.Duration) {
-		// Phase 1: stop traffic for this group, finish sync.
-		for _, nb := range neighbors {
-			if a, ok := c.agent(nb); ok {
-				_ = a.InstallRule(failedSw, int(g), core.Rule{Action: core.ActDrop})
-			}
-		}
-		c.sched.After(c.cfg.RuleDelay+stopWindow, func() {
-			doSync()
-			// Phase 2: activation.
-			c.mu.Lock()
-			newHead := newChain.Head()
-			headIsNew := !degraded.Contains(newHead)
-			var sess uint32
-			if headIsNew {
-				c.sessions[g]++
-				sess = c.sessions[g]
-			}
-			c.chains[g] = newChain
-			c.mu.Unlock()
-			if headIsNew {
-				if a, ok := c.agent(newHead); ok {
-					_ = a.SetSession(uint16(g), sess)
+	m := &migration{
+		group: g,
+		old:   degraded,
+		next:  newChain,
+		sync:  doSync,
+		stop: func() {
+			for _, nb := range neighbors {
+				if a, ok := c.agent(nb); ok {
+					_ = a.InstallRule(failedSw, int(g), core.Rule{Action: core.ActDrop})
 				}
 			}
+		},
+		activate: func() {
 			// Traffic still addressed to the failed switch follows the
 			// replacement that took its chain position.
 			for _, nb := range neighbors {
@@ -434,25 +603,18 @@ func (c *Controller) recoverNext(failedSw packet.Addr, neighbors []packet.Addr,
 						core.Rule{Action: core.ActRedirect, To: adds[0]})
 				}
 			}
-			c.sched.After(c.cfg.RuleDelay, func() {
-				if cb := c.OnGroupRecovered; cb != nil {
-					cb(g)
-				}
-				c.recoverNext(failedSw, neighbors, affected, i+1, done)
-			})
-		})
+		},
 	}
-
 	if c.cfg.PreSync {
 		// Step 1 (optimization): bulk copy while the degraded chain keeps
 		// serving; only the delta is copied inside the stop window.
-		c.sched.After(syncDur, func() {
-			doSync()
-			phase1(c.cfg.PreSyncDelta)
-		})
+		m.preSync = doSync
+		m.preWait = syncDur
+		m.stopWait = c.cfg.RuleDelay + c.cfg.PreSyncDelta
 	} else {
-		phase1(syncDur)
+		m.stopWait = c.cfg.RuleDelay + syncDur
 	}
+	return m
 }
 
 // copyGroup copies every item of group g from ref to dst (the actual data

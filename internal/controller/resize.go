@@ -1,0 +1,379 @@
+package controller
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"netchain/internal/core"
+	"netchain/internal/kv"
+	"netchain/internal/packet"
+	"netchain/internal/ring"
+)
+
+// Planned elastic reconfiguration (scale-out / scale-in): the controller
+// recomputes virtual-group placement through ring.Resize, then runs the
+// shared migration engine over every affected group — copy state from a
+// reference replica, bump the group's session, atomically flip the route.
+// Unlike failure recovery there is no dead switch for neighbor rules to
+// match, so phase 1's write stop is the dataplane's serve-while-migrating
+// guard (core.Switch.SetWriteFreeze): fresh writes for the migrating group
+// bounce with StatusUnavailable while reads — and every other group — keep
+// serving.
+
+// keyMove records one key changing virtual groups across a resize (its ring
+// segment was split by a new virtual node or merged into its successor by a
+// removed one).
+type keyMove struct {
+	key  kv.Key
+	from ring.GroupID
+}
+
+// AddSwitch live-migrates the cluster onto a layout that includes sw: the
+// switch joins the ring with its own virtual nodes and the affected groups'
+// state is copied over before routes flip. done (optional) fires after the
+// last group migrates. The returned Diff names every group whose chain
+// changed.
+func (c *Controller) AddSwitch(sw packet.Addr, done func()) (ring.Diff, error) {
+	return c.Resize([]packet.Addr{sw}, nil, done)
+}
+
+// RemoveSwitch live-drains sw out of the cluster: its virtual groups retire
+// and their key ranges merge into the clockwise successor groups, which
+// absorb the data before routes flip. The switch keeps serving until every
+// group it participated in has migrated away; afterwards it holds no state
+// and can be shut down. done (optional) fires after the last group.
+func (c *Controller) RemoveSwitch(sw packet.Addr, done func()) (ring.Diff, error) {
+	return c.Resize(nil, []packet.Addr{sw}, done)
+}
+
+// Resize performs a combined planned membership change. One resize (or an
+// in-flight one) at a time; failure handling remains available throughout —
+// only the group currently mid-migration briefly refuses fresh writes.
+func (c *Controller) Resize(add, remove []packet.Addr, done func()) (ring.Diff, error) {
+	c.mu.Lock()
+	if c.resizing {
+		c.mu.Unlock()
+		return ring.Diff{}, fmt.Errorf("controller: resize already in progress")
+	}
+	for _, sw := range add {
+		if c.failed[sw] {
+			c.mu.Unlock()
+			return ring.Diff{}, fmt.Errorf("controller: cannot add failed switch %v", sw)
+		}
+	}
+	for _, sw := range remove {
+		if c.failed[sw] {
+			c.mu.Unlock()
+			return ring.Diff{}, fmt.Errorf("controller: %v already failed; use Recover", sw)
+		}
+	}
+	// Snapshot the pre-resize placement of every tracked key, then move the
+	// ring. Keys whose group changes keep routing to the donor group (via
+	// c.moved) until the receiving group's migration flips.
+	oldGroupOf := make(map[kv.Key]ring.GroupID)
+	for g, ks := range c.keys {
+		for _, k := range ks {
+			oldGroupOf[k] = g
+		}
+	}
+	diff, err := c.ring.Resize(add, remove)
+	if err != nil {
+		c.mu.Unlock()
+		return ring.Diff{}, err
+	}
+	movedInto := make(map[ring.GroupID][]keyMove)
+	for k, og := range oldGroupOf {
+		ng := c.ring.GroupForKey(k)
+		if ng != og {
+			c.moved[k] = og
+			movedInto[ng] = append(movedInto[ng], keyMove{key: k, from: og})
+		}
+	}
+	for _, moves := range movedInto {
+		sort.Slice(moves, func(i, j int) bool {
+			a, b := moves[i].key, moves[j].key
+			for x := range a {
+				if a[x] != b[x] {
+					return a[x] < b[x]
+				}
+			}
+			return false
+		})
+	}
+	// Affected groups: every non-retired delta plus every group absorbing
+	// keys; deterministic order for reproducible experiments. Retired
+	// groups need no migration of their own — their keys travel with the
+	// absorbing groups' migrations — but are dismantled at the end.
+	affectedSet := make(map[ring.GroupID]bool)
+	var retired []ring.GroupID
+	for g, d := range diff.Deltas {
+		if d.Retired() {
+			retired = append(retired, g)
+			continue
+		}
+		affectedSet[g] = true
+	}
+	for g := range movedInto {
+		affectedSet[g] = true
+	}
+	affected := make([]ring.GroupID, 0, len(affectedSet))
+	for g := range affectedSet {
+		affected = append(affected, g)
+		c.migratingGroups[g] = true
+	}
+	sort.Slice(affected, func(i, j int) bool { return affected[i] < affected[j] })
+	c.resizing = true
+	c.mu.Unlock()
+
+	c.runMigrations(len(affected), func(i int) *migration {
+		g := affected[i]
+		return c.buildResizeMigration(g, movedInto[g])
+	}, func() {
+		c.mu.Lock()
+		for _, g := range retired {
+			delete(c.chains, g)
+			delete(c.keys, g)
+			delete(c.sessions, g)
+		}
+		c.resizing = false
+		c.migratingGroups = make(map[ring.GroupID]bool)
+		c.droppedKeys = make(map[kv.Key]bool)
+		c.mu.Unlock()
+		if done != nil {
+			done()
+		}
+	})
+	return diff, nil
+}
+
+// Resizing reports whether a planned reconfiguration is in flight.
+func (c *Controller) Resizing() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.resizing
+}
+
+// buildResizeMigration plans one group's resize migration: freeze fresh
+// writes on the serving chain (and on donor chains while their keys copy),
+// sync state, flip, unfreeze, GC the donors' orphaned slots.
+func (c *Controller) buildResizeMigration(g ring.GroupID, moves []keyMove) *migration {
+	c.mu.Lock()
+	newChain, err := c.ring.ChainForGroup(g)
+	if err != nil {
+		c.mu.Unlock()
+		return nil
+	}
+	newChain = c.liveChainLocked(newChain)
+	old := c.chains[g] // zero-valued for groups born in this resize
+	adds := additions(old, newChain)
+	leavers := additions(newChain, old) // serving members not in the new chain
+	groupKeys := append([]kv.Key(nil), c.keys[g]...)
+	items := len(groupKeys)
+	// Donor serving chains and session floor: the receiving group's next
+	// session must dominate every version stamped under a donor's session,
+	// or replicas would reject post-migration writes as stale.
+	donorChains := make(map[ring.GroupID]ring.Chain, len(moves))
+	var sessionFloor uint32
+	for _, mv := range moves {
+		donorChains[mv.from] = c.chains[mv.from]
+		if s := c.sessions[mv.from]; s > sessionFloor {
+			sessionFloor = s
+		}
+	}
+	c.mu.Unlock()
+
+	if len(adds) == 0 && len(moves) == 0 {
+		if old.Equal(newChain) {
+			return nil
+		}
+		if len(leavers) == 0 && len(old.Hops) > 0 && len(newChain.Hops) > 0 &&
+			old.Head() == newChain.Head() {
+			// Pure reorder of the serving members: no data to move, no
+			// head change — adopt.
+			return &migration{group: g, old: old, next: newChain, adoptOnly: true}
+		}
+		// Head changed or members left without replacement: run the phases
+		// (session bump / leaver GC) with an empty copy set.
+	}
+
+	// Freeze set: every serving member of the group (any of them may act
+	// as head behind failover rules) plus every donor chain member.
+	type freezeTarget struct {
+		sw    packet.Addr
+		group ring.GroupID
+	}
+	var freezes []freezeTarget
+	seen := make(map[freezeTarget]bool)
+	addFreeze := func(sw packet.Addr, fg ring.GroupID) {
+		ft := freezeTarget{sw, fg}
+		if !seen[ft] {
+			seen[ft] = true
+			freezes = append(freezes, ft)
+		}
+	}
+	for _, h := range old.Hops {
+		addFreeze(h, g)
+	}
+	for dg, ch := range donorChains {
+		for _, h := range ch.Hops {
+			addFreeze(h, dg)
+		}
+	}
+
+	syncItems := items*len(adds) + len(moves)*len(newChain.Hops)
+	syncDur := time.Duration(syncItems) * c.cfg.SyncPerItem
+
+	m := &migration{
+		group:        g,
+		old:          old,
+		next:         newChain,
+		stopWait:     c.cfg.RuleDelay + syncDur,
+		sessionFloor: sessionFloor,
+		bumpSession:  len(moves) > 0,
+		stop: func() {
+			for _, ft := range freezes {
+				if a, ok := c.agent(ft.sw); ok {
+					_ = a.FreezeWrites(uint16(ft.group), true)
+				}
+			}
+		},
+		sync: func() {
+			// Members joining the chain receive the group's current keys
+			// from a reference replica (§5.2 "Handling special cases").
+			for _, add := range adds {
+				if ref, ok := referenceSwitch(newChain, add, old); ok {
+					c.copyGroup(g, ref, add)
+				}
+			}
+			// Keys absorbed from donor groups come from the donor tail —
+			// the replica guaranteed to hold only committed writes — to
+			// every member of the new chain.
+			for _, mv := range moves {
+				c.copyKey(mv.key, donorChains[mv.from], newChain)
+			}
+		},
+		flip: func() {
+			// Key-ownership bookkeeping, under c.mu: the absorbed keys now
+			// belong to g and route through its (just-flipped) chain, and
+			// the group accepts inserts again. Keys GC'd mid-resize stay
+			// deleted — and because a GC under wall-clock time can slip in
+			// between copyKey's drop check and the item landing on the new
+			// chain, the flip scrubs every dropped key of this group off
+			// the chain it is about to serve from.
+			delete(c.migratingGroups, g)
+			for k := range c.droppedKeys {
+				if c.ring.GroupForKey(k) != g {
+					continue
+				}
+				for _, h := range newChain.Hops {
+					if a, ok := c.agent(h); ok {
+						_ = a.RemoveKey(k)
+					}
+				}
+			}
+			for _, mv := range moves {
+				if c.droppedKeys[mv.key] {
+					continue
+				}
+				ks := c.keys[mv.from]
+				for i, k := range ks {
+					if k == mv.key {
+						c.keys[mv.from] = append(ks[:i], ks[i+1:]...)
+						break
+					}
+				}
+				c.keys[g] = append(c.keys[g], mv.key)
+				delete(c.moved, mv.key)
+			}
+		},
+		activate: func() {
+			// Unfreeze only the members now serving the group: a write that
+			// is still in flight toward a donor head or a leaver must keep
+			// bouncing (StatusUnavailable → client retries on the fresh
+			// route) — an unfrozen old head with a live slot would stamp
+			// and ack the write on a chain the copy already left behind, an
+			// acknowledged lost update.
+			for _, ft := range freezes {
+				if ft.group == g && newChain.Contains(ft.sw) {
+					if a, ok := c.agent(ft.sw); ok {
+						_ = a.FreezeWrites(uint16(ft.group), false)
+					}
+				}
+			}
+			// GC absorbed keys' slots from donor members that are not part
+			// of the new chain, and the group's own keys from members that
+			// left it (exact placement: a key lives on its chain's switches
+			// and nowhere else — this is also what lets a drained switch be
+			// powered off empty). The removal waits out one rule delay so
+			// reads that resolved their route to the donor/leaver chain
+			// just before the flip drain off the wire first; removing the
+			// slot under them would turn an existing key into a spurious
+			// NotFound. Only once the slots are gone do the donors and
+			// leavers unfreeze — from then on a stale-routed write fails
+			// with NotFound instead of silently committing.
+			c.sched.After(c.cfg.RuleDelay, func() {
+				for _, mv := range moves {
+					for _, h := range donorChains[mv.from].Hops {
+						if !newChain.Contains(h) {
+							if a, ok := c.agent(h); ok {
+								_ = a.RemoveKey(mv.key)
+							}
+						}
+					}
+				}
+				for _, h := range leavers {
+					if a, ok := c.agent(h); ok {
+						for _, k := range groupKeys {
+							_ = a.RemoveKey(k)
+						}
+					}
+				}
+				for _, ft := range freezes {
+					if ft.group == g && newChain.Contains(ft.sw) {
+						continue // already lifted at activation
+					}
+					if a, ok := c.agent(ft.sw); ok {
+						_ = a.FreezeWrites(uint16(ft.group), false)
+					}
+				}
+			})
+		},
+	}
+	return m
+}
+
+// copyKey replicates one key's record from the donor chain's tail onto
+// every member of the destination chain, allocating slots as needed. Keys
+// the client GC'd since the resize started are not copied — the deletion
+// wins over the move.
+func (c *Controller) copyKey(k kv.Key, donor, dst ring.Chain) {
+	c.mu.Lock()
+	dropped := c.droppedKeys[k]
+	c.mu.Unlock()
+	if dropped {
+		return
+	}
+	var it core.Item
+	haveItem := false
+	if len(donor.Hops) > 0 {
+		if src, ok := c.agent(donor.Tail()); ok {
+			if item, err := src.ReadItem(k); err == nil {
+				it, haveItem = item, true
+			}
+		}
+	}
+	for _, h := range dst.Hops {
+		a, ok := c.agent(h)
+		if !ok {
+			continue
+		}
+		if !haveItem {
+			// Donor unreadable (key mid-insert or chain fully failed):
+			// install the slot so post-migration writes land.
+			_ = a.InstallKey(k)
+			continue
+		}
+		_ = a.WriteItem(it)
+	}
+}

@@ -81,17 +81,18 @@ type Item struct {
 
 // Stats counts dataplane activity for the evaluation harness.
 type Stats struct {
-	Reads       uint64 // read queries served (replied) here
-	WritesHead  uint64 // fresh writes stamped here as acting head
-	WritesApply uint64 // ordered writes applied (replica/tail)
-	WritesStale uint64 // ordered writes dropped as stale (Fig. 5 fix)
-	CASFails    uint64 // compare-and-swaps rejected at the head
-	Replies     uint64 // replies emitted toward clients
-	RuleHits    uint64 // frames rewritten/dropped by neighbor rules
-	RuleDrops   uint64 // frames dropped by ActDrop rules
-	NotFound    uint64 // queries for keys with no slot
-	Transits    uint64 // frames forwarded without NetChain processing
-	Processed   uint64 // NetChain queries processed locally
+	Reads        uint64 // read queries served (replied) here
+	WritesHead   uint64 // fresh writes stamped here as acting head
+	WritesApply  uint64 // ordered writes applied (replica/tail)
+	WritesStale  uint64 // ordered writes dropped as stale (Fig. 5 fix)
+	WritesFrozen uint64 // fresh writes bounced by a migration freeze
+	CASFails     uint64 // compare-and-swaps rejected at the head
+	Replies      uint64 // replies emitted toward clients
+	RuleHits     uint64 // frames rewritten/dropped by neighbor rules
+	RuleDrops    uint64 // frames dropped by ActDrop rules
+	NotFound     uint64 // queries for keys with no slot
+	Transits     uint64 // frames forwarded without NetChain processing
+	Processed    uint64 // NetChain queries processed locally
 }
 
 // Switch is one NetChain switch's dataplane state. Methods are safe for
@@ -105,6 +106,7 @@ type Switch struct {
 	pipe     *swsim.Pipeline
 	rules    map[packet.Addr]map[int]Rule // dst -> group (or WildcardGroup) -> rule
 	sessions map[uint16]uint32            // virtual group -> session stamped when acting head
+	frozen   map[uint16]int               // virtual group -> nested serve-while-migrating write guards
 	stats    Stats
 }
 
@@ -119,6 +121,7 @@ func NewSwitch(addr packet.Addr, cfg swsim.Config) (*Switch, error) {
 		pipe:     pipe,
 		rules:    make(map[packet.Addr]map[int]Rule),
 		sessions: make(map[uint16]uint32),
+		frozen:   make(map[uint16]int),
 	}, nil
 }
 
@@ -225,7 +228,22 @@ func (s *Switch) processWrite(f *packet.Frame) Disposition {
 	}
 
 	if nc.Version().IsZero() {
-		// Acting head.
+		// Acting head. Serve-while-migrating guard: while the group's state
+		// is being copied to a new chain, fresh writes must not be stamped —
+		// they could land after the copy read their key and be lost at the
+		// flip. Ordered writes (non-zero version, stamped before the freeze)
+		// keep draining down the chain, and reads are untouched, so only the
+		// migrating group briefly loses write availability (§5.2's per-group
+		// window, applied to planned resize). The guard pairs with the
+		// session bump: activation installs the new session on the new head
+		// and lifts the freeze, so post-migration writes dominate anything
+		// stamped before the stop.
+		if s.frozen[nc.Group] > 0 {
+			s.stats.WritesFrozen++
+			f.ToReply(kv.StatusUnavailable)
+			s.stats.Replies++
+			return Forward
+		}
 		if nc.Op == kv.OpCAS {
 			newVal, stored, ok := s.casApplies(loc, nc.Value)
 			if !ok {
@@ -447,6 +465,36 @@ func (s *Switch) Session(group uint16) uint32 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.sessions[group]
+}
+
+// SetWriteFreeze installs or lifts the serve-while-migrating guard for a
+// virtual group (phase 1 of a planned migration): while frozen, this switch
+// refuses to stamp fresh writes for the group (clients get
+// StatusUnavailable and retry after activation) but keeps applying ordered
+// chain writes and serving reads. Guards nest: consecutive migrations may
+// freeze the same group with overlapping lifetimes (a donor chain thaws one
+// rule-delay late), so each true increments a count and each false
+// decrements it — the group serves writes again only when every freeze has
+// been lifted, regardless of delivery order.
+func (s *Switch) SetWriteFreeze(group uint16, frozen bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if frozen {
+		s.frozen[group]++
+		return
+	}
+	if s.frozen[group] > 1 {
+		s.frozen[group]--
+	} else {
+		delete(s.frozen, group)
+	}
+}
+
+// WriteFrozen reports whether the group's migration guard is up.
+func (s *Switch) WriteFrozen(group uint16) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.frozen[group] > 0
 }
 
 // ReadItem dumps one record for state sync.

@@ -1,0 +1,145 @@
+package lincheck
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+func ownerVal(owner uint64, payload string) string {
+	b := make([]byte, 8+len(payload))
+	binary.BigEndian.PutUint64(b, owner)
+	copy(b[8:], payload)
+	return string(b)
+}
+
+func TestSequentialHistoryAccepted(t *testing.T) {
+	h := []Op{
+		{Kind: Write, Key: "a", Input: "1", Invoke: 0, Return: 1},
+		{Kind: Read, Key: "a", Output: "1", Found: true, Invoke: 2, Return: 3},
+		{Kind: Write, Key: "a", Input: "2", Invoke: 4, Return: 5},
+		{Kind: Read, Key: "a", Output: "2", Found: true, Invoke: 6, Return: 7},
+	}
+	if res := Check(h, nil); !res.OK {
+		t.Fatalf("valid sequential history rejected: %s", res.Reason)
+	}
+}
+
+func TestStaleReadRejected(t *testing.T) {
+	h := []Op{
+		{Kind: Write, Key: "a", Input: "1", Invoke: 0, Return: 1},
+		{Kind: Write, Key: "a", Input: "2", Invoke: 2, Return: 3},
+		// Reads strictly after the second write completed must not see "1".
+		{Kind: Read, Key: "a", Output: "1", Found: true, Invoke: 4, Return: 5},
+	}
+	if res := Check(h, nil); res.OK {
+		t.Fatal("stale read accepted")
+	}
+}
+
+func TestConcurrentReadMaySeeEitherValue(t *testing.T) {
+	base := []Op{
+		{Kind: Write, Key: "a", Input: "1", Invoke: 0, Return: 1},
+		{Kind: Write, Key: "a", Input: "2", Invoke: 2, Return: 10},
+	}
+	for _, out := range []string{"1", "2"} {
+		h := append(append([]Op(nil), base...),
+			Op{Kind: Read, Key: "a", Output: out, Found: true, Invoke: 3, Return: 4})
+		if res := Check(h, nil); !res.OK {
+			t.Fatalf("concurrent read of %q rejected: %s", out, res.Reason)
+		}
+	}
+}
+
+func TestReadMustNotTravelBackwards(t *testing.T) {
+	// Two sequential reads during one long write: once the second value is
+	// observed, a later read may not flip back to the old value.
+	h := []Op{
+		{Kind: Write, Key: "a", Input: "1", Invoke: 0, Return: 1},
+		{Kind: Write, Key: "a", Input: "2", Invoke: 2, Return: 20},
+		{Kind: Read, Key: "a", Output: "2", Found: true, Invoke: 3, Return: 4},
+		{Kind: Read, Key: "a", Output: "1", Found: true, Invoke: 5, Return: 6},
+	}
+	if res := Check(h, nil); res.OK {
+		t.Fatal("non-monotonic reads accepted")
+	}
+}
+
+func TestLostUpdateRejected(t *testing.T) {
+	// Both CASes claim success from the same expected owner with no
+	// release in between: only one can linearize.
+	h := []Op{
+		{Kind: CAS, Key: "l", Expect: 0, Input: ownerVal(1, ""), OK: true, Invoke: 0, Return: 5},
+		{Kind: CAS, Key: "l", Expect: 0, Input: ownerVal(2, ""), OK: true, Invoke: 1, Return: 6},
+	}
+	if res := Check(h, map[string]string{"l": ownerVal(0, "")}); res.OK {
+		t.Fatal("double lock acquisition accepted")
+	}
+}
+
+func TestCASFailureObservesStoredValue(t *testing.T) {
+	lockHeld := ownerVal(7, "x")
+	h := []Op{
+		{Kind: CAS, Key: "l", Expect: 0, Input: ownerVal(7, "x"), OK: true, Invoke: 0, Return: 1},
+		{Kind: CAS, Key: "l", Expect: 0, Input: ownerVal(9, ""), OK: false, Output: lockHeld, Invoke: 2, Return: 3},
+	}
+	if res := Check(h, map[string]string{"l": ownerVal(0, "")}); !res.OK {
+		t.Fatalf("valid contended CAS rejected: %s", res.Reason)
+	}
+	// A failure reply reporting a value that was never stored is invalid.
+	h[1].Output = ownerVal(3, "never")
+	if res := Check(h, map[string]string{"l": ownerVal(0, "")}); res.OK {
+		t.Fatal("fabricated CAS observation accepted")
+	}
+}
+
+func TestUnknownWriteMayOrMayNotApply(t *testing.T) {
+	// A timed-out write may have landed...
+	h := []Op{
+		{Kind: Write, Key: "a", Input: "1", Invoke: 0, Return: 1},
+		{Kind: Write, Key: "a", Input: "lost", Invoke: 2, Return: Infinity, Unknown: true},
+		{Kind: Read, Key: "a", Output: "lost", Found: true, Invoke: 10, Return: 11},
+	}
+	if res := Check(h, nil); !res.OK {
+		t.Fatalf("unknown write that applied rejected: %s", res.Reason)
+	}
+	// ...or not.
+	h[2].Output = "1"
+	if res := Check(h, nil); !res.OK {
+		t.Fatalf("unknown write that vanished rejected: %s", res.Reason)
+	}
+	// But it cannot apply *before* its invocation.
+	h2 := []Op{
+		{Kind: Write, Key: "a", Input: "1", Invoke: 0, Return: 1},
+		{Kind: Read, Key: "a", Output: "lost", Found: true, Invoke: 2, Return: 3},
+		{Kind: Write, Key: "a", Input: "lost", Invoke: 4, Return: Infinity, Unknown: true},
+	}
+	if res := Check(h2, nil); res.OK {
+		t.Fatal("time-travelling unknown write accepted")
+	}
+}
+
+func TestKeysCheckedIndependently(t *testing.T) {
+	// A violation on one key is found even among many clean keys.
+	h := []Op{
+		{Kind: Write, Key: "x", Input: "1", Invoke: 0, Return: 1},
+		{Kind: Read, Key: "x", Output: "1", Found: true, Invoke: 2, Return: 3},
+		{Kind: Write, Key: "y", Input: "1", Invoke: 0, Return: 1},
+		{Kind: Read, Key: "y", Output: "2", Found: true, Invoke: 2, Return: 3},
+	}
+	res := Check(h, nil)
+	if res.OK || res.Key != "y" {
+		t.Fatalf("violation not attributed: %+v", res)
+	}
+}
+
+func TestInitialStateRespected(t *testing.T) {
+	h := []Op{
+		{Kind: Read, Key: "a", Output: "seed", Found: true, Invoke: 0, Return: 1},
+	}
+	if res := Check(h, map[string]string{"a": "seed"}); !res.OK {
+		t.Fatalf("seeded read rejected: %s", res.Reason)
+	}
+	if res := Check(h, nil); res.OK {
+		t.Fatal("read of absent key accepted")
+	}
+}

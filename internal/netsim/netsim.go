@@ -277,6 +277,65 @@ func (n *Network) Failed(addr packet.Addr) bool {
 	return ok && nd.failed
 }
 
+// AttachSwitch adds a switch node and wires it to the given peers while
+// the simulation runs — elastic scale-out. Routes are recomputed so the
+// fabric starts forwarding through (and to) the new switch immediately.
+func (n *Network) AttachSwitch(sw *core.Switch, cfg NodeConfig,
+	peers []packet.Addr, latency event.Time) error {
+	if len(peers) == 0 {
+		return fmt.Errorf("netsim: attaching %v with no links", sw.Addr())
+	}
+	if err := n.AddSwitch(sw, cfg); err != nil {
+		return err
+	}
+	for _, p := range peers {
+		if err := n.Link(sw.Addr(), p, latency); err != nil {
+			// Roll the half-attached node back out.
+			n.removeNode(sw.Addr())
+			return err
+		}
+	}
+	n.ComputeRoutes()
+	return nil
+}
+
+// DetachSwitch removes a switch and its links from the fabric — elastic
+// scale-in, after the controller drained its state. Frames still in flight
+// toward it are dropped (counted as FailDrops); routes are recomputed.
+func (n *Network) DetachSwitch(addr packet.Addr) error {
+	nd, ok := n.nodes[addr]
+	if !ok || nd.kind != KindSwitch {
+		return fmt.Errorf("netsim: %v is not a switch", addr)
+	}
+	// In-flight deliveries hold the node pointer; the failed flag makes
+	// them drop cleanly after removal.
+	nd.failed = true
+	n.removeNode(addr)
+	n.ComputeRoutes()
+	return nil
+}
+
+// removeNode unlinks and deletes a node.
+func (n *Network) removeNode(addr packet.Addr) {
+	nd, ok := n.nodes[addr]
+	if !ok {
+		return
+	}
+	for _, peer := range nd.links {
+		if pn, ok := n.nodes[peer]; ok {
+			kept := pn.links[:0]
+			for _, l := range pn.links {
+				if l != addr {
+					kept = append(kept, l)
+				}
+			}
+			pn.links = kept
+		}
+		delete(n.latency, linkKey(addr, peer))
+	}
+	delete(n.nodes, addr)
+}
+
 // Switch returns the dataplane of a switch node (controller access).
 func (n *Network) Switch(addr packet.Addr) (*core.Switch, bool) {
 	nd, ok := n.nodes[addr]

@@ -76,10 +76,34 @@ type Testbed struct {
 	Profile  Profile
 	Switches [4]packet.Addr // S0..S3
 	Hosts    [4]packet.Addr // H0..H3
+	// Extra lists switches attached after construction (S4, S5, ... via
+	// AttachSwitch) in join order.
+	Extra []packet.Addr
 }
 
-// SwitchAddrs returns S0..S3 as a slice.
-func (tb *Testbed) SwitchAddrs() []packet.Addr { return tb.Switches[:] }
+// SwitchAddrs returns S0..S3 plus any attached extras as a slice.
+func (tb *Testbed) SwitchAddrs() []packet.Addr {
+	return append(append([]packet.Addr(nil), tb.Switches[:]...), tb.Extra...)
+}
+
+// AttachSwitch boots a new switch (S4, S5, ...) under the testbed profile
+// and links it to the given peers (defaults to S0 and S2, mirroring the
+// spare S3's diamond wiring) — the physical half of elastic scale-out.
+func (tb *Testbed) AttachSwitch(peers ...packet.Addr) (packet.Addr, error) {
+	addr := packet.AddrFrom4(10, 0, 0, byte(5+len(tb.Extra)))
+	if len(peers) == 0 {
+		peers = []packet.Addr{tb.Switches[0], tb.Switches[2]}
+	}
+	sw, err := core.NewSwitch(addr, tb.Profile.Pipeline)
+	if err != nil {
+		return 0, err
+	}
+	if err := tb.Net.AttachSwitch(sw, tb.Profile.SwitchNodeConfig(), peers, tb.Profile.LinkLatency); err != nil {
+		return 0, err
+	}
+	tb.Extra = append(tb.Extra, addr)
+	return addr, nil
+}
 
 // NewTestbed wires the Fig. 8 testbed. Host receive callbacks are
 // installed later by the client layer via HostRecv.

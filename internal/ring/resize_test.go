@@ -1,0 +1,211 @@
+package ring
+
+import (
+	"testing"
+
+	"netchain/internal/kv"
+	"netchain/internal/packet"
+)
+
+func testSwitches(n int) []packet.Addr {
+	out := make([]packet.Addr, n)
+	for i := range out {
+		out[i] = packet.AddrFrom4(10, 0, 0, byte(i+1))
+	}
+	return out
+}
+
+func TestResizeScaleOutCreatesOnlyNewGroups(t *testing.T) {
+	sws := testSwitches(4)
+	r, err := New(Config{VNodesPerSwitch: 8, Replicas: 3, Seed: 7}, sws[:3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := r.Chains()
+	diff, err := r.Resize([]packet.Addr{sws[3]}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diff.Added) != 1 || diff.Added[0] != sws[3] || len(diff.Removed) != 0 {
+		t.Fatalf("diff membership = %+v", diff)
+	}
+	created, retired, changed := 0, 0, 0
+	for g, d := range diff.Deltas {
+		switch {
+		case d.Created():
+			created++
+			if _, existed := before[g]; existed {
+				t.Fatalf("group %d marked created but existed", g)
+			}
+		case d.Retired():
+			retired++
+		default:
+			changed++
+			if before[g].Equal(d.New) {
+				t.Fatalf("group %d delta with unchanged chain", g)
+			}
+		}
+	}
+	if created != 8 {
+		t.Fatalf("created = %d, want 8 (one per new vnode)", created)
+	}
+	if retired != 0 {
+		t.Fatalf("scale-out retired %d groups", retired)
+	}
+	// Every delta's New must match the ring's post-resize chains exactly.
+	after := r.Chains()
+	for g, d := range diff.Deltas {
+		if d.Retired() {
+			continue
+		}
+		if !after[g].Equal(d.New) {
+			t.Fatalf("group %d: diff.New %v != ring chain %v", g, d.New.Hops, after[g].Hops)
+		}
+	}
+	// Untouched groups really are untouched.
+	for g, ch := range after {
+		if _, inDiff := diff.Deltas[g]; inDiff {
+			continue
+		}
+		if !before[g].Equal(ch) {
+			t.Fatalf("group %d changed but is absent from the diff", g)
+		}
+	}
+}
+
+func TestResizeScaleInRetiresGroupsAndRemapsKeys(t *testing.T) {
+	sws := testSwitches(4)
+	r, err := New(Config{VNodesPerSwitch: 8, Replicas: 3, Seed: 7}, sws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keys owned by the doomed switch's groups must remap to surviving
+	// groups after the resize.
+	victim := sws[3]
+	victimGroups := map[GroupID]bool{}
+	for _, v := range r.vnodes {
+		if v.owner == victim {
+			victimGroups[v.group] = true
+		}
+	}
+	var victimKeys []kv.Key
+	for i := uint64(0); i < 4096 && len(victimKeys) < 16; i++ {
+		k := kv.KeyFromUint64(i)
+		if victimGroups[r.GroupForKey(k)] {
+			victimKeys = append(victimKeys, k)
+		}
+	}
+	if len(victimKeys) == 0 {
+		t.Fatal("no keys landed on the victim's groups")
+	}
+
+	diff, err := r.Resize(nil, []packet.Addr{victim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	retired := 0
+	for _, d := range diff.Deltas {
+		if d.Retired() {
+			retired++
+			if !victimGroups[d.Group] {
+				t.Fatalf("retired group %d not owned by victim", d.Group)
+			}
+		}
+	}
+	if retired != 8 {
+		t.Fatalf("retired = %d, want 8", retired)
+	}
+	if r.IsMember(victim) {
+		t.Fatal("victim still a member")
+	}
+	for _, k := range victimKeys {
+		g := r.GroupForKey(k)
+		if victimGroups[g] {
+			t.Fatalf("key %v still maps to retired group %d", k, g)
+		}
+		for _, h := range r.ChainForKey(k).Hops {
+			if h == victim {
+				t.Fatalf("key %v chain still includes the removed switch", k)
+			}
+		}
+	}
+}
+
+func TestResizeGroupIDsNeverReused(t *testing.T) {
+	sws := testSwitches(5)
+	r, err := New(Config{VNodesPerSwitch: 4, Replicas: 3, Seed: 1}, sws[:4])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Remove the switch owning the highest group ids, then add a new one:
+	// the new groups must NOT reuse the retired ids.
+	if _, err := r.Resize(nil, []packet.Addr{sws[3]}); err != nil {
+		t.Fatal(err)
+	}
+	diff, err := r.Resize([]packet.Addr{sws[4]}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g, d := range diff.Deltas {
+		if d.Created() && g < GroupID(16) {
+			t.Fatalf("created group %d reuses a retired id", g)
+		}
+	}
+}
+
+func TestResizeRefusesGroupIDOverflow(t *testing.T) {
+	sws := testSwitches(4)
+	// 60000 ids allocated at construction; adding a fourth switch's 20000
+	// would cross the 16-bit group-id space the wire format carries.
+	r, err := New(Config{VNodesPerSwitch: 20000, Replicas: 3, Seed: 1}, sws[:3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Resize([]packet.Addr{sws[3]}, nil); err == nil {
+		t.Fatal("resize past the 16-bit group id space must be refused")
+	}
+	if r.IsMember(sws[3]) {
+		t.Fatal("rejected resize mutated membership")
+	}
+}
+
+func TestResizeValidation(t *testing.T) {
+	sws := testSwitches(5)
+	r, err := New(Config{VNodesPerSwitch: 4, Replicas: 3, Seed: 1}, sws[:3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Resize(nil, []packet.Addr{sws[0]}); err == nil {
+		t.Fatal("removing below the replica floor must fail")
+	}
+	if _, err := r.Resize([]packet.Addr{sws[0]}, nil); err == nil {
+		t.Fatal("adding an existing member must fail")
+	}
+	if _, err := r.Resize(nil, []packet.Addr{sws[4]}); err == nil {
+		t.Fatal("removing a non-member must fail")
+	}
+	if _, err := r.Resize([]packet.Addr{sws[3], sws[3]}, nil); err == nil {
+		t.Fatal("duplicate add must fail")
+	}
+	if _, err := r.Resize([]packet.Addr{sws[3]}, []packet.Addr{sws[3]}); err == nil {
+		t.Fatal("overlapping add/remove must fail")
+	}
+	// Failed validation must leave the ring untouched.
+	if got := r.Groups(); got != 12 {
+		t.Fatalf("groups after rejected resizes = %d, want 12", got)
+	}
+	// Simultaneous add+remove (rolling replacement) works.
+	diff, err := r.Resize([]packet.Addr{sws[3]}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diff.Groups()) == 0 {
+		t.Fatal("empty diff for a real resize")
+	}
+	if _, err := r.Resize([]packet.Addr{sws[4]}, []packet.Addr{sws[0]}); err != nil {
+		t.Fatal(err)
+	}
+	if r.IsMember(sws[0]) || !r.IsMember(sws[4]) {
+		t.Fatal("rolling replacement membership wrong")
+	}
+}

@@ -67,6 +67,20 @@ func (c Chain) Contains(sw packet.Addr) bool {
 	return false
 }
 
+// Equal reports whether two chains serve the same group through the same
+// hops in the same order.
+func (c Chain) Equal(o Chain) bool {
+	if c.Group != o.Group || len(c.Hops) != len(o.Hops) {
+		return false
+	}
+	for i, h := range c.Hops {
+		if h != o.Hops[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // clone returns an independent copy of the chain.
 func (c Chain) clone() Chain {
 	return Chain{Group: c.Group, Hops: append([]packet.Addr(nil), c.Hops...)}
@@ -78,7 +92,20 @@ type Ring struct {
 	cfg      Config
 	switches []packet.Addr
 	vnodes   []vnode // sorted by point
+	// nextGroup is the next unassigned group id. Group ids are never
+	// reused: a group retired by a scale-in keeps its id forever, so
+	// session numbers installed in switches for a dead group can never
+	// collide with a group created by a later scale-out. Because the wire
+	// format carries group ids in a 16-bit field, Resize refuses to
+	// allocate past MaxGroupID — that cap is what makes "never reused"
+	// hold all the way down to the truncated id the dataplane sees.
+	nextGroup GroupID
 }
+
+// MaxGroupID bounds cumulative group allocation: the packet header's group
+// field (and the switch session/freeze tables keyed on it) is 16 bits, so
+// ids must stay unique without truncation.
+const MaxGroupID = GroupID(1 << 16)
 
 // New builds a ring over the given switches.
 func New(cfg Config, switches []packet.Addr) (*Ring, error) {
@@ -111,6 +138,7 @@ func New(cfg Config, switches []packet.Addr) (*Ring, error) {
 			g++
 		}
 	}
+	r.nextGroup = g
 	sort.Slice(r.vnodes, func(i, j int) bool {
 		a, b := r.vnodes[i], r.vnodes[j]
 		if a.point != b.point {
@@ -246,22 +274,120 @@ func (r *Ring) IsMember(sw packet.Addr) bool {
 // AddSwitch admits a new switch and gives it its own virtual nodes (new
 // switch onboarding is handled like failure recovery, §5 overview).
 func (r *Ring) AddSwitch(sw packet.Addr) error {
-	if err := r.AddMember(sw); err != nil {
-		return err
+	_, err := r.Resize([]packet.Addr{sw}, nil)
+	return err
+}
+
+// ---------------------------------------------------------------------------
+// Planned elastic reconfiguration: the scale-free half of the paper's title.
+// Consistent hashing makes growth incremental (§4.1): adding a switch's
+// virtual nodes splits existing ring segments, removing them merges segments
+// into their successors — either way only the affected segments' key ranges
+// move, and Diff names exactly which virtual groups must migrate.
+
+// Delta records one virtual group's chain change across a Resize.
+// Zero-length Old.Hops marks a group created by the resize (a new virtual
+// node); zero-length New.Hops marks a group retired by it (its key range
+// merged into the clockwise successor group).
+type Delta struct {
+	Group GroupID
+	Old   Chain
+	New   Chain
+}
+
+// Created reports whether the delta describes a brand-new group.
+func (d Delta) Created() bool { return len(d.Old.Hops) == 0 }
+
+// Retired reports whether the delta describes a removed group.
+func (d Delta) Retired() bool { return len(d.New.Hops) == 0 }
+
+// Diff summarizes a Resize: the membership change plus the per-group chain
+// deltas the migration engine must execute. Groups absent from Deltas kept
+// their chain bit-for-bit and need no data movement.
+type Diff struct {
+	Added   []packet.Addr
+	Removed []packet.Addr
+	Deltas  map[GroupID]Delta
+}
+
+// Groups returns the delta group ids in ascending order (deterministic
+// migration schedules).
+func (d Diff) Groups() []GroupID {
+	out := make([]GroupID, 0, len(d.Deltas))
+	for g := range d.Deltas {
+		out = append(out, g)
 	}
-	g := GroupID(0)
-	for _, v := range r.vnodes {
-		if v.group >= g {
-			g = v.group + 1
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Resize applies a planned membership change: switches in add join with
+// their own virtual nodes (fresh group ids), switches in remove leave and
+// their virtual nodes are deleted — the removed key ranges merge into the
+// clockwise successor groups. It returns the Diff between the chain layouts
+// before and after. The ring itself moves atomically; executing the data
+// migration the Diff implies is the controller's job.
+func (r *Ring) Resize(add, remove []packet.Addr) (Diff, error) {
+	seen := make(map[packet.Addr]bool, len(add)+len(remove))
+	for _, sw := range add {
+		if seen[sw] {
+			return Diff{}, fmt.Errorf("ring: duplicate switch %v in resize", sw)
+		}
+		seen[sw] = true
+		if r.IsMember(sw) {
+			return Diff{}, fmt.Errorf("ring: switch %v already a member", sw)
 		}
 	}
-	for i := 0; i < r.cfg.VNodesPerSwitch; i++ {
-		r.vnodes = append(r.vnodes, vnode{
-			point: pointHash(r.cfg.Seed, sw, i),
-			owner: sw,
-			group: g,
-		})
-		g++
+	for _, sw := range remove {
+		if seen[sw] {
+			return Diff{}, fmt.Errorf("ring: duplicate switch %v in resize", sw)
+		}
+		seen[sw] = true
+		if !r.IsMember(sw) {
+			return Diff{}, fmt.Errorf("ring: switch %v is not a member", sw)
+		}
+	}
+	if n := len(r.switches) + len(add) - len(remove); n < r.cfg.Replicas {
+		return Diff{}, fmt.Errorf("ring: resize leaves %d switches for %d-replica chains",
+			n, r.cfg.Replicas)
+	}
+	if next := int(r.nextGroup) + len(add)*r.cfg.VNodesPerSwitch; next > int(MaxGroupID) {
+		return Diff{}, fmt.Errorf("ring: resize would allocate group ids past %d "+
+			"(the packet group field is 16 bits and ids are never reused); "+
+			"rebuild the ring to compact ids", MaxGroupID)
+	}
+	before := r.Chains()
+
+	removing := make(map[packet.Addr]bool, len(remove))
+	for _, sw := range remove {
+		removing[sw] = true
+	}
+	if len(remove) > 0 {
+		kept := r.vnodes[:0]
+		for _, v := range r.vnodes {
+			if !removing[v.owner] {
+				kept = append(kept, v)
+			}
+		}
+		r.vnodes = kept
+		members := r.switches[:0]
+		for _, sw := range r.switches {
+			if !removing[sw] {
+				members = append(members, sw)
+			}
+		}
+		r.switches = members
+	}
+	for _, sw := range add {
+		r.switches = append(r.switches, sw)
+		for i := 0; i < r.cfg.VNodesPerSwitch; i++ {
+			r.vnodes = append(r.vnodes, vnode{
+				point: pointHash(r.cfg.Seed, sw, i),
+				owner: sw,
+				group: r.nextGroup,
+			})
+			r.nextGroup++
+		}
 	}
 	sort.Slice(r.vnodes, func(i, j int) bool {
 		a, b := r.vnodes[i], r.vnodes[j]
@@ -270,7 +396,29 @@ func (r *Ring) AddSwitch(sw packet.Addr) error {
 		}
 		return a.group < b.group
 	})
-	return nil
+
+	after := r.Chains()
+	diff := Diff{
+		Added:   append([]packet.Addr(nil), add...),
+		Removed: append([]packet.Addr(nil), remove...),
+		Deltas:  make(map[GroupID]Delta),
+	}
+	for g, old := range before {
+		nw, ok := after[g]
+		if !ok {
+			diff.Deltas[g] = Delta{Group: g, Old: old, New: Chain{Group: g}}
+			continue
+		}
+		if !old.Equal(nw) {
+			diff.Deltas[g] = Delta{Group: g, Old: old, New: nw}
+		}
+	}
+	for g, nw := range after {
+		if _, ok := before[g]; !ok {
+			diff.Deltas[g] = Delta{Group: g, Old: Chain{Group: g}, New: nw}
+		}
+	}
+	return diff, nil
 }
 
 func (r *Ring) vnodeIndexForKey(k kv.Key) int {

@@ -54,6 +54,19 @@ func (a *AgentService) SetSession(args SessionArgs, _ *None) error {
 	return nil
 }
 
+// FreezeArgs carries a FreezeWrites request.
+type FreezeArgs struct {
+	Group  uint16
+	Frozen bool
+}
+
+// FreezeWrites installs or lifts a group's serve-while-migrating guard
+// (phase 1 of a planned resize migration).
+func (a *AgentService) FreezeWrites(args FreezeArgs, _ *None) error {
+	a.sw.SetWriteFreeze(args.Group, args.Frozen)
+	return nil
+}
+
 // Rule installs or removes a neighbor rule (Algorithms 2 and 3).
 func (a *AgentService) Rule(args RuleArgs, _ *None) error {
 	if args.Remove {
@@ -110,6 +123,9 @@ func (a RPCAgent) RemoveKey(k kv.Key) error  { return a.C.Call("Agent.RemoveKey"
 func (a RPCAgent) SetSession(g uint16, s uint32) error {
 	return a.C.Call("Agent.SetSession", SessionArgs{Group: g, Session: s}, &None{})
 }
+func (a RPCAgent) FreezeWrites(g uint16, frozen bool) error {
+	return a.C.Call("Agent.FreezeWrites", FreezeArgs{Group: g, Frozen: frozen}, &None{})
+}
 func (a RPCAgent) InstallRule(dst packet.Addr, g int, r core.Rule) error {
 	return a.C.Call("Agent.Rule", RuleArgs{Dst: dst, Group: g, Rule: r}, &None{})
 }
@@ -135,9 +151,13 @@ func DialAgent(addr string) (RPCAgent, error) {
 }
 
 // ControllerService exposes the controller's client-facing API over
-// net/rpc: route lookup and key insertion (§3's agent ↔ controller path).
+// net/rpc: route lookup, key insertion (§3's agent ↔ controller path), and
+// the elastic add-switch/remove-switch admin verbs.
 type ControllerService struct {
 	Ctl *controller.Controller
+	// Register, when set, connects a new switch's agent before AddSwitch
+	// admits it into the ring (the deployment owns the agent map).
+	Register func(sw packet.Addr, agentAddr string) error
 }
 
 // RouteReply carries a route.
@@ -166,10 +186,61 @@ func (s *ControllerService) Insert(k kv.Key, out *RouteReply) error {
 // GC removes a tombstoned key's slots.
 func (s *ControllerService) GC(k kv.Key, _ *None) error { return s.Ctl.GC(k) }
 
+// ResizeArgs names the switch an elastic membership change targets.
+// AgentAddr (add only) is the new switch agent's RPC endpoint.
+type ResizeArgs struct {
+	Switch    packet.Addr
+	AgentAddr string
+}
+
+// ResizeReply reports what the migration touched.
+type ResizeReply struct {
+	GroupsMigrated int
+}
+
+// AddSwitch admits a switch into the ring and blocks until the live
+// migration onto the new layout completes.
+func (s *ControllerService) AddSwitch(args ResizeArgs, out *ResizeReply) error {
+	if s.Register != nil && args.AgentAddr != "" {
+		if err := s.Register(args.Switch, args.AgentAddr); err != nil {
+			return err
+		}
+	}
+	done := make(chan struct{})
+	diff, err := s.Ctl.AddSwitch(args.Switch, func() { close(done) })
+	if err != nil {
+		return err
+	}
+	<-done
+	out.GroupsMigrated = len(diff.Deltas)
+	return nil
+}
+
+// RemoveSwitch live-drains a switch out of the ring and blocks until its
+// state has migrated away; the switch can be shut down afterwards.
+func (s *ControllerService) RemoveSwitch(args ResizeArgs, out *ResizeReply) error {
+	done := make(chan struct{})
+	diff, err := s.Ctl.RemoveSwitch(args.Switch, func() { close(done) })
+	if err != nil {
+		return err
+	}
+	<-done
+	out.GroupsMigrated = len(diff.Deltas)
+	return nil
+}
+
 // ServeController starts the controller RPC endpoint.
 func ServeController(ctl *controller.Controller, bind string) (net.Addr, func() error, error) {
+	return ServeControllerWithRegister(ctl, nil, bind)
+}
+
+// ServeControllerWithRegister is ServeController with an agent-registration
+// hook for the add-switch admin verb.
+func ServeControllerWithRegister(ctl *controller.Controller,
+	register func(sw packet.Addr, agentAddr string) error,
+	bind string) (net.Addr, func() error, error) {
 	srv := rpc.NewServer()
-	if err := srv.RegisterName("Controller", &ControllerService{Ctl: ctl}); err != nil {
+	if err := srv.RegisterName("Controller", &ControllerService{Ctl: ctl, Register: register}); err != nil {
 		return nil, nil, err
 	}
 	ln, err := net.Listen("tcp", bind)

@@ -1,0 +1,92 @@
+package workload
+
+import (
+	"testing"
+
+	"netchain/internal/kv"
+)
+
+// Determinism regression tests: the bench suite compares throughput and
+// latency trajectories across PRs, which is only meaningful if the same
+// seed replays the exact same query stream.
+
+func TestUniformDeterministic(t *testing.T) {
+	a, b := NewUniform(1000, 42), NewUniform(1000, 42)
+	for i := 0; i < 10000; i++ {
+		if x, y := a.Next(), b.Next(); x != y {
+			t.Fatalf("step %d: %d != %d", i, x, y)
+		}
+	}
+	c := NewUniform(1000, 43)
+	same := true
+	for i := 0; i < 64; i++ {
+		if a.Next() != c.Next() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced an identical prefix")
+	}
+}
+
+func TestZipfDeterministic(t *testing.T) {
+	a, b := NewZipf(1000, 1.2, 7), NewZipf(1000, 1.2, 7)
+	for i := 0; i < 10000; i++ {
+		if x, y := a.Next(), b.Next(); x != y {
+			t.Fatalf("step %d: %d != %d", i, x, y)
+		}
+	}
+}
+
+func TestMixDeterministic(t *testing.T) {
+	mk := func() *Mix { return NewMix(0.3, NewZipf(500, 1.5, 11), 99) }
+	a, b := mk(), mk()
+	for i := 0; i < 10000; i++ {
+		opA, keyA := a.Next()
+		opB, keyB := b.Next()
+		if opA != opB || keyA != keyB {
+			t.Fatalf("step %d: (%v,%d) != (%v,%d)", i, opA, keyA, opB, keyB)
+		}
+	}
+}
+
+func TestTxnWorkloadDeterministic(t *testing.T) {
+	mk := func() *TxnWorkload {
+		w, err := NewTxnWorkload(0.01, 1000, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+	a, b := mk(), mk()
+	for i := 0; i < 2000; i++ {
+		ta, tb := a.Next(), b.Next()
+		if len(ta.Locks) != len(tb.Locks) {
+			t.Fatalf("txn %d length drifted", i)
+		}
+		for j := range ta.Locks {
+			if ta.Locks[j] != tb.Locks[j] {
+				t.Fatalf("txn %d lock %d: %d != %d", i, j, ta.Locks[j], tb.Locks[j])
+			}
+		}
+	}
+}
+
+// TestKeySpaceAndValueStable pins the derived key/value bytes themselves:
+// a silent change to these would skew every stored-size measurement.
+func TestKeySpaceAndValueStable(t *testing.T) {
+	keys := KeySpace(4)
+	for i, k := range keys {
+		if k != kv.KeyFromUint64(uint64(i)) {
+			t.Fatalf("key %d drifted: %v", i, k)
+		}
+	}
+	v := Value(8, 3)
+	want := []byte{3, 134, 9, 140, 15, 146, 21, 152} // byte(seq + i*131)
+	for i := range v {
+		if v[i] != want[i] {
+			t.Fatalf("value byte %d = %d, want %d", i, v[i], want[i])
+		}
+	}
+}

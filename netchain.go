@@ -17,6 +17,7 @@ package netchain
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"netchain/internal/controller"
@@ -94,12 +95,16 @@ func (c *ClusterConfig) defaults() {
 type Cluster struct {
 	cfg    ClusterConfig
 	book   *transport.AddressBook
-	nodes  []*transport.SwitchNode
-	agents map[packet.Addr]transport.RPCAgent
-	stops  []func() error
 	ctl    *controller.Controller
 	ringV  *ring.Ring
 	nextCl byte
+
+	// mu guards the mutable topology: AddSwitch/RemoveSwitch run while the
+	// controller resolves agents from its own goroutines.
+	mu     sync.RWMutex
+	nodes  []*transport.SwitchNode
+	agents map[packet.Addr]transport.RPCAgent
+	stops  []func() error
 }
 
 // StartLocalCluster boots a cluster. The first cfg.Replicas switches are
@@ -116,34 +121,11 @@ func StartLocalCluster(cfg ClusterConfig) (*Cluster, error) {
 	}
 	var members []packet.Addr
 	for i := 0; i < cfg.Switches; i++ {
-		addr := packet.AddrFrom4(10, 0, 0, byte(i+1))
-		sw, err := core.NewSwitch(addr, swsim.Config{
-			Stages: 8, SlotBytes: 16, SlotsPerStage: cfg.Slots, PPS: 1e9,
-		})
+		addr, err := cl.bootSwitch()
 		if err != nil {
 			cl.Close()
 			return nil, err
 		}
-		node, err := transport.NewSwitchNode(sw, cl.book, "127.0.0.1:0")
-		if err != nil {
-			cl.Close()
-			return nil, err
-		}
-		cl.nodes = append(cl.nodes, node)
-		cl.stops = append(cl.stops, node.Close)
-
-		rpcAddr, stop, err := transport.ServeAgent(sw, "127.0.0.1:0")
-		if err != nil {
-			cl.Close()
-			return nil, err
-		}
-		cl.stops = append(cl.stops, stop)
-		agent, err := transport.DialAgent(rpcAddr.String())
-		if err != nil {
-			cl.Close()
-			return nil, err
-		}
-		cl.agents[addr] = agent
 		if i < cfg.Replicas {
 			members = append(members, addr)
 		}
@@ -161,10 +143,14 @@ func StartLocalCluster(cfg ClusterConfig) (*Cluster, error) {
 	ctlCfg.SyncPerItem = 0
 	ctl, err := controller.New(ctlCfg, r, controller.WallClock{},
 		func(a packet.Addr) (controller.Agent, bool) {
+			cl.mu.RLock()
+			defer cl.mu.RUnlock()
 			ag, ok := cl.agents[a]
 			return ag, ok
 		},
 		func(failed packet.Addr) []packet.Addr {
+			cl.mu.RLock()
+			defer cl.mu.RUnlock()
 			var out []packet.Addr
 			for a := range cl.agents {
 				if a != failed {
@@ -181,21 +167,66 @@ func StartLocalCluster(cfg ClusterConfig) (*Cluster, error) {
 	return cl, nil
 }
 
+// bootSwitch starts one switch dataplane node plus its control agent and
+// registers both; the new switch's index is len-1 after the call.
+func (c *Cluster) bootSwitch() (packet.Addr, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	addr := packet.AddrFrom4(10, 0, 0, byte(len(c.nodes)+1))
+	sw, err := core.NewSwitch(addr, swsim.Config{
+		Stages: 8, SlotBytes: 16, SlotsPerStage: c.cfg.Slots, PPS: 1e9,
+	})
+	if err != nil {
+		return 0, err
+	}
+	node, err := transport.NewSwitchNode(sw, c.book, "127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	c.nodes = append(c.nodes, node)
+	c.stops = append(c.stops, node.Close)
+
+	rpcAddr, stop, err := transport.ServeAgent(sw, "127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	c.stops = append(c.stops, stop)
+	agent, err := transport.DialAgent(rpcAddr.String())
+	if err != nil {
+		return 0, err
+	}
+	c.agents[addr] = agent
+	return addr, nil
+}
+
 // Close shuts everything down.
 func (c *Cluster) Close() error {
+	c.mu.Lock()
+	stops := c.stops
+	c.stops = nil
+	c.mu.Unlock()
 	var first error
-	for i := len(c.stops) - 1; i >= 0; i-- {
-		if err := c.stops[i](); err != nil && first == nil {
+	for i := len(stops) - 1; i >= 0; i-- {
+		if err := stops[i](); err != nil && first == nil {
 			first = err
 		}
 	}
-	c.stops = nil
 	return first
 }
 
 // SwitchAddr returns the virtual address of switch i.
 func (c *Cluster) SwitchAddr(i int) packet.Addr {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	return c.nodes[i].Switch().Addr()
+}
+
+// Switches returns the number of switch nodes booted so far (including
+// drained ones, whose indexes stay valid but dead).
+func (c *Cluster) Switches() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.nodes)
 }
 
 // Insert allocates a key on its chain; required before writes (§4.1).
@@ -214,7 +245,10 @@ func (c *Cluster) Controller() *controller.Controller { return c.ctl }
 // (Algorithm 2). Returns when the neighbor rules are installed.
 func (c *Cluster) FailSwitch(i int) error {
 	addr := c.SwitchAddr(i)
-	if err := c.nodes[i].Close(); err != nil {
+	c.mu.RLock()
+	node := c.nodes[i]
+	c.mu.RUnlock()
+	if err := node.Close(); err != nil {
 		return err
 	}
 	done := make(chan struct{})
@@ -243,6 +277,48 @@ func (c *Cluster) Recover(i, spare int) error {
 	case <-time.After(60 * time.Second):
 		return fmt.Errorf("netchain: recovery timed out")
 	}
+}
+
+// AddSwitch boots a brand-new switch node (dataplane socket + control
+// agent) and live-migrates the cluster onto a ring layout that includes
+// it: per-group state copy, session bump, atomic route flip — clients keep
+// reading throughout. It returns the new switch's index.
+func (c *Cluster) AddSwitch() (int, error) {
+	addr, err := c.bootSwitch()
+	if err != nil {
+		return 0, err
+	}
+	done := make(chan struct{})
+	if _, err := c.ctl.AddSwitch(addr, func() { close(done) }); err != nil {
+		return 0, err
+	}
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		return 0, fmt.Errorf("netchain: scale-out timed out")
+	}
+	return c.Switches() - 1, nil
+}
+
+// RemoveSwitch live-drains ring member i: its virtual groups retire, their
+// keys migrate to the surviving switches, and once the drain completes the
+// now-empty switch is shut down. Its index stays valid but dead.
+func (c *Cluster) RemoveSwitch(i int) error {
+	addr := c.SwitchAddr(i)
+	done := make(chan struct{})
+	if _, err := c.ctl.RemoveSwitch(addr, func() { close(done) }); err != nil {
+		return err
+	}
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		return fmt.Errorf("netchain: scale-in timed out")
+	}
+	c.mu.Lock()
+	node := c.nodes[i]
+	delete(c.agents, addr)
+	c.mu.Unlock()
+	return node.Close()
 }
 
 // Client is a blocking NetChain client: the agent of §3 translating API

@@ -92,6 +92,67 @@ func (s *SimCluster) Recover(i, spare int) error {
 	return nil
 }
 
+// switchAddr resolves a switch index: 0..3 are the testbed's S0..S3,
+// higher indexes are switches attached later.
+func (s *SimCluster) switchAddr(i int) (packet.Addr, error) {
+	if i >= 0 && i < len(s.d.TB.Switches) {
+		return s.d.TB.Switches[i], nil
+	}
+	if j := i - len(s.d.TB.Switches); j >= 0 && j < len(s.d.TB.Extra) {
+		return s.d.TB.Extra[j], nil
+	}
+	return 0, fmt.Errorf("netchain: switch %d out of range", i)
+}
+
+// AddSwitch live-migrates the cluster onto a layout that includes switch i
+// (e.g. the spare S3): the switch joins the ring with its own virtual
+// groups, state is copied over group by group, and routes flip atomically —
+// reads keep serving throughout. It returns when the migration completes.
+func (s *SimCluster) AddSwitch(i int) error {
+	addr, err := s.switchAddr(i)
+	if err != nil {
+		return err
+	}
+	done := false
+	if _, err := s.d.Ctl.AddSwitch(addr, func() { done = true }); err != nil {
+		return err
+	}
+	s.d.Sim.Run()
+	if !done {
+		return fmt.Errorf("netchain: simulated scale-out did not finish")
+	}
+	return nil
+}
+
+// AttachSwitch cables a brand-new switch into the simulated fabric (linked
+// to S0 and S2 like the spare) and returns its index for AddSwitch.
+func (s *SimCluster) AttachSwitch() (int, error) {
+	if _, err := s.d.TB.AttachSwitch(); err != nil {
+		return 0, err
+	}
+	return len(s.d.TB.Switches) + len(s.d.TB.Extra) - 1, nil
+}
+
+// RemoveSwitch live-drains switch i out of the ring: its virtual groups
+// retire, their keys merge into successor groups (data copied before
+// routes flip), and the switch ends up empty. It returns when the drain
+// completes; the switch stays cabled but carries no state.
+func (s *SimCluster) RemoveSwitch(i int) error {
+	addr, err := s.switchAddr(i)
+	if err != nil {
+		return err
+	}
+	done := false
+	if _, err := s.d.Ctl.RemoveSwitch(addr, func() { done = true }); err != nil {
+		return err
+	}
+	s.d.Sim.Run()
+	if !done {
+		return fmt.Errorf("netchain: simulated scale-in did not finish")
+	}
+	return nil
+}
+
 // SimClient is a synchronous-feeling client over the simulation: each call
 // injects the query and runs the simulator until the reply (or timeout)
 // resolves, so examples and tests read top-to-bottom.

@@ -17,15 +17,21 @@ import (
 	"strings"
 	"time"
 
+	"netchain/internal/benchjson"
 	"netchain/internal/experiments"
 	"netchain/internal/mc"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|fig9a|fig9b|fig9c|fig9d|fig9e|fig9f|fig10a|fig10b|fig11|resize|pipeline|tla|all")
+	exp := flag.String("exp", "all", "experiment: table1|fig9a|fig9b|fig9c|fig9d|fig9e|fig9f|fig10a|fig10b|fig11|resize|pipeline|tla|bench|chaos|all")
 	full := flag.Bool("full", false, "use longer windows / full parameter sweeps")
 	windows := flag.String("windows", "1,4,16,64", "outstanding-window sweep for -exp pipeline (comma-separated)")
 	window := flag.Int("window", 0, "client outstanding-query window for the fig9 experiments (0 = unbounded open loop)")
+	jsonPath := flag.String("json", "", "write machine-readable -exp bench results to this file (BENCH.json)")
+	baseline := flag.String("baseline", "", "compare -exp bench results against this baseline file; exit 1 on regression")
+	gate := flag.Float64("gate", 0.20, "regression tolerance for -baseline (0.20 = 20%)")
+	seed := flag.Int64("seed", 1, "deterministic seed for -exp chaos and -exp bench")
+	schedule := flag.String("schedule", "full-nemesis", "nemesis schedule for -exp chaos ('all' runs every schedule)")
 	flag.Parse()
 
 	ran := false
@@ -102,6 +108,8 @@ func main() {
 		}
 		return nil
 	})
+	run("bench", func() error { return runBench(*seed, *jsonPath, *baseline, *gate) })
+	run("chaos", func() error { return runChaos(*schedule, *seed) })
 	run("tla", func() error {
 		for _, cfg := range []struct {
 			name string
@@ -165,6 +173,70 @@ func runFig10(vgroups int, full bool) error {
 	fmt.Printf("baseline %.2f MQPS; minimum during recovery %.2f MQPS (%.1f%% of baseline)\n",
 		res.BaselineRate/1e6, res.MinRateDuringRecovery/1e6,
 		100*res.MinRateDuringRecovery/res.BaselineRate)
+	return nil
+}
+
+// runBench executes the CI perf-gate scenarios, optionally writing the
+// machine-readable artifact and enforcing the regression gate against a
+// committed baseline.
+func runBench(seed int64, jsonPath, baselinePath string, gate float64) error {
+	results, err := experiments.BenchSmoke(experiments.BenchOpts{Seed: seed})
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatBench(results))
+	if jsonPath != "" {
+		f := benchjson.File{
+			Note: fmt.Sprintf("benchrunner -exp bench -seed %d; simulated-time results, "+
+				"deterministic across machines", seed),
+			Results: results,
+		}
+		if err := benchjson.Write(jsonPath, f); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+	if baselinePath != "" {
+		base, err := benchjson.Load(baselinePath)
+		if err != nil {
+			return err
+		}
+		violations := benchjson.Compare(base, benchjson.File{Results: results}, gate)
+		if len(violations) > 0 {
+			for _, v := range violations {
+				fmt.Fprintf(os.Stderr, "PERF REGRESSION: %s\n", v)
+			}
+			return fmt.Errorf("%d perf regression(s) vs %s", len(violations), baselinePath)
+		}
+		fmt.Printf("perf gate vs %s: PASS (tolerance %.0f%%)\n", baselinePath, 100*gate)
+	}
+	return nil
+}
+
+// runChaos executes nemesis schedules and fails on a non-linearizable
+// history, dumping it to a file so CI can upload the repro.
+func runChaos(schedule string, seed int64) error {
+	names := []string{schedule}
+	if schedule == "all" {
+		names = experiments.ChaosScheduleNames()
+	}
+	for _, name := range names {
+		res, err := experiments.RunChaos(experiments.ChaosOpts{Schedule: name, Seed: seed})
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Format())
+		if !res.Lin.OK {
+			dump := fmt.Sprintf("chaos-failure-%s-seed%d.txt", name, seed)
+			if werr := os.WriteFile(dump, []byte(res.DumpHistory()), 0o644); werr != nil {
+				fmt.Fprintf(os.Stderr, "could not dump history: %v\n", werr)
+			} else {
+				fmt.Fprintf(os.Stderr, "history dumped to %s\n", dump)
+			}
+			return fmt.Errorf("chaos %s seed %d: history not linearizable (key %s): %s",
+				name, seed, res.Lin.Key, res.Lin.Reason)
+		}
+	}
 	return nil
 }
 

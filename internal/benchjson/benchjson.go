@@ -1,0 +1,88 @@
+// Package benchjson defines the machine-readable benchmark artifact the
+// CI perf gate consumes (BENCH.json): per-scenario throughput and tail
+// latency, with comparison logic enforcing a regression tolerance.
+//
+// Because every scenario runs on the deterministic simulator, the numbers
+// are simulated-time quantities — identical across machines and reruns of
+// the same code. The gate tolerance therefore only has to absorb
+// intentional modelling changes, not CI machine noise; a real slowdown
+// (e.g. a hot path growing extra simulated work, or a scheduling change
+// that degrades pipelining) shifts the numbers deterministically and
+// trips the gate.
+package benchjson
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Result is one scenario's measurement.
+type Result struct {
+	Scenario  string  `json:"scenario"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	P50us     float64 `json:"p50_us"`
+	P99us     float64 `json:"p99_us"`
+}
+
+// File is the artifact layout.
+type File struct {
+	// Note documents provenance (command line, determinism caveats).
+	Note    string   `json:"note,omitempty"`
+	Results []Result `json:"results"`
+}
+
+// Write stores f at path, indented for reviewable diffs.
+func Write(path string, f File) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Load reads a File from path.
+func Load(path string) (File, error) {
+	var f File
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return f, err
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		return f, fmt.Errorf("benchjson: %s: %w", path, err)
+	}
+	return f, nil
+}
+
+// Compare gates cur against base: every baseline scenario must still
+// exist, its throughput must not fall more than tol below baseline, and
+// its p99 must not rise more than tol above baseline (tol 0.2 = 20%).
+// The returned strings describe each violation; empty means the gate
+// passes. Scenarios only present in cur are ignored — adding coverage is
+// never a regression.
+func Compare(base, cur File, tol float64) []string {
+	curBy := make(map[string]Result, len(cur.Results))
+	for _, r := range cur.Results {
+		curBy[r.Scenario] = r
+	}
+	var violations []string
+	for _, b := range base.Results {
+		c, ok := curBy[b.Scenario]
+		if !ok {
+			violations = append(violations,
+				fmt.Sprintf("%s: scenario missing from current results", b.Scenario))
+			continue
+		}
+		if b.OpsPerSec > 0 && c.OpsPerSec < b.OpsPerSec*(1-tol) {
+			violations = append(violations,
+				fmt.Sprintf("%s: throughput %.0f ops/s is %.1f%% below baseline %.0f (tolerance %.0f%%)",
+					b.Scenario, c.OpsPerSec, 100*(1-c.OpsPerSec/b.OpsPerSec), b.OpsPerSec, 100*tol))
+		}
+		if b.P99us > 0 && c.P99us > b.P99us*(1+tol) {
+			violations = append(violations,
+				fmt.Sprintf("%s: p99 %.1fµs is %.1f%% above baseline %.1fµs (tolerance %.0f%%)",
+					b.Scenario, c.P99us, 100*(c.P99us/b.P99us-1), b.P99us, 100*tol))
+		}
+	}
+	return violations
+}

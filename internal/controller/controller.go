@@ -593,8 +593,28 @@ func (c *Controller) buildRecoverMigration(failedSw packet.Addr,
 					_ = a.InstallRule(failedSw, int(g), core.Rule{Action: core.ActDrop})
 				}
 			}
+			// The drop rules only stop traffic still addressed to the
+			// dead switch; after fast failover the degraded chain serves
+			// under its own addresses and would keep stamping fresh
+			// writes THROUGH the copy window — a write in flight down
+			// the degraded chain when the reference replica is read
+			// misses the copy and is lost the moment the replacement
+			// becomes tail. Freeze the acting head for the window (the
+			// same serve-while-migrating guard the planned resize uses);
+			// the stopWait drain then lets stamped writes reach the
+			// reference before doSync reads it.
+			if len(degraded.Hops) > 0 {
+				if a, ok := c.agent(degraded.Head()); ok {
+					_ = a.FreezeWrites(uint16(g), true)
+				}
+			}
 		},
 		activate: func() {
+			if len(degraded.Hops) > 0 {
+				if a, ok := c.agent(degraded.Head()); ok {
+					_ = a.FreezeWrites(uint16(g), false)
+				}
+			}
 			// Traffic still addressed to the failed switch follows the
 			// replacement that took its chain position.
 			for _, nb := range neighbors {

@@ -81,18 +81,19 @@ type Item struct {
 
 // Stats counts dataplane activity for the evaluation harness.
 type Stats struct {
-	Reads        uint64 // read queries served (replied) here
-	WritesHead   uint64 // fresh writes stamped here as acting head
-	WritesApply  uint64 // ordered writes applied (replica/tail)
-	WritesStale  uint64 // ordered writes dropped as stale (Fig. 5 fix)
-	WritesFrozen uint64 // fresh writes bounced by a migration freeze
-	CASFails     uint64 // compare-and-swaps rejected at the head
-	Replies      uint64 // replies emitted toward clients
-	RuleHits     uint64 // frames rewritten/dropped by neighbor rules
-	RuleDrops    uint64 // frames dropped by ActDrop rules
-	NotFound     uint64 // queries for keys with no slot
-	Transits     uint64 // frames forwarded without NetChain processing
-	Processed    uint64 // NetChain queries processed locally
+	Reads          uint64 // read queries served (replied) here
+	WritesHead     uint64 // fresh writes stamped here as acting head
+	WritesApply    uint64 // ordered writes applied (replica/tail)
+	WritesStale    uint64 // ordered writes dropped as stale (Fig. 5 fix)
+	WritesReplayed uint64 // duplicate fresh writes replayed idempotently
+	WritesFrozen   uint64 // fresh writes bounced by a migration freeze
+	CASFails       uint64 // compare-and-swaps rejected at the head
+	Replies        uint64 // replies emitted toward clients
+	RuleHits       uint64 // frames rewritten/dropped by neighbor rules
+	RuleDrops      uint64 // frames dropped by ActDrop rules
+	NotFound       uint64 // queries for keys with no slot
+	Transits       uint64 // frames forwarded without NetChain processing
+	Processed      uint64 // NetChain queries processed locally
 }
 
 // Switch is one NetChain switch's dataplane state. Methods are safe for
@@ -107,7 +108,97 @@ type Switch struct {
 	rules    map[packet.Addr]map[int]Rule // dst -> group (or WildcardGroup) -> rule
 	sessions map[uint16]uint32            // virtual group -> session stamped when acting head
 	frozen   map[uint16]int               // virtual group -> nested serve-while-migrating write guards
-	stats    Stats
+	// lastWrite remembers, per key, which client queries produced the
+	// most recent stamped versions (newest first, depth writeTagDepth) —
+	// the O(1)-per-key register file that makes head-stamping idempotent
+	// under network duplication (see processWrite). A real switch keeps
+	// this beside the value slots.
+	lastWrite map[kv.Key]*tagRing
+	stats     Stats
+}
+
+// writeTag identifies a client query the head adjudicated — IP source,
+// UDP source port, the client-chosen query id from the NetChain header,
+// and a hash of the raw value bytes (guarding against a client reusing a
+// query id for a different query) — plus the pinned verdict.
+type writeTag struct {
+	src       packet.Addr
+	port      uint16
+	qid       uint64
+	op        kv.Op
+	valHash   uint64
+	verdict   tagVerdict
+	ver       kv.Version // tagApplied: the stamped version
+	storedVal kv.Value   // tagCASFail: stored value at adjudication
+}
+
+// tagVerdict is the pinned outcome of a head adjudication. Duplicates of
+// the query repeat the verdict instead of re-adjudicating against later
+// state — a non-idempotent decision (CAS, freeze bounce) re-made after
+// the original reply returned could take effect outside the operation's
+// real-time window.
+type tagVerdict uint8
+
+const (
+	// tagApplied: the write was stamped as ver.
+	tagApplied tagVerdict = iota
+	// tagCASFail: the CAS lost against storedVal.
+	tagCASFail
+	// tagRefused: bounced StatusUnavailable by a migration freeze.
+	tagRefused
+)
+
+// writeTagDepth bounds the per-key duplicate-detection window — per
+// verdict class: a duplicate arriving after more than this many
+// intervening APPLIED writes (or, for no-effect verdicts, this many
+// CAS-fail/refused adjudications) is indistinguishable from a fresh query
+// and gets re-adjudicated (the paper's at-least-once retry semantics).
+// The classes evict independently so a burst of failed lock acquires
+// cannot push an applied write's tag out of its documented window. Eight
+// tags of ~50 bytes is register-memory plausible per slot.
+const writeTagDepth = 4
+
+// tagRing holds a key's recent adjudications, newest first, in fixed
+// storage: writeTagDepth applied verdicts plus writeTagDepth no-effect
+// verdicts, interleaved in recency order. No allocation after the first
+// write to a key (the dataplane hot path stays GC-quiet).
+type tagRing struct {
+	tags [2 * writeTagDepth]writeTag
+	n    int
+}
+
+// push prepends tag, evicting the oldest entry of the same verdict class
+// when that class is at capacity.
+func (r *tagRing) push(tag writeTag) {
+	applied := tag.verdict == tagApplied
+	count := 0
+	for i := 0; i < r.n; i++ {
+		if (r.tags[i].verdict == tagApplied) == applied {
+			count++
+		}
+	}
+	if count >= writeTagDepth {
+		for i := r.n - 1; i >= 0; i-- {
+			if (r.tags[i].verdict == tagApplied) == applied {
+				copy(r.tags[i:], r.tags[i+1:r.n])
+				r.n--
+				break
+			}
+		}
+	}
+	copy(r.tags[1:r.n+1], r.tags[:r.n])
+	r.tags[0] = tag
+	r.n++
+}
+
+// tagHash is FNV-1a over the raw packet value of a query (for CAS this
+// includes the expected-owner prefix, so identity covers the full query).
+func tagHash(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h = (h ^ uint64(c)) * 1099511628211
+	}
+	return h
 }
 
 // NewSwitch builds a switch dataplane with the given pipeline resources.
@@ -117,11 +208,12 @@ func NewSwitch(addr packet.Addr, cfg swsim.Config) (*Switch, error) {
 		return nil, err
 	}
 	return &Switch{
-		addr:     addr,
-		pipe:     pipe,
-		rules:    make(map[packet.Addr]map[int]Rule),
-		sessions: make(map[uint16]uint32),
-		frozen:   make(map[uint16]int),
+		addr:      addr,
+		pipe:      pipe,
+		rules:     make(map[packet.Addr]map[int]Rule),
+		sessions:  make(map[uint16]uint32),
+		frozen:    make(map[uint16]int),
+		lastWrite: make(map[kv.Key]*tagRing),
 	}, nil
 }
 
@@ -238,8 +330,83 @@ func (s *Switch) processWrite(f *packet.Frame) Disposition {
 		// session bump: activation installs the new session on the new head
 		// and lifts the freeze, so post-migration writes dominate anything
 		// stamped before the stop.
+		// Duplicate-delivery guard: if this exact client query (source,
+		// port, query id, op, raw-value hash) was already adjudicated —
+		// one of the last writeTagDepth verdicts for the key — the
+		// network duplicated it (or the client retried after its reply
+		// was lost). Repeat the pinned verdict instead of adjudicating
+		// again: a fresh decision against later state would manufacture
+		// a NEW version of an OLD value (resurrection), grant a CAS
+		// outside its operation's window (ghost lock), or apply a write
+		// whose original was refused by a freeze (untracked effect).
+		// Checked before the freeze gate: verdicts replay as ordered
+		// traffic, which a freeze never blocks.
+		rawHash := tagHash(nc.Value)
+		var ringTags []writeTag
+		if r := s.lastWrite[nc.Key]; r != nil {
+			ringTags = r.tags[:r.n]
+		}
+		for _, tag := range ringTags {
+			if tag.src != f.IP.Src || tag.port != f.UDP.SrcPort ||
+				tag.qid != nc.QueryID || tag.op != nc.Op || tag.valHash != rawHash {
+				continue
+			}
+			s.stats.WritesReplayed++
+			switch tag.verdict {
+			case tagCASFail:
+				nc.Value = tag.storedVal
+				f.ToReply(kv.StatusCASFail)
+				s.stats.Replies++
+				return Forward
+			case tagRefused:
+				f.ToReply(kv.StatusUnavailable)
+				s.stats.Replies++
+				return Forward
+			}
+			if tag.ver == s.pipe.Version(loc) && s.sameEffect(loc, nc) {
+				// Still the latest write: replay the original stamp down
+				// the chain so replicas that missed the first copy
+				// converge and the tail re-acks.
+				if nc.Op == kv.OpCAS {
+					// The stored value is this CAS's new value; drop the
+					// 8-byte expected-owner prefix so downstream
+					// replicas apply what the original applied.
+					nc.Value = nc.Value[8:]
+				}
+				nc.SetVersion(tag.ver)
+			} else {
+				// Superseded by later writes: forward the CURRENT stored
+				// state under this query id — downstream replicas apply
+				// or pass it (never regress), and the tail acks the
+				// client only once it holds state at least as new as
+				// what superseded the duplicate, so the ack can always
+				// be linearized at the original stamp.
+				val, live := s.pipe.ReadValue(loc)
+				if live {
+					nc.Op = kv.OpWrite
+					nc.Value = val
+				} else {
+					nc.Op = kv.OpDelete
+					nc.Value = nil
+				}
+				nc.SetVersion(s.pipe.Version(loc))
+			}
+			if next, ok := nc.PopChain(); ok {
+				f.Retarget(next)
+				return Forward
+			}
+			f.ToReply(kv.StatusOK)
+			s.stats.Replies++
+			return Forward
+		}
 		if s.frozen[nc.Group] > 0 {
 			s.stats.WritesFrozen++
+			// Pin the refusal: a duplicate arriving after the thaw must
+			// not be stamped — its original reported "no effect".
+			s.pushTag(nc.Key, writeTag{
+				src: f.IP.Src, port: f.UDP.SrcPort, qid: nc.QueryID, op: nc.Op,
+				valHash: rawHash, verdict: tagRefused,
+			})
 			f.ToReply(kv.StatusUnavailable)
 			s.stats.Replies++
 			return Forward
@@ -248,6 +415,12 @@ func (s *Switch) processWrite(f *packet.Frame) Disposition {
 			newVal, stored, ok := s.casApplies(loc, nc.Value)
 			if !ok {
 				s.stats.CASFails++
+				// Pin the verdict so a duplicate of this query repeats
+				// it instead of re-adjudicating against later state.
+				s.pushTag(nc.Key, writeTag{
+					src: f.IP.Src, port: f.UDP.SrcPort, qid: nc.QueryID, op: nc.Op,
+					valHash: rawHash, verdict: tagCASFail, storedVal: stored,
+				})
 				// Return the stored value so a client whose successful CAS
 				// reply was lost can recognize its own ownership on retry
 				// (retries must stay benign, §4.3).
@@ -264,15 +437,29 @@ func (s *Switch) processWrite(f *packet.Frame) Disposition {
 		v := kv.Version{Session: s.sessions[nc.Group], Seq: stored.Seq + 1}
 		nc.SetVersion(v)
 		s.apply(loc, nc)
+		s.pushTag(nc.Key, writeTag{
+			src: f.IP.Src, port: f.UDP.SrcPort, qid: nc.QueryID, op: nc.Op,
+			valHash: rawHash, verdict: tagApplied, ver: v,
+		})
 		s.stats.WritesHead++
 	} else {
-		// Replica or tail: apply only newer versions (Fig. 5 fix).
-		if !s.pipe.Version(loc).Less(nc.Version()) {
+		// Replica or tail: apply only newer versions (Fig. 5 fix). An
+		// EQUAL version is not stale — it is a replay of the exact write
+		// already applied here (a network duplicate, or the head
+		// re-forwarding after a lost reply): pass it through without
+		// re-applying, so replicas downstream that missed the first copy
+		// still converge and the tail re-acks the client. Only strictly
+		// older versions drop.
+		switch cur := s.pipe.Version(loc); {
+		case cur.Less(nc.Version()):
+			s.apply(loc, nc)
+			s.stats.WritesApply++
+		case cur == nc.Version():
+			s.stats.WritesReplayed++
+		default:
 			s.stats.WritesStale++
 			return Drop
 		}
-		s.apply(loc, nc)
-		s.stats.WritesApply++
 	}
 
 	if next, ok := nc.PopChain(); ok {
@@ -283,6 +470,33 @@ func (s *Switch) processWrite(f *packet.Frame) Disposition {
 	f.ToReply(kv.StatusOK)
 	s.stats.Replies++
 	return Forward
+}
+
+// pushTag records an adjudication in the key's duplicate-detection ring.
+func (s *Switch) pushTag(k kv.Key, tag writeTag) {
+	r := s.lastWrite[k]
+	if r == nil {
+		r = &tagRing{}
+		s.lastWrite[k] = r
+	}
+	r.push(tag)
+}
+
+// sameEffect reports whether the stored state at loc is exactly what the
+// query nc would produce — the final check before treating a fresh write
+// as a duplicate of the one that produced the stored version. Identity
+// fields (source, port, query id, op) can collide if a client reuses a
+// query id; the stored bytes cannot.
+func (s *Switch) sameEffect(loc int, nc *packet.NetChain) bool {
+	val, live := s.pipe.ReadValue(loc)
+	switch nc.Op {
+	case kv.OpDelete:
+		return !live
+	case kv.OpCAS:
+		return live && len(nc.Value) >= 8 && string(val) == string(nc.Value[8:])
+	default:
+		return live && string(val) == string(nc.Value)
+	}
 }
 
 // casApplies evaluates a compare-and-swap at the head. The packet value is
@@ -440,6 +654,7 @@ func (s *Switch) InstallKey(k kv.Key) error {
 func (s *Switch) RemoveKey(k kv.Key) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	delete(s.lastWrite, k)
 	return s.pipe.Free(k)
 }
 

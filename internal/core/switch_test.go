@@ -561,3 +561,133 @@ func BenchmarkProcessLocalWriteChain(b *testing.B) {
 		sw.ProcessLocal(w)
 	}
 }
+
+// qquery is query with an explicit query id (duplicate-guard tests need
+// distinct ids; the shared helper pins 99).
+func qquery(qid uint64, op kv.Op, key kv.Key, val []byte, first packet.Addr, rest ...packet.Addr) *packet.Frame {
+	nc := &packet.NetChain{Op: op, Key: key, QueryID: qid, Value: val}
+	if err := nc.SetChain(rest); err != nil {
+		panic(err)
+	}
+	return packet.NewQuery(client, first, 5000, nc)
+}
+
+// TestDuplicateWriteGuard pins the head's idempotence under network
+// duplication: a re-delivered fresh write must never be re-stamped as a
+// new version — neither while it is still the latest write (replay), nor
+// after later writes superseded it (repair-forward of current state).
+// Without the guard a superseded duplicate resurrects an overwritten
+// value, which the chaos suite catches as a lost update.
+func TestDuplicateWriteGuard(t *testing.T) {
+	sw := testSwitch(t, s0)
+	key := kv.KeyFromString("k")
+	sw.InstallKey(key)
+
+	// Single-hop chain: s0 is head and tail.
+	w1 := qquery(1, kv.OpWrite, key, []byte("v1"), s0)
+	sw.ProcessLocal(w1)
+	if w1.NC.Status != kv.StatusOK || w1.NC.Seq != 1 {
+		t.Fatalf("w1 = %v", &w1.NC)
+	}
+
+	// Duplicate while still latest: replayed, version unchanged.
+	dup1 := qquery(1, kv.OpWrite, key, []byte("v1"), s0)
+	sw.ProcessLocal(dup1)
+	if dup1.NC.Status != kv.StatusOK {
+		t.Fatalf("replayed duplicate must ack OK, got %v", &dup1.NC)
+	}
+	if it, _ := sw.ReadItem(key); it.Version.Seq != 1 || string(it.Value) != "v1" {
+		t.Fatalf("replay moved state: %+v", it)
+	}
+
+	// Supersede, then duplicate again: acked, state untouched.
+	w2 := qquery(2, kv.OpWrite, key, []byte("v2"), s0)
+	sw.ProcessLocal(w2)
+	dup2 := qquery(1, kv.OpWrite, key, []byte("v1"), s0)
+	sw.ProcessLocal(dup2)
+	if dup2.NC.Status != kv.StatusOK {
+		t.Fatalf("superseded duplicate must ack OK, got %v", &dup2.NC)
+	}
+	if it, _ := sw.ReadItem(key); it.Version.Seq != 2 || string(it.Value) != "v2" {
+		t.Fatalf("superseded duplicate resurrected state: %+v", it)
+	}
+	if got := sw.Stats().WritesReplayed; got != 2 {
+		t.Fatalf("WritesReplayed = %d, want 2", got)
+	}
+
+	// With downstream hops the superseded duplicate repair-forwards the
+	// CURRENT state so the tail acks against up-to-date data.
+	dup3 := qquery(1, kv.OpWrite, key, []byte("v1"), s0, s1)
+	d, _ := sw.ProcessLocal(dup3)
+	if d != Forward || dup3.IP.Dst != s1 {
+		t.Fatalf("repair must forward to next hop, got %v dst=%v", d, dup3.IP.Dst)
+	}
+	if string(dup3.NC.Value) != "v2" || dup3.NC.Seq != 2 {
+		t.Fatalf("repair must carry current state, got %v", &dup3.NC)
+	}
+
+	// A duplicate of a write that a delete superseded repairs as delete.
+	del := qquery(3, kv.OpDelete, key, nil, s0)
+	sw.ProcessLocal(del)
+	dup4 := qquery(2, kv.OpWrite, key, []byte("v2"), s0, s1)
+	sw.ProcessLocal(dup4)
+	if dup4.NC.Op != kv.OpDelete || dup4.IP.Dst != s1 {
+		t.Fatalf("tombstone repair = %v", &dup4.NC)
+	}
+
+	// Same id but different bytes is NOT a duplicate: it is stamped fresh.
+	fresh := qquery(3, kv.OpWrite, key, []byte("other"), s0)
+	sw.ProcessLocal(fresh)
+	if fresh.NC.Status != kv.StatusOK || fresh.NC.Seq != 4 {
+		t.Fatalf("qid reuse with new bytes must stamp fresh, got %v", &fresh.NC)
+	}
+}
+
+// TestFailedCASDoesNotEvictAppliedTags pins the duplicate ring's
+// per-class eviction: a burst of failed lock acquires (no-effect
+// verdicts) must not push an applied write's tag out of the window. If it
+// did, a delayed duplicate of an old acquire would be re-adjudicated
+// against the now-free lock and grant it to a client that long since
+// moved on — a ghost acquisition outside the operation's window.
+func TestFailedCASDoesNotEvictAppliedTags(t *testing.T) {
+	sw := testSwitch(t, s0)
+	lock := kv.KeyFromString("lock/a")
+	sw.InstallKey(lock)
+
+	// Client acquires (owner 42), then releases.
+	acq := qquery(1, kv.OpCAS, lock, casValue(0, 42, ""), s0)
+	sw.ProcessLocal(acq)
+	rel := qquery(2, kv.OpCAS, lock, casValue(42, 0, ""), s0)
+	sw.ProcessLocal(rel)
+	if rel.NC.Status != kv.StatusOK {
+		t.Fatalf("release = %v", &rel.NC)
+	}
+
+	// writeTagDepth distinct failed acquires (wrong expect) pile up.
+	for i := 0; i < writeTagDepth; i++ {
+		bad := qquery(uint64(10+i), kv.OpCAS, lock, casValue(7, 43, ""), s0)
+		sw.ProcessLocal(bad)
+		if bad.NC.Status != kv.StatusCASFail {
+			t.Fatalf("acquire with wrong expect must fail, got %v", &bad.NC)
+		}
+	}
+
+	// A delayed duplicate of the original acquire arrives. Its applied
+	// tag must still be in the ring: the verdict is repeated (ack OK, it
+	// DID apply back then) and the lock must NOT be re-granted.
+	dup := qquery(1, kv.OpCAS, lock, casValue(0, 42, ""), s0)
+	sw.ProcessLocal(dup)
+	if dup.NC.Status != kv.StatusOK {
+		t.Fatalf("duplicate of applied acquire = %v", &dup.NC)
+	}
+	it, err := sw.ReadItem(lock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if owner := binary.BigEndian.Uint64(it.Value[:8]); owner != 0 {
+		t.Fatalf("ghost grant: lock owner = %d after duplicate, want 0", owner)
+	}
+	if it.Version.Seq != 2 {
+		t.Fatalf("duplicate re-stamped: version %v, want seq 2", it.Version)
+	}
+}

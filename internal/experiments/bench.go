@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"netchain/internal/benchjson"
+	"netchain/internal/event"
+	"netchain/internal/netsim"
+	"netchain/internal/stats"
+)
+
+// BenchSmoke is the CI perf gate workload: three short, fully
+// deterministic scenarios on the Fig. 8 testbed whose throughput and tail
+// latency are written to BENCH.json and compared against the committed
+// baseline. All quantities are simulated-time, so they are identical
+// across machines — a shift means the code changed behavior, not that CI
+// got a slow runner.
+//
+// Scenarios:
+//   - read-throughput: 4 client servers, 100% reads, the paper's headline
+//     number (Fig. 9 family);
+//   - mixed-write10:   same with 10% writes through the full chain;
+//   - chaos-mixed:     mixed workload under the standing nemesis mangle
+//     (duplication+reordering+jitter) plus a gray tail for the middle of
+//     the window — pins the cost of adversity handling; its p99 is the
+//     canary for failure-path regressions.
+type BenchOpts struct {
+	Seed      int64         // default 1
+	Scale     float64       // rate divisor, default 1000
+	StoreSize int           // keys, default 2000
+	Window    time.Duration // measurement window, default 20 ms
+}
+
+func (o *BenchOpts) defaults() {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Scale == 0 {
+		o.Scale = 1000
+	}
+	if o.StoreSize == 0 {
+		o.StoreSize = 2000
+	}
+	if o.Window == 0 {
+		o.Window = 20 * time.Millisecond
+	}
+}
+
+// BenchSmoke runs the gate scenarios and returns their results.
+func BenchSmoke(o BenchOpts) ([]benchjson.Result, error) {
+	o.defaults()
+	type scenario struct {
+		name       string
+		writeRatio float64
+		nemesis    func(tb *netsim.Testbed) netsim.Schedule
+	}
+	scenarios := []scenario{
+		{name: "read-throughput", writeRatio: 0},
+		{name: "mixed-write10", writeRatio: 0.1},
+		{name: "chaos-mixed", writeRatio: 0.1, nemesis: func(tb *netsim.Testbed) netsim.Schedule {
+			w := event.Duration(o.Window)
+			return netsim.Schedule{
+				{Name: "mangle", At: 0, Fault: clusterMangle()},
+				{Name: "gray-tail", At: w / 4, For: w / 2, Fault: netsim.GraySwitch{
+					Addr: tb.Switches[2],
+					G:    netsim.Gray{SlowFactor: 20, Loss: 0.01, ExtraDelay: usec(40)}}},
+			}
+		}},
+	}
+	var out []benchjson.Result
+	for _, sc := range scenarios {
+		d, err := NewDeployment(o.Scale, 8, o.Seed)
+		if err != nil {
+			return nil, err
+		}
+		keys, err := d.LoadStore(o.StoreSize, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", sc.name, err)
+		}
+		var nm *netsim.Nemesis
+		if sc.nemesis != nil {
+			nm = netsim.RunSchedule(d.TB.Net, sc.nemesis(d.TB))
+		}
+		qps, gens := d.runGenerators(4, keys, sc.writeRatio, 64, event.Duration(o.Window), 0)
+		if nm != nil {
+			if err := nm.Err(); err != nil {
+				return nil, fmt.Errorf("%s: %w", sc.name, err)
+			}
+		}
+		lat := stats.NewLatencyHistogram()
+		for _, g := range gens {
+			if err := lat.Merge(g.Latency); err != nil {
+				return nil, err
+			}
+		}
+		out = append(out, benchjson.Result{
+			Scenario:  sc.name,
+			OpsPerSec: qps,
+			P50us:     lat.P50() / 1e3,
+			P99us:     lat.P99() / 1e3,
+		})
+	}
+	return out, nil
+}
+
+// FormatBench renders gate results as the table benchrunner prints.
+func FormatBench(results []benchjson.Result) string {
+	s := fmt.Sprintf("%-18s %12s %10s %10s\n", "scenario", "MQPS", "p50 µs", "p99 µs")
+	for _, r := range results {
+		s += fmt.Sprintf("%-18s %12.3f %10.2f %10.2f\n", r.Scenario, r.OpsPerSec/1e6, r.P50us, r.P99us)
+	}
+	return s
+}

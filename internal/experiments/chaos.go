@@ -1,0 +1,515 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"netchain/internal/controller"
+	"netchain/internal/core"
+	"netchain/internal/event"
+	"netchain/internal/kv"
+	"netchain/internal/lincheck"
+	"netchain/internal/netsim"
+	"netchain/internal/packet"
+	"netchain/internal/simclient"
+)
+
+// Chaos is the nemesis-driven correctness scenario: concurrent clients
+// run reads, writes and CAS lock handoffs against the Fig. 8 testbed
+// while a scripted fault schedule mangles the network — reordering,
+// duplication, jitter, an asymmetric partition, a gray-degraded switch,
+// and (in the full schedule) a fail-stop failover plus recovery. The
+// recorded history is validated with internal/lincheck, and the whole
+// run is deterministic: two runs of the same seed produce identical
+// histories, counters and verdicts (the Fingerprint pins this).
+//
+// This is the evaluation the paper doesn't have: Figs. 9(d)/10/11 cover
+// uniform loss and clean fail-stop, but the protocol's safety rests on
+// ordering and session invariants that only bite under duplication,
+// reordering and half-open reachability. Every future PR's correctness
+// story runs through this scenario via `benchrunner -exp chaos` and the
+// nightly CI matrix.
+
+// ChaosOpts parameterizes the scenario.
+type ChaosOpts struct {
+	Schedule     string        // named nemesis schedule (see ChaosScheduleNames); default "full-nemesis"
+	Seed         int64         // drives placement, client mixes and fault randomness; default 1
+	Clients      int           // concurrent client hosts (max 3; host 3 stays quiet); default 3
+	OpsPerClient int           // operations each client issues; default 200
+	Registers    int           // independent register keys; default 14
+	Pause        time.Duration // think time between a client's ops; default 400 µs
+}
+
+func (o *ChaosOpts) defaults() {
+	if o.Schedule == "" {
+		o.Schedule = "full-nemesis"
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Clients == 0 || o.Clients > 3 {
+		o.Clients = 3
+	}
+	if o.OpsPerClient == 0 {
+		o.OpsPerClient = 200
+	}
+	if o.Registers == 0 {
+		o.Registers = 14
+	}
+	if o.Pause == 0 {
+		o.Pause = 400 * time.Microsecond
+	}
+}
+
+// ChaosResult reports the scenario outcome.
+type ChaosResult struct {
+	Schedule string
+	Lin      lincheck.Result
+	// History is the recorded operation log — dumped as a CI artifact
+	// when the check fails, so a failing (schedule, seed) reproduces
+	// locally.
+	History []lincheck.Op
+
+	Ops      int    // operations in the recorded history
+	Unknowns int    // ops whose outcome the client never learned
+	Timeouts uint64 // ops that exhausted retries
+
+	Net      netsim.Stats // fabric counters, incl. nemesis tallies
+	Replayed uint64       // duplicate writes the dataplane replayed idempotently
+
+	// FailoverDone/RecoveryDone are zero for schedules without fail-stop.
+	FailoverDone, RecoveryDone time.Duration
+	HistoryEnd                 time.Duration
+
+	// Fingerprint digests the full history and counters; equal seeds must
+	// produce equal fingerprints (the determinism acceptance check).
+	Fingerprint string
+
+	NemesisLog []string
+}
+
+// chaosScenario pairs a schedule builder with its documentation.
+type chaosScenario struct {
+	doc      string
+	failover bool // also exercise fail-stop failover + recovery
+	build    func(tb *netsim.Testbed) netsim.Schedule
+}
+
+func usec(n int) event.Time { return event.Duration(time.Duration(n) * time.Microsecond) }
+func msec(n int) event.Time { return event.Duration(time.Duration(n) * time.Millisecond) }
+
+// clusterMangle is the background adversity shared by the schedules: 2%
+// duplication, 8% reordering hold-back and 2 µs jitter on every link.
+// DupDelay deliberately exceeds the clients' think time, so a duplicated
+// write routinely arrives AFTER later writes to the same key — the
+// resurrection window the head's duplicate guard must close (a 1 µs
+// DupDelay would never open it and the guard would go untested).
+func clusterMangle() netsim.Fault {
+	return netsim.ClusterChaos{F: netsim.LinkFault{
+		Dup: 0.02, DupDelay: usec(500),
+		Reorder: 0.08, ReorderDelay: usec(6),
+		Jitter: usec(2),
+	}}
+}
+
+func chaosScenarios() map[string]chaosScenario {
+	return map[string]chaosScenario{
+		"reorder-dup": {
+			doc: "cluster-wide duplication (2%, delayed past the clients' think time), reordering " +
+				"(8%) and jitter for the whole run: exercises the head's adjudicate-once verdict " +
+				"pinning (duplicate writes replay, never re-stamp; duplicate CAS and freeze bounces " +
+				"repeat their verdict), the equal-version chain pass-through, and CAS reply races",
+			build: func(tb *netsim.Testbed) netsim.Schedule {
+				return netsim.Schedule{{Name: "mangle", At: 0, Fault: clusterMangle()}}
+			},
+		},
+		"asym-partition": {
+			doc: "the S1→S2 link direction silently blackholes for 3 ms (S2→S1 keeps working) — " +
+				"chain writes stall mid-chain and drain via client retries; reads from hosts behind " +
+				"S1 starve while hosts on S2 keep reading: no stale value may ever be served",
+			build: func(tb *netsim.Testbed) netsim.Schedule {
+				return netsim.Schedule{
+					{Name: "mangle", At: 0, Fault: clusterMangle()},
+					{Name: "half-open", At: msec(5), For: msec(3), Fault: netsim.LinkChaos{
+						A: tb.Switches[1], B: tb.Switches[2], F: netsim.LinkFault{Drop: 1}}},
+				}
+			},
+		},
+		"gray-tail": {
+			doc: "the chain tail S2 turns gray for 15 ms: alive and routed-through but slow " +
+				"(+40 µs per frame) and lossy (3%) — fail-stop detection never fires, reads and " +
+				"write acks crawl, retries and duplicate replies pile up",
+			build: func(tb *netsim.Testbed) netsim.Schedule {
+				return netsim.Schedule{
+					{Name: "mangle", At: 0, Fault: clusterMangle()},
+					{Name: "gray", At: msec(10), For: msec(15), Fault: netsim.GraySwitch{
+						Addr: tb.Switches[2],
+						G:    netsim.Gray{SlowFactor: 2e4, Loss: 0.03, ExtraDelay: usec(40)}}},
+				}
+			},
+		},
+		"full-nemesis": {
+			doc: "everything at once, staggered: background duplication+reordering+jitter, the " +
+				"S1→S2 half-open partition (5–8 ms), a gray tail (10–18 ms), then S1 fail-stops at " +
+				"22 ms with controller failover and its groups recover onto the spare S3 at 28 ms — " +
+				"the acceptance scenario for 'survives the nemesis'",
+			failover: true,
+			build: func(tb *netsim.Testbed) netsim.Schedule {
+				return netsim.Schedule{
+					{Name: "mangle", At: 0, Fault: clusterMangle()},
+					{Name: "half-open", At: msec(5), For: msec(3), Fault: netsim.LinkChaos{
+						A: tb.Switches[1], B: tb.Switches[2], F: netsim.LinkFault{Drop: 1}}},
+					{Name: "gray", At: msec(10), For: msec(8), Fault: netsim.GraySwitch{
+						Addr: tb.Switches[2],
+						G:    netsim.Gray{SlowFactor: 2e4, Loss: 0.03, ExtraDelay: usec(40)}}},
+					{Name: "host-cut", At: msec(12), For: msec(4), Fault: &netsim.AsymPartition{
+						From: []packet.Addr{tb.Hosts[1]}, To: []packet.Addr{tb.Switches[2]}}},
+				}
+			},
+		},
+	}
+}
+
+// ChaosScheduleNames lists the named nemesis schedules, sorted.
+func ChaosScheduleNames() []string {
+	m := chaosScenarios()
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ChaosScheduleDoc describes what a named schedule exercises.
+func ChaosScheduleDoc(name string) string { return chaosScenarios()[name].doc }
+
+func chaosOwnerBytes(owner uint64) []byte {
+	b := make([]byte, 8)
+	binary.BigEndian.PutUint64(b, owner)
+	return b
+}
+
+// RunChaos executes the scenario and checks the history for
+// linearizability. It returns an error for harness failures (the cluster
+// broke); a non-linearizable history is reported in Result.Lin, not as an
+// error, so callers can dump the history.
+func RunChaos(o ChaosOpts) (*ChaosResult, error) {
+	o.defaults()
+	sc, ok := chaosScenarios()[o.Schedule]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown chaos schedule %q (have %v)",
+			o.Schedule, ChaosScheduleNames())
+	}
+
+	d, err := NewDeployment(1, 4, o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	ccfg := controller.DefaultConfig()
+	ccfg.RuleDelay = time.Millisecond
+	ccfg.SyncPerItem = 0
+	ctl, err := controller.New(ccfg, d.Ring, controller.SimScheduler{Sim: d.Sim},
+		func(a packet.Addr) (controller.Agent, bool) {
+			sw, ok := d.TB.Net.Switch(a)
+			if !ok {
+				return nil, false
+			}
+			return controller.LocalAgent{Switch: sw}, true
+		}, d.TB.Net.SwitchNeighbors)
+	if err != nil {
+		return nil, err
+	}
+	d.Ctl = ctl
+
+	// Preload: o.Registers register keys plus two contended locks.
+	names := make([]string, 0, o.Registers+2)
+	for i := 0; i < o.Registers; i++ {
+		names = append(names, fmt.Sprintf("k%d", i))
+	}
+	locks := []string{"lockA", "lockB"}
+	names = append(names, locks...)
+	initial := map[string]string{}
+	for _, name := range names {
+		k := kv.KeyFromString(name)
+		val := []byte("init-" + name)
+		if name == locks[0] || name == locks[1] {
+			val = chaosOwnerBytes(0)
+		}
+		rt, err := d.Ctl.Insert(k)
+		if err != nil {
+			return nil, err
+		}
+		for _, hop := range rt.Hops {
+			sw, ok := d.TB.Net.Switch(hop)
+			if !ok {
+				return nil, fmt.Errorf("experiments: no switch %v", hop)
+			}
+			if err := sw.WriteItem(core.Item{Key: k, Value: val, Version: kv.Version{Seq: 1}}); err != nil {
+				return nil, err
+			}
+		}
+		initial[name] = string(val)
+	}
+
+	res := &ChaosResult{Schedule: o.Schedule}
+	var history []lincheck.Op
+
+	cfg := simclient.DefaultConfig()
+	cfg.MaxRetries = 400 // ride through fault windows instead of timing out
+	cfg.AssumeUniqueOwners = true
+
+	var harnessErr error
+	fail := func(err error) {
+		if harnessErr == nil {
+			harnessErr = err
+		}
+	}
+
+	var clients []*simclient.Client
+	for c := 0; c < o.Clients; c++ {
+		client, err := d.Muxes[c].NewClient(cfg, d.Directory())
+		if err != nil {
+			return nil, err
+		}
+		clients = append(clients, client)
+		cid := c
+		rng := rand.New(rand.NewSource(o.Seed*1000 + int64(c)))
+		holding := map[string]bool{}
+		owner := uint64(cid + 1)
+
+		// record folds a completed operation into the history; it returns
+		// whether a CAS was observed to apply (for lock bookkeeping).
+		record := func(op lincheck.Op, res simclient.Result, invoke event.Time) bool {
+			op.Client = cid
+			op.Invoke = int64(invoke)
+			op.Return = int64(d.Sim.Now())
+			if res.Err == kv.ErrTimeout {
+				op.Return = lincheck.Infinity
+				op.Unknown = true
+				history = append(history, op)
+				return false
+			}
+			switch res.Status {
+			case kv.StatusOK:
+				if op.Kind == lincheck.Read {
+					op.Found = true
+					op.Output = string(res.Value)
+				}
+				if res.AssumedApplied {
+					// CAS ownership inferred, not acked: the client owns
+					// the lock, but whether THIS op or an earlier one of
+					// its acquires put the owner there is unknowable —
+					// the checker decides.
+					op.Unknown = true
+					history = append(history, op)
+					return true
+				}
+				op.OK = true
+			case kv.StatusNotFound:
+				if op.Kind != lincheck.Read {
+					return false // refused before taking effect
+				}
+				op.Found = false
+			case kv.StatusCASFail:
+				if op.Expect != 0 {
+					// A failed release: the stored owner is no longer us,
+					// which (owners being unique) means our release DID
+					// apply and this reply belongs to a duplicate or
+					// retry — but when it applied is unknowable from
+					// here. Record the outcome as unknown; the checker
+					// places it or discards it.
+					op.Unknown = true
+					history = append(history, op)
+					return false
+				}
+				op.OK = false
+				op.Output = string(res.Value)
+			case kv.StatusUnavailable:
+				// Refused by a migration freeze or a dead chain:
+				// constrains nothing.
+				return false
+			default:
+				fail(fmt.Errorf("client %d: unexpected status %v", cid, res.Status))
+				return false
+			}
+			history = append(history, op)
+			return op.Kind == lincheck.CAS && op.OK
+		}
+
+		var step func(n int)
+		step = func(n int) {
+			if n >= o.OpsPerClient {
+				return
+			}
+			next := func(simclient.Result) {}
+			invoke := d.Sim.Now()
+			schedule := func(res simclient.Result) {
+				next(res)
+				d.Sim.After(event.Duration(o.Pause), func() { step(n + 1) })
+			}
+			switch r := rng.Float64(); {
+			case r < 0.5: // read a random register
+				name := names[rng.Intn(o.Registers)]
+				next = func(res simclient.Result) {
+					record(lincheck.Op{Kind: lincheck.Read, Key: name}, res, invoke)
+				}
+				client.Read(kv.KeyFromString(name), schedule)
+			case r < 0.88: // write a random register
+				name := names[rng.Intn(o.Registers)]
+				val := fmt.Sprintf("c%d-n%d", cid, n)
+				next = func(res simclient.Result) {
+					record(lincheck.Op{Kind: lincheck.Write, Key: name, Input: val}, res, invoke)
+				}
+				client.Write(kv.KeyFromString(name), kv.Value(val), schedule)
+			default: // fight over a lock with CAS
+				lk := locks[rng.Intn(len(locks))]
+				expect, newOwner := uint64(0), owner
+				if holding[lk] {
+					expect, newOwner = owner, 0
+				}
+				input := string(chaosOwnerBytes(newOwner))
+				next = func(res simclient.Result) {
+					applied := record(lincheck.Op{
+						Kind: lincheck.CAS, Key: lk, Expect: expect, Input: input,
+					}, res, invoke)
+					switch {
+					case applied:
+						// Acquire (incl. assumed ownership) or release.
+						holding[lk] = expect == 0
+					case res.Err == nil && res.Status == kv.StatusCASFail && expect != 0:
+						// Failed or ambiguous release: the stored owner
+						// is not us anymore either way.
+						holding[lk] = false
+					}
+					// Timeouts and freeze bounces leave holding as-is: a
+					// bounced release took no effect (still ours), and a
+					// wrong guess self-corrects — an acquire while we
+					// secretly own the lock resolves through the assumed
+					// path above.
+				}
+				client.CAS(kv.KeyFromString(lk), expect, kv.Value(input), schedule)
+			}
+		}
+		d.Sim.After(event.Time(c)*1000, func() { step(0) })
+	}
+
+	// The nemesis.
+	nm := netsim.RunSchedule(d.TB.Net, sc.build(d.TB))
+
+	// Fail-stop churn for the full schedule: S1 dies at 22 ms, fast
+	// failover rules bridge it, and its groups recover onto the spare S3.
+	if sc.failover {
+		s1, s3 := d.TB.Switches[1], d.TB.Switches[3]
+		d.Sim.At(msec(22), func() {
+			if err := d.TB.Net.FailSwitch(s1); err != nil {
+				fail(err)
+				return
+			}
+			if err := d.Ctl.HandleFailure(s1, func() {
+				res.FailoverDone = time.Duration(d.Sim.Now())
+			}); err != nil {
+				fail(fmt.Errorf("failover: %w", err))
+			}
+		})
+		d.Sim.At(msec(28), func() {
+			if err := d.Ctl.Recover(s1, []packet.Addr{s3}, func() {
+				res.RecoveryDone = time.Duration(d.Sim.Now())
+			}); err != nil {
+				fail(fmt.Errorf("recover: %w", err))
+			}
+		})
+	}
+
+	d.Sim.Run()
+
+	if harnessErr != nil {
+		return nil, harnessErr
+	}
+	if err := nm.Err(); err != nil {
+		return nil, err
+	}
+	if sc.failover && (res.FailoverDone == 0 || res.RecoveryDone == 0) {
+		return nil, fmt.Errorf("experiments: churn incomplete (failover=%v recovery=%v)",
+			res.FailoverDone, res.RecoveryDone)
+	}
+
+	res.Ops = len(history)
+	for _, op := range history {
+		if op.Unknown {
+			res.Unknowns++
+		}
+		if op.Return != lincheck.Infinity && time.Duration(op.Return) > res.HistoryEnd {
+			res.HistoryEnd = time.Duration(op.Return)
+		}
+	}
+	for _, c := range clients {
+		res.Timeouts += c.Timeouts
+	}
+	res.Net = d.TB.Net.Stats()
+	for _, sa := range d.TB.SwitchAddrs() {
+		if sw, ok := d.TB.Net.Switch(sa); ok {
+			res.Replayed += sw.Stats().WritesReplayed
+		}
+	}
+	res.NemesisLog = nm.Log
+	res.History = history
+	res.Lin = lincheck.Check(history, initial)
+
+	// Fingerprint: the determinism pin. Everything observable goes in.
+	h := sha256.New()
+	for _, op := range history {
+		fmt.Fprint(h, formatOp(op))
+	}
+	fmt.Fprintf(h, "net=%+v replayed=%d lin=%v ops=%d\n", res.Net, res.Replayed, res.Lin.OK, res.Lin.OpsChecked)
+	res.Fingerprint = fmt.Sprintf("%x", h.Sum(nil))
+	return res, nil
+}
+
+// Format renders the result for benchrunner output.
+func (r *ChaosResult) Format() string {
+	s := fmt.Sprintf("chaos [%s]\n%s\n", r.Schedule, ChaosScheduleDoc(r.Schedule))
+	for _, l := range r.NemesisLog {
+		s += "  " + l + "\n"
+	}
+	s += fmt.Sprintf("history: %d ops (%d unknown, %d timeouts), ended t=%v\n",
+		r.Ops, r.Unknowns, r.Timeouts, r.HistoryEnd)
+	if r.FailoverDone > 0 {
+		s += fmt.Sprintf("failover done t=%v; recovery done t=%v\n", r.FailoverDone, r.RecoveryDone)
+	}
+	s += fmt.Sprintf("nemesis: %d chaos drops, %d dup copies, %d reordered, %d partition drops, "+
+		"%d gray drops; dataplane replayed %d duplicate writes\n",
+		r.Net.ChaosDrops, r.Net.DupCopies, r.Net.Reordered, r.Net.PartitionDrops,
+		r.Net.GrayDrops, r.Replayed)
+	if r.Lin.OK {
+		s += fmt.Sprintf("linearizable: YES (%d ops checked)\n", r.Lin.OpsChecked)
+	} else {
+		s += fmt.Sprintf("linearizable: NO — key %s: %s\n", r.Lin.Key, r.Lin.Reason)
+	}
+	s += fmt.Sprintf("fingerprint: %s\n", r.Fingerprint)
+	return s
+}
+
+// DumpHistory renders the recorded history one operation per line — the
+// artifact a failing chaos run uploads so (schedule, seed) reproduces
+// locally.
+func (r *ChaosResult) DumpHistory() string {
+	s := fmt.Sprintf("# chaos schedule=%s ops=%d lin=%v\n", r.Schedule, r.Ops, r.Lin.OK)
+	for _, op := range r.History {
+		s += formatOp(op)
+	}
+	return s
+}
+
+// formatOp renders one history operation — shared by the fingerprint and
+// the failure dump so the uploaded artifact always matches the hash that
+// flagged the run.
+func formatOp(op lincheck.Op) string {
+	return fmt.Sprintf("c%d %v %s in=%q out=%q ok=%v found=%v unk=%v @%d..%d\n",
+		op.Client, op.Kind, op.Key, op.Input, op.Output, op.OK, op.Found,
+		op.Unknown, op.Invoke, op.Return)
+}

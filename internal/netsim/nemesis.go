@@ -1,0 +1,370 @@
+// Nemesis: the adversarial half of the network model. The paper evaluates
+// NetChain under uniform packet loss (Fig. 9(d)) and clean fail-stop
+// switch failures (Figs. 10–11); the protocol's safety argument, however,
+// rests on ordering and session invariants that only bite under
+// reordering, duplication and asymmetric reachability. This file adds
+// those conditions as first-class, deterministically seeded faults:
+//
+//   - LinkFault: per-directed-link drop, duplication, jitter and
+//     reordering hold-back, installable on one link or cluster-wide;
+//   - Partition: asymmetric src→dst reachability loss (A→B delivered,
+//     B→A dropped — the classic half-open failure);
+//   - Gray: a switch that stays alive and routed-through but serves
+//     slowly and lossily — the worst case for failure detection, since
+//     fail-stop detectors never fire;
+//   - Schedule: a declarative timeline of inject/heal steps executed
+//     inside the event simulator, so a scenario like "partition S1→S2
+//     for 3 ms with 2% duplication cluster-wide" is a table, not test
+//     code.
+//
+// All randomness flows through the Network's seeded rng, so a schedule
+// replayed with the same seed produces byte-identical drop/dup/reorder
+// counters and delivery order (pinned by TestNemesisDeterminism).
+package netsim
+
+import (
+	"fmt"
+
+	"netchain/internal/event"
+	"netchain/internal/packet"
+)
+
+// LinkFault describes adversarial behavior of one direction of a link.
+// Probabilities are per-frame; zero values mean "healthy".
+type LinkFault struct {
+	// Drop is the probability a frame is silently discarded.
+	Drop float64
+	// Dup is the probability an extra copy of the frame is delivered.
+	// The copy is a deep clone (the dataplane rewrites frames in place)
+	// arriving DupDelay after the original (one link latency if zero).
+	Dup      float64
+	DupDelay event.Time
+	// Jitter adds a uniform extra delay in [0, Jitter] to every frame —
+	// enough overlap between consecutive frames causes reordering.
+	Jitter event.Time
+	// Reorder is the probability a frame is held back by ReorderDelay
+	// (8x the link latency if zero), letting later frames overtake it.
+	Reorder      float64
+	ReorderDelay event.Time
+}
+
+// active reports whether the fault perturbs anything.
+func (f LinkFault) active() bool {
+	return f.Drop > 0 || f.Dup > 0 || f.Jitter > 0 || f.Reorder > 0
+}
+
+// merge combines two faults acting on the same traversal: drop/dup/reorder
+// probabilities compose as independent events, delays take the maximum.
+func (f LinkFault) merge(g LinkFault) LinkFault {
+	or := func(a, b float64) float64 { return 1 - (1-a)*(1-b) }
+	max := func(a, b event.Time) event.Time {
+		if a > b {
+			return a
+		}
+		return b
+	}
+	return LinkFault{
+		Drop:         or(f.Drop, g.Drop),
+		Dup:          or(f.Dup, g.Dup),
+		DupDelay:     max(f.DupDelay, g.DupDelay),
+		Jitter:       max(f.Jitter, g.Jitter),
+		Reorder:      or(f.Reorder, g.Reorder),
+		ReorderDelay: max(f.ReorderDelay, g.ReorderDelay),
+	}
+}
+
+// Gray degrades a node without failing it: the switch keeps forwarding and
+// answering — slowly and lossily. Fail-stop detection never fires, which
+// is exactly what makes gray failures the hard case.
+type Gray struct {
+	// SlowFactor multiplies the node's per-packet service time (values
+	// <= 1 leave the budget untouched).
+	SlowFactor float64
+	// Loss drops arriving frames with this probability (on top of the
+	// node's configured LossRate).
+	Loss float64
+	// ExtraDelay adds fixed latency to every frame the node processes —
+	// congestion-style degradation that inflates p99 without dropping.
+	ExtraDelay event.Time
+}
+
+// Partition is an asymmetric reachability fault: frames whose IP source is
+// in From and IP destination is in To are dropped on every link they would
+// traverse; the reverse direction is untouched. Partition the other
+// direction too for a full cut.
+type Partition struct {
+	from, to map[packet.Addr]bool
+}
+
+// NewPartition builds the directed partition From→To.
+func NewPartition(from, to []packet.Addr) *Partition {
+	p := &Partition{from: make(map[packet.Addr]bool), to: make(map[packet.Addr]bool)}
+	for _, a := range from {
+		p.from[a] = true
+	}
+	for _, a := range to {
+		p.to[a] = true
+	}
+	return p
+}
+
+func (p *Partition) matches(src, dst packet.Addr) bool {
+	return p.from[src] && p.to[dst]
+}
+
+// ---------------------------------------------------------------------------
+// Network fault management.
+
+// SetLinkFault installs f on the directed link from→to (replacing any
+// previous fault on that direction). The reverse direction is untouched —
+// an asymmetric link partition is SetLinkFault(a, b, LinkFault{Drop: 1}).
+func (n *Network) SetLinkFault(from, to packet.Addr, f LinkFault) error {
+	if _, ok := n.latency[linkKey(from, to)]; !ok {
+		return fmt.Errorf("netsim: no link %v-%v", from, to)
+	}
+	n.linkFaults[routeKey{from, to}] = f
+	return nil
+}
+
+// ClearLinkFault removes the fault on the directed link from→to.
+func (n *Network) ClearLinkFault(from, to packet.Addr) {
+	delete(n.linkFaults, routeKey{from, to})
+}
+
+// SetDefaultFault installs a cluster-wide fault applied to every link
+// traversal in both directions (merged with any per-link fault).
+func (n *Network) SetDefaultFault(f LinkFault) {
+	if !f.active() {
+		n.defFault = nil
+		return
+	}
+	cp := f
+	n.defFault = &cp
+}
+
+// ClearDefaultFault removes the cluster-wide fault.
+func (n *Network) ClearDefaultFault() { n.defFault = nil }
+
+// faultFor resolves the merged fault acting on the directed traversal
+// from→to; ok is false when the direction is healthy.
+func (n *Network) faultFor(from, to packet.Addr) (LinkFault, bool) {
+	lf, hasLink := n.linkFaults[routeKey{from, to}]
+	if n.defFault == nil {
+		return lf, hasLink && lf.active()
+	}
+	if !hasLink {
+		return *n.defFault, true
+	}
+	return lf.merge(*n.defFault), true
+}
+
+// AddPartition activates an asymmetric partition. Frames already in flight
+// on a link are not recalled; they were sent before the cut.
+func (n *Network) AddPartition(p *Partition) {
+	n.partitions = append(n.partitions, p)
+}
+
+// RemovePartition heals a partition previously added (identity by pointer).
+func (n *Network) RemovePartition(p *Partition) {
+	kept := n.partitions[:0]
+	for _, q := range n.partitions {
+		if q != p {
+			kept = append(kept, q)
+		}
+	}
+	n.partitions = kept
+	if len(n.partitions) == 0 {
+		n.partitions = nil
+	}
+}
+
+// SetGray marks addr gray-degraded. The node is NOT failed: routes still
+// run through it and frames addressed to it are still processed — slowly.
+func (n *Network) SetGray(addr packet.Addr, g Gray) error {
+	if _, ok := n.nodes[addr]; !ok {
+		return fmt.Errorf("netsim: unknown node %v", addr)
+	}
+	n.gray[addr] = g
+	return nil
+}
+
+// ClearGray restores addr to full health.
+func (n *Network) ClearGray(addr packet.Addr) { delete(n.gray, addr) }
+
+// GrayDegraded reports whether addr is currently gray.
+func (n *Network) GrayDegraded(addr packet.Addr) bool {
+	_, ok := n.gray[addr]
+	return ok
+}
+
+// ---------------------------------------------------------------------------
+// Declarative fault schedule.
+
+// Fault is one adversarial condition a Schedule can hold over an interval.
+type Fault interface {
+	Inject(n *Network) error
+	Heal(n *Network) error
+	String() string
+}
+
+// LinkChaos installs F on the directed link A→B (and B→A when Sym).
+type LinkChaos struct {
+	A, B packet.Addr
+	Sym  bool
+	F    LinkFault
+}
+
+func (c LinkChaos) Inject(n *Network) error {
+	if err := n.SetLinkFault(c.A, c.B, c.F); err != nil {
+		return err
+	}
+	if c.Sym {
+		return n.SetLinkFault(c.B, c.A, c.F)
+	}
+	return nil
+}
+
+func (c LinkChaos) Heal(n *Network) error {
+	// Clear only the fault this step installed: an overlapping later step
+	// that replaced it keeps running.
+	if n.linkFaults[routeKey{c.A, c.B}] == c.F {
+		n.ClearLinkFault(c.A, c.B)
+	}
+	if c.Sym && n.linkFaults[routeKey{c.B, c.A}] == c.F {
+		n.ClearLinkFault(c.B, c.A)
+	}
+	return nil
+}
+
+func (c LinkChaos) String() string {
+	dir := "→"
+	if c.Sym {
+		dir = "↔"
+	}
+	return fmt.Sprintf("link-chaos %v%s%v drop=%.2g dup=%.2g jitter=%v reorder=%.2g",
+		c.A, dir, c.B, c.F.Drop, c.F.Dup, c.F.Jitter, c.F.Reorder)
+}
+
+// ClusterChaos installs F on every link traversal cluster-wide.
+type ClusterChaos struct{ F LinkFault }
+
+func (c ClusterChaos) Inject(n *Network) error { n.SetDefaultFault(c.F); return nil }
+
+// Heal clears the cluster-wide fault only if it is still the one this
+// step installed (see LinkChaos.Heal).
+func (c ClusterChaos) Heal(n *Network) error {
+	if n.defFault != nil && *n.defFault == c.F {
+		n.ClearDefaultFault()
+	}
+	return nil
+}
+func (c ClusterChaos) String() string {
+	return fmt.Sprintf("cluster-chaos drop=%.2g dup=%.2g jitter=%v reorder=%.2g",
+		c.F.Drop, c.F.Dup, c.F.Jitter, c.F.Reorder)
+}
+
+// AsymPartition cuts reachability for frames sourced in From addressed to
+// To; the reverse direction keeps working.
+type AsymPartition struct {
+	From, To []packet.Addr
+
+	p *Partition // installed instance, for healing
+}
+
+func (c *AsymPartition) Inject(n *Network) error {
+	c.p = NewPartition(c.From, c.To)
+	n.AddPartition(c.p)
+	return nil
+}
+
+func (c *AsymPartition) Heal(n *Network) error {
+	if c.p != nil {
+		n.RemovePartition(c.p)
+		c.p = nil
+	}
+	return nil
+}
+
+func (c *AsymPartition) String() string {
+	return fmt.Sprintf("asym-partition %v→%v", c.From, c.To)
+}
+
+// GraySwitch degrades Addr without failing it.
+type GraySwitch struct {
+	Addr packet.Addr
+	G    Gray
+}
+
+func (c GraySwitch) Inject(n *Network) error { return n.SetGray(c.Addr, c.G) }
+
+// Heal restores the node only if it still carries this step's degradation
+// (see LinkChaos.Heal).
+func (c GraySwitch) Heal(n *Network) error {
+	if n.gray[c.Addr] == c.G {
+		n.ClearGray(c.Addr)
+	}
+	return nil
+}
+func (c GraySwitch) String() string {
+	return fmt.Sprintf("gray %v slow=%.3gx loss=%.2g extra=%v", c.Addr, c.G.SlowFactor, c.G.Loss, c.G.ExtraDelay)
+}
+
+// Step is one timeline entry: inject Fault at absolute simulated time At,
+// heal it For later (For == 0 keeps it until the run ends).
+type Step struct {
+	Name string
+	At   event.Time
+	For  event.Time
+	Fault
+}
+
+// Schedule is a nemesis timeline. Steps may overlap freely: injecting
+// over an active same-target step replaces its fault (last inject wins),
+// and each heal removes only the exact fault its own step installed, so a
+// stale heal never strips a replacement that is still scheduled to run.
+type Schedule []Step
+
+// Nemesis executes a Schedule inside the simulator and records what it did.
+type Nemesis struct {
+	net *Network
+	// Log lists timestamped inject/heal lines, for experiment reports.
+	Log []string
+	err error
+}
+
+// RunSchedule registers every step of sch with the network's simulator.
+// Call before (or while) the simulation runs; steps whose At has already
+// passed fire immediately. Fault errors are sticky — check Err after the
+// simulation completes.
+func RunSchedule(net *Network, sch Schedule) *Nemesis {
+	nm := &Nemesis{net: net}
+	for _, st := range sch {
+		st := st
+		at := st.At
+		if now := net.Sim.Now(); at < now {
+			at = now
+		}
+		net.Sim.At(at, func() {
+			nm.logf("inject %s: %s", st.Name, st.Fault)
+			if err := st.Fault.Inject(net); err != nil && nm.err == nil {
+				nm.err = fmt.Errorf("nemesis %s: %w", st.Name, err)
+			}
+		})
+		if st.For > 0 {
+			net.Sim.At(at+st.For, func() {
+				nm.logf("heal   %s", st.Name)
+				if err := st.Fault.Heal(net); err != nil && nm.err == nil {
+					nm.err = fmt.Errorf("nemesis heal %s: %w", st.Name, err)
+				}
+			})
+		}
+	}
+	return nm
+}
+
+// Err returns the first fault injection/heal error, if any.
+func (nm *Nemesis) Err() error { return nm.err }
+
+func (nm *Nemesis) logf(format string, args ...any) {
+	nm.Log = append(nm.Log, fmt.Sprintf("t=%-12v %s", nm.net.Sim.Now(), fmt.Sprintf(format, args...)))
+}

@@ -62,6 +62,14 @@ type Stats struct {
 	RouteDrops uint64 // no route / TTL expiry
 	RuleDrops  uint64 // dropped by recovery stop rules
 	StaleDrops uint64 // stale chain writes dropped by the dataplane
+
+	// Nemesis counters (see nemesis.go). The determinism regression test
+	// pins these byte-for-byte across runs of the same seed.
+	ChaosDrops     uint64 // frames dropped by a LinkFault.Drop
+	DupCopies      uint64 // extra frame copies injected by LinkFault.Dup
+	Reordered      uint64 // frames held back by LinkFault.Reorder
+	PartitionDrops uint64 // frames dropped by an asymmetric partition
+	GrayDrops      uint64 // frames lost at a gray-degraded switch
 }
 
 type node struct {
@@ -89,18 +97,27 @@ type Network struct {
 	routes   map[routeKey]packet.Addr // computed next hops
 	override map[routeKey]packet.Addr
 	stats    Stats
+
+	// Nemesis state (nemesis.go): directed per-link faults, a cluster-wide
+	// default fault, asymmetric src→dst partitions, gray-degraded nodes.
+	linkFaults map[routeKey]LinkFault // keyed by directed {from, to}
+	defFault   *LinkFault
+	partitions []*Partition
+	gray       map[packet.Addr]Gray
 }
 
 // New creates an empty network over the given simulator. seed drives loss
 // and ECMP randomness deterministically.
 func New(sim *event.Sim, seed int64) *Network {
 	return &Network{
-		Sim:      sim,
-		rng:      rand.New(rand.NewSource(seed)),
-		nodes:    make(map[packet.Addr]*node),
-		latency:  make(map[routeKey]event.Time),
-		routes:   make(map[routeKey]packet.Addr),
-		override: make(map[routeKey]packet.Addr),
+		Sim:        sim,
+		rng:        rand.New(rand.NewSource(seed)),
+		nodes:      make(map[packet.Addr]*node),
+		latency:    make(map[routeKey]event.Time),
+		routes:     make(map[routeKey]packet.Addr),
+		override:   make(map[routeKey]packet.Addr),
+		linkFaults: make(map[routeKey]LinkFault),
+		gray:       make(map[packet.Addr]Gray),
 	}
 }
 
@@ -332,7 +349,10 @@ func (n *Network) removeNode(addr packet.Addr) {
 			pn.links = kept
 		}
 		delete(n.latency, linkKey(addr, peer))
+		delete(n.linkFaults, routeKey{addr, peer})
+		delete(n.linkFaults, routeKey{peer, addr})
 	}
+	delete(n.gray, addr)
 	delete(n.nodes, addr)
 }
 
@@ -385,9 +405,58 @@ func (n *Network) forward(nd *node, f *packet.Frame) {
 		n.stats.RouteDrops++
 		return
 	}
-	lat := n.latency[linkKey(nd.addr, via)]
+	n.transmit(nd.addr, via, f)
+}
+
+// transmit puts f on the directed link from→via, applying any nemesis
+// faults active on that direction: asymmetric partitions, probabilistic
+// drop, jitter, reordering hold-back, and duplication. The healthy fast
+// path (no faults anywhere) costs exactly what it did before the nemesis
+// existed — one latency lookup and one scheduled event, no rng draws.
+func (n *Network) transmit(from, via packet.Addr, f *packet.Frame) {
+	lat := n.latency[linkKey(from, via)]
 	next := n.nodes[via]
-	n.Sim.After(lat, func() { n.arrive(next, f) })
+	for _, p := range n.partitions {
+		if p.matches(f.IP.Src, f.IP.Dst) {
+			n.stats.PartitionDrops++
+			return
+		}
+	}
+	flt, faulty := n.faultFor(from, via)
+	if !faulty {
+		n.Sim.After(lat, func() { n.arrive(next, f) })
+		return
+	}
+	if flt.Drop > 0 && n.rng.Float64() < flt.Drop {
+		n.stats.ChaosDrops++
+		return
+	}
+	d := lat
+	if flt.Jitter > 0 {
+		d += event.Time(n.rng.Int63n(int64(flt.Jitter) + 1))
+	}
+	if flt.Reorder > 0 && n.rng.Float64() < flt.Reorder {
+		// Hold the frame back long enough that frames sent after it
+		// overtake — out-of-order delivery without loss.
+		rd := flt.ReorderDelay
+		if rd == 0 {
+			rd = 8 * lat
+		}
+		d += rd
+		n.stats.Reordered++
+	}
+	if flt.Dup > 0 && n.rng.Float64() < flt.Dup {
+		// The copy must be deep: the dataplane rewrites frames in place,
+		// and both copies will be processed independently.
+		dd := flt.DupDelay
+		if dd == 0 {
+			dd = lat
+		}
+		cp := f.Clone()
+		n.stats.DupCopies++
+		n.Sim.After(d+dd, func() { n.arrive(next, cp) })
+	}
+	n.Sim.After(d, func() { n.arrive(next, f) })
 }
 
 // arrive handles ingress at a node: loss, fail-stop, capacity, then
@@ -402,6 +471,11 @@ func (n *Network) arrive(nd *node, f *packet.Frame) {
 		n.stats.LossDrops++
 		return
 	}
+	g, grayed := n.gray[nd.addr]
+	if grayed && g.Loss > 0 && n.rng.Float64() < g.Loss {
+		n.stats.GrayDrops++
+		return
+	}
 	// Capacity gate: serialize packets through the node's budget.
 	now := n.Sim.Now()
 	start := nd.busyUntil
@@ -413,8 +487,14 @@ func (n *Network) arrive(nd *node, f *packet.Frame) {
 		return
 	}
 	svc := n.serviceTime(nd, f)
+	if grayed && g.SlowFactor > 1 {
+		svc = event.Time(float64(svc) * g.SlowFactor)
+	}
 	nd.busyUntil = start + svc
 	done := nd.busyUntil + nd.cfg.ProcDelay
+	if grayed {
+		done += g.ExtraDelay
+	}
 	n.Sim.At(done, func() { n.process(nd, f) })
 }
 

@@ -155,13 +155,18 @@ func (g *Generator) recv(f *packet.Frame) {
 	if err != nil {
 		return
 	}
+	// Only the first reply to a query counts: under network duplication
+	// (or a reply racing an aged-out retry) later copies would otherwise
+	// inflate delivered throughput.
+	start, ok := g.out[rep.QueryID]
+	if !ok {
+		return
+	}
+	delete(g.out, rep.QueryID)
 	now := g.mux.sim.Now()
 	g.Done[rep.Status]++
-	if start, ok := g.out[rep.QueryID]; ok {
-		delete(g.out, rep.QueryID)
-		// Charge both host stack traversals analytically.
-		g.Latency.Observe(float64(now - start + 2*g.hostDelay))
-	}
+	// Charge both host stack traversals analytically.
+	g.Latency.Observe(float64(now - start + 2*g.hostDelay))
 	if g.Series != nil {
 		g.Series.Add(time.Duration(now), 1)
 	}

@@ -7,6 +7,7 @@ import (
 	"netchain/internal/event"
 	"netchain/internal/experiments"
 	"netchain/internal/kv"
+	"netchain/internal/netsim"
 	"netchain/internal/packet"
 	"netchain/internal/simclient"
 )
@@ -152,6 +153,33 @@ func (s *SimCluster) RemoveSwitch(i int) error {
 	}
 	return nil
 }
+
+// SwitchAddress resolves switch index i (0..3 are the testbed's S0..S3,
+// higher indexes are switches attached later) to its fabric address — the
+// handle nemesis schedules and route pins are built from.
+func (s *SimCluster) SwitchAddress(i int) (packet.Addr, error) { return s.switchAddr(i) }
+
+// HostAddress resolves host index h (0..3) to its fabric address.
+func (s *SimCluster) HostAddress(h int) (packet.Addr, error) {
+	if h < 0 || h >= len(s.d.TB.Hosts) {
+		return 0, fmt.Errorf("netchain: host %d out of range", h)
+	}
+	return s.d.TB.Hosts[h], nil
+}
+
+// RunNemesis registers an adversarial fault schedule (reordering,
+// duplication, jitter, asymmetric partitions, gray-degraded switches — see
+// internal/netsim) with the cluster's simulator. Steps fire as simulated
+// time passes through their At marks during subsequent RunFor/operation
+// calls. The returned handle reports injection errors and keeps a
+// timestamped log of what the nemesis did.
+func (s *SimCluster) RunNemesis(sch netsim.Schedule) *netsim.Nemesis {
+	return netsim.RunSchedule(s.d.TB.Net, sch)
+}
+
+// NetStats snapshots the fabric counters, including the nemesis's
+// drop/duplicate/reorder/partition/gray tallies.
+func (s *SimCluster) NetStats() netsim.Stats { return s.d.TB.Net.Stats() }
 
 // SimClient is a synchronous-feeling client over the simulation: each call
 // injects the query and runs the simulator until the reply (or timeout)

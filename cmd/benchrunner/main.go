@@ -13,6 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -22,30 +24,78 @@ import (
 	"netchain/internal/mc"
 )
 
-func main() {
-	exp := flag.String("exp", "all", "experiment: table1|fig9a|fig9b|fig9c|fig9d|fig9e|fig9f|fig10a|fig10b|fig11|resize|pipeline|tla|bench|chaos|all")
+func main() { os.Exit(realMain()) }
+
+// realMain carries the exit code back through a normal return so the
+// deferred profile writers (-cpuprofile/-memprofile) flush even when an
+// experiment fails or the perf gate trips — the run where a profile is
+// most wanted.
+func realMain() (code int) {
+	exp := flag.String("exp", "all", "experiment: table1|fig9a|fig9b|fig9c|fig9d|fig9e|fig9f|fig10a|fig10b|fig11|resize|pipeline|tla|bench|udpbench|read-scaling|hot-key|value-sweep|chaos|all")
 	full := flag.Bool("full", false, "use longer windows / full parameter sweeps")
 	windows := flag.String("windows", "1,4,16,64", "outstanding-window sweep for -exp pipeline (comma-separated)")
 	window := flag.Int("window", 0, "client outstanding-query window for the fig9 experiments (0 = unbounded open loop)")
 	jsonPath := flag.String("json", "", "write machine-readable -exp bench results to this file (BENCH.json)")
 	baseline := flag.String("baseline", "", "compare -exp bench results against this baseline file; exit 1 on regression")
+	compare := flag.String("compare", "", "with -baseline: also write a benchstat-style old-vs-new table to this file")
 	gate := flag.Float64("gate", 0.20, "regression tolerance for -baseline (0.20 = 20%)")
 	seed := flag.Int64("seed", 1, "deterministic seed for -exp chaos and -exp bench")
 	schedule := flag.String("schedule", "full-nemesis", "nemesis schedule for -exp chaos ('all' runs every schedule)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file (go tool pprof)")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live-heap accounting before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	ran := false
 	run := func(name string, fn func() error) {
-		if *exp != "all" && *exp != name {
+		if code != 0 || (*exp != "all" && *exp != name) {
 			return
 		}
 		ran = true
 		start := time.Now()
 		if err := fn(); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
-			os.Exit(1)
+			code = 1
+			return
 		}
 		fmt.Printf("[%s took %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+	// runOnly registers an experiment reachable only by name: the
+	// standalone real-UDP scenario views are already executed (and gated)
+	// inside "bench", so "all" must not run the same socket benches again.
+	runOnly := func(name string, fn func() error) {
+		if *exp == name {
+			run(name, fn)
+		}
 	}
 
 	tOpts := experiments.ThroughputOpts{ClientWindow: *window}
@@ -108,7 +158,39 @@ func main() {
 		}
 		return nil
 	})
-	run("bench", func() error { return runBench(*seed, *jsonPath, *baseline, *gate) })
+	run("bench", func() error { return runBench(*seed, *jsonPath, *baseline, *compare, *gate) })
+	runOnly("udpbench", func() error {
+		results, err := experiments.UDPBench(udpOpts(*full))
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatUDPBench(results))
+		return nil
+	})
+	runOnly("read-scaling", func() error {
+		results, err := experiments.ReadScaling(udpOpts(*full))
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatUDPBench(results))
+		return nil
+	})
+	runOnly("hot-key", func() error {
+		results, err := experiments.HotKey(udpOpts(*full))
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatUDPBench(results))
+		return nil
+	})
+	runOnly("value-sweep", func() error {
+		results, err := experiments.ValueSweep(udpOpts(*full))
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatUDPBench(results))
+		return nil
+	})
 	run("chaos", func() error { return runChaos(*schedule, *seed) })
 	run("tla", func() error {
 		for _, cfg := range []struct {
@@ -141,8 +223,9 @@ func main() {
 	})
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q; see -exp usage\n", *exp)
-		os.Exit(2)
+		return 2
 	}
+	return code
 }
 
 func printFig(f *experiments.Figure, err error) error {
@@ -176,22 +259,41 @@ func runFig10(vgroups int, full bool) error {
 	return nil
 }
 
-// runBench executes the CI perf-gate scenarios, optionally writing the
-// machine-readable artifact and enforcing the regression gate against a
-// committed baseline.
-func runBench(seed int64, jsonPath, baselinePath string, gate float64) error {
+// udpOpts sizes the real-UDP scenarios: quick points for CI, longer
+// windows under -full.
+func udpOpts(full bool) experiments.UDPBenchOpts {
+	o := experiments.UDPBenchOpts{}
+	if full {
+		o.Duration = 2 * time.Second
+	}
+	return o
+}
+
+// runBench executes the CI perf-gate scenarios — the deterministic
+// simulated trio plus the wall-clock real-UDP scenarios (read-scaling,
+// hot-key, value-sweep) — optionally writing the machine-readable
+// artifact, an old-vs-new comparison table, and enforcing the regression
+// gate against a committed baseline.
+func runBench(seed int64, jsonPath, baselinePath, comparePath string, gate float64) error {
 	results, err := experiments.BenchSmoke(experiments.BenchOpts{Seed: seed})
 	if err != nil {
 		return err
 	}
 	fmt.Print(experiments.FormatBench(results))
+	udp, err := experiments.UDPBench(udpOpts(false))
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatUDPBench(udp))
+	results = append(results, udp...)
+	cur := benchjson.File{
+		Note: fmt.Sprintf("benchrunner -exp bench -seed %d; simulated-time scenarios are "+
+			"deterministic across machines; scenarios carrying a tol field are real-UDP "+
+			"wall-clock numbers (machine-dependent, gated loosely)", seed),
+		Results: results,
+	}
 	if jsonPath != "" {
-		f := benchjson.File{
-			Note: fmt.Sprintf("benchrunner -exp bench -seed %d; simulated-time results, "+
-				"deterministic across machines", seed),
-			Results: results,
-		}
-		if err := benchjson.Write(jsonPath, f); err != nil {
+		if err := benchjson.Write(jsonPath, cur); err != nil {
 			return err
 		}
 		fmt.Printf("wrote %s\n", jsonPath)
@@ -201,14 +303,22 @@ func runBench(seed int64, jsonPath, baselinePath string, gate float64) error {
 		if err != nil {
 			return err
 		}
-		violations := benchjson.Compare(base, benchjson.File{Results: results}, gate)
+		table := benchjson.FormatComparison(base, cur)
+		fmt.Print(table)
+		if comparePath != "" {
+			if err := os.WriteFile(comparePath, []byte(table), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", comparePath)
+		}
+		violations := benchjson.Compare(base, cur, gate)
 		if len(violations) > 0 {
 			for _, v := range violations {
 				fmt.Fprintf(os.Stderr, "PERF REGRESSION: %s\n", v)
 			}
 			return fmt.Errorf("%d perf regression(s) vs %s", len(violations), baselinePath)
 		}
-		fmt.Printf("perf gate vs %s: PASS (tolerance %.0f%%)\n", baselinePath, 100*gate)
+		fmt.Printf("perf gate vs %s: PASS (base tolerance %.0f%%)\n", baselinePath, 100*gate)
 	}
 	return nil
 }

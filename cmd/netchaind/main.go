@@ -40,6 +40,7 @@ func main() {
 	udpBind := flag.String("udp", "127.0.0.1:0", "UDP bind address for the dataplane")
 	rpcBind := flag.String("rpc", "127.0.0.1:0", "TCP bind address for the control-plane agent")
 	slots := flag.Int("slots", 65536, "key slots per stage (the paper's Tofino profile uses 64K)")
+	workers := flag.Int("workers", 0, "dataplane ingest workers (0 = one per core, capped at 8)")
 	var peers peerList
 	flag.Var(&peers, "peer", "virtual=real UDP endpoint of a peer (repeatable), e.g. 10.0.0.2=127.0.0.1:9002")
 	flag.Parse()
@@ -76,7 +77,8 @@ func main() {
 		book.Set(va, ep)
 	}
 
-	node, err := transport.NewSwitchNode(sw, book, *udpBind)
+	node, err := transport.NewSwitchNode(sw, book, *udpBind,
+		transport.WithIngestWorkers(*workers))
 	if err != nil {
 		log.Fatalf("netchaind: %v", err)
 	}

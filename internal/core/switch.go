@@ -6,12 +6,24 @@
 // The same Switch type runs inside the discrete-event simulator and behind
 // a real UDP socket: both substrates feed it *packet.Frame values and
 // dispatch on the returned Disposition.
+//
+// Concurrency model (mirroring the paper's hardware split): reads are
+// served straight out of the register arrays with no coordination — the
+// seqlock fast path in swsim plus lock-free rule and match-table lookups
+// mean a read never blocks behind a write and reads scale across cores.
+// Writes, CAS and the per-key adjudication state shard onto per-virtual-
+// group locks, so independent groups stamp concurrently; only writes to
+// the same group serialize, which chain ordering requires anyway. Stats
+// are atomic counters; the neighbor rule table is copy-on-write so
+// control-plane updates and diagnostics never stall packet processing.
 package core
 
 import (
 	"encoding/binary"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"unsafe"
 
 	"netchain/internal/kv"
 	"netchain/internal/packet"
@@ -96,25 +108,114 @@ type Stats struct {
 	Processed      uint64 // NetChain queries processed locally
 }
 
+// counterStripes spreads the hot counters across independent cache lines:
+// a contended fetch-add on one shared line would make every core's reads
+// convoy on counter ping-pong, re-serializing the path the seqlock just
+// freed. Stripes are picked from the frame pointer — pooled frames are
+// worker-affine, so concurrent workers land on different lines.
+const counterStripes = 8
+
+// counterStripe is one cache-line-padded bundle of the dataplane
+// counters (15 × 8 B = 120, padded to 128).
+type counterStripe struct {
+	reads          atomic.Uint64
+	writesHead     atomic.Uint64
+	writesApply    atomic.Uint64
+	writesStale    atomic.Uint64
+	writesReplayed atomic.Uint64
+	writesFrozen   atomic.Uint64
+	casFails       atomic.Uint64
+	replies        atomic.Uint64
+	ruleHits       atomic.Uint64
+	ruleDrops      atomic.Uint64
+	notFound       atomic.Uint64
+	transits       atomic.Uint64
+	processed      atomic.Uint64
+	pipePackets    atomic.Uint64
+	pipePasses     atomic.Uint64
+	_              [8]byte
+}
+
+// counters is the live, atomically-updated striped mirror of Stats: the
+// read fast path bumps a stripe without any lock.
+type counters struct {
+	stripes [counterStripes]counterStripe
+}
+
+// at picks the stripe for a frame. The pooled frame's address is stable
+// while a worker owns it, so each ingest worker effectively gets its own
+// counter line; single-goroutine callers always hit the same stripe.
+func (c *counters) at(f *packet.Frame) *counterStripe {
+	return &c.stripes[(uintptr(unsafe.Pointer(f))>>7)%counterStripes]
+}
+
+func (c *counters) snapshot() Stats {
+	var s Stats
+	for i := range c.stripes {
+		st := &c.stripes[i]
+		s.Reads += st.reads.Load()
+		s.WritesHead += st.writesHead.Load()
+		s.WritesApply += st.writesApply.Load()
+		s.WritesStale += st.writesStale.Load()
+		s.WritesReplayed += st.writesReplayed.Load()
+		s.WritesFrozen += st.writesFrozen.Load()
+		s.CASFails += st.casFails.Load()
+		s.Replies += st.replies.Load()
+		s.RuleHits += st.ruleHits.Load()
+		s.RuleDrops += st.ruleDrops.Load()
+		s.NotFound += st.notFound.Load()
+		s.Transits += st.transits.Load()
+		s.Processed += st.processed.Load()
+	}
+	return s
+}
+
+// pipeStats sums the striped packet/pass tallies (the recirculation
+// accounting formerly kept inside the pipeline under its counters).
+func (c *counters) pipeStats() (packets, passes uint64) {
+	for i := range c.stripes {
+		packets += c.stripes[i].pipePackets.Load()
+		passes += c.stripes[i].pipePasses.Load()
+	}
+	return
+}
+
+// groupShards is the number of independent write locks virtual groups
+// stripe onto; a power of two so group&(groupShards-1) picks a shard.
+// Writes to different groups take different locks and stamp concurrently.
+const groupShards = 32
+
+// groupShard is the mutable per-group write state: session numbers,
+// migration freezes, and the per-key duplicate-adjudication rings. All
+// keys of one virtual group land in one shard, so the shard lock is the
+// chain-ordering serialization point the protocol requires anyway.
+type groupShard struct {
+	mu        sync.Mutex
+	sessions  map[uint16]uint32 // virtual group -> session stamped when acting head
+	frozen    map[uint16]int    // virtual group -> nested serve-while-migrating write guards
+	lastWrite map[kv.Key]*tagRing
+}
+
+// ruleTable is the immutable published form of the neighbor rule table:
+// dst -> group (or WildcardGroup) -> rule. Readers load the pointer and
+// probe without locks; mutations clone-and-swap.
+type ruleTable map[packet.Addr]map[int]Rule
+
 // Switch is one NetChain switch's dataplane state. Methods are safe for
-// concurrent use (the real UDP transport serves multiple packets at once;
-// the simulator is single-threaded and pays a negligible uncontended-lock
-// cost).
+// concurrent use (the real UDP transport serves packets from a worker
+// pool; the simulator is single-threaded and pays only uncontended-atomic
+// costs).
 type Switch struct {
 	addr packet.Addr
+	pipe *swsim.Pipeline
+	cfg  swsim.Config // cached pipeline config (hot-path PassesFor)
 
-	mu       sync.Mutex
-	pipe     *swsim.Pipeline
-	rules    map[packet.Addr]map[int]Rule // dst -> group (or WildcardGroup) -> rule
-	sessions map[uint16]uint32            // virtual group -> session stamped when acting head
-	frozen   map[uint16]int               // virtual group -> nested serve-while-migrating write guards
-	// lastWrite remembers, per key, which client queries produced the
-	// most recent stamped versions (newest first, depth writeTagDepth) —
-	// the O(1)-per-key register file that makes head-stamping idempotent
-	// under network duplication (see processWrite). A real switch keeps
-	// this beside the value slots.
-	lastWrite map[kv.Key]*tagRing
-	stats     Stats
+	shards [groupShards]groupShard
+
+	rulesMu sync.Mutex // serializes rule-table mutations (copy-on-write)
+	rules   atomic.Pointer[ruleTable]
+
+	stats counters
 }
 
 // writeTag identifies a client query the head adjudicated — IP source,
@@ -191,15 +292,9 @@ func (r *tagRing) push(tag writeTag) {
 	r.n++
 }
 
-// tagHash is FNV-1a over the raw packet value of a query (for CAS this
+// tagHash fingerprints the raw packet value of a query (for CAS this
 // includes the expected-owner prefix, so identity covers the full query).
-func tagHash(b []byte) uint64 {
-	h := uint64(14695981039346656037)
-	for _, c := range b {
-		h = (h ^ uint64(c)) * 1099511628211
-	}
-	return h
-}
+func tagHash(b []byte) uint64 { return kv.HashBytes(b) }
 
 // NewSwitch builds a switch dataplane with the given pipeline resources.
 func NewSwitch(addr packet.Addr, cfg swsim.Config) (*Switch, error) {
@@ -207,25 +302,43 @@ func NewSwitch(addr packet.Addr, cfg swsim.Config) (*Switch, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Switch{
-		addr:      addr,
-		pipe:      pipe,
-		rules:     make(map[packet.Addr]map[int]Rule),
-		sessions:  make(map[uint16]uint32),
-		frozen:    make(map[uint16]int),
-		lastWrite: make(map[kv.Key]*tagRing),
-	}, nil
+	s := &Switch{addr: addr, pipe: pipe, cfg: cfg}
+	for i := range s.shards {
+		s.shards[i].sessions = make(map[uint16]uint32)
+		s.shards[i].frozen = make(map[uint16]int)
+		s.shards[i].lastWrite = make(map[kv.Key]*tagRing)
+	}
+	empty := make(ruleTable)
+	s.rules.Store(&empty)
+	return s, nil
 }
 
 // Addr returns the switch's IP.
 func (s *Switch) Addr() packet.Addr { return s.addr }
 
-// Stats returns a snapshot of the dataplane counters.
-func (s *Switch) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+// shard returns the write shard owning a virtual group.
+func (s *Switch) shard(group uint16) *groupShard {
+	return &s.shards[group&(groupShards-1)]
 }
+
+// lockAll acquires every shard lock in index order — the control-plane
+// "stop the world" used by operations that cannot name a single group
+// (state sync by key, key GC). Dataplane writers hold exactly one shard
+// lock and never a second, so the fixed order cannot deadlock.
+func (s *Switch) lockAll() {
+	for i := range s.shards {
+		s.shards[i].mu.Lock()
+	}
+}
+
+func (s *Switch) unlockAll() {
+	for i := range s.shards {
+		s.shards[i].mu.Unlock()
+	}
+}
+
+// Stats returns a snapshot of the dataplane counters.
+func (s *Switch) Stats() Stats { return s.stats.snapshot() }
 
 // PassesFor returns how many pipeline passes a value of the given length
 // costs on this switch (the simulator charges capacity accordingly, §6).
@@ -235,18 +348,10 @@ func (s *Switch) PassesFor(valueLen int) int {
 
 // PipelinePasses reports packets and pipeline passes consumed (for the
 // recirculation ablation).
-func (s *Switch) PipelinePasses() (packets, passes uint64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.pipe.Stats()
-}
+func (s *Switch) PipelinePasses() (packets, passes uint64) { return s.stats.pipeStats() }
 
 // ItemCount returns the number of installed keys.
-func (s *Switch) ItemCount() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.pipe.ItemCount()
-}
+func (s *Switch) ItemCount() int { return s.pipe.ItemCount() }
 
 // ---------------------------------------------------------------------------
 // Dataplane: Algorithm 1.
@@ -257,50 +362,56 @@ func (s *Switch) ItemCount() int {
 // frame has been rewritten in place: either retargeted at the next chain
 // hop or turned into a reply to the client.
 func (s *Switch) ProcessLocal(f *packet.Frame) (Disposition, int) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-
-	s.stats.Processed++
-	passes := s.pipe.CountPacket(len(f.NC.Value))
+	st := s.stats.at(f)
+	st.processed.Add(1)
+	passes := s.cfg.PassesFor(len(f.NC.Value))
+	st.pipePackets.Add(1)
+	st.pipePasses.Add(uint64(passes))
 
 	switch f.NC.Op {
 	case kv.OpRead:
-		return s.processRead(f), passes
+		return s.processRead(f, st), passes
 	case kv.OpWrite, kv.OpDelete, kv.OpCAS:
-		return s.processWrite(f), passes
+		return s.processWrite(f, st), passes
 	case kv.OpReply:
 		// A reply addressed to a switch is a routing anomaly; drop.
 		return Drop, passes
 	default:
 		f.ToReply(kv.StatusBadRequest)
-		s.stats.Replies++
+		st.replies.Add(1)
 		return Forward, passes
 	}
 }
 
 // processRead serves a read (Algorithm 1 lines 2–4) and replies directly:
 // whichever chain switch receives a read serves it — normally the tail;
-// after fast failover, the hop the neighbor rule redirected to.
-func (s *Switch) processRead(f *packet.Frame) Disposition {
+// after fast failover, the hop the neighbor rule redirected to. The whole
+// path is lock-free and allocation-free: match lookup on the immutable
+// table, seqlock value snapshot into the frame's own buffer, atomic
+// counters — a read never waits behind a write.
+func (s *Switch) processRead(f *packet.Frame, st *counterStripe) Disposition {
 	loc, ok := s.pipe.Lookup(f.NC.Key)
 	if !ok {
-		s.stats.NotFound++
+		st.notFound.Add(1)
 		f.ToReply(kv.StatusNotFound)
-		s.stats.Replies++
+		st.replies.Add(1)
 		return Forward
 	}
-	val, live := s.pipe.ReadValue(loc)
+	// ReadLatestFor rechecks the slot's tenant inside the seqlock window:
+	// if key GC raced us and the slot was reused, this is a clean miss,
+	// never another key's value.
+	val, ver, live := s.pipe.ReadLatestFor(f.NC.Key, loc, f.ValueScratch())
 	if !live {
-		s.stats.NotFound++
+		st.notFound.Add(1)
 		f.ToReply(kv.StatusNotFound)
-		s.stats.Replies++
+		st.replies.Add(1)
 		return Forward
 	}
-	s.stats.Reads++
+	st.reads.Add(1)
 	f.NC.Value = val
-	f.NC.SetVersion(s.pipe.Version(loc))
+	f.NC.SetVersion(ver)
 	f.ToReply(kv.StatusOK)
-	s.stats.Replies++
+	st.replies.Add(1)
 	return Forward
 }
 
@@ -309,13 +420,21 @@ func (s *Switch) processRead(f *packet.Frame) Disposition {
 // this switch acts as head: it stamps (session, seq) and, for CAS,
 // adjudicates the swap. Non-zero versions are ordered updates flowing down
 // the chain: applied iff newer than the stored version.
-func (s *Switch) processWrite(f *packet.Frame) Disposition {
+//
+// The group's shard lock is taken before the match lookup: key GC
+// (RemoveKey) holds every shard lock while it frees the slot, so a
+// looked-up slot stays valid for this whole critical section.
+func (s *Switch) processWrite(f *packet.Frame, st *counterStripe) Disposition {
 	nc := &f.NC
+	sh := s.shard(nc.Group)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+
 	loc, ok := s.pipe.Lookup(nc.Key)
 	if !ok {
-		s.stats.NotFound++
+		st.notFound.Add(1)
 		f.ToReply(kv.StatusNotFound)
-		s.stats.Replies++
+		st.replies.Add(1)
 		return Forward
 	}
 
@@ -343,7 +462,7 @@ func (s *Switch) processWrite(f *packet.Frame) Disposition {
 		// traffic, which a freeze never blocks.
 		rawHash := tagHash(nc.Value)
 		var ringTags []writeTag
-		if r := s.lastWrite[nc.Key]; r != nil {
+		if r := sh.lastWrite[nc.Key]; r != nil {
 			ringTags = r.tags[:r.n]
 		}
 		for _, tag := range ringTags {
@@ -351,16 +470,16 @@ func (s *Switch) processWrite(f *packet.Frame) Disposition {
 				tag.qid != nc.QueryID || tag.op != nc.Op || tag.valHash != rawHash {
 				continue
 			}
-			s.stats.WritesReplayed++
+			st.writesReplayed.Add(1)
 			switch tag.verdict {
 			case tagCASFail:
 				nc.Value = tag.storedVal
 				f.ToReply(kv.StatusCASFail)
-				s.stats.Replies++
+				st.replies.Add(1)
 				return Forward
 			case tagRefused:
 				f.ToReply(kv.StatusUnavailable)
-				s.stats.Replies++
+				st.replies.Add(1)
 				return Forward
 			}
 			if tag.ver == s.pipe.Version(loc) && s.sameEffect(loc, nc) {
@@ -396,28 +515,28 @@ func (s *Switch) processWrite(f *packet.Frame) Disposition {
 				return Forward
 			}
 			f.ToReply(kv.StatusOK)
-			s.stats.Replies++
+			st.replies.Add(1)
 			return Forward
 		}
-		if s.frozen[nc.Group] > 0 {
-			s.stats.WritesFrozen++
+		if sh.frozen[nc.Group] > 0 {
+			st.writesFrozen.Add(1)
 			// Pin the refusal: a duplicate arriving after the thaw must
 			// not be stamped — its original reported "no effect".
-			s.pushTag(nc.Key, writeTag{
+			sh.pushTag(nc.Key, writeTag{
 				src: f.IP.Src, port: f.UDP.SrcPort, qid: nc.QueryID, op: nc.Op,
 				valHash: rawHash, verdict: tagRefused,
 			})
 			f.ToReply(kv.StatusUnavailable)
-			s.stats.Replies++
+			st.replies.Add(1)
 			return Forward
 		}
 		if nc.Op == kv.OpCAS {
 			newVal, stored, ok := s.casApplies(loc, nc.Value)
 			if !ok {
-				s.stats.CASFails++
+				st.casFails.Add(1)
 				// Pin the verdict so a duplicate of this query repeats
 				// it instead of re-adjudicating against later state.
-				s.pushTag(nc.Key, writeTag{
+				sh.pushTag(nc.Key, writeTag{
 					src: f.IP.Src, port: f.UDP.SrcPort, qid: nc.QueryID, op: nc.Op,
 					valHash: rawHash, verdict: tagCASFail, storedVal: stored,
 				})
@@ -426,7 +545,7 @@ func (s *Switch) processWrite(f *packet.Frame) Disposition {
 				// (retries must stay benign, §4.3).
 				nc.Value = stored
 				f.ToReply(kv.StatusCASFail)
-				s.stats.Replies++
+				st.replies.Add(1)
 				return Forward
 			}
 			// Forward only the new value; downstream replicas apply it as
@@ -434,14 +553,14 @@ func (s *Switch) processWrite(f *packet.Frame) Disposition {
 			nc.Value = newVal
 		}
 		stored := s.pipe.Version(loc)
-		v := kv.Version{Session: s.sessions[nc.Group], Seq: stored.Seq + 1}
+		v := kv.Version{Session: sh.sessions[nc.Group], Seq: stored.Seq + 1}
 		nc.SetVersion(v)
 		s.apply(loc, nc)
-		s.pushTag(nc.Key, writeTag{
+		sh.pushTag(nc.Key, writeTag{
 			src: f.IP.Src, port: f.UDP.SrcPort, qid: nc.QueryID, op: nc.Op,
 			valHash: rawHash, verdict: tagApplied, ver: v,
 		})
-		s.stats.WritesHead++
+		st.writesHead.Add(1)
 	} else {
 		// Replica or tail: apply only newer versions (Fig. 5 fix). An
 		// EQUAL version is not stale — it is a replay of the exact write
@@ -453,11 +572,11 @@ func (s *Switch) processWrite(f *packet.Frame) Disposition {
 		switch cur := s.pipe.Version(loc); {
 		case cur.Less(nc.Version()):
 			s.apply(loc, nc)
-			s.stats.WritesApply++
+			st.writesApply.Add(1)
 		case cur == nc.Version():
-			s.stats.WritesReplayed++
+			st.writesReplayed.Add(1)
 		default:
-			s.stats.WritesStale++
+			st.writesStale.Add(1)
 			return Drop
 		}
 	}
@@ -468,16 +587,17 @@ func (s *Switch) processWrite(f *packet.Frame) Disposition {
 	}
 	// Tail: reply to the client.
 	f.ToReply(kv.StatusOK)
-	s.stats.Replies++
+	st.replies.Add(1)
 	return Forward
 }
 
 // pushTag records an adjudication in the key's duplicate-detection ring.
-func (s *Switch) pushTag(k kv.Key, tag writeTag) {
-	r := s.lastWrite[k]
+// Caller holds the shard lock.
+func (sh *groupShard) pushTag(k kv.Key, tag writeTag) {
+	r := sh.lastWrite[k]
 	if r == nil {
 		r = &tagRing{}
-		s.lastWrite[k] = r
+		sh.lastWrite[k] = r
 	}
 	r.push(tag)
 }
@@ -523,18 +643,17 @@ func (s *Switch) casApplies(loc int, casVal []byte) (newVal, stored kv.Value, ok
 	return kv.Value(casVal[8:]), cur, true
 }
 
-// apply commits the packet's operation to the pipeline at loc.
+// apply commits the packet's operation to the pipeline at loc in one
+// seqlock critical section (value + version + liveness together, so
+// lock-free readers always snapshot a committed state).
 func (s *Switch) apply(loc int, nc *packet.NetChain) {
-	if nc.Op == kv.OpDelete {
-		s.pipe.Tombstone(loc)
-	} else {
-		// WriteValue only fails for oversized values, which the client
-		// rejects before sending; a malformed oversized packet is treated
-		// as a no-op on the value but still advances the version so the
-		// chain stays convergent.
-		_ = s.pipe.WriteValue(loc, nc.Value)
+	if err := s.pipe.Commit(loc, nc.Value, nc.Version(), nc.Op == kv.OpDelete); err != nil {
+		// Commit only fails for oversized values, which the client rejects
+		// before sending; a malformed oversized packet is treated as a
+		// no-op on the value but still advances the version so the chain
+		// stays convergent.
+		s.pipe.SetVersion(loc, nc.Version())
 	}
-	s.pipe.SetVersion(loc, nc.Version())
 }
 
 // ---------------------------------------------------------------------------
@@ -543,12 +662,12 @@ func (s *Switch) apply(loc int, nc *packet.NetChain) {
 // ApplyEgressRules checks a frame that this switch is about to forward
 // (either transit traffic or its own output) against the neighbor rule
 // table. It returns Drop for recovery stop rules; otherwise the frame may
-// have been rewritten in place.
+// have been rewritten in place. Lock-free: the rule table is an immutable
+// snapshot swapped atomically by the control plane.
 func (s *Switch) ApplyEgressRules(f *packet.Frame) Disposition {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-
-	byGroup, ok := s.rules[f.IP.Dst]
+	st := s.stats.at(f)
+	rt := *s.rules.Load()
+	byGroup, ok := rt[f.IP.Dst]
 	if !ok {
 		return Forward
 	}
@@ -562,10 +681,10 @@ func (s *Switch) ApplyEgressRules(f *packet.Frame) Disposition {
 			return Forward
 		}
 	}
-	s.stats.RuleHits++
+	st.ruleHits.Add(1)
 	switch rule.Action {
 	case ActDrop:
-		s.stats.RuleDrops++
+		st.ruleDrops.Add(1)
 		return Drop
 	case ActRedirect:
 		f.Retarget(rule.To)
@@ -584,52 +703,68 @@ func (s *Switch) ApplyEgressRules(f *packet.Frame) Disposition {
 			status = kv.StatusUnavailable
 		}
 		f.ToReply(status)
-		s.stats.Replies++
+		st.replies.Add(1)
 		return Forward
 	default:
 		return Drop
 	}
 }
 
-// Transit records a plain forwarding traversal (for switch-capacity
-// accounting in the simulator).
-func (s *Switch) Transit() {
-	s.mu.Lock()
-	s.stats.Transits++
-	s.mu.Unlock()
+// Transit records a plain forwarding traversal of f (for switch-capacity
+// accounting in the simulator). The stripe comes from the frame so
+// concurrent forwarding workers do not convoy on one counter line.
+func (s *Switch) Transit(f *packet.Frame) { s.stats.at(f).transits.Add(1) }
+
+// cloneRules deep-copies the published rule table for mutation.
+func (s *Switch) cloneRules() ruleTable {
+	cur := *s.rules.Load()
+	out := make(ruleTable, len(cur)+1)
+	for dst, byGroup := range cur {
+		m := make(map[int]Rule, len(byGroup)+1)
+		for g, r := range byGroup {
+			m[g] = r
+		}
+		out[dst] = m
+	}
+	return out
 }
 
 // InstallRule adds or replaces the rule for (dst, group). group may be
 // WildcardGroup. This is the control-plane path of Algorithms 2 and 3.
 func (s *Switch) InstallRule(dst packet.Addr, group int, r Rule) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	byGroup, ok := s.rules[dst]
+	s.rulesMu.Lock()
+	defer s.rulesMu.Unlock()
+	next := s.cloneRules()
+	byGroup, ok := next[dst]
 	if !ok {
-		byGroup = make(map[int]Rule)
-		s.rules[dst] = byGroup
+		byGroup = make(map[int]Rule, 1)
+		next[dst] = byGroup
 	}
 	byGroup[group] = r
+	s.rules.Store(&next)
 }
 
 // RemoveRule deletes the rule for (dst, group) if present.
 func (s *Switch) RemoveRule(dst packet.Addr, group int) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if byGroup, ok := s.rules[dst]; ok {
+	s.rulesMu.Lock()
+	defer s.rulesMu.Unlock()
+	next := s.cloneRules()
+	if byGroup, ok := next[dst]; ok {
 		delete(byGroup, group)
 		if len(byGroup) == 0 {
-			delete(s.rules, dst)
+			delete(next, dst)
 		}
 	}
+	s.rules.Store(&next)
 }
 
-// Rules snapshots the rule table (diagnostics, tests).
+// Rules snapshots the rule table (diagnostics, tests). The copy is made
+// from the immutable published table without taking any dataplane lock,
+// so a controller reading rules never stalls packet processing.
 func (s *Switch) Rules() map[packet.Addr]map[int]Rule {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make(map[packet.Addr]map[int]Rule, len(s.rules))
-	for dst, byGroup := range s.rules {
+	cur := *s.rules.Load()
+	out := make(map[packet.Addr]map[int]Rule, len(cur))
+	for dst, byGroup := range cur {
 		m := make(map[int]Rule, len(byGroup))
 		for g, r := range byGroup {
 			m[g] = r
@@ -642,26 +777,27 @@ func (s *Switch) Rules() map[packet.Addr]map[int]Rule {
 // ---------------------------------------------------------------------------
 // Control-plane state access (the paper's switch-agent Thrift API, §7).
 
-// InstallKey allocates a slot for k (Insert step 1, §4.1).
+// InstallKey allocates a slot for k (Insert step 1, §4.1). The slot is
+// published to the dataplane by the match-table install, already reset.
 func (s *Switch) InstallKey(k kv.Key) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	_, err := s.pipe.Alloc(k)
 	return err
 }
 
-// RemoveKey frees k's slot (Delete garbage collection, §4.1).
+// RemoveKey frees k's slot (Delete garbage collection, §4.1). It holds
+// every group shard lock so no in-flight write can commit to the slot
+// after it returns to the free list.
 func (s *Switch) RemoveKey(k kv.Key) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	delete(s.lastWrite, k)
+	s.lockAll()
+	defer s.unlockAll()
+	for i := range s.shards {
+		delete(s.shards[i].lastWrite, k)
+	}
 	return s.pipe.Free(k)
 }
 
 // HasKey reports whether k has a slot.
 func (s *Switch) HasKey(k kv.Key) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	_, ok := s.pipe.Lookup(k)
 	return ok
 }
@@ -670,16 +806,18 @@ func (s *Switch) HasKey(k kv.Key) bool {
 // writes of the given virtual group when acting as head (§5.2: bumped by
 // the controller on every head change).
 func (s *Switch) SetSession(group uint16, session uint32) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.sessions[group] = session
+	sh := s.shard(group)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.sessions[group] = session
 }
 
 // Session returns the current session for a group.
 func (s *Switch) Session(group uint16) uint32 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.sessions[group]
+	sh := s.shard(group)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.sessions[group]
 }
 
 // SetWriteFreeze installs or lifts the serve-while-migrating guard for a
@@ -692,45 +830,49 @@ func (s *Switch) Session(group uint16) uint32 {
 // decrements it — the group serves writes again only when every freeze has
 // been lifted, regardless of delivery order.
 func (s *Switch) SetWriteFreeze(group uint16, frozen bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	sh := s.shard(group)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	if frozen {
-		s.frozen[group]++
+		sh.frozen[group]++
 		return
 	}
-	if s.frozen[group] > 1 {
-		s.frozen[group]--
+	if sh.frozen[group] > 1 {
+		sh.frozen[group]--
 	} else {
-		delete(s.frozen, group)
+		delete(sh.frozen, group)
 	}
 }
 
 // WriteFrozen reports whether the group's migration guard is up.
 func (s *Switch) WriteFrozen(group uint16) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.frozen[group] > 0
+	sh := s.shard(group)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.frozen[group] > 0
 }
 
-// ReadItem dumps one record for state sync.
+// ReadItem dumps one record for state sync. Lock-free: the seqlock
+// snapshot gives a consistent (value, version, liveness) triple.
 func (s *Switch) ReadItem(k kv.Key) (Item, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	loc, ok := s.pipe.Lookup(k)
 	if !ok {
 		return Item{}, kv.ErrNotFound
 	}
-	val, live := s.pipe.ReadValue(loc)
-	return Item{Key: k, Value: val, Version: s.pipe.Version(loc), Tombstone: !live}, nil
+	var buf []byte
+	val, ver, live := s.pipe.ReadLatestFor(k, loc, &buf)
+	return Item{Key: k, Value: val, Version: ver, Tombstone: !live}, nil
 }
 
 // WriteItem installs one record during state sync, allocating the slot if
 // needed. Unlike dataplane writes it copies the version verbatim and only
 // moves forward: an item older than the stored version is ignored so a
-// sync never regresses state that concurrent chain writes advanced.
+// sync never regresses state that concurrent chain writes advanced. It
+// holds every shard lock — sync cannot name a single group, and the
+// version check plus commit must be atomic against dataplane writers.
 func (s *Switch) WriteItem(it Item) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.lockAll()
+	defer s.unlockAll()
 	loc, ok := s.pipe.Lookup(it.Key)
 	if !ok {
 		var err error
@@ -738,28 +880,14 @@ func (s *Switch) WriteItem(it Item) error {
 			return err
 		}
 	}
-	if !s.pipe.Version(loc).Less(it.Version) && s.pipe.Version(loc) != (kv.Version{}) {
+	if cur := s.pipe.Version(loc); !cur.Less(it.Version) && cur != (kv.Version{}) {
 		return nil
 	}
-	if it.Tombstone {
-		s.pipe.Tombstone(loc)
-	} else if err := s.pipe.WriteValue(loc, it.Value); err != nil {
-		return err
-	}
-	s.pipe.SetVersion(loc, it.Version)
-	return nil
+	return s.pipe.Commit(loc, it.Value, it.Version, it.Tombstone)
 }
 
 // Keys lists installed keys (control-plane sync enumeration).
-func (s *Switch) Keys() []kv.Key {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.pipe.Keys()
-}
+func (s *Switch) Keys() []kv.Key { return s.pipe.Keys() }
 
 // MemoryBytes reports value storage in use (§6 accounting).
-func (s *Switch) MemoryBytes() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.pipe.MemoryBytes()
-}
+func (s *Switch) MemoryBytes() int { return s.pipe.MemoryBytes() }

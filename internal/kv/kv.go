@@ -40,6 +40,19 @@ func KeyFromUint64(v uint64) Key {
 // Uint64 returns the big-endian integer stored in the first 8 bytes.
 func (k Key) Uint64() uint64 { return binary.BigEndian.Uint64(k[:8]) }
 
+// HashBytes is FNV-1a over b — the dataplane's shared cheap hash
+// (duplicate-detection value fingerprints, ingest worker sharding).
+func HashBytes(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h = (h ^ uint64(c)) * 1099511628211
+	}
+	return h
+}
+
+// Hash returns FNV-1a over the key bytes.
+func (k Key) Hash() uint64 { return HashBytes(k[:]) }
+
 // String renders the key as printable text when possible, hex otherwise.
 func (k Key) String() string {
 	end := len(k)

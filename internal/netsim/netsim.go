@@ -540,7 +540,7 @@ func (n *Network) process(nd *node, f *packet.Frame) {
 		n.stats.RouteDrops++
 		return
 	} else {
-		nd.sw.Transit()
+		nd.sw.Transit(f)
 	}
 
 	// TTL check before leaving.

@@ -14,6 +14,32 @@ type Frame struct {
 	IP  IPv4
 	UDP UDP
 	NC  NetChain
+
+	// valBuf is the frame's reusable value storage: reply values copied
+	// out of switch registers and cloned query values land here instead
+	// of fresh heap allocations. It survives Reset, so pooled frames stop
+	// allocating once warmed to the workload's value size.
+	valBuf []byte
+}
+
+// ValueScratch exposes the frame's reusable value buffer for zero-copy
+// fills (the dataplane's seqlock read copies straight into it). The
+// caller points NC.Value at the returned storage; the bytes are valid for
+// the lifetime of the frame.
+func (f *Frame) ValueScratch() *[]byte { return &f.valBuf }
+
+// setValue copies v into the frame's value buffer and returns the stored
+// slice (nil for empty v, matching wire semantics).
+func (f *Frame) setValue(v []byte) []byte {
+	if len(v) == 0 {
+		return nil
+	}
+	if cap(f.valBuf) < len(v) {
+		f.valBuf = make([]byte, len(v))
+	}
+	b := f.valBuf[:len(v)]
+	copy(b, v)
+	return b
 }
 
 // NewQuery builds a frame for a client query addressed to first, carrying
@@ -131,15 +157,22 @@ func (f *Frame) Clone() *Frame {
 // detaching Value and Chain from any buffers f aliases.
 func (f *Frame) CloneTo(dst *Frame) {
 	dst.Eth, dst.IP, dst.UDP = f.Eth, f.IP, f.UDP
+	vb := dst.valBuf // keep dst's grown-once value storage
 	dst.NC = f.NC
+	dst.valBuf = vb
 	if f.NC.Value != nil {
-		dst.NC.Value = append([]byte(nil), f.NC.Value...)
+		dst.NC.Value = dst.setValue(f.NC.Value)
 	}
 	n := copy(dst.NC.chainBuf[:], f.NC.Chain)
 	dst.NC.Chain = dst.NC.chainBuf[:n]
 }
 
-// Reset zeroes the frame for reuse.
+// Reset zeroes the frame for reuse, retaining the value buffer's capacity
+// so pooled frames stay allocation-free in steady state.
 func (f *Frame) Reset() {
+	vb := f.valBuf
 	*f = Frame{}
+	if vb != nil {
+		f.valBuf = vb[:0]
+	}
 }

@@ -1,0 +1,230 @@
+package swsim
+
+import (
+	"bytes"
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"netchain/internal/kv"
+)
+
+// fillPattern builds a value of n bytes deterministically derived from a
+// write id: every byte is a function of (id, index), so any mix of two
+// writes is detectable.
+func fillPattern(dst []byte, id uint64) {
+	for i := range dst {
+		dst[i] = byte(id*131 + uint64(i)*7 + 13)
+	}
+}
+
+// TestSeqlockNoTornReads hammers one slot with concurrent committers and
+// lock-free readers under -race: every snapshot a reader observes must be
+// the exact byte image and version of a single committed write — a torn
+// read (bytes from two writes, or value/version mismatch) fails.
+func TestSeqlockNoTornReads(t *testing.T) {
+	p, err := NewPipeline(Config{Stages: 4, SlotBytes: 8, SlotsPerStage: 8, PPS: 1e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loc, err := p.Alloc(kv.KeyFromUint64(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Value sizes straddle the line-rate boundary (32 B here) so both the
+	// flat words and the overflow slab are exercised. Each write id is
+	// recoverable from the version's Seq field, and the first 8 bytes of
+	// the value carry it redundantly.
+	const (
+		writers   = 4
+		readers   = 4
+		perWriter = 3000
+		valLen    = 48
+	)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	write := func(w int) {
+		defer wg.Done()
+		buf := make([]byte, valLen)
+		for i := 0; i < perWriter; i++ {
+			id := uint64(w)*perWriter + uint64(i) + 1
+			fillPattern(buf, id)
+			binary.BigEndian.PutUint64(buf[:8], id)
+			if err := p.Commit(loc, buf, kv.Version{Session: 1, Seq: id}, false); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}
+	var torn atomic.Int64
+	read := func() {
+		defer wg.Done()
+		var scratch []byte
+		want := make([]byte, valLen)
+		for !stop.Load() {
+			val, ver, live := p.ReadLatest(loc, &scratch)
+			if !live {
+				continue // before the first commit
+			}
+			if len(val) != valLen {
+				t.Errorf("snapshot length %d, want %d", len(val), valLen)
+				torn.Add(1)
+				return
+			}
+			id := binary.BigEndian.Uint64(val[:8])
+			if ver.Seq != id {
+				t.Errorf("version %v does not match value id %d", ver, id)
+				torn.Add(1)
+				return
+			}
+			fillPattern(want, id)
+			binary.BigEndian.PutUint64(want[:8], id)
+			if !bytes.Equal(val, want) {
+				t.Errorf("torn read: value bytes do not match any single write (id %d)", id)
+				torn.Add(1)
+				return
+			}
+		}
+	}
+	var writersWG sync.WaitGroup
+	writersWG.Add(writers)
+	wg.Add(writers + readers)
+	for w := 0; w < writers; w++ {
+		go func(w int) { defer writersWG.Done(); write(w) }(w)
+	}
+	for r := 0; r < readers; r++ {
+		go read()
+	}
+	writersWG.Wait() // readers overlap the entire write phase
+	stop.Store(true)
+	wg.Wait()
+	if n := torn.Load(); n > 0 {
+		t.Fatalf("%d torn reads observed", n)
+	}
+}
+
+// TestSeqlockReadersDuringTombstone interleaves tombstones and rewrites
+// with readers: a snapshot must be either a complete committed value or a
+// clean miss, never a live-but-stale-length mix.
+func TestSeqlockReadersDuringTombstone(t *testing.T) {
+	p, _ := NewPipeline(Config{Stages: 2, SlotBytes: 8, SlotsPerStage: 4, PPS: 1e6})
+	loc, _ := p.Alloc(kv.KeyFromUint64(9))
+	const rounds = 2000
+	var wg sync.WaitGroup
+	var stop atomic.Bool
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		val := make([]byte, 16)
+		for i := 1; i <= rounds; i++ {
+			id := uint64(i)
+			fillPattern(val, id)
+			binary.BigEndian.PutUint64(val[:8], id)
+			p.Commit(loc, val, kv.Version{Session: 1, Seq: id}, false)
+			p.Commit(loc, nil, kv.Version{Session: 1, Seq: id}, true)
+		}
+		stop.Store(true)
+	}()
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var scratch []byte
+			want := make([]byte, 16)
+			for !stop.Load() {
+				val, ver, live := p.ReadLatest(loc, &scratch)
+				if !live {
+					continue
+				}
+				if len(val) != 16 {
+					t.Errorf("live snapshot with length %d", len(val))
+					return
+				}
+				id := binary.BigEndian.Uint64(val[:8])
+				if ver.Seq != id {
+					t.Errorf("version %v vs value id %d", ver, id)
+					return
+				}
+				fillPattern(want, id)
+				binary.BigEndian.PutUint64(want[:8], id)
+				if !bytes.Equal(val, want) {
+					t.Errorf("torn read at id %d", id)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestReadLatestZeroAlloc pins the zero-allocation property of the read
+// fast path once the scratch buffer has grown to the value size.
+func TestReadLatestZeroAlloc(t *testing.T) {
+	p, _ := NewPipeline(Tofino())
+	loc, _ := p.Alloc(kv.KeyFromUint64(1))
+	val := make([]byte, 64)
+	fillPattern(val, 42)
+	if err := p.Commit(loc, val, kv.Version{Session: 1, Seq: 1}, false); err != nil {
+		t.Fatal(err)
+	}
+	var scratch []byte
+	allocs := testing.AllocsPerRun(1000, func() {
+		v, _, live := p.ReadLatest(loc, &scratch)
+		if !live || len(v) != 64 {
+			t.Fatal("read failed")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("ReadLatest allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestReadLatestForDetectsSlotReuse pins the GC race fix: a reader that
+// resolved a key to a slot before the control plane freed it and reused
+// the slot for another key must observe a miss or the original key's
+// committed value — never the new tenant's bytes.
+func TestReadLatestForDetectsSlotReuse(t *testing.T) {
+	p, _ := NewPipeline(Config{Stages: 2, SlotBytes: 8, SlotsPerStage: 1, PPS: 1e6})
+	oldKey, newKey := kv.KeyFromUint64(1), kv.KeyFromUint64(2)
+	loc, err := p.Alloc(oldKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldVal := []byte("old-tenant")
+	if err := p.Commit(loc, oldVal, kv.Version{Session: 1, Seq: 1}, false); err != nil {
+		t.Fatal(err)
+	}
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var scratch []byte
+		for !stop.Load() {
+			val, _, live := p.ReadLatestFor(oldKey, loc, &scratch)
+			if live && !bytes.Equal(val, oldVal) {
+				t.Errorf("read of old key returned new tenant's bytes %q", val)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 500; i++ {
+		if err := p.Free(oldKey); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.Alloc(newKey); err != nil {
+			t.Fatal(err)
+		}
+		p.Commit(loc, []byte("NEW-tenant"), kv.Version{Session: 9, Seq: uint64(i)}, false)
+		if err := p.Free(newKey); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.Alloc(oldKey); err != nil {
+			t.Fatal(err)
+		}
+		p.Commit(loc, oldVal, kv.Version{Session: 1, Seq: uint64(i)}, false)
+	}
+	stop.Store(true)
+	wg.Wait()
+}

@@ -9,10 +9,25 @@
 // The paper's prototype: 16-byte keys, 8 value stages × 64K slots × 16
 // bytes = 8 MB of value storage per switch, values up to 128 B at line
 // rate, and a Tofino budget of ~4 billion packets per second.
+//
+// Concurrency model: a hardware pipeline serves reads at line rate with no
+// coordination at all — every packet flows through the register stages
+// unobstructed. To mirror that in software, each slot is guarded by a
+// seqlock: a per-slot version counter (even = stable, odd = write in
+// flight) over flat word arrays accessed atomically. Readers copy the
+// value with plain atomic loads and retry on a torn snapshot; writers
+// serialize per slot on striped write locks and bump the counter around
+// the store. Reads never block, never allocate, and scale across cores;
+// the match table is a sync.Map whose read path is a lock-free lookup on
+// an immutable map.
 package swsim
 
 import (
+	"encoding/binary"
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"netchain/internal/kv"
 )
@@ -61,7 +76,10 @@ func (c Config) validate() error {
 }
 
 // RegisterArray is one stage's register file: SlotsPerStage entries of
-// SlotBytes each, stored flat. Reads return views; writes copy in.
+// SlotBytes each, stored flat. Reads return views; writes copy in. It
+// models a single stage in isolation (not safe for concurrent use); the
+// Pipeline below flattens all stages of a slot into one word array so the
+// seqlock read path touches contiguous memory.
 type RegisterArray struct {
 	slotBytes int
 	data      []byte
@@ -92,79 +110,124 @@ func (r *RegisterArray) Write(i int, v []byte) {
 
 // MatchTable is an exact-match table from key to register index — the
 // "Match-Action Table" of Fig. 3. Entries are installed by the control
-// plane (Insert) and removed by garbage collection (Delete).
+// plane (Insert) and removed by garbage collection (Delete). Lookup is
+// safe for concurrent use with Install/Remove and is lock-free in steady
+// state: installed keys promote into sync.Map's immutable read map, so the
+// dataplane match costs one atomic pointer load plus a map probe.
 type MatchTable struct {
 	capacity int
-	index    map[kv.Key]int
+	mu       sync.Mutex // serializes Install/Remove (capacity accounting)
+	n        atomic.Int64
+	index    sync.Map // kv.Key -> int
 }
 
 // NewMatchTable builds a table bounded at capacity entries.
 func NewMatchTable(capacity int) *MatchTable {
-	return &MatchTable{capacity: capacity, index: make(map[kv.Key]int)}
+	return &MatchTable{capacity: capacity}
 }
 
 // Lookup is the dataplane match: key → register index.
 func (t *MatchTable) Lookup(k kv.Key) (int, bool) {
-	loc, ok := t.index[k]
-	return loc, ok
+	v, ok := t.index.Load(k)
+	if !ok {
+		return 0, false
+	}
+	return v.(int), true
 }
 
 // Install adds an entry (control-plane operation).
 func (t *MatchTable) Install(k kv.Key, loc int) error {
-	if _, dup := t.index[k]; dup {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, dup := t.index.Load(k); dup {
 		return fmt.Errorf("swsim: key %v already installed", k)
 	}
-	if len(t.index) >= t.capacity {
+	if int(t.n.Load()) >= t.capacity {
 		return kv.ErrNoSpace
 	}
-	t.index[k] = loc
+	t.index.Store(k, loc)
+	t.n.Add(1)
 	return nil
 }
 
 // Remove deletes an entry (control-plane garbage collection).
 func (t *MatchTable) Remove(k kv.Key) (int, bool) {
-	loc, ok := t.index[k]
-	if ok {
-		delete(t.index, k)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	v, ok := t.index.Load(k)
+	if !ok {
+		return 0, false
 	}
-	return loc, ok
+	t.index.Delete(k)
+	t.n.Add(-1)
+	return v.(int), true
 }
 
 // Len returns the number of installed entries.
-func (t *MatchTable) Len() int { return len(t.index) }
+func (t *MatchTable) Len() int { return int(t.n.Load()) }
 
 // Keys enumerates installed keys (control-plane use: state sync).
 func (t *MatchTable) Keys() []kv.Key {
-	out := make([]kv.Key, 0, len(t.index))
-	for k := range t.index {
-		out = append(out, k)
-	}
+	out := make([]kv.Key, 0, t.Len())
+	t.index.Range(func(k, _ any) bool {
+		out = append(out, k.(kv.Key))
+		return true
+	})
 	return out
 }
 
-// slotMeta is the per-slot bookkeeping a real pipeline keeps in additional
-// register arrays: the value length, liveness (tombstone flag) and the
-// ordering version (sequence + session arrays of §4.3/§5.2).
-type slotMeta struct {
-	valueLen int
-	live     bool
-	version  kv.Version
-	// overflow holds the bytes beyond one pipeline pass's budget. A real
-	// switch dedicates further register slots reached by recirculation
-	// (§6); the memory accounting charges for them identically.
-	overflow []byte
+// Per-slot metadata is packed into two atomic words so a snapshot is a
+// pair of loads inside the seqlock window:
+//
+//	word 0: live(1 bit) | valueLen(31 bits) | version.Session(32 bits)
+//	word 1: version.Seq(64 bits)
+const (
+	metaLive     = uint64(1) << 63
+	metaLenShift = 32
+	metaLenMask  = uint64(1)<<31 - 1
+)
+
+// writeStripes is the number of independent write locks slots stripe onto;
+// a power of two so loc&(writeStripes-1) picks a stripe. Writers to
+// different slots almost never contend; readers never touch these locks.
+const writeStripes = 128
+
+// overflowSlab holds the words beyond one pipeline pass's budget for a
+// slot. A real switch dedicates further register slots reached by
+// recirculation (§6); the memory accounting charges for them identically.
+// Slabs are allocated at full recirculation size on first use and replaced
+// wholesale on Free, so readers chasing a stale pointer still land on
+// validly-sized storage and the seqlock recheck discards the bytes.
+type overflowSlab struct {
+	words []atomic.Uint64
 }
 
 // Pipeline is the full on-chip key-value engine of one switch: a match
-// table plus Stages register arrays for values and the metadata arrays.
+// table plus the flattened register stages for values and the metadata
+// arrays. Reads (ReadLatest, ReadValue, ReadValueInto, Version) are
+// lock-free and safe to call from any number of goroutines; writes
+// serialize per slot on striped locks. Callers that need a
+// read-modify-write (version check then commit) must provide their own
+// serialization across the writers of that slot — the core dataplane uses
+// per-virtual-group locks for exactly this.
 type Pipeline struct {
-	cfg     Config
-	table   *MatchTable
-	stages  []*RegisterArray
-	meta    []slotMeta
-	free    []int // free slot indexes, LIFO
-	packets uint64
-	passes  uint64
+	cfg           Config
+	lineRateBytes int
+	slotWords     int // words per slot covering the line-rate region
+
+	table    *MatchTable
+	words    []atomic.Uint64 // SlotsPerStage × slotWords value words
+	seq      []atomic.Uint32 // per-slot seqlock counters
+	meta     []atomic.Uint64 // 2 words per slot, packed as above
+	keyw     []atomic.Uint64 // 2 words per slot: the owning key, for lock-free tenant checks
+	overflow []atomic.Pointer[overflowSlab]
+	stripes  [writeStripes]sync.Mutex
+
+	ctl  sync.Mutex // guards the free list (Alloc/Free)
+	free []int      // free slot indexes, LIFO
+
+	packets atomic.Uint64
+	passes  atomic.Uint64
 }
 
 // NewPipeline allocates the pipeline for cfg.
@@ -172,14 +235,18 @@ func NewPipeline(cfg Config) (*Pipeline, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	lr := cfg.LineRateValueBytes()
 	p := &Pipeline{
-		cfg:   cfg,
-		table: NewMatchTable(cfg.SlotsPerStage),
-		meta:  make([]slotMeta, cfg.SlotsPerStage),
+		cfg:           cfg,
+		lineRateBytes: lr,
+		slotWords:     (lr + 7) / 8,
+		table:         NewMatchTable(cfg.SlotsPerStage),
+		seq:           make([]atomic.Uint32, cfg.SlotsPerStage),
+		meta:          make([]atomic.Uint64, 2*cfg.SlotsPerStage),
+		keyw:          make([]atomic.Uint64, 2*cfg.SlotsPerStage),
+		overflow:      make([]atomic.Pointer[overflowSlab], cfg.SlotsPerStage),
 	}
-	for i := 0; i < cfg.Stages; i++ {
-		p.stages = append(p.stages, NewRegisterArray(cfg.SlotsPerStage, cfg.SlotBytes))
-	}
+	p.words = make([]atomic.Uint64, cfg.SlotsPerStage*p.slotWords)
 	p.free = make([]int, cfg.SlotsPerStage)
 	for i := range p.free {
 		p.free[i] = cfg.SlotsPerStage - 1 - i
@@ -190,131 +257,365 @@ func NewPipeline(cfg Config) (*Pipeline, error) {
 // Config returns the pipeline's resource configuration.
 func (p *Pipeline) Config() Config { return p.cfg }
 
+func (p *Pipeline) stripe(loc int) *sync.Mutex {
+	return &p.stripes[loc&(writeStripes-1)]
+}
+
 // Alloc installs key k and reserves a register slot for it. Control-plane
 // path (§4.1: "Insert queries require the control plane to set up entries
 // in switch tables").
 func (p *Pipeline) Alloc(k kv.Key) (int, error) {
+	p.ctl.Lock()
+	defer p.ctl.Unlock()
 	if len(p.free) == 0 {
 		return 0, kv.ErrNoSpace
 	}
 	loc := p.free[len(p.free)-1]
+	// Reset BEFORE the match-table install publishes the slot: the moment
+	// Lookup can see k, a concurrent dataplane write may commit into loc,
+	// and a reset after that would silently wipe an acknowledged write.
+	// If Install fails the slot stays on the free list; the next Alloc
+	// resets it again.
+	p.resetSlot(loc, k)
 	if err := p.table.Install(k, loc); err != nil {
 		return 0, err
 	}
 	p.free = p.free[:len(p.free)-1]
-	p.meta[loc] = slotMeta{}
 	return loc, nil
 }
 
 // Free removes key k's match entry and returns its slot to the free list
 // (control-plane garbage collection after Delete, §4.1).
 func (p *Pipeline) Free(k kv.Key) error {
+	p.ctl.Lock()
+	defer p.ctl.Unlock()
 	loc, ok := p.table.Remove(k)
 	if !ok {
 		return kv.ErrNotFound
 	}
-	p.meta[loc] = slotMeta{}
-	for _, st := range p.stages {
-		st.Write(loc, nil)
-	}
+	p.resetSlot(loc, kv.Key{})
 	p.free = append(p.free, loc)
 	return nil
 }
 
-// Lookup is the dataplane match stage.
+// resetSlot zeroes a slot's metadata and records its (new) owning key
+// under the seqlock, so an in-flight reader of the old tenant can never
+// observe a torn mix — and, via the key words, can detect that the slot
+// changed hands entirely (ReadLatestFor).
+func (p *Pipeline) resetSlot(loc int, k kv.Key) {
+	w0 := binary.LittleEndian.Uint64(k[:8])
+	w1 := binary.LittleEndian.Uint64(k[8:])
+	mu := p.stripe(loc)
+	mu.Lock()
+	p.seq[loc].Add(1)
+	p.meta[2*loc].Store(0)
+	p.meta[2*loc+1].Store(0)
+	p.keyw[2*loc].Store(w0)
+	p.keyw[2*loc+1].Store(w1)
+	p.overflow[loc].Store(nil)
+	p.seq[loc].Add(1)
+	mu.Unlock()
+}
+
+// Lookup is the dataplane match stage (lock-free).
 func (p *Pipeline) Lookup(k kv.Key) (int, bool) { return p.table.Lookup(k) }
 
+// emptyValue is the non-nil zero-length value returned for live slots with
+// an empty value, so the read path allocates nothing for them.
+var emptyValue = make([]byte, 0)
+
+// ReadLatestFor is ReadLatest with a tenant check: inside the same
+// seqlock window it verifies the slot still belongs to key k, so a
+// lock-free reader racing control-plane garbage collection (Free followed
+// by an Alloc that reuses the slot for another key) observes a clean miss
+// instead of the new tenant's value. This is the read the dataplane must
+// use: the match lookup and the value snapshot are not atomic, and the
+// key words are what re-links them.
+func (p *Pipeline) ReadLatestFor(k kv.Key, loc int, scratch *[]byte) (val []byte, ver kv.Version, live bool) {
+	return p.readLatest(loc, scratch, binary.LittleEndian.Uint64(k[:8]), binary.LittleEndian.Uint64(k[8:]), true)
+}
+
+// ReadLatest copies a consistent (value, version, liveness) snapshot of
+// slot loc without taking any lock: it reads the seqlock counter, copies
+// the words with atomic loads, and retries if a concurrent writer moved
+// the counter. The value is returned in *scratch, which is grown once to
+// the slot's value size and reused on subsequent calls — the dataplane
+// hot path performs zero allocations in steady state. Callers that hold
+// no lock excluding slot reuse should prefer ReadLatestFor.
+func (p *Pipeline) ReadLatest(loc int, scratch *[]byte) (val []byte, ver kv.Version, live bool) {
+	return p.readLatest(loc, scratch, 0, 0, false)
+}
+
+func (p *Pipeline) readLatest(loc int, scratch *[]byte, k0, k1 uint64, checkKey bool) (val []byte, ver kv.Version, live bool) {
+	for spins := 0; ; spins++ {
+		s1 := p.seq[loc].Load()
+		if s1&1 != 0 {
+			// Write in flight; yield occasionally so a single-core
+			// scheduler lets the writer finish.
+			if spins&63 == 63 {
+				runtime.Gosched()
+			}
+			continue
+		}
+		if checkKey && (p.keyw[2*loc].Load() != k0 || p.keyw[2*loc+1].Load() != k1) {
+			// The slot changed tenants after the match lookup: only a
+			// stable observation counts, so recheck the seqlock before
+			// reporting the miss.
+			if p.seq[loc].Load() == s1 {
+				return nil, kv.Version{}, false
+			}
+			continue
+		}
+		w0 := p.meta[2*loc].Load()
+		wseq := p.meta[2*loc+1].Load()
+		live = w0&metaLive != 0
+		vlen := int((w0 >> metaLenShift) & metaLenMask)
+		ver = kv.Version{Session: uint32(w0), Seq: wseq}
+		var out []byte
+		if live {
+			if vlen == 0 {
+				out = emptyValue
+			} else {
+				if cap(*scratch) < vlen {
+					*scratch = make([]byte, vlen)
+				}
+				out = (*scratch)[:vlen]
+				if !p.copyOut(out, loc) {
+					continue // overflow slab raced with a writer; retry
+				}
+			}
+		}
+		if p.seq[loc].Load() == s1 {
+			return out, ver, live
+		}
+	}
+}
+
 // ReadValue copies the value at loc out of the stage registers; ok is
-// false for a tombstoned slot.
+// false for a tombstoned slot. It allocates a fresh value — control-plane
+// and adjudication paths that retain the bytes use this; the dataplane
+// read path uses ReadLatest with a reused buffer.
 func (p *Pipeline) ReadValue(loc int) (kv.Value, bool) {
-	m := p.meta[loc]
-	if !m.live {
+	var buf []byte
+	val, _, live := p.ReadLatest(loc, &buf)
+	if !live {
 		return nil, false
 	}
-	out := make([]byte, m.valueLen)
-	p.copyValue(out, loc)
-	return out, true
+	return val, true
 }
 
-// ReadValueInto copies the value at loc into dst (which must be large
-// enough) and returns the number of bytes, avoiding allocation on the
-// simulator's hot path.
+// ReadValueInto copies the value at loc into dst and returns the number
+// of bytes, avoiding allocation on the hot path. ok is false for a
+// tombstoned slot — or when the committed value no longer fits dst (a
+// concurrent writer may grow a value after the caller sized its buffer;
+// callers that must never miss should size dst at Config().MaxValueBytes).
 func (p *Pipeline) ReadValueInto(dst []byte, loc int) (int, bool) {
-	m := p.meta[loc]
-	if !m.live {
-		return 0, false
+	for spins := 0; ; spins++ {
+		s1 := p.seq[loc].Load()
+		if s1&1 != 0 {
+			if spins&63 == 63 {
+				runtime.Gosched()
+			}
+			continue
+		}
+		w0 := p.meta[2*loc].Load()
+		live := w0&metaLive != 0
+		vlen := int((w0 >> metaLenShift) & metaLenMask)
+		if !live || vlen > len(dst) {
+			if p.seq[loc].Load() == s1 {
+				return 0, false
+			}
+			continue
+		}
+		if vlen > 0 && !p.copyOut(dst[:vlen], loc) {
+			continue
+		}
+		if p.seq[loc].Load() == s1 {
+			return vlen, true
+		}
 	}
-	p.copyValue(dst[:m.valueLen], loc)
-	return m.valueLen, true
 }
 
-func (p *Pipeline) copyValue(out []byte, loc int) {
-	for i := 0; i < len(p.stages) && len(out) > 0; i++ {
-		n := copy(out, p.stages[i].Read(loc))
-		out = out[n:]
+// copyOut copies len(dst) value bytes of slot loc from the word arrays
+// using atomic loads. It reports false when the overflow slab is missing
+// or too short — a sign the snapshot raced with a writer and must retry.
+func (p *Pipeline) copyOut(dst []byte, loc int) bool {
+	n := len(dst)
+	lr := p.lineRateBytes
+	head := n
+	if head > lr {
+		head = lr
 	}
-	copy(out, p.meta[loc].overflow)
+	copyWordsOut(dst[:head], p.words[loc*p.slotWords:])
+	if n > lr {
+		slab := p.overflow[loc].Load()
+		need := (n - lr + 7) / 8
+		if slab == nil || len(slab.words) < need {
+			return false
+		}
+		copyWordsOut(dst[lr:], slab.words)
+	}
+	return true
 }
 
-// WriteValue spreads v across the stage registers at loc: the first
-// Stages×SlotBytes land in the per-stage arrays; any remainder goes to the
+// copyWordsOut unpacks words into dst with atomic loads, little-endian.
+func copyWordsOut(dst []byte, src []atomic.Uint64) {
+	i := 0
+	for ; i+8 <= len(dst); i += 8 {
+		binary.LittleEndian.PutUint64(dst[i:], src[i/8].Load())
+	}
+	if i < len(dst) {
+		var tmp [8]byte
+		binary.LittleEndian.PutUint64(tmp[:], src[i/8].Load())
+		copy(dst[i:], tmp[:])
+	}
+}
+
+// copyWordsIn packs src bytes into dst words with atomic stores.
+func copyWordsIn(dst []atomic.Uint64, src []byte) {
+	i := 0
+	for ; i+8 <= len(src); i += 8 {
+		dst[i/8].Store(binary.LittleEndian.Uint64(src[i:]))
+	}
+	if i < len(src) {
+		var tmp [8]byte
+		copy(tmp[:], src[i:])
+		dst[i/8].Store(binary.LittleEndian.Uint64(tmp[:]))
+	}
+}
+
+// storeValue writes v's bytes into slot loc's word arrays. Caller holds
+// the stripe lock and has the seqlock counter odd.
+func (p *Pipeline) storeValue(loc int, v []byte) {
+	head := len(v)
+	if head > p.lineRateBytes {
+		head = p.lineRateBytes
+	}
+	copyWordsIn(p.words[loc*p.slotWords:], v[:head])
+	if len(v) > p.lineRateBytes {
+		slab := p.overflow[loc].Load()
+		if slab == nil {
+			maxWords := (p.cfg.MaxValueBytes() - p.lineRateBytes + 7) / 8
+			slab = &overflowSlab{words: make([]atomic.Uint64, maxWords)}
+			p.overflow[loc].Store(slab)
+		}
+		copyWordsIn(slab.words, v[p.lineRateBytes:])
+	}
+}
+
+// Commit atomically installs value, version and liveness for slot loc in
+// one seqlock critical section — the primitive behind dataplane apply and
+// state sync. tombstone invalidates the value while still advancing the
+// version (Delete is an ordered write, §4.1).
+func (p *Pipeline) Commit(loc int, v kv.Value, ver kv.Version, tombstone bool) error {
+	if len(v) > p.cfg.MaxValueBytes() {
+		return kv.ErrTooLarge
+	}
+	mu := p.stripe(loc)
+	mu.Lock()
+	p.seq[loc].Add(1)
+	w0 := uint64(ver.Session)
+	if !tombstone {
+		p.storeValue(loc, v)
+		w0 |= metaLive | uint64(len(v))<<metaLenShift
+	}
+	p.meta[2*loc].Store(w0)
+	p.meta[2*loc+1].Store(ver.Seq)
+	p.seq[loc].Add(1)
+	mu.Unlock()
+	return nil
+}
+
+// WriteValue spreads v across the stage registers at loc, keeping the
+// stored version. Values beyond one pipeline pass's budget land in the
 // overflow bank that models the extra register slots recirculation passes
 // reach (§6).
 func (p *Pipeline) WriteValue(loc int, v kv.Value) error {
 	if len(v) > p.cfg.MaxValueBytes() {
 		return kv.ErrTooLarge
 	}
-	rest := []byte(v)
-	for _, st := range p.stages {
-		n := len(rest)
-		if n > p.cfg.SlotBytes {
-			n = p.cfg.SlotBytes
-		}
-		st.Write(loc, rest[:n])
-		rest = rest[n:]
-	}
-	if len(rest) > 0 {
-		p.meta[loc].overflow = append(p.meta[loc].overflow[:0], rest...)
-	} else {
-		p.meta[loc].overflow = nil
-	}
-	p.meta[loc].valueLen = len(v)
-	p.meta[loc].live = true
+	mu := p.stripe(loc)
+	mu.Lock()
+	w1 := p.meta[2*loc+1].Load()
+	session := uint32(p.meta[2*loc].Load())
+	p.seq[loc].Add(1)
+	p.storeValue(loc, v)
+	p.meta[2*loc].Store(uint64(session) | metaLive | uint64(len(v))<<metaLenShift)
+	p.meta[2*loc+1].Store(w1)
+	p.seq[loc].Add(1)
+	mu.Unlock()
 	return nil
 }
 
-// Tombstone invalidates the slot in the dataplane (Delete, §4.1).
+// Tombstone invalidates the slot in the dataplane (Delete, §4.1), keeping
+// the stored version.
 func (p *Pipeline) Tombstone(loc int) {
-	p.meta[loc].live = false
-	p.meta[loc].valueLen = 0
-	p.meta[loc].overflow = nil
+	mu := p.stripe(loc)
+	mu.Lock()
+	session := uint32(p.meta[2*loc].Load())
+	p.seq[loc].Add(1)
+	p.meta[2*loc].Store(uint64(session))
+	p.seq[loc].Add(1)
+	mu.Unlock()
 }
 
-// Version returns the ordering version stored for loc.
-func (p *Pipeline) Version(loc int) kv.Version { return p.meta[loc].version }
+// Version returns the ordering version stored for loc (a consistent
+// snapshot; lock-free).
+func (p *Pipeline) Version(loc int) kv.Version {
+	for spins := 0; ; spins++ {
+		s1 := p.seq[loc].Load()
+		if s1&1 != 0 {
+			if spins&63 == 63 {
+				runtime.Gosched()
+			}
+			continue
+		}
+		w0 := p.meta[2*loc].Load()
+		w1 := p.meta[2*loc+1].Load()
+		if p.seq[loc].Load() == s1 {
+			return kv.Version{Session: uint32(w0), Seq: w1}
+		}
+	}
+}
 
-// SetVersion stores the ordering version for loc.
-func (p *Pipeline) SetVersion(loc int, v kv.Version) { p.meta[loc].version = v }
+// SetVersion stores the ordering version for loc, keeping value bytes and
+// liveness.
+func (p *Pipeline) SetVersion(loc int, v kv.Version) {
+	mu := p.stripe(loc)
+	mu.Lock()
+	w0 := p.meta[2*loc].Load()
+	p.seq[loc].Add(1)
+	p.meta[2*loc].Store(w0>>32<<32 | uint64(v.Session))
+	p.meta[2*loc+1].Store(v.Seq)
+	p.seq[loc].Add(1)
+	mu.Unlock()
+}
 
 // CountPacket records that one packet consulted the pipeline, carrying a
 // value of valueLen bytes (for recirculation accounting). Returns the
 // number of passes the packet consumed.
 func (p *Pipeline) CountPacket(valueLen int) int {
 	n := p.cfg.PassesFor(valueLen)
-	p.packets++
-	p.passes += uint64(n)
+	p.packets.Add(1)
+	p.passes.Add(uint64(n))
 	return n
 }
 
 // Stats reports packets processed and pipeline passes consumed; the ratio
 // is the recirculation overhead factor.
-func (p *Pipeline) Stats() (packets, passes uint64) { return p.packets, p.passes }
+func (p *Pipeline) Stats() (packets, passes uint64) {
+	return p.packets.Load(), p.passes.Load()
+}
 
 // ItemCount returns the number of installed keys.
 func (p *Pipeline) ItemCount() int { return p.table.Len() }
 
 // FreeSlots returns the number of unallocated slots.
-func (p *Pipeline) FreeSlots() int { return len(p.free) }
+func (p *Pipeline) FreeSlots() int {
+	p.ctl.Lock()
+	defer p.ctl.Unlock()
+	return len(p.free)
+}
 
 // Keys enumerates installed keys for control-plane state sync.
 func (p *Pipeline) Keys() []kv.Key { return p.table.Keys() }
@@ -323,10 +624,12 @@ func (p *Pipeline) Keys() []kv.Key { return p.table.Keys() }
 // controller would account against the on-chip SRAM budget (§6).
 func (p *Pipeline) MemoryBytes() int {
 	total := 0
-	for _, m := range p.meta {
-		if m.live {
+	for loc := 0; loc < p.cfg.SlotsPerStage; loc++ {
+		w0 := p.meta[2*loc].Load()
+		if w0&metaLive != 0 {
 			// A slot pins SlotBytes in every stage it touches.
-			n := (m.valueLen + p.cfg.SlotBytes - 1) / p.cfg.SlotBytes
+			vlen := int((w0 >> metaLenShift) & metaLenMask)
+			n := (vlen + p.cfg.SlotBytes - 1) / p.cfg.SlotBytes
 			if n == 0 {
 				n = 1
 			}

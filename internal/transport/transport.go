@@ -20,11 +20,13 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"netchain/internal/core"
+	"netchain/internal/kv"
 	"netchain/internal/packet"
 )
 
@@ -100,27 +102,72 @@ func writeCoalesced(conn *net.UDPConn, ch <-chan outFrame, o outFrame) {
 	}
 }
 
+// NodeOption tunes a SwitchNode.
+type NodeOption func(*nodeConfig)
+
+type nodeConfig struct {
+	workers int
+}
+
+// WithIngestWorkers sets the size of the node's dataplane worker pool.
+// n < 1 selects the default (GOMAXPROCS, capped at 8).
+func WithIngestWorkers(n int) NodeOption {
+	return func(c *nodeConfig) { c.workers = n }
+}
+
+// defaultIngestWorkers sizes the pool for the machine: one worker per
+// schedulable core, capped — beyond a handful of workers the UDP socket
+// itself is the bottleneck.
+func defaultIngestWorkers() int {
+	n := runtime.GOMAXPROCS(0)
+	if n > 8 {
+		n = 8
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// socketBufBytes is requested for the node's UDP socket in both
+// directions, absorbing multi-client bursts while the worker pool drains.
+const socketBufBytes = 4 << 20
+
 // SwitchNode runs one NetChain switch dataplane behind a real UDP socket.
-// Internally it is a three-stage pipeline — receive+decode, dataplane
-// processing, serialize+send — so the two syscalls overlap the match-action
-// work and multiple in-flight client queries stream through instead of
-// being handled one datagram at a time.
+// Internally it is a pipeline — receive+decode, an N-worker dataplane
+// pool, serialize handled in the workers, and a coalescing send stage —
+// so the two syscalls overlap the match-action work and the per-packet
+// processing scales across cores. Mutating ops (write/delete/CAS/sync)
+// shard onto workers by key hash — all writes for one key serialize
+// through one worker, preserving per-key write ordering exactly as the
+// single-goroutine node did — while reads, replies and transit frames
+// spread round-robin so a hot key cannot head-of-line-block the pool
+// (the core serves reads lock-free; the seqlock snapshot linearizes
+// them regardless of arrival order).
 type SwitchNode struct {
 	sw   *core.Switch
 	book *AddressBook
 	conn *net.UDPConn
 
-	in  chan *packet.Frame // decoded, detached frames awaiting the dataplane
-	out chan outFrame      // serialized datagrams awaiting the wire
+	in  []chan *packet.Frame // per-worker queues, sharded by key hash
+	out chan outFrame        // serialized datagrams awaiting the wire
 
 	mu       sync.Mutex
 	closed   bool
+	workerWG sync.WaitGroup
 	sendDone chan struct{}
 }
 
 // NewSwitchNode binds a UDP socket (pass "127.0.0.1:0" for tests), records
 // the mapping in the book, and starts serving.
-func NewSwitchNode(sw *core.Switch, book *AddressBook, bind string) (*SwitchNode, error) {
+func NewSwitchNode(sw *core.Switch, book *AddressBook, bind string, opts ...NodeOption) (*SwitchNode, error) {
+	cfg := nodeConfig{}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.workers < 1 {
+		cfg.workers = defaultIngestWorkers()
+	}
 	laddr, err := net.ResolveUDPAddr("udp", bind)
 	if err != nil {
 		return nil, fmt.Errorf("transport: resolve %q: %w", bind, err)
@@ -129,17 +176,36 @@ func NewSwitchNode(sw *core.Switch, book *AddressBook, bind string) (*SwitchNode
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen: %w", err)
 	}
+	_ = conn.SetReadBuffer(socketBufBytes)
+	_ = conn.SetWriteBuffer(socketBufBytes)
 	n := &SwitchNode{
 		sw: sw, book: book, conn: conn,
-		in:       make(chan *packet.Frame, switchQueueDepth),
+		in:       make([]chan *packet.Frame, cfg.workers),
 		out:      make(chan outFrame, switchQueueDepth),
 		sendDone: make(chan struct{}),
 	}
+	depth := switchQueueDepth / cfg.workers
+	if depth < 64 {
+		depth = 64
+	}
+	for i := range n.in {
+		n.in[i] = make(chan *packet.Frame, depth)
+	}
 	book.Set(sw.Addr(), conn.LocalAddr().(*net.UDPAddr))
+	n.workerWG.Add(cfg.workers)
+	for i := range n.in {
+		go n.processLoop(n.in[i])
+	}
+	go n.closeOutWhenDrained()
 	go n.recvLoop()
-	go n.processLoop()
 	go n.sendLoop()
 	return n, nil
+}
+
+// keyShard hashes a key onto a worker queue: per-key FIFO order is
+// preserved because one key always lands on one worker.
+func keyShard(k kv.Key, workers int) int {
+	return int(k.Hash() % uint64(workers))
 }
 
 // Switch exposes the dataplane (local agent access in-process).
@@ -164,13 +230,20 @@ func (n *SwitchNode) Close() error {
 }
 
 // recvLoop reads datagrams, decodes every frame batched inside each, and
-// detaches them into pooled storage for the processing stage. Closing the
-// socket unwinds the pipeline: recv closes in, process drains and closes
-// out, send finishes.
+// detaches them into pooled storage for the worker pool, sharding by key
+// hash. Closing the socket unwinds the pipeline: recv closes the worker
+// queues, the workers drain, the closer shuts the send queue, send
+// finishes.
 func (n *SwitchNode) recvLoop() {
-	defer close(n.in)
+	defer func() {
+		for _, ch := range n.in {
+			close(ch)
+		}
+	}()
+	workers := len(n.in)
 	buf := make([]byte, 64*1024)
 	var f packet.Frame
+	rr := 0
 	for {
 		sz, _, err := n.conn.ReadFromUDP(buf)
 		if err != nil {
@@ -185,17 +258,39 @@ func (n *SwitchNode) recvLoop() {
 			data = rest
 			g := packet.GetFrame()
 			f.CloneTo(g) // detach from buf before the next read lands in it
-			n.in <- g
+			// Only mutating ops need per-key FIFO through one worker.
+			// Reads, replies and transit frames spread round-robin: a
+			// zipf-hot key must not funnel its read traffic through one
+			// worker and head-of-line-block the pool (the seqlock
+			// snapshot, not arrival order, linearizes reads — and a
+			// client only issues a read-after-write once the write's
+			// tail ack arrived, by which point the value is committed).
+			var w int
+			switch g.NC.Op {
+			case kv.OpWrite, kv.OpDelete, kv.OpCAS, kv.OpSync:
+				w = keyShard(g.NC.Key, workers)
+			default:
+				rr++
+				w = rr % workers
+			}
+			n.in[w] <- g
 		}
 	}
 }
 
-func (n *SwitchNode) processLoop() {
-	defer close(n.out)
-	for f := range n.in {
+func (n *SwitchNode) processLoop(in <-chan *packet.Frame) {
+	defer n.workerWG.Done()
+	for f := range in {
 		n.handle(f)
 		packet.PutFrame(f)
 	}
+}
+
+// closeOutWhenDrained closes the send queue once every worker has exited,
+// so the send loop flushes the tail and terminates.
+func (n *SwitchNode) closeOutWhenDrained() {
+	n.workerWG.Wait()
+	close(n.out)
 }
 
 func (n *SwitchNode) sendLoop() {
@@ -214,7 +309,7 @@ func (n *SwitchNode) handle(f *packet.Frame) {
 			return
 		}
 	} else if f.IP.Dst != n.sw.Addr() {
-		n.sw.Transit()
+		n.sw.Transit(f)
 	} else {
 		return
 	}

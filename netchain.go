@@ -72,6 +72,10 @@ type ClusterConfig struct {
 	ClientTimeout time.Duration
 	// ClientRetries bounds retransmissions per query (default 5).
 	ClientRetries int
+	// IngestWorkers sizes each switch node's dataplane worker pool
+	// (frames shard onto workers by key hash, preserving per-key order).
+	// 0 = one worker per schedulable core, capped at 8.
+	IngestWorkers int
 }
 
 func (c *ClusterConfig) defaults() {
@@ -179,7 +183,8 @@ func (c *Cluster) bootSwitch() (packet.Addr, error) {
 	if err != nil {
 		return 0, err
 	}
-	node, err := transport.NewSwitchNode(sw, c.book, "127.0.0.1:0")
+	node, err := transport.NewSwitchNode(sw, c.book, "127.0.0.1:0",
+		transport.WithIngestWorkers(c.cfg.IngestWorkers))
 	if err != nil {
 		return 0, err
 	}

@@ -31,7 +31,7 @@ func main() { os.Exit(realMain()) }
 // experiment fails or the perf gate trips — the run where a profile is
 // most wanted.
 func realMain() (code int) {
-	exp := flag.String("exp", "all", "experiment: table1|fig9a|fig9b|fig9c|fig9d|fig9e|fig9f|fig10a|fig10b|fig11|resize|pipeline|tla|bench|udpbench|read-scaling|hot-key|value-sweep|chaos|all")
+	exp := flag.String("exp", "all", "experiment: table1|fig9a|fig9b|fig9c|fig9d|fig9e|fig9f|fig10a|fig10b|fig11|resize|pipeline|tla|bench|udpbench|read-scaling|hot-key|value-sweep|mttr|chaos|all")
 	full := flag.Bool("full", false, "use longer windows / full parameter sweeps")
 	windows := flag.String("windows", "1,4,16,64", "outstanding-window sweep for -exp pipeline (comma-separated)")
 	window := flag.Int("window", 0, "client outstanding-query window for the fig9 experiments (0 = unbounded open loop)")
@@ -41,6 +41,8 @@ func realMain() (code int) {
 	gate := flag.Float64("gate", 0.20, "regression tolerance for -baseline (0.20 = 20%)")
 	seed := flag.Int64("seed", 1, "deterministic seed for -exp chaos and -exp bench")
 	schedule := flag.String("schedule", "full-nemesis", "nemesis schedule for -exp chaos ('all' runs every schedule)")
+	autopilot := flag.Bool("autopilot", false, "run -exp chaos hands-free: faults are injected by the nemesis and repaired by the φ-accrual autopilot, never by manual controller calls")
+	archive := flag.String("archive", "", "with -json: also archive the gated run as BENCH_<n>.json under this directory (perf trajectory across PRs)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file (go tool pprof)")
 	flag.Parse()
@@ -158,7 +160,15 @@ func realMain() (code int) {
 		}
 		return nil
 	})
-	run("bench", func() error { return runBench(*seed, *jsonPath, *baseline, *compare, *gate) })
+	run("bench", func() error { return runBench(*seed, *jsonPath, *baseline, *compare, *archive, *gate) })
+	runOnly("mttr", func() error {
+		_, rows, err := experiments.MTTRBench(*seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatMTTR(rows))
+		return nil
+	})
 	runOnly("udpbench", func() error {
 		results, err := experiments.UDPBench(udpOpts(*full))
 		if err != nil {
@@ -191,7 +201,7 @@ func realMain() (code int) {
 		fmt.Print(experiments.FormatUDPBench(results))
 		return nil
 	})
-	run("chaos", func() error { return runChaos(*schedule, *seed) })
+	run("chaos", func() error { return runChaos(*schedule, *seed, *autopilot) })
 	run("tla", func() error {
 		for _, cfg := range []struct {
 			name string
@@ -270,11 +280,13 @@ func udpOpts(full bool) experiments.UDPBenchOpts {
 }
 
 // runBench executes the CI perf-gate scenarios — the deterministic
-// simulated trio plus the wall-clock real-UDP scenarios (read-scaling,
-// hot-key, value-sweep) — optionally writing the machine-readable
-// artifact, an old-vs-new comparison table, and enforcing the regression
-// gate against a committed baseline.
-func runBench(seed int64, jsonPath, baselinePath, comparePath string, gate float64) error {
+// simulated trio, the wall-clock real-UDP scenarios (read-scaling,
+// hot-key, value-sweep), and the MTTR/availability scenarios (autopilot
+// detection + repair latency under every nemesis schedule) — optionally
+// writing the machine-readable artifact, an old-vs-new comparison table,
+// an archived BENCH_<n>.json snapshot, and enforcing the regression gate
+// against a committed baseline.
+func runBench(seed int64, jsonPath, baselinePath, comparePath, archiveDir string, gate float64) error {
 	results, err := experiments.BenchSmoke(experiments.BenchOpts{Seed: seed})
 	if err != nil {
 		return err
@@ -286,6 +298,12 @@ func runBench(seed int64, jsonPath, baselinePath, comparePath string, gate float
 	}
 	fmt.Print(experiments.FormatUDPBench(udp))
 	results = append(results, udp...)
+	mttr, rows, err := experiments.MTTRBench(seed)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatMTTR(rows))
+	results = append(results, mttr...)
 	cur := benchjson.File{
 		Note: fmt.Sprintf("benchrunner -exp bench -seed %d; simulated-time scenarios are "+
 			"deterministic across machines; scenarios carrying a tol field are real-UDP "+
@@ -297,6 +315,13 @@ func runBench(seed int64, jsonPath, baselinePath, comparePath string, gate float
 			return err
 		}
 		fmt.Printf("wrote %s\n", jsonPath)
+	}
+	if archiveDir != "" {
+		path, err := benchjson.Archive(archiveDir, cur)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("archived %s\n", path)
 	}
 	if baselinePath != "" {
 		base, err := benchjson.Load(baselinePath)
@@ -324,14 +349,19 @@ func runBench(seed int64, jsonPath, baselinePath, comparePath string, gate float
 }
 
 // runChaos executes nemesis schedules and fails on a non-linearizable
-// history, dumping it to a file so CI can upload the repro.
-func runChaos(schedule string, seed int64) error {
+// history, dumping it to a file so CI can upload the repro. With
+// autopilot, every repair must come from the detector — the run also
+// fails if the fail-stop schedule ends with an unrepaired chain or a
+// repair-free schedule suffers a false eviction.
+func runChaos(schedule string, seed int64, autopilot bool) error {
 	names := []string{schedule}
 	if schedule == "all" {
 		names = experiments.ChaosScheduleNames()
 	}
 	for _, name := range names {
-		res, err := experiments.RunChaos(experiments.ChaosOpts{Schedule: name, Seed: seed})
+		res, err := experiments.RunChaos(experiments.ChaosOpts{
+			Schedule: name, Seed: seed, Autopilot: autopilot,
+		})
 		if err != nil {
 			return err
 		}
@@ -345,6 +375,14 @@ func runChaos(schedule string, seed int64) error {
 			}
 			return fmt.Errorf("chaos %s seed %d: history not linearizable (key %s): %s",
 				name, seed, res.Lin.Key, res.Lin.Reason)
+		}
+		if autopilot {
+			if res.FailStopInjected && !res.ChainsRepaired {
+				return fmt.Errorf("chaos %s seed %d: autopilot left the chain unrepaired", name, seed)
+			}
+			if !res.FailStopInjected && res.Failovers > 0 {
+				return fmt.Errorf("chaos %s seed %d: %d false fail-stop evictions", name, seed, res.Failovers)
+			}
 		}
 	}
 	return nil

@@ -19,8 +19,10 @@ import (
 	"strings"
 	"sync"
 	"syscall"
+	"time"
 
 	"netchain/internal/controller"
+	"netchain/internal/health"
 	"netchain/internal/packet"
 	"netchain/internal/ring"
 	"netchain/internal/transport"
@@ -54,9 +56,14 @@ func main() {
 	rpcBind := flag.String("rpc", "127.0.0.1:9200", "TCP bind address for the client-facing RPC service")
 	replicas := flag.Int("replicas", 3, "chain length f+1")
 	vnodes := flag.Int("vnodes", 100, "virtual nodes (groups) per switch")
+	autopilot := flag.Bool("autopilot", false, "self-healing: φ-accrual failure detection over switch heartbeats + autonomous failover/recovery/demotion")
+	healthBind := flag.String("health-udp", "127.0.0.1:9300", "UDP bind for the health monitor (switch heartbeats + probe echoes); netchaind -monitor points here")
+	monitorVaddr := flag.String("monitor-vaddr", "10.255.0.1", "virtual NetChain address of the health monitor")
+	heartbeat := flag.Duration("heartbeat", 100*time.Millisecond, "expected heartbeat cadence (must match netchaind -heartbeat)")
+	repairBudget := flag.Int("repair-budget", 4, "max data-moving repairs (recover/demote/restore) per budget window")
 	var members, spares switchList
 	flag.Var(&members, "switch", "ring member: virtual=agent host:port (repeatable)")
-	flag.Var(&spares, "spare", "spare switch: virtual=agent host:port (repeatable)")
+	flag.Var(&spares, "spare", "spare switch: virtual=agent host:port (repeatable); the autopilot recovers failed switches onto these")
 	flag.Parse()
 
 	if len(members) < *replicas {
@@ -67,7 +74,7 @@ func main() {
 	// registers new switches while the controller is live.
 	var agentMu sync.RWMutex
 	agents := map[packet.Addr]transport.RPCAgent{}
-	var memberAddrs []packet.Addr
+	var memberAddrs, spareAddrs []packet.Addr
 	for _, spec := range members {
 		va, ag, err := parseSwitch(spec)
 		if err != nil {
@@ -82,6 +89,7 @@ func main() {
 			log.Fatalf("netchain-controller: %v", err)
 		}
 		agents[va] = ag
+		spareAddrs = append(spareAddrs, va)
 	}
 
 	r, err := ring.New(ring.Config{
@@ -126,12 +134,65 @@ func main() {
 		agentMu.Unlock()
 		return nil
 	}
-	addr, stop, err := transport.ServeControllerWithRegister(ctl, register, *rpcBind)
+
+	// Self-healing: health monitor (heartbeats in, probes out), φ-accrual
+	// detector, and the reconcile loop that repairs convicted switches.
+	svc := &transport.ControllerService{Ctl: ctl, Register: register}
+	apLine := ""
+	if *autopilot {
+		mv, err := packet.ParseAddr(*monitorVaddr)
+		if err != nil {
+			log.Fatalf("netchain-controller: -monitor-vaddr: %v", err)
+		}
+		det := health.NewDetector(health.Defaults(*heartbeat))
+		mon, err := health.NewMonitor(*healthBind, mv, det)
+		if err != nil {
+			log.Fatalf("netchain-controller: %v", err)
+		}
+		defer mon.Close()
+		// Track every known switch up front so one that dies (or was
+		// misconfigured) before its first heartbeat still accrues
+		// suspicion from silence and gets repaired.
+		for _, sw := range memberAddrs {
+			det.Track(sw, mon.Now())
+		}
+		for _, sw := range spareAddrs {
+			det.Track(sw, mon.Now())
+		}
+		mon.StartProbes(2*(*heartbeat), 8*(*heartbeat))
+		ap := controller.NewAutopilot(ctl, det, controller.WallClock{}, mon.Now,
+			controller.AutopilotConfig{
+				Interval:     *heartbeat,
+				Spares:       spareAddrs,
+				RepairBudget: *repairBudget,
+			})
+		ap.Start()
+		svc.Health = func() transport.HealthReport {
+			return transport.BuildHealthReport(det, ap, mon.Now())
+		}
+		// A drained switch powering off is retirement, not a failure:
+		// stop watching it. Re-adding one resumes the watch.
+		svc.Unregister = mon.Forget
+		baseRegister := register
+		register = func(sw packet.Addr, agentAddr string) error {
+			if err := baseRegister(sw, agentAddr); err != nil {
+				return err
+			}
+			mon.Watch(sw)
+			det.Track(sw, mon.Now())
+			return nil
+		}
+		svc.Register = register
+		apLine = fmt.Sprintf(", autopilot on (health %v, %d spares)",
+			mon.Endpoint(), len(spareAddrs))
+	}
+
+	addr, stop, err := transport.ServeControllerService(svc, *rpcBind)
 	if err != nil {
 		log.Fatalf("netchain-controller: %v", err)
 	}
-	fmt.Printf("netchain-controller: rpc %v, %d members, %d groups, replicas=%d\n",
-		addr, len(memberAddrs), r.Groups(), *replicas)
+	fmt.Printf("netchain-controller: rpc %v, %d members, %d groups, replicas=%d%s\n",
+		addr, len(memberAddrs), r.Groups(), *replicas, apLine)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

@@ -11,10 +11,11 @@
 //	netchainctl ... unlock locks/a 42
 //	netchainctl ... del cfg/x
 //
-// Elastic membership (no -gateway needed; talks to the controller only):
+// Elastic membership and health (no -gateway needed; controller only):
 //
 //	netchainctl -controller 127.0.0.1:9200 add-switch 10.0.0.5=127.0.0.1:9105
 //	netchainctl -controller 127.0.0.1:9200 remove-switch 10.0.0.2
+//	netchainctl -controller 127.0.0.1:9200 cluster health
 package main
 
 import (
@@ -41,8 +42,8 @@ func main() {
 	flag.Parse()
 	args := flag.Args()
 
-	// Membership verbs only need the controller; handle them before the
-	// UDP client plumbing.
+	// Membership and health verbs only need the controller; handle them
+	// before the UDP client plumbing.
 	if len(args) >= 1 && (args[0] == "add-switch" || args[0] == "remove-switch") {
 		if len(args) < 2 {
 			log.Fatalf("%s needs a switch argument", args[0])
@@ -53,10 +54,17 @@ func main() {
 		fmt.Println("ok")
 		return
 	}
+	if len(args) >= 2 && args[0] == "cluster" && args[1] == "health" {
+		if err := clusterHealth(*ctlAddr); err != nil {
+			log.Fatalf("cluster health: %v", err)
+		}
+		return
+	}
 
 	if *gateway == "" || len(args) < 2 {
 		fmt.Fprintln(os.Stderr, "usage: netchainctl -gateway V=HOST:PORT [flags] {get|put|del|insert|lock|unlock} KEY [VALUE|OWNER]")
 		fmt.Fprintln(os.Stderr, "       netchainctl -controller HOST:PORT {add-switch V=AGENTHOST:PORT | remove-switch V}")
+		fmt.Fprintln(os.Stderr, "       netchainctl -controller HOST:PORT cluster health")
 		os.Exit(2)
 	}
 
@@ -180,6 +188,40 @@ func resizeViaController(addr, verb, spec string) error {
 		return err
 	}
 	fmt.Printf("migrated %d virtual groups\n", rep.GroupsMigrated)
+	return nil
+}
+
+// clusterHealth renders the controller's detector snapshot and autopilot
+// repair history (requires the controller to run with -autopilot).
+func clusterHealth(addr string) error {
+	c, err := dialRPC(addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	var rep transport.HealthReport
+	if err := c.Call("Controller.ClusterHealth", transport.None{}, &rep); err != nil {
+		return err
+	}
+	fmt.Printf("%-12s %-9s %7s %6s %10s %10s %7s %7s %8s\n",
+		"switch", "verdict", "phi", "beats", "rtt µs", "base µs", "loss", "drops", "demoted")
+	for _, s := range rep.Switches {
+		fmt.Printf("%-12v %-9s %7.2f %6d %10.1f %10.1f %7.3f %7.3f %8v\n",
+			s.Addr, s.Verdict, s.Phi, s.Heartbeats,
+			s.RTTEWMAus, s.RTTBaselineUs, s.ProbeLossEWMA, s.DropRateEWMA, s.Demoted)
+	}
+	if len(rep.Repairs) == 0 {
+		fmt.Println("repair history: empty")
+		return nil
+	}
+	fmt.Println("repair history:")
+	for _, r := range rep.Repairs {
+		detail := ""
+		if r.Detail != "" {
+			detail = " (" + r.Detail + ")"
+		}
+		fmt.Printf("  t=%-12v %-13s %v%s\n", r.At, r.Action, r.Switch, detail)
+	}
 	return nil
 }
 

@@ -20,6 +20,7 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"netchain/internal/core"
 	"netchain/internal/packet"
@@ -41,6 +42,8 @@ func main() {
 	rpcBind := flag.String("rpc", "127.0.0.1:0", "TCP bind address for the control-plane agent")
 	slots := flag.Int("slots", 65536, "key slots per stage (the paper's Tofino profile uses 64K)")
 	workers := flag.Int("workers", 0, "dataplane ingest workers (0 = one per core, capped at 8)")
+	monitor := flag.String("monitor", "", "health monitor: virtual=host:port — the switch emits heartbeats there and routes probe replies to it")
+	heartbeat := flag.Duration("heartbeat", 100*time.Millisecond, "heartbeat cadence when -monitor is set")
 	var peers peerList
 	flag.Var(&peers, "peer", "virtual=real UDP endpoint of a peer (repeatable), e.g. 10.0.0.2=127.0.0.1:9002")
 	flag.Parse()
@@ -86,8 +89,28 @@ func main() {
 	if err != nil {
 		log.Fatalf("netchaind: %v", err)
 	}
-	fmt.Printf("netchaind %v: dataplane %v, agent %v, %d slots/stage\n",
-		vaddr, node.Endpoint(), rpcAddr, *slots)
+	hb := ""
+	if *monitor != "" {
+		parts := strings.SplitN(*monitor, "=", 2)
+		if len(parts) != 2 {
+			log.Fatal("netchaind: -monitor must be virtual=host:port")
+		}
+		mv, err := packet.ParseAddr(parts[0])
+		if err != nil {
+			log.Fatalf("netchaind: monitor %q: %v", *monitor, err)
+		}
+		mep, err := net.ResolveUDPAddr("udp", parts[1])
+		if err != nil {
+			log.Fatalf("netchaind: monitor %q: %v", *monitor, err)
+		}
+		book.Set(mv, mep) // probe replies route back through the book
+		if err := node.StartHeartbeats(mv, *heartbeat); err != nil {
+			log.Fatalf("netchaind: %v", err)
+		}
+		hb = fmt.Sprintf(", heartbeats to %v every %v", mv, *heartbeat)
+	}
+	fmt.Printf("netchaind %v: dataplane %v, agent %v, %d slots/stage%s\n",
+		vaddr, node.Endpoint(), rpcAddr, *slots, hb)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

@@ -15,6 +15,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
+	"regexp"
 	"strings"
 )
 
@@ -51,6 +53,40 @@ func Write(path string, f File) error {
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// archivePattern matches archived artifacts: BENCH_<n>.json.
+var archivePattern = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// Archive stores f under dir as BENCH_<n>.json, where n is one past the
+// highest index already present — each gated benchrunner run appends to
+// the series, so the perf trajectory across PRs stays reconstructible
+// from the repo history alone. Returns the path written.
+func Archive(dir string, f File) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	next := 1
+	for _, e := range entries {
+		m := archivePattern.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		var n int
+		fmt.Sscanf(m[1], "%d", &n)
+		if n >= next {
+			next = n + 1
+		}
+	}
+	path := filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", next))
+	if err := Write(path, f); err != nil {
+		return "", err
+	}
+	return path, nil
 }
 
 // Load reads a File from path.

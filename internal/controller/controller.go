@@ -35,6 +35,9 @@ type Agent interface {
 	RemoveRule(dst packet.Addr, group int) error
 	ReadItem(k kv.Key) (core.Item, error)
 	WriteItem(it core.Item) error
+	// Keys lists every key the switch currently holds a slot for —
+	// readmission wipes a returning switch's residual state with it.
+	Keys() ([]kv.Key, error)
 }
 
 // LocalAgent adapts a core.Switch to the Agent interface for in-process
@@ -61,6 +64,7 @@ func (a LocalAgent) RemoveRule(dst packet.Addr, g int) error {
 }
 func (a LocalAgent) ReadItem(k kv.Key) (core.Item, error) { return a.Switch.ReadItem(k) }
 func (a LocalAgent) WriteItem(it core.Item) error         { return a.Switch.WriteItem(it) }
+func (a LocalAgent) Keys() ([]kv.Key, error)              { return a.Switch.Keys(), nil }
 
 // Scheduler abstracts time so the controller's multi-step procedures can
 // run under simulated or wall-clock time.
@@ -599,22 +603,31 @@ func (c *Controller) buildRecoverMigration(failedSw packet.Addr,
 			// writes THROUGH the copy window — a write in flight down
 			// the degraded chain when the reference replica is read
 			// misses the copy and is lost the moment the replacement
-			// becomes tail. Freeze the acting head for the window (the
-			// same serve-while-migrating guard the planned resize uses);
-			// the stopWait drain then lets stamped writes reach the
-			// reference before doSync reads it.
-			if len(degraded.Hops) > 0 {
-				if a, ok := c.agent(degraded.Head()); ok {
+			// becomes tail. Freeze every degraded member for the window
+			// (the same serve-while-migrating guard the planned resize
+			// uses — behind failover rules, any member a stale route
+			// lists first can act as head); the stopWait drain then lets
+			// stamped writes reach the reference before doSync reads it.
+			for _, h := range degraded.Hops {
+				if a, ok := c.agent(h); ok {
 					_ = a.FreezeWrites(uint16(g), true)
 				}
 			}
 		},
 		activate: func() {
-			if len(degraded.Hops) > 0 {
-				if a, ok := c.agent(degraded.Head()); ok {
-					_ = a.FreezeWrites(uint16(g), false)
+			// The freeze outlives activation by one rule delay: a write
+			// that resolved the degraded route just before the flip may
+			// still be in flight, and an old member that unfroze at the
+			// flip would stamp and ack it on a chain the state copy has
+			// already left — an acknowledged write the freshly-synced
+			// replacement (often the new tail) would never see.
+			c.sched.After(c.cfg.RuleDelay, func() {
+				for _, h := range degraded.Hops {
+					if a, ok := c.agent(h); ok {
+						_ = a.FreezeWrites(uint16(g), false)
+					}
 				}
-			}
+			})
 			// Traffic still addressed to the failed switch follows the
 			// replacement that took its chain position.
 			for _, nb := range neighbors {

@@ -1,0 +1,176 @@
+package controller
+
+import (
+	"fmt"
+	"sort"
+
+	"netchain/internal/packet"
+	"netchain/internal/ring"
+)
+
+// Gray-degradation handling: a switch that is alive but slow/lossy is
+// DEMOTED, not evicted. Reads are served by each chain's tail, so moving
+// the gray switch out of the tail position drains read traffic off it
+// while it keeps its replica role (the chain stays at f+1 copies and the
+// write path still flows through it — chain replication needs every
+// replica on the write path regardless of order). Eviction would cost a
+// full state re-sync and, for a switch that is merely degraded, trade a
+// latency problem for an availability one.
+//
+// Reordering a serving chain is only safe behind the same two-phase guard
+// the resize migrations use: freeze fresh writes on every serving member,
+// wait one rule delay so in-flight ordered writes drain to all replicas
+// (after which every member holds an identical committed prefix), then
+// flip the chain and unfreeze. Without the drain, a write acked by the
+// old tail but not yet applied at the new one would be invisible to the
+// first post-flip read — a stale read.
+
+// Demote moves sw out of the tail position of every virtual group it
+// currently serves as tail (chains of at least 3 hops, so the head never
+// changes). It returns the number of groups being migrated; done fires
+// after the last one. The serving order diverges from the ring order
+// until Restore.
+func (c *Controller) Demote(sw packet.Addr, done func()) (int, error) {
+	plan := func(old ring.Chain) (ring.Chain, bool) {
+		n := len(old.Hops)
+		if n < 3 || old.Tail() != sw {
+			return ring.Chain{}, false
+		}
+		next := ring.Chain{Group: old.Group, Hops: append([]packet.Addr(nil), old.Hops...)}
+		next.Hops[n-1], next.Hops[n-2] = next.Hops[n-2], next.Hops[n-1]
+		return next, true
+	}
+	return c.reorderChains(sw, plan, done)
+}
+
+// Restore re-adopts the ring's chain order for every group whose serving
+// chain contains sw and is an order-permutation of the (live) ring chain
+// — undoing a prior Demote once the switch is healthy again. Groups whose
+// membership diverged from the ring (failover, recovery) are skipped;
+// Recover owns those.
+func (c *Controller) Restore(sw packet.Addr, done func()) (int, error) {
+	plan := func(old ring.Chain) (ring.Chain, bool) {
+		if !old.Contains(sw) {
+			return ring.Chain{}, false
+		}
+		want, err := c.ring.ChainForGroup(old.Group)
+		if err != nil {
+			return ring.Chain{}, false
+		}
+		want = c.liveChainLocked(want)
+		if want.Equal(old) || !sameMembers(old, want) {
+			return ring.Chain{}, false
+		}
+		return want, true
+	}
+	return c.reorderChains(sw, plan, done)
+}
+
+// reorderChains runs pure order-permutation migrations over every group
+// whose serving chain plan() rewrites. It shares the resize exclusivity
+// flag so a reorder and a planned resize can never interleave. plan is
+// always invoked with c.mu held.
+func (c *Controller) reorderChains(sw packet.Addr,
+	plan func(old ring.Chain) (ring.Chain, bool), done func()) (int, error) {
+	c.mu.Lock()
+	if c.resizing {
+		c.mu.Unlock()
+		return 0, fmt.Errorf("controller: reconfiguration already in progress")
+	}
+	if c.failed[sw] {
+		c.mu.Unlock()
+		return 0, fmt.Errorf("controller: %v is failed; use Recover", sw)
+	}
+	var affected []ring.GroupID
+	for g, ch := range c.chains {
+		if _, ok := plan(chWithGroup(ch, g)); ok {
+			affected = append(affected, g)
+		}
+	}
+	if len(affected) == 0 {
+		c.mu.Unlock()
+		if done != nil {
+			c.sched.After(0, done)
+		}
+		return 0, nil
+	}
+	sort.Slice(affected, func(i, j int) bool { return affected[i] < affected[j] })
+	c.resizing = true
+	c.mu.Unlock()
+
+	c.runMigrations(len(affected), func(i int) *migration {
+		g := affected[i]
+		// Re-plan at the group's turn: a failover that degraded the chain
+		// in the meantime may have made the reorder moot.
+		c.mu.Lock()
+		old := chWithGroup(c.chains[g], g)
+		next, ok := plan(old)
+		c.mu.Unlock()
+		if !ok {
+			return nil
+		}
+		return c.buildReorderMigration(g, old, next)
+	}, func() {
+		c.mu.Lock()
+		c.resizing = false
+		c.mu.Unlock()
+		if done != nil {
+			done()
+		}
+	})
+	return len(affected), nil
+}
+
+// buildReorderMigration plans one group's order-only migration: freeze
+// fresh writes on every serving member (any of them may act as head
+// behind failover rules), let the in-flight ordered writes drain for one
+// rule delay, flip, unfreeze. No data moves and the member set is
+// unchanged, so there is no sync step and no session bump — the drain
+// guarantees every member holds the same committed prefix at the flip.
+func (c *Controller) buildReorderMigration(g ring.GroupID, old, next ring.Chain) *migration {
+	freeze := func(frozen bool) {
+		for _, h := range old.Hops {
+			if a, ok := c.agent(h); ok {
+				_ = a.FreezeWrites(uint16(g), frozen)
+			}
+		}
+	}
+	return &migration{
+		group:    g,
+		old:      old,
+		next:     next,
+		stopWait: c.cfg.RuleDelay,
+		stop:     func() { freeze(true) },
+		activate: func() {
+			// Writes stay frozen for one more rule delay after the
+			// flip: reads already in flight toward the pre-flip tail
+			// (including nemesis-duplicated stragglers) must drain
+			// before any post-flip write can apply, or a stale-routed
+			// read at the old tail could observe a write that a
+			// later read at the new tail has not seen yet — the same
+			// reasoning behind the resize's delayed donor-slot GC.
+			c.sched.After(c.cfg.RuleDelay, func() { freeze(false) })
+		},
+	}
+}
+
+// chWithGroup stamps the map key's group id onto a chain value (serving
+// chains store zero-valued Group fields in some construction paths).
+func chWithGroup(ch ring.Chain, g ring.GroupID) ring.Chain {
+	ch.Group = g
+	return ch
+}
+
+// sameMembers reports whether two chains contain exactly the same
+// switches, order aside.
+func sameMembers(a, b ring.Chain) bool {
+	if len(a.Hops) != len(b.Hops) {
+		return false
+	}
+	for _, h := range a.Hops {
+		if !b.Contains(h) {
+			return false
+		}
+	}
+	return true
+}

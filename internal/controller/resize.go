@@ -56,11 +56,21 @@ func (c *Controller) Resize(add, remove []packet.Addr, done func()) (ring.Diff, 
 		c.mu.Unlock()
 		return ring.Diff{}, fmt.Errorf("controller: resize already in progress")
 	}
+	var readmitted []packet.Addr
 	for _, sw := range add {
+		// Explicitly adding a previously-failed switch is the operator's
+		// readmission: its old ring positions were reassigned by Recover,
+		// so it rejoins like any new switch — fresh virtual nodes, state
+		// copied over before routes flip — and failure handling applies
+		// to it again from here on.
 		if c.failed[sw] {
-			c.mu.Unlock()
-			return ring.Diff{}, fmt.Errorf("controller: cannot add failed switch %v", sw)
+			delete(c.failed, sw)
+			readmitted = append(readmitted, sw)
 		}
+	}
+	existingGroups := make([]ring.GroupID, 0, len(c.chains))
+	for g := range c.chains {
+		existingGroups = append(existingGroups, g)
 	}
 	for _, sw := range remove {
 		if c.failed[sw] {
@@ -125,6 +135,32 @@ func (c *Controller) Resize(add, remove []packet.Addr, done func()) (ring.Diff, 
 	sort.Slice(affected, func(i, j int) bool { return affected[i] < affected[j] })
 	c.resizing = true
 	c.mu.Unlock()
+
+	// Scrub every readmitted switch before its new groups migrate onto
+	// it: wipe the residual replicas it still holds from before it
+	// failed (their groups are served by replacements now — a
+	// stale-routed read must get NotFound, never an old value), and lift
+	// the Algorithm 2/3 rules its neighbors still carry for it (the
+	// wildcard next-hop and per-group redirects that bridged the outage
+	// would otherwise hijack every frame addressed to the returning
+	// switch, bypassing its data plane forever).
+	for _, sw := range readmitted {
+		if a, ok := c.agent(sw); ok {
+			if ks, err := a.Keys(); err == nil {
+				for _, k := range ks {
+					_ = a.RemoveKey(k)
+				}
+			}
+		}
+		for _, nb := range c.neighbors(sw) {
+			if a, ok := c.agent(nb); ok {
+				_ = a.RemoveRule(sw, core.WildcardGroup)
+				for _, g := range existingGroups {
+					_ = a.RemoveRule(sw, int(g))
+				}
+			}
+		}
+	}
 
 	c.runMigrations(len(affected), func(i int) *migration {
 		g := affected[i]

@@ -1,0 +1,242 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"netchain/internal/controller"
+	"netchain/internal/event"
+	"netchain/internal/health"
+	"netchain/internal/kv"
+	"netchain/internal/packet"
+)
+
+// The simulated half of the self-healing control plane: per-switch
+// heartbeat emitters (each beacon runs through its own switch's pipeline,
+// so fail-stop kills it and gray degradation delays it — EmitFrom), a
+// monitor host dual-homed like the spare, data-plane probes measuring
+// each switch's actual forwarding path, the shared health.Detector, and
+// the controller Autopilot — all driven by the discrete-event engine, so
+// nemesis schedules exercise detection and repair deterministically.
+
+// AutopilotOpts sizes the harness.
+type AutopilotOpts struct {
+	Heartbeat    time.Duration // switch beacon cadence (default 500 µs)
+	Probe        time.Duration // monitor probe cadence (default 1 ms)
+	ProbeTimeout time.Duration // unanswered-probe expiry (default 4×Probe)
+
+	// Detector overrides the derived health config (nil = Defaults(Heartbeat)).
+	Detector *health.Config
+	// Pilot overrides the autopilot config; Spares is filled from the
+	// Spares field below when unset.
+	Pilot *controller.AutopilotConfig
+	// Spares is the recovery pool (default: the testbed spare S3).
+	Spares []packet.Addr
+}
+
+func (o *AutopilotOpts) defaults(d *Deployment) {
+	if o.Heartbeat == 0 {
+		o.Heartbeat = 500 * time.Microsecond
+	}
+	if o.Probe == 0 {
+		o.Probe = 2 * o.Heartbeat
+	}
+	if o.ProbeTimeout == 0 {
+		o.ProbeTimeout = 4 * o.Probe
+	}
+	if len(o.Spares) == 0 {
+		o.Spares = []packet.Addr{d.TB.Switches[3]}
+	}
+}
+
+// AutopilotHarness is a running autopilot over a simulated deployment.
+type AutopilotHarness struct {
+	Det     *health.Detector
+	Pilot   *controller.Autopilot
+	Monitor packet.Addr
+
+	d       *Deployment
+	opts    AutopilotOpts
+	stopped bool
+	removed map[packet.Addr]bool
+
+	hbSeq  uint64
+	probes *health.ProbeTable
+}
+
+// StartAutopilot attaches the monitor host, starts heartbeat emitters,
+// the prober and the reconcile loop. Call after d.Ctl is final. The
+// harness schedules recurring events; call Stop (or schedule it) before
+// relying on Sim.Run() draining to quiescence.
+func StartAutopilot(d *Deployment, o AutopilotOpts) (*AutopilotHarness, error) {
+	o.defaults(d)
+	mon, err := d.TB.AttachMonitor()
+	if err != nil {
+		return nil, err
+	}
+	dcfg := health.Defaults(o.Heartbeat)
+	if o.Detector != nil {
+		dcfg = *o.Detector
+	}
+	det := health.NewDetector(dcfg)
+	pcfg := controller.AutopilotConfig{Interval: o.Heartbeat, Spares: o.Spares}
+	if o.Pilot != nil {
+		pcfg = *o.Pilot
+		if len(pcfg.Spares) == 0 {
+			pcfg.Spares = o.Spares
+		}
+	}
+	h := &AutopilotHarness{
+		Det:     det,
+		Monitor: mon,
+		d:       d,
+		opts:    o,
+		removed: make(map[packet.Addr]bool),
+		probes:  health.NewProbeTable(),
+	}
+	now := func() time.Duration { return time.Duration(d.Sim.Now()) }
+	h.Pilot = controller.NewAutopilot(d.Ctl, det, controller.SimScheduler{Sim: d.Sim}, now, pcfg)
+
+	if err := d.TB.Net.HostRecv(mon, h.recv); err != nil {
+		return nil, err
+	}
+	switches := d.TB.SwitchAddrs()
+	for _, sw := range switches {
+		det.Track(sw, now())
+	}
+	// Stagger the emitters across the interval so beacons don't arrive
+	// as a synchronized burst (deterministic offsets).
+	hb := event.Duration(o.Heartbeat)
+	for i, sw := range switches {
+		sw := sw
+		offset := hb * event.Time(i+1) / event.Time(len(switches)+1)
+		var loop func()
+		loop = func() {
+			if h.stopped || h.removed[sw] {
+				return
+			}
+			h.emitHeartbeat(sw)
+			d.Sim.After(hb, loop)
+		}
+		d.Sim.After(offset, loop)
+	}
+	var probeLoop func()
+	probeLoop = func() {
+		if h.stopped {
+			return
+		}
+		h.probeTick()
+		d.Sim.After(event.Duration(o.Probe), probeLoop)
+	}
+	d.Sim.After(event.Duration(o.Probe), probeLoop)
+	h.Pilot.Start()
+	return h, nil
+}
+
+// Stop halts heartbeats, probes and reconcile ticks so the simulator can
+// drain to quiescence; repairs already in flight complete.
+func (h *AutopilotHarness) Stop() {
+	h.stopped = true
+	h.Pilot.Stop()
+}
+
+// RecordMilestones installs an OnEvent hook that captures the first
+// failover and the first completed recovery — the MTTR milestones the
+// chaos scenario and the Fig. 10 demo both report.
+func (h *AutopilotHarness) RecordMilestones(failover, recovery *time.Duration) {
+	h.Pilot.OnEvent = func(ev controller.RepairEvent) {
+		switch ev.Action {
+		case controller.ActionFailover:
+			if *failover == 0 {
+				*failover = ev.At
+			}
+		case controller.ActionRecoverDone:
+			if *recovery == 0 {
+				*recovery = ev.At
+			}
+		}
+	}
+}
+
+// Forget retires a switch from the health plane — beacons stop, probes
+// stop, the detector drops it — so a deliberately drained switch that
+// powers off is not "detected" as a failure and repaired. (Observations
+// auto-track in the detector, so without this the prober itself would
+// resurrect the state.)
+func (h *AutopilotHarness) Forget(sw packet.Addr) {
+	h.removed[sw] = true
+	h.Det.Forget(sw)
+}
+
+// emitHeartbeat builds one beacon from the switch's node-local counters
+// and pushes it through the switch's own pipeline.
+func (h *AutopilotHarness) emitHeartbeat(sw packet.Addr) {
+	drops, processed, backlog := h.d.TB.Net.NodeCounters(sw)
+	var retries uint64
+	if s, ok := h.d.TB.Net.Switch(sw); ok {
+		retries = s.Stats().WritesReplayed
+	}
+	h.hbSeq++
+	f := packet.GetFrame()
+	health.NewHeartbeat(f, sw, h.Monitor, h.hbSeq, health.Payload{
+		Queue:     uint32(backlog / 1000), // µs of modelled backlog
+		Drops:     drops,
+		Processed: processed,
+		Retries:   retries,
+	})
+	h.d.TB.Net.EmitFrom(sw, f)
+}
+
+// probeTick expires overdue probes and launches a fresh round through
+// every tracked switch's forwarding path.
+func (h *AutopilotHarness) probeTick() {
+	now := time.Duration(h.d.Sim.Now())
+	for _, sw := range h.probes.Expire(now, h.opts.ProbeTimeout) {
+		h.Det.ProbeLost(sw, now)
+	}
+	for _, sw := range h.d.TB.SwitchAddrs() {
+		if h.removed[sw] {
+			continue
+		}
+		f := packet.GetFrame()
+		health.NewProbe(f, h.Monitor, sw, h.probes.Issue(sw, now))
+		h.d.TB.Net.Inject(h.Monitor, f)
+	}
+}
+
+// recv handles frames delivered to the monitor host. Probe echoes go
+// through the shared ProbeTable, which drops duplicate echoes and —
+// crucially — echoes from impostors: after failover, neighbor rules (and
+// later the recovery redirect) answer traffic addressed to the dead
+// switch, and crediting those echoes would suppress the fail-stop
+// verdict forever.
+func (h *AutopilotHarness) recv(f *packet.Frame) {
+	now := time.Duration(h.d.Sim.Now())
+	switch f.NC.Op {
+	case kv.OpHeartbeat:
+		p, err := health.DecodePayload(f.NC.Value)
+		if err != nil {
+			return
+		}
+		h.Det.Heartbeat(f.IP.Src, now, p)
+	case kv.OpReply:
+		if sw, sentAt, ok := h.probes.Match(f.NC.QueryID, f.IP.Src); ok {
+			h.Det.ProbeReply(sw, now, now-sentAt)
+		}
+	}
+}
+
+// HealthString renders a snapshot as the table the demo and benchrunner
+// print.
+func (h *AutopilotHarness) HealthString() string {
+	now := time.Duration(h.d.Sim.Now())
+	s := fmt.Sprintf("%-12s %-9s %7s %6s %10s %10s %7s %7s\n",
+		"switch", "verdict", "phi", "beats", "rtt ewma", "rtt base", "loss", "drops")
+	for _, sh := range h.Det.Snapshot(now) {
+		s += fmt.Sprintf("%-12v %-9s %7.2f %6d %10v %10v %7.3f %7.3f\n",
+			sh.Addr, sh.Verdict, sh.Phi, sh.Heartbeats,
+			sh.RTTEWMA.Round(time.Nanosecond), sh.RTTBaseline.Round(time.Nanosecond),
+			sh.ProbeLossEWMA, sh.DropRateEWMA)
+	}
+	return s
+}

@@ -1,0 +1,199 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	"netchain/internal/controller"
+	"netchain/internal/event"
+	"netchain/internal/netsim"
+)
+
+// sweepSeeds returns how many seeds per schedule the autopilot sweep
+// covers: 100 by default (the acceptance criterion — ~7 s wall), trimmed
+// under -short, overridable via NETCHAIN_SWEEP_SEEDS for the nightly
+// matrix.
+func sweepSeeds(t *testing.T) int64 {
+	if env := os.Getenv("NETCHAIN_SWEEP_SEEDS"); env != "" {
+		n, err := strconv.ParseInt(env, 10, 64)
+		if err != nil || n < 1 {
+			t.Fatalf("bad NETCHAIN_SWEEP_SEEDS=%q", env)
+		}
+		return n
+	}
+	if testing.Short() {
+		return 10
+	}
+	return 100
+}
+
+// TestAutopilotChaosSweep is the self-healing acceptance battery: every
+// nemesis schedule × N seeds with the autopilot enabled and NO manual
+// HandleFailure/Recover calls — the φ-accrual detector fires every
+// repair. Each history must linearize; schedules without a fail-stop must
+// produce zero fail-stop evictions (the gray-tail false-eviction
+// regression); the fail-stop schedule must end with every chain fully
+// re-replicated off the dead switch.
+func TestAutopilotChaosSweep(t *testing.T) {
+	seeds := sweepSeeds(t)
+	for _, name := range ChaosScheduleNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			sc := chaosScenarios()[name]
+			for seed := int64(1); seed <= seeds; seed++ {
+				res, err := RunChaos(ChaosOpts{Schedule: name, Seed: seed, Autopilot: true})
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if !res.Lin.OK {
+					t.Fatalf("seed %d: history not linearizable (key %s): %s",
+						seed, res.Lin.Key, res.Lin.Reason)
+				}
+				if !sc.failover && res.Failovers > 0 {
+					t.Fatalf("seed %d: %d false fail-stop evictions without a fail-stop fault:\n%v",
+						seed, res.Failovers, res.Repairs)
+				}
+				if sc.failover {
+					if res.Failovers != 1 {
+						t.Fatalf("seed %d: %d failovers, want exactly 1", seed, res.Failovers)
+					}
+					if !res.ChainsRepaired {
+						t.Fatalf("seed %d: chains not fully repaired:\n%v", seed, res.Repairs)
+					}
+					if res.DetectLatency <= 0 || res.RepairLatency <= 0 {
+						t.Fatalf("seed %d: missing MTTR milestones: detect=%v repair=%v",
+							seed, res.DetectLatency, res.RepairLatency)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestAutopilotGrayTailNoEviction is the dedicated gray regression at
+// full size: the gray-tail schedule must demote (drain reads off the
+// degraded tail) and restore after healing — never evict.
+func TestAutopilotGrayTailNoEviction(t *testing.T) {
+	res, err := RunChaos(ChaosOpts{Schedule: "gray-tail", Seed: 1, Autopilot: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Lin.OK {
+		t.Fatalf("not linearizable (key %s): %s", res.Lin.Key, res.Lin.Reason)
+	}
+	if res.Failovers != 0 {
+		t.Fatalf("gray tail falsely evicted:\n%v", res.Repairs)
+	}
+	if res.Demotions == 0 {
+		t.Fatalf("gray tail never demoted — the detector slept through it:\n%v", res.Health)
+	}
+	if res.DetectLatency <= 0 {
+		t.Fatalf("no detection latency recorded: %v", res.DetectLatency)
+	}
+	restored := false
+	for _, ev := range res.Repairs {
+		if ev.Action == controller.ActionRestoreDone {
+			restored = true
+		}
+	}
+	if !restored {
+		t.Fatalf("healed switch never restored to ring order:\n%v", res.Repairs)
+	}
+	t.Logf("gray-tail: detect=%v repair=%v repairs=%d", res.DetectLatency, res.RepairLatency, len(res.Repairs))
+}
+
+// TestAutopilotDeterminism: an autopilot run is part of the determinism
+// contract — same seed, same history, same repair timeline, same
+// fingerprint.
+func TestAutopilotDeterminism(t *testing.T) {
+	a, err := RunChaos(ChaosOpts{Schedule: "full-nemesis", Seed: 3, Autopilot: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunChaos(ChaosOpts{Schedule: "full-nemesis", Seed: 3, Autopilot: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint != b.Fingerprint {
+		t.Fatalf("same seed diverged:\n  %s\n  %s", a.Fingerprint, b.Fingerprint)
+	}
+	if len(a.Repairs) == 0 || len(a.Repairs) != len(b.Repairs) {
+		t.Fatalf("repair logs diverged: %d vs %d", len(a.Repairs), len(b.Repairs))
+	}
+	manual, err := RunChaos(ChaosOpts{Schedule: "full-nemesis", Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if manual.Fingerprint == a.Fingerprint {
+		t.Fatal("autopilot and manual runs produced identical fingerprints — the autopilot changed nothing")
+	}
+}
+
+// TestAutopilotFlappingLinkBudget drives a deterministic flapping
+// degradation — the tail turns gray and heals every 6 ms for the whole
+// run — and asserts the hysteresis (confirm/clear streaks, per-switch
+// cooldown) plus the repair budget cap the number of data-moving
+// migrations, while the history stays linearizable throughout.
+func TestAutopilotFlappingLinkBudget(t *testing.T) {
+	d, err := NewDeployment(1, 4, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl, err := chaosController(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Ctl = ctl
+	budget := 3
+	h, err := StartAutopilot(d, AutopilotOpts{
+		Pilot: &controller.AutopilotConfig{
+			Interval:     500 * time.Microsecond,
+			RepairBudget: budget,
+			BudgetWindow: 400 * time.Millisecond, // spans the run: the cap is absolute
+			Cooldown:     4 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 ms gray, 8 ms healthy, 20 cycles: slow enough that the confirm
+	// and clear streaks both complete each phase — so an unguarded loop
+	// would demote+restore every cycle (~40 migrations).
+	tail := d.TB.Switches[2]
+	var sch netsim.Schedule
+	for i := 0; i < 20; i++ {
+		sch = append(sch, netsim.Step{
+			Name: fmt.Sprintf("flap-%d", i),
+			At:   msec(5 + 14*i), For: msec(6),
+			Fault: netsim.GraySwitch{
+				Addr: tail,
+				G:    netsim.Gray{SlowFactor: 2e4, Loss: 0.03, ExtraDelay: event.Duration(40 * time.Microsecond)},
+			},
+		})
+	}
+	nm := netsim.RunSchedule(d.TB.Net, sch)
+	d.Sim.At(msec(320), h.Stop)
+	d.Sim.Run()
+	if err := nm.Err(); err != nil {
+		t.Fatal(err)
+	}
+	moving := 0
+	for _, ev := range h.Pilot.History() {
+		switch ev.Action {
+		case controller.ActionDemote, controller.ActionRestore, controller.ActionRecover:
+			moving++
+		case controller.ActionFailover:
+			t.Fatalf("flapping gray escalated to eviction:\n%v", h.Pilot.History())
+		}
+	}
+	if moving > budget {
+		t.Fatalf("flapping produced %d data-moving repairs, budget %d:\n%v",
+			moving, budget, h.Pilot.History())
+	}
+	if h.Pilot.Deferred() == 0 {
+		t.Fatal("flap never pressured the budget — the schedule is too tame to test it")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"netchain/internal/controller"
 	"netchain/internal/core"
 	"netchain/internal/event"
+	"netchain/internal/health"
 	"netchain/internal/kv"
 	"netchain/internal/lincheck"
 	"netchain/internal/netsim"
@@ -42,6 +43,13 @@ type ChaosOpts struct {
 	OpsPerClient int           // operations each client issues; default 200
 	Registers    int           // independent register keys; default 14
 	Pause        time.Duration // think time between a client's ops; default 400 µs
+
+	// Autopilot runs the scenario hands-free: the fail-stop becomes a
+	// nemesis FailStop step with NO manual HandleFailure/Recover calls —
+	// the φ-accrual detector must notice every fault and the autopilot
+	// must repair it (demoting gray switches, recovering dead ones from
+	// the spare pool) while the history stays linearizable.
+	Autopilot bool
 }
 
 func (o *ChaosOpts) defaults() {
@@ -85,6 +93,19 @@ type ChaosResult struct {
 	FailoverDone, RecoveryDone time.Duration
 	HistoryEnd                 time.Duration
 
+	// Autopilot-mode observations (zero-valued when Autopilot is off).
+	Autopilot bool
+	// FailStopInjected reports whether the schedule kills a switch (so
+	// callers can tell a legitimate eviction from a false one).
+	FailStopInjected bool
+	Repairs          []controller.RepairEvent
+	Health           []health.SwitchHealth
+	DetectLatency    time.Duration // fault injection → first repair verdict acted on
+	RepairLatency    time.Duration // verdict → repair complete
+	Failovers        int           // fail-stop evictions the autopilot executed
+	Demotions        int           // gray demotions the autopilot executed
+	ChainsRepaired   bool          // failover schedules: every chain fully re-replicated, dead switch gone
+
 	// Fingerprint digests the full history and counters; equal seeds must
 	// produce equal fingerprints (the determinism acceptance check).
 	Fingerprint string
@@ -97,10 +118,20 @@ type chaosScenario struct {
 	doc      string
 	failover bool // also exercise fail-stop failover + recovery
 	build    func(tb *netsim.Testbed) netsim.Schedule
+	// faultAt is the injection time of the repairable fault (the
+	// fail-stop for failover schedules, the gray onset for gray-tail) —
+	// the reference point MTTR detection latency is measured from. Zero
+	// when the schedule has nothing for the autopilot to repair.
+	faultAt event.Time
 }
 
 func usec(n int) event.Time { return event.Duration(time.Duration(n) * time.Microsecond) }
 func msec(n int) event.Time { return event.Duration(time.Duration(n) * time.Millisecond) }
+
+// chaosAutopilotHorizon is when an autopilot-mode run stops its beacons:
+// far past the workload (~80 ms) and every repair, so the simulator can
+// drain to quiescence afterwards.
+var chaosAutopilotHorizon = msec(400)
 
 // clusterMangle is the background adversity shared by the schedules: 2%
 // duplication, 8% reordering hold-back and 2 µs jitter on every link.
@@ -143,6 +174,7 @@ func chaosScenarios() map[string]chaosScenario {
 			doc: "the chain tail S2 turns gray for 15 ms: alive and routed-through but slow " +
 				"(+40 µs per frame) and lossy (3%) — fail-stop detection never fires, reads and " +
 				"write acks crawl, retries and duplicate replies pile up",
+			faultAt: msec(10),
 			build: func(tb *netsim.Testbed) netsim.Schedule {
 				return netsim.Schedule{
 					{Name: "mangle", At: 0, Fault: clusterMangle()},
@@ -158,6 +190,7 @@ func chaosScenarios() map[string]chaosScenario {
 				"22 ms with controller failover and its groups recover onto the spare S3 at 28 ms — " +
 				"the acceptance scenario for 'survives the nemesis'",
 			failover: true,
+			faultAt:  msec(22),
 			build: func(tb *netsim.Testbed) netsim.Schedule {
 				return netsim.Schedule{
 					{Name: "mangle", At: 0, Fault: clusterMangle()},
@@ -188,6 +221,23 @@ func ChaosScheduleNames() []string {
 // ChaosScheduleDoc describes what a named schedule exercises.
 func ChaosScheduleDoc(name string) string { return chaosScenarios()[name].doc }
 
+// chaosController builds the fast-timing controller the chaos scenarios
+// (and the autopilot tests) run against: 1 ms rule programming, free
+// state sync — failure-window behavior without hour-long simulations.
+func chaosController(d *Deployment) (*controller.Controller, error) {
+	ccfg := controller.DefaultConfig()
+	ccfg.RuleDelay = time.Millisecond
+	ccfg.SyncPerItem = 0
+	return controller.New(ccfg, d.Ring, controller.SimScheduler{Sim: d.Sim},
+		func(a packet.Addr) (controller.Agent, bool) {
+			sw, ok := d.TB.Net.Switch(a)
+			if !ok {
+				return nil, false
+			}
+			return controller.LocalAgent{Switch: sw}, true
+		}, d.TB.Net.SwitchNeighbors)
+}
+
 func chaosOwnerBytes(owner uint64) []byte {
 	b := make([]byte, 8)
 	binary.BigEndian.PutUint64(b, owner)
@@ -210,17 +260,7 @@ func RunChaos(o ChaosOpts) (*ChaosResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	ccfg := controller.DefaultConfig()
-	ccfg.RuleDelay = time.Millisecond
-	ccfg.SyncPerItem = 0
-	ctl, err := controller.New(ccfg, d.Ring, controller.SimScheduler{Sim: d.Sim},
-		func(a packet.Addr) (controller.Agent, bool) {
-			sw, ok := d.TB.Net.Switch(a)
-			if !ok {
-				return nil, false
-			}
-			return controller.LocalAgent{Switch: sw}, true
-		}, d.TB.Net.SwitchNeighbors)
+	ctl, err := chaosController(d)
 	if err != nil {
 		return nil, err
 	}
@@ -256,7 +296,7 @@ func RunChaos(o ChaosOpts) (*ChaosResult, error) {
 		initial[name] = string(val)
 	}
 
-	res := &ChaosResult{Schedule: o.Schedule}
+	res := &ChaosResult{Schedule: o.Schedule, FailStopInjected: sc.failover}
 	var history []lincheck.Op
 
 	cfg := simclient.DefaultConfig()
@@ -398,12 +438,35 @@ func RunChaos(o ChaosOpts) (*ChaosResult, error) {
 		d.Sim.After(event.Time(c)*1000, func() { step(0) })
 	}
 
-	// The nemesis.
-	nm := netsim.RunSchedule(d.TB.Net, sc.build(d.TB))
+	// The nemesis — in autopilot mode the fail-stop itself becomes a
+	// schedule step, with nobody left to call the controller by hand.
+	schedule := sc.build(d.TB)
+	if sc.failover && o.Autopilot {
+		schedule = append(schedule, netsim.Step{
+			Name: "fail-stop", At: sc.faultAt,
+			Fault: netsim.FailStop{Addr: d.TB.Switches[1]},
+		})
+	}
+	nm := netsim.RunSchedule(d.TB.Net, schedule)
 
-	// Fail-stop churn for the full schedule: S1 dies at 22 ms, fast
-	// failover rules bridge it, and its groups recover onto the spare S3.
-	if sc.failover {
+	var harness *AutopilotHarness
+	if o.Autopilot {
+		res.Autopilot = true
+		h, err := StartAutopilot(d, AutopilotOpts{})
+		if err != nil {
+			return nil, err
+		}
+		harness = h
+		h.RecordMilestones(&res.FailoverDone, &res.RecoveryDone)
+		// The harness schedules recurring beacons; stop it at a horizon
+		// well past the workload and every repair so Run() drains.
+		d.Sim.At(chaosAutopilotHorizon, h.Stop)
+	}
+
+	// Fail-stop churn for the full schedule under manual operation: S1
+	// dies at 22 ms, the operator runs fast failover, and its groups
+	// recover onto the spare S3 at 28 ms.
+	if sc.failover && !o.Autopilot {
 		s1, s3 := d.TB.Switches[1], d.TB.Switches[3]
 		d.Sim.At(msec(22), func() {
 			if err := d.TB.Net.FailSwitch(s1); err != nil {
@@ -434,8 +497,65 @@ func RunChaos(o ChaosOpts) (*ChaosResult, error) {
 		return nil, err
 	}
 	if sc.failover && (res.FailoverDone == 0 || res.RecoveryDone == 0) {
-		return nil, fmt.Errorf("experiments: churn incomplete (failover=%v recovery=%v)",
-			res.FailoverDone, res.RecoveryDone)
+		var detail string
+		if harness != nil {
+			for _, ev := range harness.Pilot.History() {
+				detail += "\n  " + ev.String()
+			}
+			detail += fmt.Sprintf("\n  deferred=%d", harness.Pilot.Deferred())
+			for _, hh := range harness.Det.Snapshot(time.Duration(d.Sim.Now())) {
+				detail += fmt.Sprintf("\n  %v %v phi=%.1f", hh.Addr, hh.Verdict, hh.Phi)
+			}
+		}
+		return nil, fmt.Errorf("experiments: churn incomplete (failover=%v recovery=%v)%s",
+			res.FailoverDone, res.RecoveryDone, detail)
+	}
+	if harness != nil {
+		res.Repairs = harness.Pilot.History()
+		res.Health = harness.Det.Snapshot(time.Duration(d.Sim.Now()))
+		var demoteDone time.Duration
+		var firstDemote time.Duration
+		for _, ev := range res.Repairs {
+			switch ev.Action {
+			case controller.ActionFailover:
+				res.Failovers++
+			case controller.ActionDemote:
+				res.Demotions++
+				if firstDemote == 0 {
+					firstDemote = ev.At
+				}
+			case controller.ActionDemoteDone:
+				if demoteDone == 0 {
+					demoteDone = ev.At
+				}
+			}
+		}
+		// MTTR milestones relative to the schedule's repairable fault.
+		fault := time.Duration(sc.faultAt)
+		switch {
+		case sc.failover && res.FailoverDone > 0:
+			res.DetectLatency = res.FailoverDone - fault
+			res.RepairLatency = res.RecoveryDone - res.FailoverDone
+		case !sc.failover && fault > 0 && firstDemote > 0:
+			res.DetectLatency = firstDemote - fault
+			if demoteDone > 0 {
+				res.RepairLatency = demoteDone - firstDemote
+			}
+		}
+		if sc.failover {
+			res.ChainsRepaired = true
+			dead := d.TB.Switches[1]
+			for _, rt := range d.Ctl.Routes() {
+				if len(rt.Hops) != 3 {
+					res.ChainsRepaired = false
+				}
+				for _, hop := range rt.Hops {
+					if hop == dead {
+						res.ChainsRepaired = false
+					}
+				}
+			}
+		}
 	}
 
 	res.Ops = len(history)
@@ -460,12 +580,16 @@ func RunChaos(o ChaosOpts) (*ChaosResult, error) {
 	res.History = history
 	res.Lin = lincheck.Check(history, initial)
 
-	// Fingerprint: the determinism pin. Everything observable goes in.
+	// Fingerprint: the determinism pin. Everything observable goes in —
+	// including what the autopilot did and when.
 	h := sha256.New()
 	for _, op := range history {
 		fmt.Fprint(h, formatOp(op))
 	}
 	fmt.Fprintf(h, "net=%+v replayed=%d lin=%v ops=%d\n", res.Net, res.Replayed, res.Lin.OK, res.Lin.OpsChecked)
+	for _, ev := range res.Repairs {
+		fmt.Fprintf(h, "repair %v\n", ev)
+	}
 	res.Fingerprint = fmt.Sprintf("%x", h.Sum(nil))
 	return res, nil
 }
@@ -480,6 +604,13 @@ func (r *ChaosResult) Format() string {
 		r.Ops, r.Unknowns, r.Timeouts, r.HistoryEnd)
 	if r.FailoverDone > 0 {
 		s += fmt.Sprintf("failover done t=%v; recovery done t=%v\n", r.FailoverDone, r.RecoveryDone)
+	}
+	if r.Autopilot {
+		s += fmt.Sprintf("autopilot: %d failovers, %d demotions; detection %v, repair %v; chains repaired: %v\n",
+			r.Failovers, r.Demotions, r.DetectLatency, r.RepairLatency, r.ChainsRepaired)
+		for _, ev := range r.Repairs {
+			s += "  " + ev.String() + "\n"
+		}
 	}
 	s += fmt.Sprintf("nemesis: %d chaos drops, %d dup copies, %d reordered, %d partition drops, "+
 		"%d gray drops; dataplane replayed %d duplicate writes\n",

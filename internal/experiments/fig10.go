@@ -29,6 +29,18 @@ type Fig10Opts struct {
 	PreSync     bool          // Algorithm 3 Step 1 ablation
 	SyncPerItem time.Duration // default 7 ms (calibrates ~140 s recovery)
 	Seed        int64
+
+	// Autopilot replaces the scripted repair ("the network OS detects
+	// the failure" as an injected DetectLag, Recover at RecoverAt) with
+	// the self-healing control plane: φ-accrual heartbeat detection
+	// notices the fail-stop and the reconcile loop runs failover and
+	// recovery from the spare pool on its own. DetectLag and RecoverAt
+	// are ignored.
+	Autopilot bool
+	// Heartbeat is the autopilot beacon cadence (default 100 ms — at
+	// Fig. 10 time scales, detection lands ~0.6 s after the failure,
+	// comparable to the paper's 1 s injected delay).
+	Heartbeat time.Duration
 }
 
 func (o *Fig10Opts) defaults() {
@@ -62,6 +74,9 @@ func (o *Fig10Opts) defaults() {
 	if o.Seed == 0 {
 		o.Seed = 1
 	}
+	if o.Heartbeat == 0 {
+		o.Heartbeat = 100 * time.Millisecond
+	}
 }
 
 // Fig10Result carries the time series plus the recovery milestones.
@@ -75,6 +90,9 @@ type Fig10Result struct {
 	// ~0.5; Fig. 10(b): ~0.995).
 	BaselineRate          float64
 	MinRateDuringRecovery float64
+
+	// Autopilot-mode repair log (empty under scripted repair).
+	Repairs []controller.RepairEvent
 }
 
 // Fig10 runs the failure-handling timeline and returns the client
@@ -146,22 +164,40 @@ func Fig10(o Fig10Opts) (*Fig10Result, error) {
 	res := &Fig10Result{Series: gen.Series}
 	gen.Start(d.Profile.HostRate / d.Profile.Scale)
 
-	d.Sim.After(event.Duration(o.FailAt), func() {
-		d.TB.Net.FailSwitch(s1)
-		d.Sim.After(event.Duration(o.DetectLag), func() {
-			d.Ctl.HandleFailure(s1, func() {
-				res.FailoverDone = time.Duration(d.Sim.Now())
+	d.Ctl.OnGroupRecovered = func(ring.GroupID) { res.GroupsRecovered++ }
+	var harness *AutopilotHarness
+	if o.Autopilot {
+		h, err := StartAutopilot(d, AutopilotOpts{
+			Heartbeat: o.Heartbeat,
+			Spares:    []packet.Addr{s3},
+		})
+		if err != nil {
+			return nil, err
+		}
+		harness = h
+		h.RecordMilestones(&res.FailoverDone, &res.RecoveryDone)
+		d.Sim.After(event.Duration(o.FailAt), func() { d.TB.Net.FailSwitch(s1) })
+	} else {
+		d.Sim.After(event.Duration(o.FailAt), func() {
+			d.TB.Net.FailSwitch(s1)
+			d.Sim.After(event.Duration(o.DetectLag), func() {
+				d.Ctl.HandleFailure(s1, func() {
+					res.FailoverDone = time.Duration(d.Sim.Now())
+				})
 			})
 		})
-	})
-	d.Ctl.OnGroupRecovered = func(ring.GroupID) { res.GroupsRecovered++ }
-	d.Sim.After(event.Duration(o.RecoverAt), func() {
-		d.Ctl.Recover(s1, []packet.Addr{s3}, func() {
-			res.RecoveryDone = time.Duration(d.Sim.Now())
+		d.Sim.After(event.Duration(o.RecoverAt), func() {
+			d.Ctl.Recover(s1, []packet.Addr{s3}, func() {
+				res.RecoveryDone = time.Duration(d.Sim.Now())
+			})
 		})
-	})
+	}
 	d.Sim.After(event.Duration(o.Duration), gen.Stop)
 	d.Sim.RunUntil(event.Duration(o.Duration) + event.Duration(50*time.Millisecond))
+	if harness != nil {
+		harness.Stop()
+		res.Repairs = harness.Pilot.History()
+	}
 
 	// Build the figure (rates scaled back to true units).
 	fig := &Figure{
@@ -178,7 +214,11 @@ func Fig10(o Fig10Opts) (*Fig10Result, error) {
 	res.Figure = fig
 
 	// Quantify the recovery dip over the window where recovery ran.
-	startB := int(o.RecoverAt / o.Bucket)
+	recoverStart := o.RecoverAt
+	if o.Autopilot && res.FailoverDone > 0 {
+		recoverStart = res.FailoverDone // the autopilot recovers right after failover
+	}
+	startB := int(recoverStart / o.Bucket)
 	endB := int(res.RecoveryDone / o.Bucket)
 	if endB > len(rates) {
 		endB = len(rates)

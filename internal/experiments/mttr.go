@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"netchain/internal/benchjson"
+)
+
+// MTTR and availability: the self-healing scenario behind the paper's
+// §5.3–5.4 failover/recovery claims, measured end to end — fault
+// injection → φ-accrual detection → autonomous repair — under each named
+// nemesis schedule, with the concurrent client workload still running and
+// its history lincheck-verified.
+//
+// Folded into `benchrunner -exp bench` and BENCH.json so the perf gate
+// pins the whole loop: detection latency (p50 column), total repair
+// latency (p99 column, gated — a regression here means the autopilot got
+// slower at healing) and goodput (ops column — the availability dip under
+// adversity). All quantities are simulated-time and deterministic across
+// machines.
+
+// MTTRRow is one schedule's availability measurement.
+type MTTRRow struct {
+	Schedule  string
+	Goodput   float64       // completed ops/s of simulated time across the run
+	Detect    time.Duration // fault injection → repair verdict acted on (0: nothing to repair)
+	Repair    time.Duration // verdict → repair complete
+	Failovers int
+	Demotions int
+	Repaired  bool // failover schedules: chain fully re-replicated
+	Lin       bool
+}
+
+// MTTRBench runs every nemesis schedule with the autopilot enabled and
+// no manual repair calls. It errors if any history fails linearizability
+// or a fail-stop schedule ends unrepaired — a broken autopilot must fail
+// the bench gate loudly, not post softer numbers.
+func MTTRBench(seed int64) ([]benchjson.Result, []MTTRRow, error) {
+	var results []benchjson.Result
+	var rows []MTTRRow
+	for _, name := range ChaosScheduleNames() {
+		res, err := RunChaos(ChaosOpts{Schedule: name, Seed: seed, Autopilot: true})
+		if err != nil {
+			return nil, nil, fmt.Errorf("mttr %s: %w", name, err)
+		}
+		if !res.Lin.OK {
+			return nil, nil, fmt.Errorf("mttr %s: history not linearizable (key %s): %s",
+				name, res.Lin.Key, res.Lin.Reason)
+		}
+		sc := chaosScenarios()[name]
+		if sc.failover && !res.ChainsRepaired {
+			return nil, nil, fmt.Errorf("mttr %s: autopilot left the chain unrepaired: %v",
+				name, res.Repairs)
+		}
+		goodput := 0.0
+		if res.HistoryEnd > 0 {
+			goodput = float64(res.Ops-res.Unknowns) / res.HistoryEnd.Seconds()
+		}
+		rows = append(rows, MTTRRow{
+			Schedule:  name,
+			Goodput:   goodput,
+			Detect:    res.DetectLatency,
+			Repair:    res.RepairLatency,
+			Failovers: res.Failovers,
+			Demotions: res.Demotions,
+			Repaired:  res.ChainsRepaired,
+			Lin:       res.Lin.OK,
+		})
+		results = append(results, benchjson.Result{
+			Scenario:  "mttr-" + name,
+			OpsPerSec: goodput,
+			P50us:     float64(res.DetectLatency.Nanoseconds()) / 1e3,
+			P99us:     float64((res.DetectLatency + res.RepairLatency).Nanoseconds()) / 1e3,
+		})
+	}
+	return results, rows, nil
+}
+
+// FormatMTTR renders the availability table benchrunner prints.
+func FormatMTTR(rows []MTTRRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-16s %12s %10s %10s %6s %6s %9s\n",
+		"mttr scenario", "goodput op/s", "detect", "repair", "evict", "demote", "repaired")
+	for _, r := range rows {
+		rep := "-"
+		if r.Failovers > 0 {
+			rep = fmt.Sprintf("%v", r.Repaired)
+		}
+		fmt.Fprintf(&sb, "%-16s %12.0f %10v %10v %6d %6d %9s\n",
+			r.Schedule, r.Goodput, r.Detect, r.Repair, r.Failovers, r.Demotions, rep)
+	}
+	return sb.String()
+}

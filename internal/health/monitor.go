@@ -1,0 +1,204 @@
+package health
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"netchain/internal/kv"
+	"netchain/internal/packet"
+)
+
+// Monitor is the wall-clock half of the detector: a UDP endpoint that
+// receives switch heartbeats, learns each switch's dataplane endpoint
+// from the datagram source address (zero extra controller configuration),
+// and optionally probes every learned switch's forwarding path. It feeds
+// a Detector on a monotonic since-start timeline.
+//
+// The simulated substrate does not use Monitor — experiments wire
+// heartbeats and probes straight into the Detector under simulated time —
+// but both substrates share the Detector, the payload codec, the frame
+// builders and the ProbeTable, so verdict behavior is identical.
+type Monitor struct {
+	det    *Detector
+	conn   *net.UDPConn
+	virt   packet.Addr
+	start  time.Time
+	probes *ProbeTable
+
+	mu      sync.Mutex
+	eps     map[packet.Addr]*net.UDPAddr
+	removed map[packet.Addr]bool
+
+	closed   chan struct{}
+	recvDone chan struct{}
+	probeWG  sync.WaitGroup
+}
+
+// NewMonitor binds the health endpoint and starts receiving. virt is the
+// monitor's virtual NetChain address (what switches address heartbeats
+// and probe replies to).
+func NewMonitor(bind string, virt packet.Addr, det *Detector) (*Monitor, error) {
+	laddr, err := net.ResolveUDPAddr("udp", bind)
+	if err != nil {
+		return nil, fmt.Errorf("health: resolve %q: %w", bind, err)
+	}
+	conn, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		return nil, fmt.Errorf("health: listen: %w", err)
+	}
+	m := &Monitor{
+		det:      det,
+		conn:     conn,
+		virt:     virt,
+		start:    time.Now(),
+		probes:   NewProbeTable(),
+		eps:      make(map[packet.Addr]*net.UDPAddr),
+		removed:  make(map[packet.Addr]bool),
+		closed:   make(chan struct{}),
+		recvDone: make(chan struct{}),
+	}
+	go m.recvLoop()
+	return m, nil
+}
+
+// Endpoint returns the monitor's bound UDP address (what netchaind's
+// -monitor flag points at).
+func (m *Monitor) Endpoint() *net.UDPAddr { return m.conn.LocalAddr().(*net.UDPAddr) }
+
+// Now returns the monitor's monotonic timestamp — the timeline its
+// Detector observations use.
+func (m *Monitor) Now() time.Duration { return time.Since(m.start) }
+
+// Forget retires a switch: it leaves the probe target list, the detector
+// drops it, and — because the drained netchaind usually keeps beating
+// until the operator shuts it down — its future heartbeats are ignored
+// rather than re-learned. A deliberately retired switch powering off
+// must not be "detected" and repaired. Watch reverses it.
+func (m *Monitor) Forget(sw packet.Addr) {
+	m.mu.Lock()
+	delete(m.eps, sw)
+	m.removed[sw] = true
+	m.mu.Unlock()
+	m.det.Forget(sw)
+}
+
+// Watch (re-)admits a switch to monitoring — the add-switch path clears
+// a previous retirement so a readmitted box is watched again.
+func (m *Monitor) Watch(sw packet.Addr) {
+	m.mu.Lock()
+	delete(m.removed, sw)
+	m.mu.Unlock()
+}
+
+// Close stops the monitor.
+func (m *Monitor) Close() error {
+	select {
+	case <-m.closed:
+		return nil
+	default:
+	}
+	close(m.closed)
+	err := m.conn.Close()
+	<-m.recvDone
+	m.probeWG.Wait()
+	return err
+}
+
+func (m *Monitor) recvLoop() {
+	defer close(m.recvDone)
+	buf := make([]byte, 64*1024)
+	var f packet.Frame
+	for {
+		sz, src, err := m.conn.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		data := buf[:sz]
+		for len(data) > 0 {
+			rest, err := packet.NextFrame(&f, data)
+			if err != nil {
+				break
+			}
+			data = rest
+			m.deliver(&f, src)
+		}
+	}
+}
+
+func (m *Monitor) deliver(f *packet.Frame, src *net.UDPAddr) {
+	now := m.Now()
+	switch f.NC.Op {
+	case kv.OpHeartbeat:
+		p, err := DecodePayload(f.NC.Value)
+		if err != nil {
+			return
+		}
+		sw := f.IP.Src
+		m.mu.Lock()
+		retired := m.removed[sw]
+		if !retired {
+			m.eps[sw] = src
+		}
+		m.mu.Unlock()
+		if retired {
+			return // a drained switch beating until shutdown is not news
+		}
+		m.det.Heartbeat(sw, now, p)
+	case kv.OpReply:
+		if sw, sentAt, ok := m.probes.Match(f.NC.QueryID, f.IP.Src); ok {
+			m.det.ProbeReply(sw, now, now-sentAt)
+		}
+	}
+}
+
+// StartProbes begins probing every learned switch endpoint each interval;
+// probes unanswered after timeout count as losses. Runs until Close.
+func (m *Monitor) StartProbes(interval, timeout time.Duration) {
+	m.probeWG.Add(1)
+	go func() {
+		defer m.probeWG.Done()
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-m.closed:
+				return
+			case <-tick.C:
+				m.probeOnce(timeout)
+			}
+		}
+	}()
+}
+
+func (m *Monitor) probeOnce(timeout time.Duration) {
+	now := m.Now()
+	for _, sw := range m.probes.Expire(now, timeout) {
+		m.det.ProbeLost(sw, now)
+	}
+	type target struct {
+		sw packet.Addr
+		ep *net.UDPAddr
+	}
+	var targets []target
+	m.mu.Lock()
+	for sw, ep := range m.eps {
+		targets = append(targets, target{sw: sw, ep: ep})
+	}
+	m.mu.Unlock()
+	sort.Slice(targets, func(i, j int) bool { return targets[i].sw < targets[j].sw })
+	f := packet.GetFrame()
+	defer packet.PutFrame(f)
+	var buf []byte
+	for _, t := range targets {
+		NewProbe(f, m.virt, t.sw, m.probes.Issue(t.sw, now))
+		out, err := f.Serialize(buf[:0])
+		if err != nil {
+			continue
+		}
+		buf = out
+		_, _ = m.conn.WriteToUDP(out, t.ep)
+	}
+}

@@ -1,0 +1,77 @@
+package health
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"netchain/internal/packet"
+)
+
+// ProbeTable is the bookkeeping half of the probe channel, shared by the
+// wall-clock Monitor and the simulated harness so the two substrates
+// cannot drift: issue a qid per probe, expire unanswered probes as
+// losses, and credit an echo only when it comes from the switch that was
+// probed — after failover, the Algorithm 2 neighbor rules (and later the
+// recovery redirect) answer traffic addressed to a dead switch, and an
+// echo from an impostor says nothing about the probed switch's health.
+type ProbeTable struct {
+	mu          sync.Mutex
+	nextQID     uint64
+	outstanding map[uint64]probeRec
+}
+
+type probeRec struct {
+	sw packet.Addr
+	at time.Duration
+}
+
+// NewProbeTable returns an empty table.
+func NewProbeTable() *ProbeTable {
+	return &ProbeTable{outstanding: make(map[uint64]probeRec)}
+}
+
+// Issue registers one probe of sw sent at now and returns its qid.
+func (t *ProbeTable) Issue(sw packet.Addr, now time.Duration) uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nextQID++
+	t.outstanding[t.nextQID] = probeRec{sw: sw, at: now}
+	return t.nextQID
+}
+
+// Expire sweeps probes older than timeout (in ascending qid order, for
+// deterministic simulation) and returns the probed switch of each — one
+// entry per lost probe, ready for Detector.ProbeLost.
+func (t *ProbeTable) Expire(now, timeout time.Duration) []packet.Addr {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	qids := make([]uint64, 0, len(t.outstanding))
+	for qid := range t.outstanding {
+		qids = append(qids, qid)
+	}
+	sort.Slice(qids, func(i, j int) bool { return qids[i] < qids[j] })
+	var lost []packet.Addr
+	for _, qid := range qids {
+		if pr := t.outstanding[qid]; now-pr.at > timeout {
+			delete(t.outstanding, qid)
+			lost = append(lost, pr.sw)
+		}
+	}
+	return lost
+}
+
+// Match resolves an echo: ok only when qid names an outstanding probe AND
+// the echo's source is the probed switch (the impostor rule). A matched
+// probe is consumed; an impostor echo leaves it outstanding to expire as
+// lost; an unknown qid (duplicate echo) is ignored.
+func (t *ProbeTable) Match(qid uint64, src packet.Addr) (sw packet.Addr, sentAt time.Duration, ok bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	pr, found := t.outstanding[qid]
+	if !found || pr.sw != src {
+		return 0, 0, false
+	}
+	delete(t.outstanding, qid)
+	return pr.sw, pr.at, true
+}

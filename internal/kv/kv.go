@@ -105,6 +105,11 @@ const (
 	// OpSync is a controller-driven state transfer record used during
 	// failure recovery (Algorithm 3 pre-sync / sync).
 	OpSync
+	// OpHeartbeat is a switch-agent liveness beacon addressed to the
+	// health monitor, carrying data-plane quality signals in the value
+	// field (internal/health.Payload). Switches never process heartbeats
+	// locally — they only transit them toward the monitor.
+	OpHeartbeat
 )
 
 var opNames = map[Op]string{
@@ -115,6 +120,8 @@ var opNames = map[Op]string{
 	OpCAS:    "cas",
 	OpReply:  "reply",
 	OpSync:   "sync",
+
+	OpHeartbeat: "heartbeat",
 }
 
 func (o Op) String() string {

@@ -309,6 +309,19 @@ func (c GraySwitch) String() string {
 	return fmt.Sprintf("gray %v slow=%.3gx loss=%.2g extra=%v", c.Addr, c.G.SlowFactor, c.G.Loss, c.G.ExtraDelay)
 }
 
+// FailStop kills Addr outright: every frame arriving there is dropped and
+// the underlay reroutes around it (§4.2). Heal restores the node. As a
+// first-class nemesis fault, fail-stop joins schedules WITHOUT a paired
+// controller call — which is exactly what the self-healing control plane
+// needs: the schedule injects the failure, the detector must notice it.
+type FailStop struct {
+	Addr packet.Addr
+}
+
+func (c FailStop) Inject(n *Network) error { return n.FailSwitch(c.Addr) }
+func (c FailStop) Heal(n *Network) error   { return n.RestoreSwitch(c.Addr) }
+func (c FailStop) String() string          { return fmt.Sprintf("fail-stop %v", c.Addr) }
+
 // Step is one timeline entry: inject Fault at absolute simulated time At,
 // heal it For later (For == 0 keeps it until the run ends).
 type Step struct {

@@ -81,6 +81,12 @@ type node struct {
 	busyUntil event.Time
 	failed    bool
 	links     []packet.Addr // neighbors
+
+	// Node-local observables (what a real switch agent reads off its
+	// ASIC counters for heartbeat payloads): frames discarded at this
+	// node and frames admitted for processing.
+	drops     uint64
+	processed uint64
 }
 
 type routeKey struct {
@@ -393,6 +399,36 @@ func (n *Network) Inject(from packet.Addr, f *packet.Frame) {
 	n.forward(nd, f)
 }
 
+// EmitFrom runs f through addr's own pipeline as locally sourced traffic
+// (the switch CPU shares the ASIC with the data plane): fail-stop, gray
+// degradation and the capacity gate apply to the node's own heartbeats
+// exactly as to transit frames, so a dead switch's beacons die with it
+// and an overloaded one emits late.
+func (n *Network) EmitFrom(addr packet.Addr, f *packet.Frame) {
+	nd, ok := n.nodes[addr]
+	if !ok {
+		n.stats.RouteDrops++
+		return
+	}
+	n.arrive(nd, f)
+}
+
+// NodeCounters returns addr's local observables — frames dropped at the
+// node (injected loss, gray loss, queue overflow), frames admitted for
+// processing, and the current ingest backlog — the honest signals a
+// switch agent can put in a heartbeat payload without consulting any
+// global view.
+func (n *Network) NodeCounters(addr packet.Addr) (drops, processed uint64, backlog event.Time) {
+	nd, ok := n.nodes[addr]
+	if !ok {
+		return 0, 0, 0
+	}
+	if b := nd.busyUntil - n.Sim.Now(); b > 0 {
+		backlog = b
+	}
+	return nd.drops, nd.processed, backlog
+}
+
 // forward moves f from nd toward f.IP.Dst across one link.
 func (n *Network) forward(nd *node, f *packet.Frame) {
 	if f.IP.Dst == nd.addr {
@@ -469,11 +505,13 @@ func (n *Network) arrive(nd *node, f *packet.Frame) {
 	}
 	if nd.cfg.LossRate > 0 && n.rng.Float64() < nd.cfg.LossRate {
 		n.stats.LossDrops++
+		nd.drops++
 		return
 	}
 	g, grayed := n.gray[nd.addr]
 	if grayed && g.Loss > 0 && n.rng.Float64() < g.Loss {
 		n.stats.GrayDrops++
+		nd.drops++
 		return
 	}
 	// Capacity gate: serialize packets through the node's budget.
@@ -484,8 +522,10 @@ func (n *Network) arrive(nd *node, f *packet.Frame) {
 	}
 	if wait := start - now; wait > nd.cfg.MaxQueue {
 		n.stats.QueueDrops++
+		nd.drops++
 		return
 	}
+	nd.processed++
 	svc := n.serviceTime(nd, f)
 	if grayed && g.SlowFactor > 1 {
 		svc = event.Time(float64(svc) * g.SlowFactor)

@@ -105,6 +105,29 @@ func (tb *Testbed) AttachSwitch(peers ...packet.Addr) (packet.Addr, error) {
 	return addr, nil
 }
 
+// AttachMonitor adds the out-of-band health-monitoring host (dual-homed
+// to S0 and S2 like the spare, so one chain-switch failure cannot sever
+// monitoring) and returns its address. Idempotent.
+func (tb *Testbed) AttachMonitor() (packet.Addr, error) {
+	addr := packet.AddrFrom4(10, 1, 0, 9)
+	if _, ok := tb.Net.nodes[addr]; ok {
+		return addr, nil
+	}
+	// The monitor is an unmetered observer, not a DPDK client: a rate
+	// gate here would serialize concurrent probe echoes and pollute the
+	// RTT signal with order-dependent ingest queueing.
+	if err := tb.Net.AddHost(addr, NodeConfig{}, nil); err != nil {
+		return 0, err
+	}
+	for _, p := range []packet.Addr{tb.Switches[0], tb.Switches[2]} {
+		if err := tb.Net.Link(addr, p, tb.Profile.LinkLatency); err != nil {
+			return 0, err
+		}
+	}
+	tb.Net.ComputeRoutes()
+	return addr, nil
+}
+
 // NewTestbed wires the Fig. 8 testbed. Host receive callbacks are
 // installed later by the client layer via HostRecv.
 func NewTestbed(sim *event.Sim, p Profile, seed int64) (*Testbed, error) {

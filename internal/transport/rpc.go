@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"net"
 	"net/rpc"
+	"time"
 
 	"netchain/internal/controller"
 	"netchain/internal/core"
+	"netchain/internal/health"
 	"netchain/internal/kv"
 	"netchain/internal/packet"
 	"netchain/internal/query"
@@ -90,6 +92,12 @@ func (a *AgentService) ReadItem(k kv.Key, out *core.Item) error {
 // WriteItem installs one record (recovery state sync).
 func (a *AgentService) WriteItem(it core.Item, _ *None) error { return a.sw.WriteItem(it) }
 
+// Keys lists every key the switch holds a slot for (readmission wipe).
+func (a *AgentService) Keys(_ None, out *[]kv.Key) error {
+	*out = a.sw.Keys()
+	return nil
+}
+
 // ServeAgent starts the RPC server for a switch on bind and returns the
 // listener address.
 func ServeAgent(sw *core.Switch, bind string) (net.Addr, func() error, error) {
@@ -140,6 +148,11 @@ func (a RPCAgent) ReadItem(k kv.Key) (core.Item, error) {
 func (a RPCAgent) WriteItem(it core.Item) error {
 	return a.C.Call("Agent.WriteItem", it, &None{})
 }
+func (a RPCAgent) Keys() ([]kv.Key, error) {
+	var out []kv.Key
+	err := a.C.Call("Agent.Keys", None{}, &out)
+	return out, err
+}
 
 // DialAgent connects to a switch agent.
 func DialAgent(addr string) (RPCAgent, error) {
@@ -151,13 +164,22 @@ func DialAgent(addr string) (RPCAgent, error) {
 }
 
 // ControllerService exposes the controller's client-facing API over
-// net/rpc: route lookup, key insertion (§3's agent ↔ controller path), and
-// the elastic add-switch/remove-switch admin verbs.
+// net/rpc: route lookup, key insertion (§3's agent ↔ controller path),
+// the elastic add-switch/remove-switch admin verbs, and — when the
+// autopilot is running — the cluster health view.
 type ControllerService struct {
 	Ctl *controller.Controller
 	// Register, when set, connects a new switch's agent before AddSwitch
 	// admits it into the ring (the deployment owns the agent map).
 	Register func(sw packet.Addr, agentAddr string) error
+	// Health, when set, supplies the detector snapshot and repair
+	// history behind the ClusterHealth verb (wired by the controller
+	// binary when -autopilot is on).
+	Health func() HealthReport
+	// Unregister, when set, is called after RemoveSwitch drains a switch
+	// — the health monitor forgets it so the retired box powering off is
+	// not "detected" as a failure and repaired.
+	Unregister func(sw packet.Addr)
 }
 
 // RouteReply carries a route.
@@ -216,6 +238,72 @@ func (s *ControllerService) AddSwitch(args ResizeArgs, out *ResizeReply) error {
 	return nil
 }
 
+// SwitchHealthWire is one switch's health as carried over the RPC wire.
+type SwitchHealthWire struct {
+	Addr          packet.Addr
+	Verdict       string
+	Phi           float64
+	Heartbeats    uint64
+	RTTEWMAus     float64
+	RTTBaselineUs float64
+	ProbeLossEWMA float64
+	DropRateEWMA  float64
+	QueueEWMA     float64
+	Demoted       bool
+}
+
+// RepairWire is one autopilot repair-history entry on the wire.
+type RepairWire struct {
+	At     time.Duration
+	Switch packet.Addr
+	Action string
+	Detail string
+}
+
+// HealthReport is the ClusterHealth reply.
+type HealthReport struct {
+	Switches []SwitchHealthWire
+	Repairs  []RepairWire
+}
+
+// BuildHealthReport renders a detector snapshot plus autopilot history
+// into the wire form (shared by the controller binary and tests).
+func BuildHealthReport(det *health.Detector, ap *controller.Autopilot, now time.Duration) HealthReport {
+	var rep HealthReport
+	for _, h := range det.Snapshot(now) {
+		rep.Switches = append(rep.Switches, SwitchHealthWire{
+			Addr:          h.Addr,
+			Verdict:       h.Verdict.String(),
+			Phi:           h.Phi,
+			Heartbeats:    h.Heartbeats,
+			RTTEWMAus:     float64(h.RTTEWMA.Nanoseconds()) / 1e3,
+			RTTBaselineUs: float64(h.RTTBaseline.Nanoseconds()) / 1e3,
+			ProbeLossEWMA: h.ProbeLossEWMA,
+			DropRateEWMA:  h.DropRateEWMA,
+			QueueEWMA:     h.QueueEWMA,
+			Demoted:       ap != nil && ap.Demoted(h.Addr),
+		})
+	}
+	if ap != nil {
+		for _, ev := range ap.History() {
+			rep.Repairs = append(rep.Repairs, RepairWire{
+				At: ev.At, Switch: ev.Switch, Action: string(ev.Action), Detail: ev.Detail,
+			})
+		}
+	}
+	return rep
+}
+
+// ClusterHealth returns per-switch φ scores, quality EWMAs, verdicts and
+// the autopilot's repair history. Errors when the autopilot is off.
+func (s *ControllerService) ClusterHealth(_ None, out *HealthReport) error {
+	if s.Health == nil {
+		return fmt.Errorf("transport: autopilot not enabled on this controller")
+	}
+	*out = s.Health()
+	return nil
+}
+
 // RemoveSwitch live-drains a switch out of the ring and blocks until its
 // state has migrated away; the switch can be shut down afterwards.
 func (s *ControllerService) RemoveSwitch(args ResizeArgs, out *ResizeReply) error {
@@ -225,6 +313,9 @@ func (s *ControllerService) RemoveSwitch(args ResizeArgs, out *ResizeReply) erro
 		return err
 	}
 	<-done
+	if s.Unregister != nil {
+		s.Unregister(args.Switch)
+	}
 	out.GroupsMigrated = len(diff.Deltas)
 	return nil
 }
@@ -239,8 +330,15 @@ func ServeController(ctl *controller.Controller, bind string) (net.Addr, func() 
 func ServeControllerWithRegister(ctl *controller.Controller,
 	register func(sw packet.Addr, agentAddr string) error,
 	bind string) (net.Addr, func() error, error) {
+	return ServeControllerService(&ControllerService{Ctl: ctl, Register: register}, bind)
+}
+
+// ServeControllerService starts the RPC endpoint for a caller-built
+// service — the controller binary wires the autopilot's Health hook into
+// the service before serving.
+func ServeControllerService(svc *ControllerService, bind string) (net.Addr, func() error, error) {
 	srv := rpc.NewServer()
-	if err := srv.RegisterName("Controller", &ControllerService{Ctl: ctl, Register: register}); err != nil {
+	if err := srv.RegisterName("Controller", svc); err != nil {
 		return nil, nil, err
 	}
 	ln, err := net.Listen("tcp", bind)

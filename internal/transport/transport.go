@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"netchain/internal/core"
+	"netchain/internal/health"
 	"netchain/internal/kv"
 	"netchain/internal/packet"
 )
@@ -156,6 +157,8 @@ type SwitchNode struct {
 	closed   bool
 	workerWG sync.WaitGroup
 	sendDone chan struct{}
+	hbStop   chan struct{}
+	hbDone   chan struct{}
 }
 
 // NewSwitchNode binds a UDP socket (pass "127.0.0.1:0" for tests), records
@@ -223,10 +226,90 @@ func (n *SwitchNode) Close() error {
 		return nil
 	}
 	n.closed = true
+	hbStop, hbDone := n.hbStop, n.hbDone
 	n.mu.Unlock()
+	if hbStop != nil {
+		close(hbStop)
+		<-hbDone
+	}
 	err := n.conn.Close()
 	<-n.sendDone
 	return err
+}
+
+// QueueDepth returns the number of frames waiting in the node's ingest
+// worker queues — the backlog signal heartbeat payloads carry.
+func (n *SwitchNode) QueueDepth() int {
+	depth := 0
+	for _, ch := range n.in {
+		depth += len(ch)
+	}
+	return depth
+}
+
+// StartHeartbeats emits a health.Payload-carrying heartbeat frame to the
+// monitor's virtual address every interval, over the node's existing
+// dataplane socket (a dead node's heartbeats die with its socket, which
+// is the point). The monitor learns this node's endpoint from the
+// datagram source address, so no registration round-trip is needed.
+// Stops at Close.
+func (n *SwitchNode) StartHeartbeats(monitor packet.Addr, every time.Duration) error {
+	ep, ok := n.book.Get(monitor)
+	if !ok {
+		return fmt.Errorf("transport: no endpoint for monitor %v", monitor)
+	}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return fmt.Errorf("transport: node closed")
+	}
+	if n.hbStop != nil {
+		n.mu.Unlock()
+		return fmt.Errorf("transport: heartbeats already running")
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	n.hbStop, n.hbDone = stop, done
+	n.mu.Unlock()
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(every)
+		defer tick.Stop()
+		f := packet.GetFrame()
+		defer packet.PutFrame(f)
+		var buf []byte
+		var seq uint64
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+			}
+			st := n.sw.Stats()
+			seq++
+			health.NewHeartbeat(f, n.sw.Addr(), monitor, seq, health.Payload{
+				Queue: uint32(n.QueueDepth()),
+				// Drops stays zero on the real transport: the node has
+				// no visibility into socket-level loss, and the
+				// protocol-normal discards it CAN count (stale-dropped
+				// duplicate writes, failover rule drops) are signs of
+				// the protocol working, not of this switch ailing —
+				// feeding them in would demote a healthy head absorbing
+				// client retries. Gray detection on the real path rides
+				// the probe RTT/loss channel instead.
+				Drops:     0,
+				Processed: st.Processed,
+				Retries:   st.WritesReplayed,
+			})
+			out, err := f.Serialize(buf[:0])
+			if err != nil {
+				continue
+			}
+			buf = out
+			_, _ = n.conn.WriteToUDP(out, ep)
+		}
+	}()
+	return nil
 }
 
 // recvLoop reads datagrams, decodes every frame batched inside each, and

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"time"
 
+	"netchain/internal/controller"
 	"netchain/internal/event"
 	"netchain/internal/experiments"
+	"netchain/internal/health"
 	"netchain/internal/kv"
 	"netchain/internal/netsim"
 	"netchain/internal/packet"
@@ -40,7 +42,8 @@ func (c *SimConfig) defaults() {
 // code as the real cluster, driven by a discrete-event engine — the
 // substrate behind every figure reproduction.
 type SimCluster struct {
-	d *experiments.Deployment
+	d  *experiments.Deployment
+	ap *experiments.AutopilotHarness
 }
 
 // NewSimCluster builds the simulated testbed.
@@ -65,6 +68,15 @@ func (s *SimCluster) Now() time.Duration { return time.Duration(s.d.Sim.Now()) }
 // RunFor advances simulated time.
 func (s *SimCluster) RunFor(d time.Duration) { s.d.Sim.RunFor(event.Duration(d)) }
 
+// runUntil steps the simulator until stop() reports true — used instead
+// of Sim.Run() by every blocking verb, because with the autopilot enabled
+// the heartbeat/probe/reconcile loops keep the event queue populated
+// forever and a full drain would never return.
+func (s *SimCluster) runUntil(stop func() bool) {
+	for !stop() && s.d.Sim.Step() {
+	}
+}
+
 // FailSwitch fail-stops switch i and triggers failover after detectLag.
 func (s *SimCluster) FailSwitch(i int, detectLag time.Duration) error {
 	addr := s.d.TB.Switches[i]
@@ -72,10 +84,14 @@ func (s *SimCluster) FailSwitch(i int, detectLag time.Duration) error {
 		return err
 	}
 	var ferr error
+	done := false
 	s.d.Sim.After(event.Duration(detectLag), func() {
-		ferr = s.d.Ctl.HandleFailure(addr, nil)
+		ferr = s.d.Ctl.HandleFailure(addr, func() { done = true })
+		if ferr != nil {
+			done = true
+		}
 	})
-	s.d.Sim.Run()
+	s.runUntil(func() bool { return done })
 	return ferr
 }
 
@@ -86,7 +102,7 @@ func (s *SimCluster) Recover(i, spare int) error {
 		[]packet.Addr{s.d.TB.Switches[spare]}, func() { done = true }); err != nil {
 		return err
 	}
-	s.d.Sim.Run()
+	s.runUntil(func() bool { return done })
 	if !done {
 		return fmt.Errorf("netchain: simulated recovery did not finish")
 	}
@@ -118,7 +134,7 @@ func (s *SimCluster) AddSwitch(i int) error {
 	if _, err := s.d.Ctl.AddSwitch(addr, func() { done = true }); err != nil {
 		return err
 	}
-	s.d.Sim.Run()
+	s.runUntil(func() bool { return done })
 	if !done {
 		return fmt.Errorf("netchain: simulated scale-out did not finish")
 	}
@@ -147,9 +163,14 @@ func (s *SimCluster) RemoveSwitch(i int) error {
 	if _, err := s.d.Ctl.RemoveSwitch(addr, func() { done = true }); err != nil {
 		return err
 	}
-	s.d.Sim.Run()
+	s.runUntil(func() bool { return done })
 	if !done {
 		return fmt.Errorf("netchain: simulated scale-in did not finish")
+	}
+	if s.ap != nil {
+		// Retirement, not failure: stop watching the drained switch so
+		// powering it off cannot trigger a phantom repair.
+		s.ap.Forget(addr)
 	}
 	return nil
 }
@@ -165,6 +186,57 @@ func (s *SimCluster) HostAddress(h int) (packet.Addr, error) {
 		return 0, fmt.Errorf("netchain: host %d out of range", h)
 	}
 	return s.d.TB.Hosts[h], nil
+}
+
+// EnableAutopilot starts the self-healing control plane: per-switch
+// heartbeat beacons feed a φ-accrual failure detector, data-plane probes
+// score each switch's measured forwarding quality, and a reconcile loop
+// repairs what the detector convicts — fast failover + recovery from the
+// spare pool for fail-stop verdicts, tail demotion (reads drain off the
+// degraded switch) for gray ones. No manual FailSwitch/Recover calls are
+// needed afterwards; kill a switch with KillSwitch and watch the cluster
+// heal. Idempotent.
+func (s *SimCluster) EnableAutopilot() error {
+	if s.ap != nil {
+		return nil
+	}
+	h, err := experiments.StartAutopilot(s.d, experiments.AutopilotOpts{})
+	if err != nil {
+		return err
+	}
+	s.ap = h
+	return nil
+}
+
+// KillSwitch fail-stops switch i WITHOUT notifying the control plane —
+// detection is the autopilot's job (compare FailSwitch, which hands the
+// failure to the controller after an explicit detection lag). Advance
+// simulated time with RunFor and watch RepairHistory.
+func (s *SimCluster) KillSwitch(i int) error {
+	addr, err := s.switchAddr(i)
+	if err != nil {
+		return err
+	}
+	return s.d.TB.Net.FailSwitch(addr)
+}
+
+// HealthSnapshot returns every switch's detector state — φ score, probe
+// RTT EWMAs, verdict — as of the current simulated time. Empty until
+// EnableAutopilot.
+func (s *SimCluster) HealthSnapshot() []health.SwitchHealth {
+	if s.ap == nil {
+		return nil
+	}
+	return s.ap.Det.Snapshot(time.Duration(s.d.Sim.Now()))
+}
+
+// RepairHistory returns the autopilot's repair log. Empty until
+// EnableAutopilot.
+func (s *SimCluster) RepairHistory() []controller.RepairEvent {
+	if s.ap == nil {
+		return nil
+	}
+	return s.ap.Pilot.History()
 }
 
 // RunNemesis registers an adversarial fault schedule (reordering,
@@ -205,7 +277,10 @@ func (sc *SimClient) run(issue func(done func(simclient.Result))) (simclient.Res
 	var res simclient.Result
 	got := false
 	issue(func(r simclient.Result) { res = r; got = true })
-	sc.s.d.Sim.Run()
+	// Step until the query resolves rather than draining the simulator
+	// (see runUntil). Left-over retry timers are generation-guarded
+	// no-ops; they fire during later calls or RunFor.
+	sc.s.runUntil(func() bool { return got })
 	if !got {
 		return res, ErrTimeout
 	}

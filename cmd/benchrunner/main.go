@@ -31,7 +31,7 @@ func main() { os.Exit(realMain()) }
 // experiment fails or the perf gate trips — the run where a profile is
 // most wanted.
 func realMain() (code int) {
-	exp := flag.String("exp", "all", "experiment: table1|fig9a|fig9b|fig9c|fig9d|fig9e|fig9f|fig10a|fig10b|fig11|resize|pipeline|tla|bench|udpbench|read-scaling|hot-key|value-sweep|mttr|chaos|all")
+	exp := flag.String("exp", "all", "experiment: table1|fig9a|fig9b|fig9c|fig9d|fig9e|fig9f|fig10a|fig10b|fig11|resize|pipeline|tla|bench|udpbench|read-scaling|hot-key|value-sweep|mttr|chaos|placement|all")
 	full := flag.Bool("full", false, "use longer windows / full parameter sweeps")
 	windows := flag.String("windows", "1,4,16,64", "outstanding-window sweep for -exp pipeline (comma-separated)")
 	window := flag.Int("window", 0, "client outstanding-query window for the fig9 experiments (0 = unbounded open loop)")
@@ -42,6 +42,7 @@ func realMain() (code int) {
 	seed := flag.Int64("seed", 1, "deterministic seed for -exp chaos and -exp bench")
 	schedule := flag.String("schedule", "full-nemesis", "nemesis schedule for -exp chaos ('all' runs every schedule)")
 	autopilot := flag.Bool("autopilot", false, "run -exp chaos hands-free: faults are injected by the nemesis and repaired by the φ-accrual autopilot, never by manual controller calls")
+	topology := flag.String("topology", "ring", "substrate for -exp chaos: ring (the Fig. 8 testbed), spine-leaf:SxL, or fattree:k")
 	archive := flag.String("archive", "", "with -json: also archive the gated run as BENCH_<n>.json under this directory (perf trajectory across PRs)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file (go tool pprof)")
@@ -201,7 +202,17 @@ func realMain() (code int) {
 		fmt.Print(experiments.FormatUDPBench(results))
 		return nil
 	})
-	run("chaos", func() error { return runChaos(*schedule, *seed, *autopilot) })
+	run("chaos", func() error { return runChaos(*schedule, *seed, *autopilot, *topology) })
+	run("placement", func() error {
+		r, err := experiments.RunPlacementScaling(experiments.PlacementOpts{Seed: *seed})
+		if err != nil {
+			return err
+		}
+		fmt.Println("placement scaling (client-affine workload, metered fabric links):")
+		fmt.Print(experiments.FormatPlacement(r))
+		fmt.Println()
+		return nil
+	})
 	run("tla", func() error {
 		for _, cfg := range []struct {
 			name string
@@ -304,6 +315,12 @@ func runBench(seed int64, jsonPath, baselinePath, comparePath, archiveDir string
 	}
 	fmt.Print(experiments.FormatMTTR(rows))
 	results = append(results, mttr...)
+	placed, err := experiments.RunPlacementScaling(experiments.PlacementOpts{Seed: seed})
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatPlacement(placed))
+	results = append(results, experiments.PlacementBenchRows(placed)...)
 	cur := benchjson.File{
 		Note: fmt.Sprintf("benchrunner -exp bench -seed %d; simulated-time scenarios are "+
 			"deterministic across machines; scenarios carrying a tol field are real-UDP "+
@@ -353,14 +370,14 @@ func runBench(seed int64, jsonPath, baselinePath, comparePath, archiveDir string
 // autopilot, every repair must come from the detector — the run also
 // fails if the fail-stop schedule ends with an unrepaired chain or a
 // repair-free schedule suffers a false eviction.
-func runChaos(schedule string, seed int64, autopilot bool) error {
+func runChaos(schedule string, seed int64, autopilot bool, topology string) error {
 	names := []string{schedule}
 	if schedule == "all" {
 		names = experiments.ChaosScheduleNames()
 	}
 	for _, name := range names {
 		res, err := experiments.RunChaos(experiments.ChaosOpts{
-			Schedule: name, Seed: seed, Autopilot: autopilot,
+			Schedule: name, Seed: seed, Autopilot: autopilot, Topology: topology,
 		})
 		if err != nil {
 			return err

@@ -7,7 +7,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"sync"
 	"sync/atomic"
 
@@ -15,9 +17,18 @@ import (
 )
 
 func main() {
+	if err := run(os.Stdout, 20, 4, 60); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run publishes epochs configuration versions while subscribers poll,
+// each issuing polls reads, and fails if any subscriber observes a
+// version regression.
+func run(out io.Writer, epochs, subscribers, polls int) error {
 	cluster, err := netchain.StartLocalCluster(netchain.ClusterConfig{})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	defer cluster.Close()
 
@@ -28,17 +39,16 @@ func main() {
 	}
 	for _, k := range keys {
 		if err := cluster.Insert(k); err != nil {
-			log.Fatal(err)
+			return err
 		}
 	}
 	pub, err := cluster.NewClient(0)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	defer pub.Close()
 
-	// Publisher: 20 configuration epochs across the keys.
-	const epochs = 20
+	// Publisher: configuration epochs across the keys.
 	var wg sync.WaitGroup
 	wg.Add(1)
 	go func() {
@@ -56,7 +66,7 @@ func main() {
 	// §4.5 monotonic-reads guarantee).
 	var regressions atomic.Int64
 	var reads atomic.Int64
-	for s := 0; s < 4; s++ {
+	for s := 0; s < subscribers; s++ {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
@@ -67,7 +77,7 @@ func main() {
 			}
 			defer sub.Close()
 			last := map[netchain.Key]netchain.Version{}
-			for i := 0; i < 60; i++ {
+			for i := 0; i < polls; i++ {
 				k := keys[i%len(keys)]
 				_, ver, err := sub.Read(k)
 				if err != nil {
@@ -85,13 +95,14 @@ func main() {
 
 	final, ver, err := pub.Read(keys[0])
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("final %s = %s (version %v)\n", keys[0], final, ver)
-	fmt.Printf("%d subscriber reads, %d version regressions (must be 0)\n",
+	fmt.Fprintf(out, "final %s = %s (version %v)\n", keys[0], final, ver)
+	fmt.Fprintf(out, "%d subscriber reads, %d version regressions (must be 0)\n",
 		reads.Load(), regressions.Load())
 	if regressions.Load() != 0 {
-		log.Fatal("consistency violated!")
+		return fmt.Errorf("consistency violated: %d version regressions", regressions.Load())
 	}
-	fmt.Println("done")
+	fmt.Fprintln(out, "done")
+	return nil
 }

@@ -1,0 +1,25 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestConfigStore runs the publisher/subscriber race at reduced volume;
+// run itself fails the monotonic-version invariant, so a nil error plus
+// observed reads is the whole contract.
+func TestConfigStore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("binds loopback UDP sockets; skipped with -short")
+	}
+	var out strings.Builder
+	if err := run(&out, 5, 2, 20); err != nil {
+		t.Fatalf("config-store: %v\noutput so far:\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "0 version regressions") {
+		t.Errorf("output missing regression count:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "done") {
+		t.Errorf("output missing done marker:\n%s", out.String())
+	}
+}

@@ -8,7 +8,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -18,37 +20,51 @@ import (
 	"netchain/internal/zkkv"
 )
 
-const (
-	workers      = 4
-	opsPerWorker = 200
-)
-
 func main() {
-	fmt.Println("== NetChain CAS locks (software chain over UDP) ==")
-	ncHold, ncLat := runNetChain()
-	fmt.Printf("lock/unlock round trips: %d, mean latency %v, max holders seen: %d (must be 1)\n\n",
+	if err := run(os.Stdout, 4, 200); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(out io.Writer, workers, opsPerWorker int) error {
+	fmt.Fprintln(out, "== NetChain CAS locks (software chain over UDP) ==")
+	ncHold, ncLat, err := runNetChain(workers, opsPerWorker)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "lock/unlock round trips: %d, mean latency %v, max holders seen: %d (must be 1)\n\n",
 		workers*opsPerWorker, ncLat, ncHold)
+	if ncHold > 1 {
+		return fmt.Errorf("netchain mutual exclusion violated: %d simultaneous holders", ncHold)
+	}
 
-	fmt.Println("== Baseline: leader-quorum locks over TCP (ZooKeeper-style) ==")
-	zkHold, zkLat := runBaseline()
-	fmt.Printf("lock/unlock round trips: %d, mean latency %v, max holders seen: %d (must be 1)\n\n",
+	fmt.Fprintln(out, "== Baseline: leader-quorum locks over TCP (ZooKeeper-style) ==")
+	zkHold, zkLat, err := runBaseline(workers, opsPerWorker)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "lock/unlock round trips: %d, mean latency %v, max holders seen: %d (must be 1)\n\n",
 		workers*opsPerWorker, zkLat, zkHold)
+	if zkHold > 1 {
+		return fmt.Errorf("baseline mutual exclusion violated: %d simultaneous holders", zkHold)
+	}
 
-	fmt.Printf("latency ratio baseline/netchain: %.1fx\n", float64(zkLat)/float64(ncLat))
+	fmt.Fprintf(out, "latency ratio baseline/netchain: %.1fx\n", float64(zkLat)/float64(ncLat))
+	return nil
 }
 
 // runNetChain contends workers on one lock via CAS and returns the maximum
 // simultaneous holders observed (mutual exclusion check) plus mean
 // acquire latency.
-func runNetChain() (int, time.Duration) {
+func runNetChain(workers, opsPerWorker int) (int, time.Duration, error) {
 	cluster, err := netchain.StartLocalCluster(netchain.ClusterConfig{})
 	if err != nil {
-		log.Fatal(err)
+		return 0, 0, err
 	}
 	defer cluster.Close()
 	lock := netchain.KeyFromString("locks/hot")
 	if err := cluster.Insert(lock); err != nil {
-		log.Fatal(err)
+		return 0, 0, err
 	}
 
 	var holders, maxHolders atomic.Int64
@@ -83,18 +99,18 @@ func runNetChain() (int, time.Duration) {
 		}(uint64(w))
 	}
 	wg.Wait()
-	return int(maxHolders.Load()), time.Duration(total.Load() / int64(workers*opsPerWorker))
+	return int(maxHolders.Load()), time.Duration(total.Load() / int64(workers*opsPerWorker)), nil
 }
 
-func runBaseline() (int, time.Duration) {
+func runBaseline(workers, opsPerWorker int) (int, time.Duration, error) {
 	addrs, stop, err := zkkv.StartEnsemble(3)
 	if err != nil {
-		log.Fatal(err)
+		return 0, 0, err
 	}
 	defer stop()
 	client, err := zkkv.Dial(addrs[0], addrs[1:]...)
 	if err != nil {
-		log.Fatal(err)
+		return 0, 0, err
 	}
 	defer client.Close()
 	lock := kv.KeyFromString("locks/hot")
@@ -125,5 +141,5 @@ func runBaseline() (int, time.Duration) {
 		}(uint64(w))
 	}
 	wg.Wait()
-	return int(maxHolders.Load()), time.Duration(total.Load() / int64(workers*opsPerWorker))
+	return int(maxHolders.Load()), time.Duration(total.Load() / int64(workers*opsPerWorker)), nil
 }

@@ -1,0 +1,22 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDistributedLock contends a reduced worker pool over both lock
+// services; run itself enforces mutual exclusion (max one holder) on
+// each, so a nil error is the invariant.
+func TestDistributedLock(t *testing.T) {
+	if testing.Short() {
+		t.Skip("binds loopback UDP and TCP sockets; skipped with -short")
+	}
+	var out strings.Builder
+	if err := run(&out, 2, 50); err != nil {
+		t.Fatalf("distributed-lock: %v\noutput so far:\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "latency ratio baseline/netchain") {
+		t.Errorf("output missing latency comparison:\n%s", out.String())
+	}
+}

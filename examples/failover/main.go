@@ -16,7 +16,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"strings"
 	"time"
 
@@ -26,67 +28,73 @@ import (
 func main() {
 	manual := flag.Bool("manual", false, "script the repair by hand (the paper's injected 1s detection + fixed recovery time) instead of the autopilot")
 	flag.Parse()
-
-	run := func(vgroups int) {
-		mode := "autopilot"
-		if *manual {
-			mode = "manual repair"
-		}
-		fmt.Printf("== failure handling with %d virtual group(s), %s ==\n", vgroups, mode)
-		res, err := experiments.Fig10(experiments.Fig10Opts{
-			VGroups:   vgroups,
-			Scale:     20000,
-			StoreSize: 2000,
-			Duration:  60 * time.Second,
-			FailAt:    10 * time.Second,
-			DetectLag: time.Second,
-			RecoverAt: 20 * time.Second,
-			Bucket:    time.Second,
-			Autopilot: !*manual,
-		})
-		if err != nil {
+	for _, vgroups := range []int{1, 30} {
+		if err := run(os.Stdout, vgroups, *manual); err != nil {
 			log.Fatal(err)
 		}
-		rates := res.Series.Rates()
-		base := res.BaselineRate / 20000 // back to series units
-		for i, r := range rates {
-			bar := int(40 * r / base)
-			if bar > 40 {
-				bar = 40
-			}
-			if bar < 0 {
-				bar = 0
-			}
-			// Markers stack: with the autopilot, detection lands inside
-			// the same one-second bucket as the failure itself.
-			marker := ""
-			if i == 10 {
-				marker += "  <- S1 fails (nobody tells the controller)"
-			}
-			if time.Duration(i)*time.Second == res.FailoverDone.Truncate(time.Second) {
-				if *manual {
-					marker += "  <- failover (1s injected detection delay)"
-				} else {
-					marker += "  <- failover (phi-accrual detection)"
-				}
-			}
-			if time.Duration(i)*time.Second == res.RecoveryDone.Truncate(time.Second) {
-				marker += "  <- recovery done"
-			}
-			fmt.Printf("t=%3ds %7.2f MQPS |%-40s|%s\n",
-				i, r*20000/1e6, strings.Repeat("#", bar), marker)
-		}
-		if !*manual {
-			fmt.Println("autopilot repair log:")
-			for _, ev := range res.Repairs {
-				fmt.Printf("  %v\n", ev)
-			}
-			fmt.Printf("detection: %v after the failure; %d groups recovered hands-free\n",
-				(res.FailoverDone - 10*time.Second).Round(10*time.Millisecond), res.GroupsRecovered)
-		}
-		fmt.Printf("dip during recovery: %.1f%% of baseline (1 group -> ~50%%; many groups -> ~99%%)\n\n",
-			100*res.MinRateDuringRecovery/res.BaselineRate)
 	}
-	run(1)
-	run(30)
+}
+
+// run simulates the Fig. 10 timeline with vgroups virtual groups and
+// renders the per-second throughput series with repair annotations.
+func run(out io.Writer, vgroups int, manual bool) error {
+	mode := "autopilot"
+	if manual {
+		mode = "manual repair"
+	}
+	fmt.Fprintf(out, "== failure handling with %d virtual group(s), %s ==\n", vgroups, mode)
+	res, err := experiments.Fig10(experiments.Fig10Opts{
+		VGroups:   vgroups,
+		Scale:     20000,
+		StoreSize: 2000,
+		Duration:  60 * time.Second,
+		FailAt:    10 * time.Second,
+		DetectLag: time.Second,
+		RecoverAt: 20 * time.Second,
+		Bucket:    time.Second,
+		Autopilot: !manual,
+	})
+	if err != nil {
+		return err
+	}
+	rates := res.Series.Rates()
+	base := res.BaselineRate / 20000 // back to series units
+	for i, r := range rates {
+		bar := int(40 * r / base)
+		if bar > 40 {
+			bar = 40
+		}
+		if bar < 0 {
+			bar = 0
+		}
+		// Markers stack: with the autopilot, detection lands inside
+		// the same one-second bucket as the failure itself.
+		marker := ""
+		if i == 10 {
+			marker += "  <- S1 fails (nobody tells the controller)"
+		}
+		if time.Duration(i)*time.Second == res.FailoverDone.Truncate(time.Second) {
+			if manual {
+				marker += "  <- failover (1s injected detection delay)"
+			} else {
+				marker += "  <- failover (phi-accrual detection)"
+			}
+		}
+		if time.Duration(i)*time.Second == res.RecoveryDone.Truncate(time.Second) {
+			marker += "  <- recovery done"
+		}
+		fmt.Fprintf(out, "t=%3ds %7.2f MQPS |%-40s|%s\n",
+			i, r*20000/1e6, strings.Repeat("#", bar), marker)
+	}
+	if !manual {
+		fmt.Fprintln(out, "autopilot repair log:")
+		for _, ev := range res.Repairs {
+			fmt.Fprintf(out, "  %v\n", ev)
+		}
+		fmt.Fprintf(out, "detection: %v after the failure; %d groups recovered hands-free\n",
+			(res.FailoverDone - 10*time.Second).Round(10*time.Millisecond), res.GroupsRecovered)
+	}
+	fmt.Fprintf(out, "dip during recovery: %.1f%% of baseline (1 group -> ~50%%; many groups -> ~99%%)\n\n",
+		100*res.MinRateDuringRecovery/res.BaselineRate)
+	return nil
 }

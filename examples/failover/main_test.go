@@ -1,0 +1,38 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFailoverDemo runs both repair modes on the deterministic simulator
+// (no real sockets, no wall-clock sleeps) with one virtual group and pins
+// the timeline annotations the demo narrates.
+func TestFailoverDemo(t *testing.T) {
+	t.Run("autopilot", func(t *testing.T) {
+		var out strings.Builder
+		if err := run(&out, 1, false); err != nil {
+			t.Fatalf("failover demo: %v", err)
+		}
+		for _, want := range []string{
+			"<- S1 fails",
+			"<- failover (phi-accrual detection)",
+			"<- recovery done",
+			"autopilot repair log:",
+			"dip during recovery",
+		} {
+			if !strings.Contains(out.String(), want) {
+				t.Errorf("output missing %q:\n%s", want, out.String())
+			}
+		}
+	})
+	t.Run("manual", func(t *testing.T) {
+		var out strings.Builder
+		if err := run(&out, 1, true); err != nil {
+			t.Fatalf("failover demo (manual): %v", err)
+		}
+		if !strings.Contains(out.String(), "<- failover (1s injected detection delay)") {
+			t.Errorf("output missing manual failover marker:\n%s", out.String())
+		}
+	})
+}

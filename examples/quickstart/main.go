@@ -6,21 +6,29 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"netchain"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(out io.Writer) error {
 	cluster, err := netchain.StartLocalCluster(netchain.ClusterConfig{})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	defer cluster.Close()
 
 	client, err := cluster.NewClient(0) // attach through switch S0
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	defer client.Close()
 
@@ -29,60 +37,61 @@ func main() {
 	// "network" dataplane.
 	cfgKey := netchain.KeyFromString("service/timeout")
 	if err := cluster.Insert(cfgKey); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	ver, err := client.Write(cfgKey, netchain.Value("30s"))
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("wrote service/timeout = 30s (version %v)\n", ver)
+	fmt.Fprintf(out, "wrote service/timeout = 30s (version %v)\n", ver)
 
 	val, ver, err := client.Read(cfgKey)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("read  service/timeout = %s (version %v)\n", val, ver)
+	fmt.Fprintf(out, "read  service/timeout = %s (version %v)\n", val, ver)
 
 	// Distributed locking via compare-and-swap (§8.5).
 	lock := netchain.KeyFromString("locks/leader")
 	if err := cluster.Insert(lock); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	const me = 42
 	ok, err := client.Acquire(lock, me)
 	if err != nil || !ok {
-		log.Fatalf("acquire failed: ok=%v err=%v", ok, err)
+		return fmt.Errorf("acquire failed: ok=%v err=%v", ok, err)
 	}
-	fmt.Println("acquired locks/leader as owner 42")
+	fmt.Fprintln(out, "acquired locks/leader as owner 42")
 	if ok, _ := client.Acquire(lock, 7); !ok {
-		fmt.Println("owner 7 correctly denied while we hold the lock")
+		fmt.Fprintln(out, "owner 7 correctly denied while we hold the lock")
 	}
 	if _, err := client.Release(lock, me); err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Println("released locks/leader")
+	fmt.Fprintln(out, "released locks/leader")
 
 	// Fault tolerance: kill the middle chain switch; fast failover
 	// (Algorithm 2) keeps every key readable and writable.
-	fmt.Println("failing switch S1 ...")
+	fmt.Fprintln(out, "failing switch S1 ...")
 	if err := cluster.FailSwitch(1); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	val, ver, err = client.Read(cfgKey)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("read after failover: %s (version %v)\n", val, ver)
+	fmt.Fprintf(out, "read after failover: %s (version %v)\n", val, ver)
 
 	// Failure recovery (Algorithm 3) restores full replication on the
 	// spare switch S3.
 	if err := cluster.Recover(1, 3); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	ver, err = client.Write(cfgKey, netchain.Value("45s"))
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("wrote through recovered chain (version %v)\n", ver)
-	fmt.Println("done")
+	fmt.Fprintf(out, "wrote through recovered chain (version %v)\n", ver)
+	fmt.Fprintln(out, "done")
+	return nil
 }

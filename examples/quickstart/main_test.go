@@ -1,0 +1,30 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestQuickstart runs the full example — a real loopback cluster with a
+// scripted failover — and pins the narrative checkpoints in its output.
+func TestQuickstart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("binds loopback UDP sockets; skipped with -short")
+	}
+	var out strings.Builder
+	if err := run(&out); err != nil {
+		t.Fatalf("quickstart: %v\noutput so far:\n%s", err, out.String())
+	}
+	for _, want := range []string{
+		"read  service/timeout = 30s",
+		"acquired locks/leader",
+		"owner 7 correctly denied",
+		"read after failover: 30s",
+		"wrote through recovered chain",
+		"done",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}

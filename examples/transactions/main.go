@@ -7,27 +7,36 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"time"
 
 	"netchain/internal/experiments"
 )
 
 func main() {
-	fig, err := experiments.Fig11(experiments.Fig11Opts{
+	if err := run(os.Stdout, experiments.Fig11Opts{
 		ContentionIndexes: []float64{0.01, 0.1, 1},
 		Clients:           []int{1, 10},
 		ColdKeys:          500,
 		NetChainWindow:    10 * time.Millisecond,
 		ZKWindow:          500 * time.Millisecond,
 		ExecTime:          100 * time.Microsecond,
-	})
-	if err != nil {
+	}); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println(fig.Format())
-	fmt.Println("shape to observe: NetChain sustains orders of magnitude more")
-	fmt.Println("transactions/s than the server-based baseline; both fall as the")
-	fmt.Println("contention index approaches 1 (every transaction fights for one")
-	fmt.Println("hot lock), where extra clients stop helping.")
+}
+
+func run(out io.Writer, opts experiments.Fig11Opts) error {
+	fig, err := experiments.Fig11(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, fig.Format())
+	fmt.Fprintln(out, "shape to observe: NetChain sustains orders of magnitude more")
+	fmt.Fprintln(out, "transactions/s than the server-based baseline; both fall as the")
+	fmt.Fprintln(out, "contention index approaches 1 (every transaction fights for one")
+	fmt.Fprintln(out, "hot lock), where extra clients stop helping.")
+	return nil
 }

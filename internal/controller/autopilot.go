@@ -7,6 +7,7 @@ import (
 
 	"netchain/internal/health"
 	"netchain/internal/packet"
+	"netchain/internal/ring"
 )
 
 // Autopilot closes the loop from suspicion to repaired chain with no
@@ -34,6 +35,8 @@ const (
 	ActionDemoteDone  RepairAction = "demote-done"
 	ActionRestore     RepairAction = "restore" // healed switch re-adopts ring order
 	ActionRestoreDone RepairAction = "restore-done"
+	ActionRehome      RepairAction = "rehome" // chains moved off a congested switch
+	ActionRehomeDone  RepairAction = "rehome-done"
 )
 
 // RepairEvent is one entry of the autopilot's repair history.
@@ -73,6 +76,14 @@ type AutopilotConfig struct {
 	// persistent error would be retried hot on every tick, spamming the
 	// repair history forever. Default 10 intervals.
 	RecoverRetry time.Duration
+	// Placer, when set, answers a Congested verdict with a re-placement
+	// plan: new chains for the groups that should move off the congested
+	// switch (the bottleneck-aware planner over the fabric's current
+	// load). Returning no plans means "nothing to move" and the verdict
+	// is left alone. Without a Placer, Congested verdicts are ignored —
+	// congestion is a placement problem, and failover or demotion of a
+	// healthy switch would only add migration load to a queueing path.
+	Placer func(congested packet.Addr) map[ring.GroupID][]packet.Addr
 }
 
 func (c *AutopilotConfig) sanitize() {
@@ -109,6 +120,7 @@ type Autopilot struct {
 	recoveryPending map[packet.Addr]bool
 	recoveryAfter   map[packet.Addr]time.Duration // error-backoff floor for the next attempt
 	demoted         map[packet.Addr]bool
+	rehomed         map[packet.Addr]bool // congestion already answered with a rehome
 	lastRepair      map[packet.Addr]time.Duration
 	repairTimes     []time.Duration
 	deferred        uint64
@@ -134,6 +146,7 @@ func NewAutopilot(ctl *Controller, det *health.Detector, sched Scheduler,
 		recoveryPending: make(map[packet.Addr]bool),
 		recoveryAfter:   make(map[packet.Addr]time.Duration),
 		demoted:         make(map[packet.Addr]bool),
+		rehomed:         make(map[packet.Addr]bool),
 		lastRepair:      make(map[packet.Addr]time.Duration),
 	}
 }
@@ -324,6 +337,17 @@ func (a *Autopilot) reconcile() {
 	}
 	blind := tracked > 0 && suspects*2 > tracked
 
+	// Chain repair verbs act on ring members. A fabric's transit tier
+	// (cores, aggregation) and held-out spares are tracked too — their
+	// congestion verdicts feed the Placer and their health gates pool
+	// selection — but a dead core is a routing event, not a chain
+	// membership event: fail-stop and gray escalation skip non-members
+	// instead of looping on "not a member" repair errors.
+	member := make(map[packet.Addr]bool)
+	for _, m := range a.ctl.Ring().Switches() {
+		member[m] = true
+	}
+
 	a.mu.Lock()
 	for _, h := range snap {
 		sw := h.Addr
@@ -356,8 +380,16 @@ func (a *Autopilot) reconcile() {
 			}
 			continue
 		}
+		if h.Verdict == health.Healthy {
+			// Verdict cleared: the rehome worked (or congestion passed);
+			// arm the latch again so a later episode gets its own repair.
+			delete(a.rehomed, sw)
+		}
 		switch {
 		case h.Verdict == health.FailStop:
+			if !member[sw] {
+				continue
+			}
 			if blind {
 				a.deferred++
 				continue
@@ -367,8 +399,12 @@ func (a *Autopilot) reconcile() {
 			a.failovered[sw] = true
 			a.recoveryPending[sw] = true
 			delete(a.demoted, sw)
+			delete(a.rehomed, sw)
 			acts = append(acts, action{kind: ActionFailover, sw: sw})
 		case h.Verdict == health.Gray:
+			if !member[sw] {
+				continue
+			}
 			if !a.demoted[sw] {
 				if !a.busy && a.budgetOKLocked(now) && a.cooldownOKLocked(now, sw) {
 					a.demoted[sw] = true
@@ -378,6 +414,22 @@ func (a *Autopilot) reconcile() {
 				} else {
 					a.deferred++
 				}
+			}
+		case h.Verdict == health.Congested:
+			// Congestion names a placement problem, not a sick switch:
+			// answer it by moving chains, never by failover or demotion.
+			// Latched per switch so one sustained verdict triggers one
+			// rehome; the latch releases when the verdict clears.
+			if a.cfg.Placer == nil || a.rehomed[sw] {
+				continue
+			}
+			if !a.busy && a.budgetOKLocked(now) && a.cooldownOKLocked(now, sw) {
+				a.rehomed[sw] = true
+				a.busy = true
+				a.chargeLocked(now, sw)
+				acts = append(acts, action{kind: ActionRehome, sw: sw})
+			} else {
+				a.deferred++
 			}
 		case h.Verdict == health.Healthy && a.demoted[sw]:
 			if !a.busy && a.budgetOKLocked(now) && a.cooldownOKLocked(now, sw) {
@@ -444,6 +496,34 @@ func (a *Autopilot) execute(kind RepairAction, sw packet.Addr, pool []packet.Add
 			return
 		}
 		a.record(now, sw, ActionDemote, fmt.Sprintf("%d groups", n))
+	case ActionRehome:
+		plans := a.cfg.Placer(sw)
+		if len(plans) == 0 {
+			// Nothing to move: refund the budget but keep the latch —
+			// the verdict persists, and re-asking the placer every tick
+			// would spam the history with identical refusals. The latch
+			// re-arms when the verdict clears.
+			a.mu.Lock()
+			a.busy = false
+			a.refundLocked(now, sw)
+			a.mu.Unlock()
+			a.record(now, sw, ActionRehome, "no plan")
+			return
+		}
+		err := a.ctl.Rehome(plans, func() {
+			unbusy()
+			a.record(a.now(), sw, ActionRehomeDone, "")
+		})
+		if err != nil {
+			a.mu.Lock()
+			a.busy = false
+			delete(a.rehomed, sw)
+			a.refundLocked(now, sw)
+			a.mu.Unlock()
+			a.record(now, sw, ActionRehome, "error: "+err.Error())
+			return
+		}
+		a.record(now, sw, ActionRehome, fmt.Sprintf("%d groups", len(plans)))
 	case ActionRestore:
 		n, err := a.ctl.Restore(sw, func() {
 			unbusy()

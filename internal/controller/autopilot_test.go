@@ -420,3 +420,37 @@ func TestAutopilotBlindnessGuard(t *testing.T) {
 		t.Fatalf("single failure after blindness not repaired: %v\n%v", acts, ap.History())
 	}
 }
+
+// TestAutopilotNonMemberFailStopIgnored: switches the detector tracks but
+// the ring does not contain — a fabric's transit tier, or the held-out
+// spare — going dark is a routing event, not a chain membership event.
+// The autopilot must not try to fail over or recover them (chain repair
+// on a non-member just loops on "not a member" errors), and a dead spare
+// must drop out of the recovery pool rather than poison it.
+func TestAutopilotNonMemberFailStopIgnored(t *testing.T) {
+	f, det, ap := pilotFixture(t, nil)
+	ap.Start()
+	hb := time.Millisecond
+	s3 := f.tb.Switches[3] // tracked spare, not a ring member
+	feed(f, det, 20, hb, nil, nil)
+	// The spare goes completely dark: no heartbeats, no probe echoes.
+	feed(f, det, 60, hb, nil, map[packet.Addr]bool{s3: true})
+	for _, ev := range ap.History() {
+		if ev.Switch == s3 {
+			t.Fatalf("autopilot ran chain repair on the non-member spare: %v\n%v",
+				ev, ap.History())
+		}
+	}
+	// Member repair is unaffected by the gate: S1 dies and is failed over
+	// — and the recovery pool correctly falls back to the dead spare only
+	// because it is the sole candidate (a thin chain beats none).
+	s1 := f.tb.Switches[1]
+	f.tb.Net.FailSwitch(s1)
+	feed(f, det, 80, hb, nil, map[packet.Addr]bool{s1: true, s3: true})
+	ap.Stop()
+	f.sim.Run()
+	if acts := countActions(ap); acts[ActionFailover] != 1 {
+		t.Fatalf("member fail-stop not failed over with gate active: %v\n%v",
+			acts, ap.History())
+	}
+}

@@ -45,7 +45,7 @@ func (o *AutopilotOpts) defaults(d *Deployment) {
 		o.ProbeTimeout = 4 * o.Probe
 	}
 	if len(o.Spares) == 0 {
-		o.Spares = []packet.Addr{d.TB.Switches[3]}
+		o.Spares = d.Spares()
 	}
 }
 
@@ -70,11 +70,18 @@ type AutopilotHarness struct {
 // relying on Sim.Run() draining to quiescence.
 func StartAutopilot(d *Deployment, o AutopilotOpts) (*AutopilotHarness, error) {
 	o.defaults(d)
-	mon, err := d.TB.AttachMonitor()
+	mon, err := d.AttachMonitor()
 	if err != nil {
 		return nil, err
 	}
 	dcfg := health.Defaults(o.Heartbeat)
+	if d.Fab != nil {
+		// Fabrics have metered transit links, so the opt-in Congested
+		// verdict is on by default: RTT sustained past 2.5× baseline with
+		// loss and drop channels clean reads as path queueing, answered by
+		// re-placement (below), never by eviction.
+		dcfg.CongestRTTFactor = 2.5
+	}
 	if o.Detector != nil {
 		dcfg = *o.Detector
 	}
@@ -85,6 +92,9 @@ func StartAutopilot(d *Deployment, o AutopilotOpts) (*AutopilotHarness, error) {
 		if len(pcfg.Spares) == 0 {
 			pcfg.Spares = o.Spares
 		}
+	}
+	if d.Fab != nil && pcfg.Placer == nil {
+		pcfg.Placer = d.CongestionPlacer()
 	}
 	h := &AutopilotHarness{
 		Det:     det,
@@ -97,10 +107,10 @@ func StartAutopilot(d *Deployment, o AutopilotOpts) (*AutopilotHarness, error) {
 	now := func() time.Duration { return time.Duration(d.Sim.Now()) }
 	h.Pilot = controller.NewAutopilot(d.Ctl, det, controller.SimScheduler{Sim: d.Sim}, now, pcfg)
 
-	if err := d.TB.Net.HostRecv(mon, h.recv); err != nil {
+	if err := d.Net.HostRecv(mon, h.recv); err != nil {
 		return nil, err
 	}
-	switches := d.TB.SwitchAddrs()
+	switches := d.SwitchAddrs()
 	for _, sw := range switches {
 		det.Track(sw, now())
 	}
@@ -171,9 +181,9 @@ func (h *AutopilotHarness) Forget(sw packet.Addr) {
 // emitHeartbeat builds one beacon from the switch's node-local counters
 // and pushes it through the switch's own pipeline.
 func (h *AutopilotHarness) emitHeartbeat(sw packet.Addr) {
-	drops, processed, backlog := h.d.TB.Net.NodeCounters(sw)
+	drops, processed, backlog := h.d.Net.NodeCounters(sw)
 	var retries uint64
-	if s, ok := h.d.TB.Net.Switch(sw); ok {
+	if s, ok := h.d.Net.Switch(sw); ok {
 		retries = s.Stats().WritesReplayed
 	}
 	h.hbSeq++
@@ -184,7 +194,7 @@ func (h *AutopilotHarness) emitHeartbeat(sw packet.Addr) {
 		Processed: processed,
 		Retries:   retries,
 	})
-	h.d.TB.Net.EmitFrom(sw, f)
+	h.d.Net.EmitFrom(sw, f)
 }
 
 // probeTick expires overdue probes and launches a fresh round through
@@ -194,13 +204,13 @@ func (h *AutopilotHarness) probeTick() {
 	for _, sw := range h.probes.Expire(now, h.opts.ProbeTimeout) {
 		h.Det.ProbeLost(sw, now)
 	}
-	for _, sw := range h.d.TB.SwitchAddrs() {
+	for _, sw := range h.d.SwitchAddrs() {
 		if h.removed[sw] {
 			continue
 		}
 		f := packet.GetFrame()
 		health.NewProbe(f, h.Monitor, sw, h.probes.Issue(sw, now))
-		h.d.TB.Net.Inject(h.Monitor, f)
+		h.d.Net.Inject(h.Monitor, f)
 	}
 }
 

@@ -44,6 +44,14 @@ type ChaosOpts struct {
 	Registers    int           // independent register keys; default 14
 	Pause        time.Duration // think time between a client's ops; default 400 µs
 
+	// Topology picks the substrate (ring|spine-leaf:SxL|fattree:k, default
+	// ring = the Fig. 8 testbed). Fabric runs deploy with bottleneck-aware
+	// placement and one leaf held out as the recovery spare, and aim every
+	// fault at group 0's chain: the half-open partition cuts the first
+	// link of the mid→tail path, the gray window degrades the tail leaf,
+	// and the fail-stop kills the mid leaf.
+	Topology string
+
 	// Autopilot runs the scenario hands-free: the fail-stop becomes a
 	// nemesis FailStop step with NO manual HandleFailure/Recover calls —
 	// the φ-accrual detector must notice every fault and the autopilot
@@ -71,11 +79,60 @@ func (o *ChaosOpts) defaults() {
 	if o.Pause == 0 {
 		o.Pause = 400 * time.Microsecond
 	}
+	if o.Topology == "" {
+		o.Topology = "ring"
+	}
+}
+
+// chaosTargets are the substrate-specific fault coordinates a schedule is
+// built from — the testbed's S1/S2/S3/H1 roles, generalized.
+type chaosTargets struct {
+	linkA, linkB packet.Addr // the half-open partition blackholes linkA→linkB
+	gray         packet.Addr // the switch the gray windows degrade (a chain tail)
+	fail         packet.Addr // the fail-stop victim (a chain mid)
+	spare        packet.Addr // the recovery replacement
+	cutHost      packet.Addr // the host the host-cut isolates from gray
+}
+
+// chaosTargetsFor derives the fault coordinates: the testbed's historical
+// roles verbatim (so ring fingerprints are unchanged), or group 0's chain
+// on a fabric.
+func chaosTargetsFor(d *Deployment) (chaosTargets, error) {
+	if d.TB != nil {
+		return chaosTargets{
+			linkA: d.TB.Switches[1], linkB: d.TB.Switches[2],
+			gray: d.TB.Switches[2], fail: d.TB.Switches[1],
+			spare: d.TB.Switches[3], cutHost: d.TB.Hosts[1],
+		}, nil
+	}
+	rt := d.Ctl.GroupRoute(0)
+	if len(rt.Hops) < 3 {
+		return chaosTargets{}, fmt.Errorf("experiments: group 0 chain too short: %v", rt.Hops)
+	}
+	mid, tail := rt.Hops[1], rt.Hops[2]
+	path := d.Fab.Path(mid, tail)
+	if len(path) < 2 {
+		return chaosTargets{}, fmt.Errorf("experiments: no path %v→%v", mid, tail)
+	}
+	spares := d.Spares()
+	if len(spares) == 0 {
+		return chaosTargets{}, fmt.Errorf("experiments: fabric chaos needs a spare leaf (SpareLeaves >= 1)")
+	}
+	hosts := d.HostAddrs()
+	if len(hosts) < 2 {
+		return chaosTargets{}, fmt.Errorf("experiments: fabric chaos needs at least 2 hosts")
+	}
+	return chaosTargets{
+		linkA: path[0], linkB: path[1],
+		gray: tail, fail: mid,
+		spare: spares[0], cutHost: hosts[1],
+	}, nil
 }
 
 // ChaosResult reports the scenario outcome.
 type ChaosResult struct {
 	Schedule string
+	Topology string // substrate the run used (ring|spine-leaf:SxL|fattree:k)
 	Lin      lincheck.Result
 	// History is the recorded operation log — dumped as a CI artifact
 	// when the check fails, so a failing (schedule, seed) reproduces
@@ -117,7 +174,7 @@ type ChaosResult struct {
 type chaosScenario struct {
 	doc      string
 	failover bool // also exercise fail-stop failover + recovery
-	build    func(tb *netsim.Testbed) netsim.Schedule
+	build    func(tg chaosTargets) netsim.Schedule
 	// faultAt is the injection time of the repairable fault (the
 	// fail-stop for failover schedules, the gray onset for gray-tail) —
 	// the reference point MTTR detection latency is measured from. Zero
@@ -154,7 +211,7 @@ func chaosScenarios() map[string]chaosScenario {
 				"(8%) and jitter for the whole run: exercises the head's adjudicate-once verdict " +
 				"pinning (duplicate writes replay, never re-stamp; duplicate CAS and freeze bounces " +
 				"repeat their verdict), the equal-version chain pass-through, and CAS reply races",
-			build: func(tb *netsim.Testbed) netsim.Schedule {
+			build: func(chaosTargets) netsim.Schedule {
 				return netsim.Schedule{{Name: "mangle", At: 0, Fault: clusterMangle()}}
 			},
 		},
@@ -162,11 +219,11 @@ func chaosScenarios() map[string]chaosScenario {
 			doc: "the S1→S2 link direction silently blackholes for 3 ms (S2→S1 keeps working) — " +
 				"chain writes stall mid-chain and drain via client retries; reads from hosts behind " +
 				"S1 starve while hosts on S2 keep reading: no stale value may ever be served",
-			build: func(tb *netsim.Testbed) netsim.Schedule {
+			build: func(tg chaosTargets) netsim.Schedule {
 				return netsim.Schedule{
 					{Name: "mangle", At: 0, Fault: clusterMangle()},
 					{Name: "half-open", At: msec(5), For: msec(3), Fault: netsim.LinkChaos{
-						A: tb.Switches[1], B: tb.Switches[2], F: netsim.LinkFault{Drop: 1}}},
+						A: tg.linkA, B: tg.linkB, F: netsim.LinkFault{Drop: 1}}},
 				}
 			},
 		},
@@ -175,11 +232,11 @@ func chaosScenarios() map[string]chaosScenario {
 				"(+40 µs per frame) and lossy (3%) — fail-stop detection never fires, reads and " +
 				"write acks crawl, retries and duplicate replies pile up",
 			faultAt: msec(10),
-			build: func(tb *netsim.Testbed) netsim.Schedule {
+			build: func(tg chaosTargets) netsim.Schedule {
 				return netsim.Schedule{
 					{Name: "mangle", At: 0, Fault: clusterMangle()},
 					{Name: "gray", At: msec(10), For: msec(15), Fault: netsim.GraySwitch{
-						Addr: tb.Switches[2],
+						Addr: tg.gray,
 						G:    netsim.Gray{SlowFactor: 2e4, Loss: 0.03, ExtraDelay: usec(40)}}},
 				}
 			},
@@ -191,16 +248,16 @@ func chaosScenarios() map[string]chaosScenario {
 				"the acceptance scenario for 'survives the nemesis'",
 			failover: true,
 			faultAt:  msec(22),
-			build: func(tb *netsim.Testbed) netsim.Schedule {
+			build: func(tg chaosTargets) netsim.Schedule {
 				return netsim.Schedule{
 					{Name: "mangle", At: 0, Fault: clusterMangle()},
 					{Name: "half-open", At: msec(5), For: msec(3), Fault: netsim.LinkChaos{
-						A: tb.Switches[1], B: tb.Switches[2], F: netsim.LinkFault{Drop: 1}}},
+						A: tg.linkA, B: tg.linkB, F: netsim.LinkFault{Drop: 1}}},
 					{Name: "gray", At: msec(10), For: msec(8), Fault: netsim.GraySwitch{
-						Addr: tb.Switches[2],
+						Addr: tg.gray,
 						G:    netsim.Gray{SlowFactor: 2e4, Loss: 0.03, ExtraDelay: usec(40)}}},
 					{Name: "host-cut", At: msec(12), For: msec(4), Fault: &netsim.AsymPartition{
-						From: []packet.Addr{tb.Hosts[1]}, To: []packet.Addr{tb.Switches[2]}}},
+						From: []packet.Addr{tg.cutHost}, To: []packet.Addr{tg.gray}}},
 				}
 			},
 		},
@@ -230,12 +287,12 @@ func chaosController(d *Deployment) (*controller.Controller, error) {
 	ccfg.SyncPerItem = 0
 	return controller.New(ccfg, d.Ring, controller.SimScheduler{Sim: d.Sim},
 		func(a packet.Addr) (controller.Agent, bool) {
-			sw, ok := d.TB.Net.Switch(a)
+			sw, ok := d.Net.Switch(a)
 			if !ok {
 				return nil, false
 			}
 			return controller.LocalAgent{Switch: sw}, true
-		}, d.TB.Net.SwitchNeighbors)
+		}, d.Net.SwitchNeighbors)
 }
 
 func chaosOwnerBytes(owner uint64) []byte {
@@ -256,7 +313,22 @@ func RunChaos(o ChaosOpts) (*ChaosResult, error) {
 			o.Schedule, ChaosScheduleNames())
 	}
 
-	d, err := NewDeployment(1, 4, o.Seed)
+	topo, err := netsim.ParseTopology(o.Topology)
+	if err != nil {
+		return nil, err
+	}
+	var d *Deployment
+	if topo.Kind == "ring" {
+		d, err = NewDeployment(1, 4, o.Seed)
+	} else {
+		// Scale 1 like the testbed run; bottleneck-aware placement so the
+		// nemesis also shakes placed chains through failover and recovery;
+		// one leaf held out as the autopilot's spare pool.
+		d, err = NewFabricDeployment(FabricOpts{
+			Spec: topo, Scale: 1, VNodes: 2, Seed: o.Seed,
+			HostsPerLeaf: 1, SpareLeaves: 1, Placement: "bottleneck",
+		})
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -265,6 +337,10 @@ func RunChaos(o ChaosOpts) (*ChaosResult, error) {
 		return nil, err
 	}
 	d.Ctl = ctl
+	tg, err := chaosTargetsFor(d)
+	if err != nil {
+		return nil, err
+	}
 
 	// Preload: o.Registers register keys plus two contended locks.
 	names := make([]string, 0, o.Registers+2)
@@ -285,7 +361,7 @@ func RunChaos(o ChaosOpts) (*ChaosResult, error) {
 			return nil, err
 		}
 		for _, hop := range rt.Hops {
-			sw, ok := d.TB.Net.Switch(hop)
+			sw, ok := d.Net.Switch(hop)
 			if !ok {
 				return nil, fmt.Errorf("experiments: no switch %v", hop)
 			}
@@ -296,7 +372,7 @@ func RunChaos(o ChaosOpts) (*ChaosResult, error) {
 		initial[name] = string(val)
 	}
 
-	res := &ChaosResult{Schedule: o.Schedule, FailStopInjected: sc.failover}
+	res := &ChaosResult{Schedule: o.Schedule, Topology: topo.String(), FailStopInjected: sc.failover}
 	var history []lincheck.Op
 
 	cfg := simclient.DefaultConfig()
@@ -440,14 +516,14 @@ func RunChaos(o ChaosOpts) (*ChaosResult, error) {
 
 	// The nemesis — in autopilot mode the fail-stop itself becomes a
 	// schedule step, with nobody left to call the controller by hand.
-	schedule := sc.build(d.TB)
+	schedule := sc.build(tg)
 	if sc.failover && o.Autopilot {
 		schedule = append(schedule, netsim.Step{
 			Name: "fail-stop", At: sc.faultAt,
-			Fault: netsim.FailStop{Addr: d.TB.Switches[1]},
+			Fault: netsim.FailStop{Addr: tg.fail},
 		})
 	}
-	nm := netsim.RunSchedule(d.TB.Net, schedule)
+	nm := netsim.RunSchedule(d.Net, schedule)
 
 	var harness *AutopilotHarness
 	if o.Autopilot {
@@ -467,9 +543,9 @@ func RunChaos(o ChaosOpts) (*ChaosResult, error) {
 	// dies at 22 ms, the operator runs fast failover, and its groups
 	// recover onto the spare S3 at 28 ms.
 	if sc.failover && !o.Autopilot {
-		s1, s3 := d.TB.Switches[1], d.TB.Switches[3]
+		s1, s3 := tg.fail, tg.spare
 		d.Sim.At(msec(22), func() {
-			if err := d.TB.Net.FailSwitch(s1); err != nil {
+			if err := d.Net.FailSwitch(s1); err != nil {
 				fail(err)
 				return
 			}
@@ -544,7 +620,7 @@ func RunChaos(o ChaosOpts) (*ChaosResult, error) {
 		}
 		if sc.failover {
 			res.ChainsRepaired = true
-			dead := d.TB.Switches[1]
+			dead := tg.fail
 			for _, rt := range d.Ctl.Routes() {
 				if len(rt.Hops) != 3 {
 					res.ChainsRepaired = false
@@ -570,9 +646,9 @@ func RunChaos(o ChaosOpts) (*ChaosResult, error) {
 	for _, c := range clients {
 		res.Timeouts += c.Timeouts
 	}
-	res.Net = d.TB.Net.Stats()
-	for _, sa := range d.TB.SwitchAddrs() {
-		if sw, ok := d.TB.Net.Switch(sa); ok {
+	res.Net = d.Net.Stats()
+	for _, sa := range d.SwitchAddrs() {
+		if sw, ok := d.Net.Switch(sa); ok {
 			res.Replayed += sw.Stats().WritesReplayed
 		}
 	}
@@ -596,7 +672,7 @@ func RunChaos(o ChaosOpts) (*ChaosResult, error) {
 
 // Format renders the result for benchrunner output.
 func (r *ChaosResult) Format() string {
-	s := fmt.Sprintf("chaos [%s]\n%s\n", r.Schedule, ChaosScheduleDoc(r.Schedule))
+	s := fmt.Sprintf("chaos [%s] on %s\n%s\n", r.Schedule, r.Topology, ChaosScheduleDoc(r.Schedule))
 	for _, l := range r.NemesisLog {
 		s += "  " + l + "\n"
 	}

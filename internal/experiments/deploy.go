@@ -21,16 +21,68 @@ import (
 	"netchain/internal/workload"
 )
 
-// Deployment is a fully wired simulated NetChain: the Fig. 8 testbed, a
-// ring over S0..S2 (S3 spare), the controller, and one client mux per
-// host.
+// Deployment is a fully wired simulated NetChain over one of two
+// substrates: the Fig. 8 testbed (TB set, ring over S0..S2, S3 spare) or
+// a parameterized multi-tier fabric (Fab set, ring over the member
+// leaves — see NewFabricDeployment). Net always points at the underlying
+// network; code that only forwards frames or resolves switches should
+// use it instead of TB so it runs on both substrates.
 type Deployment struct {
 	Sim     *event.Sim
-	TB      *netsim.Testbed
+	Net     *netsim.Network
+	TB      *netsim.Testbed // nil on fabric deployments
+	Fab     *netsim.Fabric  // nil on testbed deployments
 	Ring    *ring.Ring
 	Ctl     *controller.Controller
 	Muxes   []*simclient.Mux
 	Profile netsim.Profile
+
+	// Fabric-only wiring (see NewFabricDeployment).
+	members   []packet.Addr // ring member leaves, build order
+	spares    []packet.Addr // leaves held out as the recovery pool
+	writeFrac float64       // planner's write share
+}
+
+// SwitchAddrs returns every switch address on either substrate.
+func (d *Deployment) SwitchAddrs() []packet.Addr {
+	if d.Fab != nil {
+		return d.Fab.SwitchAddrs()
+	}
+	return d.TB.SwitchAddrs()
+}
+
+// HostAddrs returns every client host address on either substrate.
+func (d *Deployment) HostAddrs() []packet.Addr {
+	if d.Fab != nil {
+		return append([]packet.Addr(nil), d.Fab.Hosts...)
+	}
+	return append([]packet.Addr(nil), d.TB.Hosts[:]...)
+}
+
+// AttachMonitor adds the out-of-band health-monitoring host on either
+// substrate. Idempotent.
+func (d *Deployment) AttachMonitor() (packet.Addr, error) {
+	if d.Fab != nil {
+		return d.Fab.AttachMonitor()
+	}
+	return d.TB.AttachMonitor()
+}
+
+// Spares returns the recovery pool: the testbed spare S3, or the leaves a
+// fabric deployment held out of the ring (possibly none).
+func (d *Deployment) Spares() []packet.Addr {
+	if d.Fab != nil {
+		return append([]packet.Addr(nil), d.spares...)
+	}
+	return []packet.Addr{d.TB.Switches[3]}
+}
+
+// Topology names the substrate in the -topology grammar.
+func (d *Deployment) Topology() string {
+	if d.Fab != nil {
+		return d.Fab.Spec.String()
+	}
+	return "ring"
 }
 
 // NewDeployment builds the standard testbed deployment. scale divides all
@@ -59,7 +111,7 @@ func NewDeployment(scale float64, vnodes int, seed int64) (*Deployment, error) {
 	if err != nil {
 		return nil, err
 	}
-	d := &Deployment{Sim: sim, TB: tb, Ring: r, Ctl: ctl, Profile: prof}
+	d := &Deployment{Sim: sim, Net: tb.Net, TB: tb, Ring: r, Ctl: ctl, Profile: prof}
 	for _, h := range tb.Hosts {
 		mux, err := simclient.NewMux(sim, tb.Net, h)
 		if err != nil {
@@ -102,7 +154,7 @@ func (d *Deployment) LoadStore(n, valueSize int) ([]kv.Key, error) {
 		it := core.Item{Key: k, Value: workload.Value(valueSize, uint64(i)),
 			Version: kv.Version{Seq: 1}}
 		for _, hop := range rt.Hops {
-			sw, ok := d.TB.Net.Switch(hop)
+			sw, ok := d.Net.Switch(hop)
 			if !ok {
 				return nil, fmt.Errorf("no switch %v", hop)
 			}

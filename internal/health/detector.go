@@ -25,6 +25,12 @@ const (
 	// probe channel corroborates the silence. The switch is treated as
 	// dead: fast failover, then recovery.
 	FailStop
+	// Congested: the switch itself is fine — heartbeats on cadence, no
+	// probe loss, no local drops — but its probe RTT EWMA has sat above
+	// the congestion bar long enough to latch. The path to it is
+	// queueing, not the box decaying: the remedy is moving load (chain
+	// re-placement), never failover. Opt-in via Config.CongestRTTFactor.
+	Congested
 )
 
 func (v Verdict) String() string {
@@ -35,6 +41,8 @@ func (v Verdict) String() string {
 		return "gray"
 	case FailStop:
 		return "fail-stop"
+	case Congested:
+		return "congested"
 	default:
 		return "unknown"
 	}
@@ -87,6 +95,15 @@ type Config struct {
 	// many consecutive clean ones release it.
 	GrayConfirm int
 	GrayClear   int
+	// CongestRTTFactor, when positive, enables the Congested verdict: a
+	// switch whose fast probe-RTT EWMA exceeds this multiple of its
+	// learned baseline — while its probe-loss and local-drop signals
+	// stay clean — is flagged as sitting behind a queueing path. Zero
+	// disables the verdict entirely (the fabric-less testbed has no
+	// transit links to congest). Pick it below GrayRTTFactor so
+	// congestion is named before the switch is suspected of decay.
+	CongestRTTFactor float64
+
 	// GrayRelFactor is the peer-relative gate (the Perigee idea: judge a
 	// node against its neighbors' measured behavior, not an absolute
 	// bar): a latched gray verdict is only emitted while the switch is
@@ -163,6 +180,9 @@ func (c *Config) sanitize() {
 	if c.GrayRelFactor <= 0 {
 		c.GrayRelFactor = d.GrayRelFactor
 	}
+	// CongestRTTFactor is deliberately NOT defaulted: zero means the
+	// Congested verdict is off, and only deployments with metered
+	// transit links (fabrics) should turn it on.
 	if c.BaseAlpha <= 0 {
 		c.BaseAlpha = d.BaseAlpha
 	}
@@ -217,6 +237,10 @@ type switchState struct {
 	grayStreak    int
 	healthyStreak int
 	gray          bool
+
+	congStreak int
+	calmStreak int
+	congested  bool
 }
 
 // Detector accrues per-switch suspicion and quality scores from
@@ -314,10 +338,15 @@ func (d *Detector) ProbeReply(a packet.Addr, now time.Duration, rtt time.Duratio
 	fa := d.cfg.FastAlpha
 	st.rttFast = fa*r + (1-fa)*st.rttFast
 	st.lossEWMA = (1 - fa) * st.lossEWMA
-	if r <= d.cfg.GrayRTTFactor*(st.rttBase+float64(d.cfg.RTTFloor)) {
-		// The baseline only learns from unremarkable samples: a slowdown
-		// must not drag the yardstick up after itself, or sustained
-		// degradation would re-normalize and never confirm.
+	// The baseline only learns from unremarkable samples: a slowdown
+	// must not drag the yardstick up after itself, or sustained
+	// degradation would re-normalize and never confirm. With congestion
+	// detection on, its (tighter) bar gates learning too.
+	bar := d.cfg.GrayRTTFactor
+	if d.cfg.CongestRTTFactor > 0 && d.cfg.CongestRTTFactor < bar {
+		bar = d.cfg.CongestRTTFactor
+	}
+	if r <= bar*(st.rttBase+float64(d.cfg.RTTFloor)) {
 		ba := d.cfg.BaseAlpha
 		st.rttBase = ba*r + (1-ba)*st.rttBase
 	}
@@ -351,8 +380,23 @@ func (d *Detector) degradedLocked(st *switchState) bool {
 	return false
 }
 
-// scoreLocked advances the gray confirm/clear hysteresis on every
-// observation.
+// congestedObsLocked is the instantaneous congestion judgement: RTT far
+// above baseline while the loss and local-drop channels stay clean —
+// queueing delay on the path, not a decaying switch.
+func (d *Detector) congestedObsLocked(st *switchState) bool {
+	if d.cfg.CongestRTTFactor <= 0 || !st.probeSeen {
+		return false
+	}
+	if st.rttFast <= d.cfg.CongestRTTFactor*(st.rttBase+float64(d.cfg.RTTFloor)) {
+		return false
+	}
+	return st.lossEWMA <= d.cfg.GrayLoss && st.dropEWMA <= d.cfg.GrayDropRate
+}
+
+// scoreLocked advances the gray and congestion confirm/clear hysteresis
+// on every observation. The two latches share the confirm/clear counts
+// but judge different signals, so a switch can be congested without ever
+// nearing the gray bar.
 func (d *Detector) scoreLocked(st *switchState) {
 	if d.degradedLocked(st) {
 		st.grayStreak++
@@ -365,6 +409,19 @@ func (d *Detector) scoreLocked(st *switchState) {
 		st.grayStreak = 0
 		if st.healthyStreak >= d.cfg.GrayClear {
 			st.gray = false
+		}
+	}
+	if d.congestedObsLocked(st) {
+		st.congStreak++
+		st.calmStreak = 0
+		if st.congStreak >= d.cfg.GrayConfirm {
+			st.congested = true
+		}
+	} else {
+		st.calmStreak++
+		st.congStreak = 0
+		if st.calmStreak >= d.cfg.GrayClear {
+			st.congested = false
 		}
 	}
 }
@@ -456,6 +513,9 @@ func (d *Detector) verdictLocked(st *switchState, now time.Duration) (Verdict, f
 	}
 	if st.gray && d.relativelyAnomalousLocked(st) {
 		return Gray, p
+	}
+	if d.cfg.CongestRTTFactor > 0 && st.congested {
+		return Congested, p
 	}
 	if st.hbSeen == 0 && st.probeReplies == 0 {
 		return Unknown, p

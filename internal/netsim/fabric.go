@@ -1,0 +1,339 @@
+package netsim
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"netchain/internal/core"
+	"netchain/internal/event"
+	"netchain/internal/packet"
+)
+
+// TopoSpec names a fabric shape. The grammar accepted by ParseTopology:
+//
+//	ring            — the Fig. 8 four-switch testbed (NewTestbed)
+//	spine-leaf:SxL  — S spines, L leaves, full bipartite core
+//	fattree:k       — canonical k-ary fat-tree: (k/2)^2 cores,
+//	                  k pods of k/2 aggregation + k/2 edge switches
+type TopoSpec struct {
+	Kind string // "ring", "spine-leaf", "fattree"
+	S, L int    // spine-leaf dimensions
+	K    int    // fat-tree arity
+}
+
+// ParseTopology parses the -topology grammar.
+func ParseTopology(s string) (TopoSpec, error) {
+	switch {
+	case s == "" || s == "ring":
+		return TopoSpec{Kind: "ring"}, nil
+	case strings.HasPrefix(s, "spine-leaf:"):
+		dims := strings.Split(strings.TrimPrefix(s, "spine-leaf:"), "x")
+		if len(dims) != 2 {
+			return TopoSpec{}, fmt.Errorf("netsim: want spine-leaf:SxL, got %q", s)
+		}
+		sp, err1 := strconv.Atoi(dims[0])
+		lf, err2 := strconv.Atoi(dims[1])
+		if err1 != nil || err2 != nil || sp < 1 || lf < 2 || sp > 254 || lf > 253 {
+			return TopoSpec{}, fmt.Errorf("netsim: bad spine-leaf dims in %q (need 1<=S<=254, 2<=L<=253)", s)
+		}
+		return TopoSpec{Kind: "spine-leaf", S: sp, L: lf}, nil
+	case strings.HasPrefix(s, "fattree:"):
+		k, err := strconv.Atoi(strings.TrimPrefix(s, "fattree:"))
+		if err != nil || k < 2 || k%2 != 0 || k > 16 {
+			return TopoSpec{}, fmt.Errorf("netsim: bad fat-tree arity in %q (need even 2<=k<=16)", s)
+		}
+		return TopoSpec{Kind: "fattree", K: k}, nil
+	default:
+		return TopoSpec{}, fmt.Errorf("netsim: unknown topology %q (want ring|spine-leaf:SxL|fattree:k)", s)
+	}
+}
+
+// String renders the spec back into the grammar.
+func (t TopoSpec) String() string {
+	switch t.Kind {
+	case "spine-leaf":
+		return fmt.Sprintf("spine-leaf:%dx%d", t.S, t.L)
+	case "fattree":
+		return fmt.Sprintf("fattree:%d", t.K)
+	default:
+		return "ring"
+	}
+}
+
+// SwitchCount returns the number of switches the spec builds.
+func (t TopoSpec) SwitchCount() int {
+	switch t.Kind {
+	case "spine-leaf":
+		return t.S + t.L
+	case "fattree":
+		h := t.K / 2
+		return h*h + t.K*t.K // cores + k pods × (k/2 agg + k/2 edge)
+	default:
+		return 4
+	}
+}
+
+// LinkCount returns the number of switch-switch links the spec builds.
+func (t TopoSpec) LinkCount() int {
+	switch t.Kind {
+	case "spine-leaf":
+		return t.S * t.L
+	case "fattree":
+		h := t.K / 2
+		// Per pod: full edge-agg bipartite (h*h). Per agg: h core uplinks.
+		return t.K*h*h + t.K*h*h
+	default:
+		return 4
+	}
+}
+
+// Fabric is a parameterized multi-tier topology: the scale-free substrate
+// the paper's §8.3 simulations assume, with ECMP routing and metered
+// inter-switch links so transit congestion is observable. Leaves (edge
+// switches) attach hosts and are the only placement candidates the
+// bottleneck-aware planner considers; Domain maps each leaf to its
+// failure/congestion domain (its own leaf index) for
+// replica anti-affinity.
+type Fabric struct {
+	Net     *Network
+	Profile Profile
+	Spec    TopoSpec
+
+	Switches []packet.Addr       // every switch, build order: top tier, then per-pod agg+edge
+	Leaves   []packet.Addr       // host-bearing edge switches
+	Domain   map[packet.Addr]int // leaf → anti-affinity domain
+	Hosts    []packet.Addr       // all hosts, leaf-major order
+	HostLeaf map[packet.Addr]packet.Addr
+
+	// LinkPPS is the pre-scale packet budget metered onto every
+	// switch-switch link (0 = unmetered).
+	LinkPPS float64
+
+	monitor packet.Addr
+}
+
+// NewFabric builds a spine-leaf or fat-tree fabric under the profile with
+// hostsPerLeaf hosts on every edge switch. linkPPS > 0 meters every
+// inter-switch link at linkPPS/Scale packets per second — the knob that
+// makes high-betweenness links saturable. ECMP is enabled: equal-cost
+// paths are hashed per flow, deterministically.
+func NewFabric(sim *event.Sim, p Profile, seed int64, spec TopoSpec, hostsPerLeaf int, linkPPS float64) (*Fabric, error) {
+	if spec.Kind != "spine-leaf" && spec.Kind != "fattree" {
+		return nil, fmt.Errorf("netsim: NewFabric wants spine-leaf or fattree, got %q", spec.Kind)
+	}
+	if hostsPerLeaf < 1 || hostsPerLeaf > 253 {
+		return nil, fmt.Errorf("netsim: hostsPerLeaf must be 1..253, got %d", hostsPerLeaf)
+	}
+	fb := &Fabric{
+		Net:      New(sim, seed),
+		Profile:  p,
+		Spec:     spec,
+		Domain:   make(map[packet.Addr]int),
+		HostLeaf: make(map[packet.Addr]packet.Addr),
+		LinkPPS:  linkPPS,
+	}
+	fb.Net.EnableECMP()
+
+	addSwitch := func(a packet.Addr) error {
+		sw, err := core.NewSwitch(a, p.Pipeline)
+		if err != nil {
+			return err
+		}
+		if err := fb.Net.AddSwitch(sw, p.SwitchNodeConfig()); err != nil {
+			return err
+		}
+		fb.Switches = append(fb.Switches, a)
+		return nil
+	}
+	var swLinks [][2]packet.Addr
+	link := func(a, b packet.Addr) { swLinks = append(swLinks, [2]packet.Addr{a, b}) }
+
+	switch spec.Kind {
+	case "spine-leaf":
+		var spines []packet.Addr
+		for i := 0; i < spec.S; i++ {
+			a := packet.AddrFrom4(10, 0, 1, byte(i+1))
+			if err := addSwitch(a); err != nil {
+				return nil, err
+			}
+			spines = append(spines, a)
+		}
+		for i := 0; i < spec.L; i++ {
+			a := packet.AddrFrom4(10, 0, 2, byte(i+1))
+			if err := addSwitch(a); err != nil {
+				return nil, err
+			}
+			fb.Leaves = append(fb.Leaves, a)
+			fb.Domain[a] = i
+			for _, sp := range spines {
+				link(a, sp)
+			}
+		}
+	case "fattree":
+		h := spec.K / 2
+		var cores []packet.Addr
+		for i := 0; i < h*h; i++ {
+			a := packet.AddrFrom4(10, 0, 1, byte(i+1))
+			if err := addSwitch(a); err != nil {
+				return nil, err
+			}
+			cores = append(cores, a)
+		}
+		for pod := 0; pod < spec.K; pod++ {
+			var aggs, edges []packet.Addr
+			for j := 0; j < h; j++ {
+				a := packet.AddrFrom4(10, 0, 2, byte(pod*h+j+1))
+				if err := addSwitch(a); err != nil {
+					return nil, err
+				}
+				aggs = append(aggs, a)
+				// Agg j uplinks to the j-th stripe of cores.
+				for c := j * h; c < (j+1)*h; c++ {
+					link(a, cores[c])
+				}
+			}
+			for j := 0; j < h; j++ {
+				a := packet.AddrFrom4(10, 0, 3, byte(pod*h+j+1))
+				if err := addSwitch(a); err != nil {
+					return nil, err
+				}
+				edges = append(edges, a)
+				fb.Leaves = append(fb.Leaves, a)
+				// Anti-affinity domain is the leaf itself: an edge switch is
+				// the unit that takes all its replicas down with it. Pod-level
+				// domains would force every chain cross-pod and tax all
+				// writes with core transit for no single-failure benefit.
+				fb.Domain[a] = len(fb.Leaves) - 1
+				for _, ag := range aggs {
+					link(a, ag)
+				}
+			}
+		}
+	}
+
+	for _, l := range swLinks {
+		if err := fb.Net.Link(l[0], l[1], p.LinkLatency); err != nil {
+			return nil, err
+		}
+	}
+
+	// Hosts: octet pattern keeps 10.1.x.x free for the monitor.
+	for li, leaf := range fb.Leaves {
+		for hn := 0; hn < hostsPerLeaf; hn++ {
+			var a packet.Addr
+			if spec.Kind == "spine-leaf" {
+				a = packet.AddrFrom4(10, byte(li+2), 0, byte(hn+1))
+			} else {
+				h := spec.K / 2
+				a = packet.AddrFrom4(10, byte(li/h+2), byte(li%h+1), byte(hn+1))
+			}
+			if err := fb.Net.AddHost(a, p.HostNodeConfig(), nil); err != nil {
+				return nil, err
+			}
+			if err := fb.Net.Link(a, leaf, p.LinkLatency); err != nil {
+				return nil, err
+			}
+			fb.Hosts = append(fb.Hosts, a)
+			fb.HostLeaf[a] = leaf
+		}
+	}
+
+	if linkPPS > 0 {
+		for _, l := range swLinks {
+			if err := fb.Net.SetLinkCapacity(l[0], l[1], linkPPS/p.Scale, 0); err != nil {
+				return nil, err
+			}
+		}
+	}
+	fb.Net.ComputeRoutes()
+	return fb, nil
+}
+
+// SwitchAddrs returns every switch address (the substrate interface shared
+// with Testbed).
+func (fb *Fabric) SwitchAddrs() []packet.Addr {
+	return append([]packet.Addr(nil), fb.Switches...)
+}
+
+// AttachMonitor adds the out-of-band health-monitoring host, dual-homed to
+// the first two top-tier switches so one failure cannot sever monitoring.
+// Its links are unmetered: congestion must slow the probed path, not the
+// observer. Idempotent.
+func (fb *Fabric) AttachMonitor() (packet.Addr, error) {
+	addr := packet.AddrFrom4(10, 1, 0, 9)
+	if _, ok := fb.Net.nodes[addr]; ok {
+		return addr, nil
+	}
+	if err := fb.Net.AddHost(addr, NodeConfig{}, nil); err != nil {
+		return 0, err
+	}
+	top := fb.Switches
+	if len(top) > 2 {
+		top = top[:2]
+	}
+	for _, p := range top {
+		if err := fb.Net.Link(addr, p, fb.Profile.LinkLatency); err != nil {
+			return 0, err
+		}
+	}
+	fb.Net.ComputeRoutes()
+	fb.monitor = addr
+	return addr, nil
+}
+
+// Path returns the node sequence a flow src→dst takes under the fabric's
+// ECMP hashing — the traffic model the placement planner charges links
+// from.
+func (fb *Fabric) Path(src, dst packet.Addr) []packet.Addr {
+	path, ok := fb.Net.FlowPath(src, dst)
+	if !ok {
+		return nil
+	}
+	return path
+}
+
+// Fingerprint hashes the fabric's full structure — nodes, links, latencies,
+// capacity meters, and the computed ECMP route sets — so tests can pin
+// that two builds from one spec are byte-identical.
+func (fb *Fabric) Fingerprint() string {
+	h := sha256.New()
+	w32 := func(v uint32) {
+		var b [4]byte
+		binary.BigEndian.PutUint32(b[:], v)
+		h.Write(b[:])
+	}
+	w64 := func(v uint64) {
+		var b [8]byte
+		binary.BigEndian.PutUint64(b[:], v)
+		h.Write(b[:])
+	}
+	addrs := fb.Net.sortedAddrs()
+	w32(uint32(len(addrs)))
+	for _, a := range addrs {
+		nd := fb.Net.nodes[a]
+		w32(uint32(a))
+		w32(uint32(nd.kind))
+		peers := append([]packet.Addr(nil), nd.links...)
+		sortAddrs(peers)
+		for _, p := range peers {
+			w32(uint32(p))
+			w64(uint64(fb.Net.latency[linkKey(a, p)]))
+			if ls := fb.Net.links[routeKey{a, p}]; ls != nil {
+				w64(uint64(ls.rate))
+				w64(uint64(ls.maxQueue))
+			}
+		}
+	}
+	for _, src := range addrs {
+		for _, dst := range addrs {
+			for _, hop := range fb.Net.EqualCostHops(src, dst) {
+				w32(uint32(hop))
+			}
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -70,6 +70,24 @@ type Stats struct {
 	Reordered      uint64 // frames held back by LinkFault.Reorder
 	PartitionDrops uint64 // frames dropped by an asymmetric partition
 	GrayDrops      uint64 // frames lost at a gray-degraded switch
+
+	// LinkDrops counts frames tail-dropped at a capacity-metered link whose
+	// serialization backlog exceeded the link's queue bound (transit
+	// congestion on multi-tier fabrics; see SetLinkCapacity).
+	LinkDrops uint64
+}
+
+// linkState is one direction of a capacity-metered link. Links are
+// unmetered by default (the Fig. 8 testbed's behavior is unchanged);
+// fabrics call SetLinkCapacity to give inter-switch links a packet budget,
+// which is what makes transit congestion — queueing delay and tail drops
+// on high-betweenness links — observable at all.
+type linkState struct {
+	rate      float64    // packets/second budget (> 0)
+	maxQueue  event.Time // backlog bound before tail drop
+	busyUntil event.Time // serialization horizon
+	load      uint64     // frames carried
+	drops     uint64     // frames tail-dropped here
 }
 
 type node struct {
@@ -104,6 +122,17 @@ type Network struct {
 	override map[routeKey]packet.Addr
 	stats    Stats
 
+	// ECMP state: when enabled (multi-tier fabrics), ComputeRoutes keeps
+	// every equal-cost next hop and forwarding picks one by a deterministic
+	// flow hash on (src, dst). Disabled by default so the testbed's exact
+	// single-path routing (and every fingerprint built on it) is unchanged.
+	ecmp  bool
+	multi map[routeKey][]packet.Addr
+
+	// links holds per-direction capacity meters, keyed by directed
+	// {from, to}; absent means unmetered.
+	links map[routeKey]*linkState
+
 	// Nemesis state (nemesis.go): directed per-link faults, a cluster-wide
 	// default fault, asymmetric src→dst partitions, gray-degraded nodes.
 	linkFaults map[routeKey]LinkFault // keyed by directed {from, to}
@@ -122,10 +151,21 @@ func New(sim *event.Sim, seed int64) *Network {
 		latency:    make(map[routeKey]event.Time),
 		routes:     make(map[routeKey]packet.Addr),
 		override:   make(map[routeKey]packet.Addr),
+		multi:      make(map[routeKey][]packet.Addr),
+		links:      make(map[routeKey]*linkState),
 		linkFaults: make(map[routeKey]LinkFault),
 		gray:       make(map[packet.Addr]Gray),
 	}
 }
+
+// EnableECMP switches routing to equal-cost multi-path: ComputeRoutes
+// records every shortest-path next hop and forwarding selects among them
+// with a deterministic flow hash on (src, dst) — one fixed path per flow,
+// as a real fabric's 5-tuple hash gives. Call before ComputeRoutes.
+func (n *Network) EnableECMP() { n.ecmp = true }
+
+// ECMPEnabled reports whether equal-cost multi-path selection is active.
+func (n *Network) ECMPEnabled() bool { return n.ecmp }
 
 // Stats returns a snapshot of the counters.
 func (n *Network) Stats() Stats { return n.stats }
@@ -186,6 +226,10 @@ func linkKey(a, b packet.Addr) routeKey {
 // topology is final; overrides survive recomputation.
 func (n *Network) ComputeRoutes() {
 	n.routes = make(map[routeKey]packet.Addr, len(n.nodes)*len(n.nodes))
+	if n.ecmp {
+		n.computeRoutesECMP()
+		return
+	}
 	// Deterministic node iteration.
 	addrs := n.sortedAddrs()
 	for _, dst := range addrs {
@@ -213,6 +257,60 @@ func (n *Network) ComputeRoutes() {
 				n.routes[routeKey{nb, dst}] = cur
 				queue = append(queue, nb)
 			}
+		}
+	}
+}
+
+// computeRoutesECMP is the multi-path variant: a BFS per destination
+// yields hop-count distances, then every neighbor one hop closer to the
+// destination is recorded as an equal-cost next hop (sorted by address).
+// routes keeps the lowest-address choice so NextHop/PathLen stay usable
+// as single-path diagnostics.
+func (n *Network) computeRoutesECMP() {
+	n.multi = make(map[routeKey][]packet.Addr, len(n.nodes)*len(n.nodes))
+	addrs := n.sortedAddrs()
+	for _, dst := range addrs {
+		dist := map[packet.Addr]int{dst: 0}
+		queue := []packet.Addr{dst}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			// Failed switches attract traffic but carry no transit (§4.2),
+			// exactly as in the single-path BFS.
+			if n.nodes[cur].failed && cur != dst {
+				continue
+			}
+			neighbors := append([]packet.Addr(nil), n.nodes[cur].links...)
+			sortAddrs(neighbors)
+			for _, nb := range neighbors {
+				if _, seen := dist[nb]; seen {
+					continue
+				}
+				dist[nb] = dist[cur] + 1
+				queue = append(queue, nb)
+			}
+		}
+		for _, v := range addrs {
+			dv, ok := dist[v]
+			if !ok || v == dst {
+				continue
+			}
+			var hops []packet.Addr
+			neighbors := append([]packet.Addr(nil), n.nodes[v].links...)
+			sortAddrs(neighbors)
+			for _, w := range neighbors {
+				if n.nodes[w].failed && w != dst {
+					continue
+				}
+				if dw, ok := dist[w]; ok && dw == dv-1 {
+					hops = append(hops, w)
+				}
+			}
+			if len(hops) == 0 {
+				continue
+			}
+			n.multi[routeKey{v, dst}] = hops
+			n.routes[routeKey{v, dst}] = hops[0]
 		}
 	}
 }
@@ -253,6 +351,111 @@ func (n *Network) NextHop(at, dst packet.Addr) (packet.Addr, bool) {
 	}
 	via, ok := n.routes[routeKey{at, dst}]
 	return via, ok
+}
+
+// flowHash mixes (at, src, dst) into the deterministic ECMP selector —
+// the simulator's stand-in for a switch ASIC's seeded 5-tuple hash. It
+// depends only on the flow endpoints plus the hashing switch, so a
+// retried query takes the same path as the original and two runs of one
+// seed pick identical paths; folding in `at` plays the role of the
+// per-switch hash seed real fabrics use, without which consecutive hops'
+// same-size ECMP sets make correlated choices and strand whole cores.
+func flowHash(at, src, dst packet.Addr) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for _, v := range [3]uint64{uint64(at), uint64(src), uint64(dst)} {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= 0x100000001b3
+			v >>= 8
+		}
+	}
+	return h
+}
+
+// nextHopFlow resolves the forwarding decision for a concrete flow:
+// overrides first, then the ECMP set hashed on (src, dst), then the
+// single-path table.
+func (n *Network) nextHopFlow(at, src, dst packet.Addr) (packet.Addr, bool) {
+	if via, ok := n.override[routeKey{at, dst}]; ok {
+		return via, true
+	}
+	if n.ecmp {
+		set := n.multi[routeKey{at, dst}]
+		switch len(set) {
+		case 0:
+			return 0, false
+		case 1:
+			return set[0], true
+		default:
+			return set[flowHash(at, src, dst)%uint64(len(set))], true
+		}
+	}
+	via, ok := n.routes[routeKey{at, dst}]
+	return via, ok
+}
+
+// EqualCostHops returns every next hop `at` may use toward dst: the full
+// ECMP set under EnableECMP, else the single computed hop. Overrides are
+// not consulted (this is a topology property, not a flow decision).
+func (n *Network) EqualCostHops(at, dst packet.Addr) []packet.Addr {
+	if n.ecmp {
+		return append([]packet.Addr(nil), n.multi[routeKey{at, dst}]...)
+	}
+	if via, ok := n.routes[routeKey{at, dst}]; ok {
+		return []packet.Addr{via}
+	}
+	return nil
+}
+
+// FlowPath returns the node sequence a flow from src to dst traverses
+// (endpoints included) under the current routing and ECMP hashing — the
+// ground truth placement planners compute link loads from.
+func (n *Network) FlowPath(src, dst packet.Addr) ([]packet.Addr, bool) {
+	path := []packet.Addr{src}
+	cur := src
+	for cur != dst {
+		next, ok := n.nextHopFlow(cur, src, dst)
+		if !ok || len(path) > len(n.nodes) {
+			return nil, false
+		}
+		cur = next
+		path = append(path, cur)
+	}
+	return path, true
+}
+
+// SetLinkCapacity meters both directions of the a–b link at pps packets
+// per second with the given queue bound (0 = the 1 ms default): frames
+// beyond the budget queue behind the link's serialization horizon, and
+// frames that would wait longer than maxQueue are tail-dropped (counted
+// in Stats.LinkDrops). pps <= 0 removes the meter.
+func (n *Network) SetLinkCapacity(a, b packet.Addr, pps float64, maxQueue event.Time) error {
+	if _, ok := n.latency[linkKey(a, b)]; !ok {
+		return fmt.Errorf("netsim: no link %v-%v", a, b)
+	}
+	if pps <= 0 {
+		delete(n.links, routeKey{a, b})
+		delete(n.links, routeKey{b, a})
+		return nil
+	}
+	if maxQueue <= 0 {
+		maxQueue = event.Duration(1e6)
+	}
+	n.links[routeKey{a, b}] = &linkState{rate: pps, maxQueue: maxQueue}
+	n.links[routeKey{b, a}] = &linkState{rate: pps, maxQueue: maxQueue}
+	return nil
+}
+
+// LinkUtilization reports the carried frames and tail drops of the a–b
+// link, both directions summed. Zero for unmetered links.
+func (n *Network) LinkUtilization(a, b packet.Addr) (load, drops uint64) {
+	for _, k := range [2]routeKey{{a, b}, {b, a}} {
+		if ls, ok := n.links[k]; ok {
+			load += ls.load
+			drops += ls.drops
+		}
+	}
+	return load, drops
 }
 
 // PathLen returns the number of links between a and b (diagnostics and the
@@ -357,6 +560,8 @@ func (n *Network) removeNode(addr packet.Addr) {
 		delete(n.latency, linkKey(addr, peer))
 		delete(n.linkFaults, routeKey{addr, peer})
 		delete(n.linkFaults, routeKey{peer, addr})
+		delete(n.links, routeKey{addr, peer})
+		delete(n.links, routeKey{peer, addr})
 	}
 	delete(n.gray, addr)
 	delete(n.nodes, addr)
@@ -436,7 +641,7 @@ func (n *Network) forward(nd *node, f *packet.Frame) {
 		n.stats.RouteDrops++
 		return
 	}
-	via, ok := n.NextHop(nd.addr, f.IP.Dst)
+	via, ok := n.nextHopFlow(nd.addr, f.IP.Src, f.IP.Dst)
 	if !ok {
 		n.stats.RouteDrops++
 		return
@@ -457,6 +662,26 @@ func (n *Network) transmit(from, via packet.Addr, f *packet.Frame) {
 			n.stats.PartitionDrops++
 			return
 		}
+	}
+	// Capacity gate: metered links serialize frames through their packet
+	// budget exactly like node ingest does — queueing delay while the
+	// backlog fits, tail drop once it exceeds the link's bound. Unmetered
+	// links (the whole Fig. 8 testbed) skip this with one map miss.
+	if ls := n.links[routeKey{from, via}]; ls != nil {
+		now := n.Sim.Now()
+		start := ls.busyUntil
+		if start < now {
+			start = now
+		}
+		if start-now > ls.maxQueue {
+			n.stats.LinkDrops++
+			ls.drops++
+			return
+		}
+		svc := event.Time(1e9 / ls.rate)
+		ls.busyUntil = start + svc
+		ls.load++
+		lat += ls.busyUntil - now
 	}
 	flt, faulty := n.faultFor(from, via)
 	if !faulty {

@@ -1,0 +1,371 @@
+// Package place plans chain-replica placement on multi-tier fabrics.
+//
+// NetChain's consistent-hash ring spreads virtual groups evenly across
+// switches, which is the right story for state balance but says nothing
+// about link load: on a spine-leaf or fat-tree fabric, aggregate
+// throughput is set by the most-loaded link (Sreenivasan et al.,
+// "Communication Bottlenecks in Scale-Free Networks"), and naive
+// placement happily parks chain tails behind the same uplink. This
+// package computes per-link load from the fabric's actual routing paths
+// and places replicas to minimize the bottleneck.
+package place
+
+import (
+	"sort"
+
+	"netchain/internal/packet"
+)
+
+// Link is one direction of a fabric link.
+type Link struct {
+	From, To packet.Addr
+}
+
+// Topology is the placement substrate: which switches may hold replicas,
+// their anti-affinity domains (replicas of one chain must not share a
+// domain — each fabric leaf is its own), the client hosts sourcing
+// traffic, and the fabric's flow-path oracle (netsim's ECMP-hashed
+// route).
+type Topology struct {
+	Candidates []packet.Addr
+	Domain     map[packet.Addr]int
+	Hosts      []packet.Addr
+	Path       func(src, dst packet.Addr) []packet.Addr
+
+	// WriteFrac is the write share of the traffic mix (0 means the §8.2
+	// default of 0.1). Reads touch only the tail; writes enter at the
+	// head, hop down the whole chain, and ack from the tail — so the
+	// write share decides how much chain-transit locality matters.
+	WriteFrac float64
+
+	// GroupHosts, when set, names the hosts that actually query group g —
+	// coordination traffic has client affinity (a pod's services contend
+	// on that pod's locks, §2's use cases are all service-local), and
+	// affinity is precisely what placement can exploit: put the tail
+	// under the clients' own leaf and reads never touch a metered link.
+	// Nil means every host queries every group uniformly.
+	GroupHosts func(g int) []packet.Addr
+}
+
+func (t Topology) hostsFor(g int) []packet.Addr {
+	if t.GroupHosts != nil {
+		if hs := t.GroupHosts(g); len(hs) > 0 {
+			return hs
+		}
+	}
+	return t.Hosts
+}
+
+func (t Topology) writeFrac() float64 {
+	if t.WriteFrac <= 0 {
+		return 0.1
+	}
+	return t.WriteFrac
+}
+
+func (t Topology) readFrac() float64 { return 1 - t.writeFrac() }
+
+func (t Topology) sortedCandidates() []packet.Addr {
+	cs := append([]packet.Addr(nil), t.Candidates...)
+	sort.Slice(cs, func(i, j int) bool { return cs[i] < cs[j] })
+	return cs
+}
+
+// addPath charges w to every directed link along path.
+func addPath(load map[Link]float64, path []packet.Addr, w float64) {
+	for i := 0; i+1 < len(path); i++ {
+		load[Link{path[i], path[i+1]}] += w
+	}
+}
+
+// chargeChain adds one group's traffic (total weight w) to load under the
+// mix model: every querying host reads from the tail (query + reply) with
+// weight readFrac, and writes enter at the head, propagate down the
+// chain, and ack from the tail with weight writeFrac. Host access links
+// are excluded: a query crosses its client's access link wherever the
+// chain sits, so that load is placement-invariant and charging it would
+// only blur the signal on the links placement can actually relieve.
+func chargeChain(load map[Link]float64, t Topology, g int, chain []packet.Addr, w float64) {
+	hosts := t.hostsFor(g)
+	if len(chain) == 0 || len(hosts) == 0 {
+		return
+	}
+	head, tail := chain[0], chain[len(chain)-1]
+	perHostRead := t.readFrac() * w / float64(len(hosts))
+	perHostWrite := t.writeFrac() * w / float64(len(hosts))
+	for _, h := range hosts {
+		addPath(load, trimFirst(t.Path(h, tail)), perHostRead)
+		addPath(load, trimLast(t.Path(tail, h)), perHostRead)
+		addPath(load, trimFirst(t.Path(h, head)), perHostWrite)
+		addPath(load, trimLast(t.Path(tail, h)), perHostWrite)
+	}
+	for i := 0; i+1 < len(chain); i++ {
+		addPath(load, t.Path(chain[i], chain[i+1]), t.writeFrac()*w)
+	}
+}
+
+// trimFirst / trimLast drop the host access link from a host-anchored
+// path (chain members are switches, so only the host end needs
+// trimming).
+func trimFirst(p []packet.Addr) []packet.Addr {
+	if len(p) < 2 {
+		return nil
+	}
+	return p[1:]
+}
+
+func trimLast(p []packet.Addr) []packet.Addr {
+	if len(p) < 2 {
+		return nil
+	}
+	return p[:len(p)-1]
+}
+
+// RoundRobin is the naive baseline: group g's chain walks the candidate
+// list from offset g — even state spread, blind to link load (exactly
+// what the consistent-hash ring does in spirit).
+func RoundRobin(t Topology, groups, replicas int) [][]packet.Addr {
+	cs := t.sortedCandidates()
+	if len(cs) == 0 || replicas < 1 || groups < 1 {
+		return nil
+	}
+	if replicas > len(cs) {
+		replicas = len(cs)
+	}
+	plans := make([][]packet.Addr, groups)
+	for g := range plans {
+		chain := make([]packet.Addr, replicas)
+		for r := range chain {
+			chain[r] = cs[(g+r)%len(cs)]
+		}
+		plans[g] = chain
+	}
+	return plans
+}
+
+// LinkLoads evaluates a placement: charge every group's traffic (weight 1
+// per group) and return the per-link load map.
+func LinkLoads(t Topology, plans [][]packet.Addr) map[Link]float64 {
+	load := make(map[Link]float64)
+	for g, chain := range plans {
+		chargeChain(load, t, g, chain, 1)
+	}
+	return load
+}
+
+// MaxLinkLoad evaluates a placement by the load on the hottest directed
+// link — the fabric's bottleneck under this plan.
+func MaxLinkLoad(t Topology, plans [][]packet.Addr) float64 {
+	max := 0.0
+	for _, v := range LinkLoads(t, plans) {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// Betweenness returns each directed link's betweenness under uniform
+// host-to-candidate traffic — the structural hotness map placement is
+// fighting against (high-betweenness links are where naive placement
+// flat-lines).
+func Betweenness(t Topology) map[Link]float64 {
+	out := make(map[Link]float64)
+	cs := t.sortedCandidates()
+	pairs := len(t.Hosts) * len(cs)
+	if pairs == 0 {
+		return out
+	}
+	w := 1 / float64(pairs)
+	for _, h := range t.Hosts {
+		for _, c := range cs {
+			addPath(out, t.Path(h, c), w)
+			addPath(out, t.Path(c, h), w)
+		}
+	}
+	return out
+}
+
+// BottleneckAware places each group greedily: pick the tail first (reads
+// dominate), then the head, then mid replicas, each time choosing the
+// candidate that minimizes the resulting hottest link among those the
+// choice touches; anti-affinity keeps a chain's replicas in distinct
+// domains whenever the fabric has enough of them. Ties break to the
+// lowest address, so the plan is deterministic. If greedy somehow loses
+// to the naive baseline on this instance, the baseline is returned — the
+// planner is never worse than round-robin by construction.
+func BottleneckAware(t Topology, groups, replicas int) [][]packet.Addr {
+	cs := t.sortedCandidates()
+	if len(cs) == 0 || replicas < 1 || groups < 1 {
+		return nil
+	}
+	if replicas > len(cs) {
+		replicas = len(cs)
+	}
+	domains := make(map[int]bool)
+	for _, c := range cs {
+		domains[t.Domain[c]] = true
+	}
+	distinctDomains := len(domains) >= replicas
+
+	load := make(map[Link]float64)
+	plans := make([][]packet.Addr, groups)
+	for g := range plans {
+		chain := pickChain(t, g, cs, load, replicas, distinctDomains)
+		chargeChain(load, t, g, chain, 1)
+		plans[g] = chain
+	}
+
+	// Refinement: sequential greedy is myopic (early groups place blind to
+	// later ones), so re-place each group against the final load of all
+	// others until a pass changes nothing, keeping the best whole plan
+	// seen. A handful of passes suffices — each re-pick only moves a chain
+	// to strictly cooler links.
+	best := clonePlans(plans)
+	bestMax := MaxLinkLoad(t, plans)
+	for pass := 0; pass < 4; pass++ {
+		changed := false
+		for g := range plans {
+			chargeChain(load, t, g, plans[g], -1)
+			chain := pickChain(t, g, cs, load, replicas, distinctDomains)
+			chargeChain(load, t, g, chain, 1)
+			if !sameChain(chain, plans[g]) {
+				changed = true
+			}
+			plans[g] = chain
+		}
+		if m := MaxLinkLoad(t, plans); m < bestMax {
+			bestMax, best = m, clonePlans(plans)
+		}
+		if !changed {
+			break
+		}
+	}
+	plans = best
+
+	// Last-resort fallback: if refined greedy still loses to the naive
+	// walk, take the walk — but never at the cost of anti-affinity, which
+	// is a correctness property (one domain failure must not take two
+	// replicas), not a performance one.
+	if rr := RoundRobin(t, groups, replicas); bestMax > MaxLinkLoad(t, rr) {
+		if !distinctDomains || plansRespectDomains(t, rr) {
+			return rr
+		}
+	}
+	return plans
+}
+
+func clonePlans(plans [][]packet.Addr) [][]packet.Addr {
+	out := make([][]packet.Addr, len(plans))
+	for i, c := range plans {
+		out[i] = append([]packet.Addr(nil), c...)
+	}
+	return out
+}
+
+func sameChain(a, b []packet.Addr) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func plansRespectDomains(t Topology, plans [][]packet.Addr) bool {
+	for _, chain := range plans {
+		seen := make(map[int]bool, len(chain))
+		for _, c := range chain {
+			if seen[t.Domain[c]] {
+				return false
+			}
+			seen[t.Domain[c]] = true
+		}
+	}
+	return true
+}
+
+// score computes the hottest link after tentatively charging delta paths
+// into load (load itself is untouched).
+func score(load map[Link]float64, delta map[Link]float64) float64 {
+	max := 0.0
+	for l, d := range delta {
+		if v := load[l] + d; v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// pickChain greedily selects one group's chain against the current link
+// loads.
+func pickChain(t Topology, g int, cs []packet.Addr, load map[Link]float64, replicas int, distinctDomains bool) []packet.Addr {
+	hosts := t.hostsFor(g)
+	usedSwitch := make(map[packet.Addr]bool)
+	usedDomain := make(map[int]bool)
+	eligible := func(c packet.Addr) bool {
+		if usedSwitch[c] {
+			return false
+		}
+		return !(distinctDomains && usedDomain[t.Domain[c]])
+	}
+	take := func(c packet.Addr) {
+		usedSwitch[c] = true
+		usedDomain[t.Domain[c]] = true
+	}
+	best := func(charge func(c packet.Addr, delta map[Link]float64)) packet.Addr {
+		var pick packet.Addr
+		bestScore := -1.0
+		for _, c := range cs {
+			if !eligible(c) {
+				continue
+			}
+			delta := make(map[Link]float64)
+			charge(c, delta)
+			if s := score(load, delta); bestScore < 0 || s < bestScore {
+				bestScore, pick = s, c
+			}
+		}
+		return pick
+	}
+
+	// Tail: carries the read traffic of every querying host.
+	perHostRead := t.readFrac() / float64(len(hosts))
+	tail := best(func(c packet.Addr, delta map[Link]float64) {
+		for _, h := range hosts {
+			addPath(delta, trimFirst(t.Path(h, c)), perHostRead)
+			addPath(delta, trimLast(t.Path(c, h)), perHostRead)
+		}
+	})
+	take(tail)
+	if replicas == 1 {
+		return []packet.Addr{tail}
+	}
+
+	// Head: write entry point, plus its hop toward the tail.
+	perHostWrite := t.writeFrac() / float64(len(hosts))
+	head := best(func(c packet.Addr, delta map[Link]float64) {
+		for _, h := range hosts {
+			addPath(delta, trimFirst(t.Path(h, c)), perHostWrite)
+		}
+		addPath(delta, t.Path(c, tail), t.writeFrac())
+	})
+	take(head)
+
+	// Mids: chain transit between head and tail.
+	chain := []packet.Addr{head}
+	prev := head
+	for len(chain) < replicas-1 {
+		mid := best(func(c packet.Addr, delta map[Link]float64) {
+			addPath(delta, t.Path(prev, c), t.writeFrac())
+			addPath(delta, t.Path(c, tail), t.writeFrac())
+		})
+		take(mid)
+		chain = append(chain, mid)
+		prev = mid
+	}
+	return append(chain, tail)
+}

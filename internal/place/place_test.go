@@ -1,0 +1,179 @@
+package place_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"netchain/internal/event"
+	"netchain/internal/netsim"
+	"netchain/internal/packet"
+	"netchain/internal/place"
+)
+
+// fabricTopo builds the placement view of a netsim fabric: candidates are
+// the leaves, paths come from the real ECMP routing.
+func fabricTopo(t *testing.T, spec string, hostsPerLeaf int) (place.Topology, *netsim.Fabric) {
+	t.Helper()
+	ts, err := netsim.ParseTopology(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := netsim.NewFabric(event.New(), netsim.PaperProfile(1), 1, ts, hostsPerLeaf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return place.Topology{
+		Candidates: fb.Leaves,
+		Domain:     fb.Domain,
+		Hosts:      fb.Hosts,
+		Path:       fb.Path,
+	}, fb
+}
+
+func checkPlan(t *testing.T, name string, topo place.Topology, plans [][]packet.Addr, groups, replicas int, wantDistinctDomains bool) {
+	t.Helper()
+	if len(plans) != groups {
+		t.Fatalf("%s: %d plans, want %d", name, len(plans), groups)
+	}
+	cand := make(map[packet.Addr]bool)
+	for _, c := range topo.Candidates {
+		cand[c] = true
+	}
+	for g, chain := range plans {
+		if len(chain) != replicas {
+			t.Fatalf("%s: group %d chain length %d, want %d", name, g, len(chain), replicas)
+		}
+		seenSw := make(map[packet.Addr]bool)
+		seenDom := make(map[int]bool)
+		for _, c := range chain {
+			if !cand[c] {
+				t.Fatalf("%s: group %d replica %v not a candidate", name, g, c)
+			}
+			if seenSw[c] {
+				t.Fatalf("%s: group %d repeats switch %v", name, g, c)
+			}
+			seenSw[c] = true
+			if wantDistinctDomains && seenDom[topo.Domain[c]] {
+				t.Fatalf("%s: group %d chain %v shares domain %d", name, g, chain, topo.Domain[c])
+			}
+			seenDom[topo.Domain[c]] = true
+		}
+	}
+}
+
+// TestPlacementInvariants fuzzes group counts × fabric sizes and asserts,
+// on every sampled instance: chain length and replica distinctness,
+// domain anti-affinity, determinism, and that the bottleneck-aware plan's
+// max-link load never exceeds round-robin's.
+func TestPlacementInvariants(t *testing.T) {
+	specs := []struct {
+		spec         string
+		hostsPerLeaf int
+	}{
+		{"spine-leaf:2x4", 2},
+		{"spine-leaf:4x8", 1},
+		{"fattree:4", 2},
+		{"fattree:8", 1},
+	}
+	rng := rand.New(rand.NewSource(42))
+	const replicas = 3
+	for _, s := range specs {
+		topo, fb := fabricTopo(t, s.spec, s.hostsPerLeaf)
+		domains := make(map[int]bool)
+		for _, c := range topo.Candidates {
+			domains[fb.Domain[c]] = true
+		}
+		wantDistinct := len(domains) >= replicas
+		for trial := 0; trial < 4; trial++ {
+			groups := 1 + rng.Intn(96)
+			rr := place.RoundRobin(topo, groups, replicas)
+			bna := place.BottleneckAware(topo, groups, replicas)
+			checkPlan(t, s.spec+"/rr", topo, rr, groups, replicas, false)
+			checkPlan(t, s.spec+"/bna", topo, bna, groups, replicas, wantDistinct)
+
+			rrLoad := place.MaxLinkLoad(topo, rr)
+			bnaLoad := place.MaxLinkLoad(topo, bna)
+			if bnaLoad > rrLoad {
+				t.Fatalf("%s groups=%d: bottleneck-aware max-link load %.4f > round-robin %.4f",
+					s.spec, groups, bnaLoad, rrLoad)
+			}
+
+			again := place.BottleneckAware(topo, groups, replicas)
+			for g := range bna {
+				for r := range bna[g] {
+					if bna[g][r] != again[g][r] {
+						t.Fatalf("%s groups=%d: non-deterministic plan at group %d", s.spec, groups, g)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBottleneckExploitsAffinity reproduces the placement-scaling
+// experiment's contrast in the load model: groups have client affinity
+// (leaf g mod L's hosts query group g — pod-local services coordinating
+// on pod-local objects), and the planner should park each tail under its
+// clients' own leaf so reads never touch an inter-switch link. Naive
+// round-robin, blind to affinity, sends ~every read across the fabric:
+// its hottest metered link must carry ≥ 2× the bottleneck-aware plan's.
+func TestBottleneckExploitsAffinity(t *testing.T) {
+	for _, spec := range []string{"fattree:4", "fattree:8", "spine-leaf:4x8"} {
+		topo, fb := fabricTopo(t, spec, 2)
+		leafHosts := make(map[packet.Addr][]packet.Addr)
+		for _, h := range fb.Hosts {
+			leafHosts[fb.HostLeaf[h]] = append(leafHosts[fb.HostLeaf[h]], h)
+		}
+		L := len(fb.Leaves)
+		topo.GroupHosts = func(g int) []packet.Addr { return leafHosts[fb.Leaves[g%L]] }
+		groups := 8 * L
+		rr := place.RoundRobin(topo, groups, 3)
+		bna := place.BottleneckAware(topo, groups, 3)
+		rrLoad := place.MaxLinkLoad(topo, rr)
+		bnaLoad := place.MaxLinkLoad(topo, bna)
+		if bnaLoad*2 > rrLoad {
+			t.Fatalf("%s: bottleneck-aware max-link %.3f not ≥2x better than round-robin %.3f",
+				spec, bnaLoad, rrLoad)
+		}
+		local := 0
+		for g, c := range bna {
+			if c[len(c)-1] == fb.Leaves[g%L] {
+				local++
+			}
+		}
+		if local != groups {
+			t.Fatalf("%s: only %d/%d tails placed on their clients' leaf", spec, local, groups)
+		}
+		t.Logf("%s %d groups: round-robin max-link %.2f, bottleneck-aware %.2f (%.1fx)",
+			spec, groups, rrLoad, bnaLoad, rrLoad/bnaLoad)
+	}
+}
+
+// TestBetweennessFindsCoreLinks checks the structural hotness map: on a
+// fat-tree with one host per leaf, agg→core links carry more transit than
+// host→leaf links.
+func TestBetweennessFindsCoreLinks(t *testing.T) {
+	topo, fb := fabricTopo(t, "fattree:4", 1)
+	bw := place.Betweenness(topo)
+	if len(bw) == 0 {
+		t.Fatal("empty betweenness map")
+	}
+	var coreMax, hostMax float64
+	for l, v := range bw {
+		fromSw := fb.Net.IsSwitch(l.From)
+		toSw := fb.Net.IsSwitch(l.To)
+		switch {
+		case fromSw && toSw:
+			if v > coreMax {
+				coreMax = v
+			}
+		default:
+			if v > hostMax {
+				hostMax = v
+			}
+		}
+	}
+	if coreMax <= 0 {
+		t.Fatal("no switch-switch link carries betweenness")
+	}
+}

@@ -1,0 +1,229 @@
+package ring
+
+import (
+	"testing"
+
+	"netchain/internal/kv"
+	"netchain/internal/packet"
+)
+
+func placementRing(t *testing.T) *Ring {
+	t.Helper()
+	r, err := New(Config{VNodesPerSwitch: 8, Replicas: 3, Seed: 7}, switches(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestSetPlacementOverridesChain(t *testing.T) {
+	r := placementRing(t)
+	sw := r.Switches()
+	want := []packet.Addr{sw[5], sw[1], sw[3]}
+	if err := r.SetPlacement(map[GroupID][]packet.Addr{2: want}); err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := r.ChainForGroup(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range want {
+		if c.Hops[i] != h {
+			t.Fatalf("ChainForGroup(2) = %v, want %v", c.Hops, want)
+		}
+	}
+	if got := r.Chains()[2]; !got.Equal(c) {
+		t.Fatalf("Chains()[2] = %v disagrees with ChainForGroup %v", got, c)
+	}
+	if p, ok := r.Placed(2); !ok || !p.Equal(c) {
+		t.Fatalf("Placed(2) = %v,%v, want %v", p, ok, c)
+	}
+
+	// Every key that hashed to group 2 still does, and is served by the
+	// placed chain — key→group mapping must be untouched.
+	found := false
+	for b := 0; b < 255 && !found; b++ {
+		k := kv.Key{0: byte(b)}
+		if r.GroupForKey(k) != 2 {
+			continue
+		}
+		found = true
+		if kc := r.ChainForKey(k); !kc.Equal(c) {
+			t.Fatalf("ChainForKey = %v, want placed %v", kc, c)
+		}
+	}
+	if !found {
+		t.Skip("no probe key landed in group 2")
+	}
+}
+
+func TestSetPlacementReflectsInGroupsOfSwitch(t *testing.T) {
+	r := placementRing(t)
+	sw := r.Switches()
+	plan := []packet.Addr{sw[0], sw[2], sw[4]}
+	if err := r.SetPlacement(map[GroupID][]packet.Addr{5: plan}); err != nil {
+		t.Fatal(err)
+	}
+	for _, member := range plan {
+		has := false
+		for _, g := range r.GroupsOfSwitch(member) {
+			if g == 5 {
+				has = true
+			}
+		}
+		if !has {
+			t.Fatalf("GroupsOfSwitch(%v) misses placed group 5", member)
+		}
+	}
+	for _, g := range r.GroupsOfSwitch(sw[1]) {
+		if g == 5 {
+			t.Fatalf("GroupsOfSwitch(%v) still lists group 5 after it moved away", sw[1])
+		}
+	}
+}
+
+func TestSetPlacementValidation(t *testing.T) {
+	r := placementRing(t)
+	sw := r.Switches()
+	cases := map[string]map[GroupID][]packet.Addr{
+		"unknown group": {GroupID(9999): {sw[0], sw[1], sw[2]}},
+		"short chain":   {1: {sw[0], sw[1]}},
+		"long chain":    {1: {sw[0], sw[1], sw[2], sw[3]}},
+		"repeat hop":    {1: {sw[0], sw[1], sw[0]}},
+		"non-member":    {1: {sw[0], sw[1], packet.AddrFrom4(192, 168, 0, 1)}},
+	}
+	for name, plans := range cases {
+		if err := r.SetPlacement(plans); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	// A failed batch must not partially apply.
+	if _, ok := r.Placed(1); ok {
+		t.Fatal("rejected placement partially applied")
+	}
+	// Re-placing an already-overridden group replaces the plan.
+	if err := r.SetPlacement(map[GroupID][]packet.Addr{1: {sw[0], sw[1], sw[2]}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SetPlacement(map[GroupID][]packet.Addr{1: {sw[3], sw[4], sw[5]}}); err != nil {
+		t.Fatal(err)
+	}
+	if p, _ := r.Placed(1); p.Hops[0] != sw[3] {
+		t.Fatalf("re-placement did not replace: %v", p.Hops)
+	}
+}
+
+func TestClearPlacementRestoresHashChain(t *testing.T) {
+	r := placementRing(t)
+	sw := r.Switches()
+	orig, err := r.ChainForGroup(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SetPlacement(map[GroupID][]packet.Addr{
+		3: {sw[5], sw[4], sw[3]},
+		7: {sw[0], sw[2], sw[4]},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	r.ClearPlacement(3)
+	if c, _ := r.ChainForGroup(3); !c.Equal(orig) {
+		t.Fatalf("ChainForGroup(3) after clear = %v, want hash chain %v", c, orig)
+	}
+	if _, ok := r.Placed(7); !ok {
+		t.Fatal("ClearPlacement(3) dropped group 7's override")
+	}
+	r.ClearPlacement()
+	if _, ok := r.Placed(7); ok {
+		t.Fatal("ClearPlacement() left an override behind")
+	}
+}
+
+func TestReassignPatchesPlacedChains(t *testing.T) {
+	r := placementRing(t)
+	sw := r.Switches()
+	failed := sw[2]
+	if err := r.SetPlacement(map[GroupID][]packet.Addr{
+		0: {sw[0], failed, sw[4]}, // loses its mid to the failure
+		4: {sw[1], sw[3], sw[5]},  // untouched
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Round-robin pick over the survivors; the first candidate for group 0's
+	// patch is sw[0], already in the chain, so the retry loop must skip it.
+	pool := []packet.Addr{sw[0], sw[1], sw[3], sw[4], sw[5]}
+	if err := r.Reassign(failed, func(i int) packet.Addr { return pool[i%len(pool)] }); err != nil {
+		t.Fatal(err)
+	}
+	p, ok := r.Placed(0)
+	if !ok {
+		t.Fatal("placed group 0 lost its override on Reassign")
+	}
+	seen := make(map[packet.Addr]bool)
+	for _, h := range p.Hops {
+		if h == failed {
+			t.Fatalf("placed group 0 still routes through failed %v: %v", failed, p.Hops)
+		}
+		if seen[h] {
+			t.Fatalf("placed group 0 repeats %v after patch: %v", h, p.Hops)
+		}
+		seen[h] = true
+	}
+	if p.Hops[0] != sw[0] || p.Hops[2] != sw[4] {
+		t.Fatalf("patch disturbed surviving hops: %v", p.Hops)
+	}
+	if p2, _ := r.Placed(4); p2.Hops[0] != sw[1] || p2.Hops[1] != sw[3] || p2.Hops[2] != sw[5] {
+		t.Fatalf("untouched placed group 4 changed: %v", p2.Hops)
+	}
+	// No chain anywhere may still contain the failed switch.
+	for g, c := range r.Chains() {
+		if c.Contains(failed) {
+			t.Fatalf("group %d chain %v still contains failed %v", g, c.Hops, failed)
+		}
+	}
+}
+
+func TestResizeDropsInvalidatedPlacements(t *testing.T) {
+	r := placementRing(t)
+	sw := r.Switches()
+	if err := r.SetPlacement(map[GroupID][]packet.Addr{
+		0: {sw[0], sw[1], sw[2]}, // names the removed switch → dropped
+		4: {sw[3], sw[4], sw[5]}, // survives
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Resize(nil, []packet.Addr{sw[2]}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Placed(0); ok {
+		t.Fatal("placement naming a removed switch survived Resize")
+	}
+	if c, err := r.ChainForGroup(0); err == nil {
+		for _, h := range c.Hops {
+			if h == sw[2] {
+				t.Fatalf("group 0 fallback chain still has removed %v: %v", sw[2], c.Hops)
+			}
+		}
+	}
+	if _, ok := r.Placed(4); !ok {
+		t.Fatal("unaffected placement dropped by Resize")
+	}
+
+	// Retiring the switch whose vnodes back a placed group drops that
+	// override too, even when its hops survive.
+	if err := r.SetPlacement(map[GroupID][]packet.Addr{
+		8: {sw[3], sw[4], sw[5]}, // group 8 is owned by sw[1] (vnodes 8..15)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Resize(nil, []packet.Addr{sw[1]}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Placed(8); ok {
+		t.Fatal("override for retired group survived Resize")
+	}
+	if _, ok := r.Placed(4); !ok {
+		t.Fatal("unaffected placement dropped by second Resize")
+	}
+}

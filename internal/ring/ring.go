@@ -100,6 +100,10 @@ type Ring struct {
 	// allocate past MaxGroupID — that cap is what makes "never reused"
 	// hold all the way down to the truncated id the dataplane sees.
 	nextGroup GroupID
+	// placed overrides the hash-derived chain of individual groups with an
+	// explicitly planned one (bottleneck-aware placement on fabrics). The
+	// key→group mapping is untouched — only where a group's chain lives.
+	placed map[GroupID][]packet.Addr
 }
 
 // MaxGroupID bounds cumulative group allocation: the packet header's group
@@ -245,7 +249,63 @@ func (r *Ring) Reassign(failed packet.Addr, pick func(i int) packet.Addr) error 
 		r.vnodes[i].owner = nw
 		moved++
 	}
+	// Patch explicitly placed chains that included the failed switch: the
+	// failed hop is replaced through the same pick function, retrying past
+	// replacements already in the chain so hops stay distinct.
+	for _, g := range r.placedGroups() {
+		hops := r.placed[g]
+		for hi, h := range hops {
+			if h != failed {
+				continue
+			}
+			var nw packet.Addr
+			found := false
+			for attempt := 0; attempt < 2*len(r.switches); attempt++ {
+				cand := pick(moved)
+				moved++
+				if cand == failed {
+					return fmt.Errorf("ring: replacement for placed group %d is the failed switch", g)
+				}
+				ok := false
+				for _, s := range r.switches {
+					if s == cand {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					return fmt.Errorf("ring: replacement %v for placed group %d is not a live member", cand, g)
+				}
+				dup := false
+				for _, other := range hops {
+					if other == cand {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					nw, found = cand, true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("ring: no distinct replacement for placed group %d", g)
+			}
+			hops[hi] = nw
+		}
+	}
 	return nil
+}
+
+// placedGroups returns the overridden group ids in ascending order so
+// placement patching is deterministic.
+func (r *Ring) placedGroups() []GroupID {
+	out := make([]GroupID, 0, len(r.placed))
+	for g := range r.placed {
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // AddMember admits a switch into membership without assigning it virtual
@@ -389,6 +449,28 @@ func (r *Ring) Resize(add, remove []packet.Addr) (Diff, error) {
 			r.nextGroup++
 		}
 	}
+	// Drop explicit placements the membership change invalidated: chains
+	// naming a removed switch fall back to their hash-derived walk (the
+	// migration engine then moves their data like any other delta), and
+	// retired groups' overrides go with them.
+	if len(r.placed) > 0 {
+		alive := make(map[GroupID]bool, len(r.vnodes))
+		for _, v := range r.vnodes {
+			alive[v.group] = true
+		}
+		for g, hops := range r.placed {
+			drop := !alive[g]
+			for _, h := range hops {
+				if removing[h] {
+					drop = true
+					break
+				}
+			}
+			if drop {
+				delete(r.placed, g)
+			}
+		}
+	}
 	sort.Slice(r.vnodes, func(i, j int) bool {
 		a, b := r.vnodes[i], r.vnodes[j]
 		if a.point != b.point {
@@ -431,10 +513,79 @@ func (r *Ring) vnodeIndexForKey(k kv.Key) int {
 	return i
 }
 
+// SetPlacement overrides the hash-derived chains of the given groups with
+// explicitly planned ones (the bottleneck-aware planner's output). Each
+// chain must have exactly Replicas distinct hops, all current members,
+// and each group must exist. Key→group mapping is unaffected: a key still
+// hashes to its ring segment; only the chain serving that segment moves.
+// Passing a group already overridden replaces its plan. The override
+// survives until the group is patched by Reassign (member failure),
+// dropped by Resize (member removal), or cleared by ClearPlacement.
+func (r *Ring) SetPlacement(plans map[GroupID][]packet.Addr) error {
+	known := make(map[GroupID]bool, len(r.vnodes))
+	for _, v := range r.vnodes {
+		known[v.group] = true
+	}
+	validated := make(map[GroupID][]packet.Addr, len(plans))
+	for g, hops := range plans {
+		if !known[g] {
+			return fmt.Errorf("ring: placement for unknown group %d", g)
+		}
+		if len(hops) != r.cfg.Replicas {
+			return fmt.Errorf("ring: placement for group %d has %d hops, want %d",
+				g, len(hops), r.cfg.Replicas)
+		}
+		seen := make(map[packet.Addr]bool, len(hops))
+		for _, h := range hops {
+			if seen[h] {
+				return fmt.Errorf("ring: placement for group %d repeats switch %v", g, h)
+			}
+			seen[h] = true
+			if !r.IsMember(h) {
+				return fmt.Errorf("ring: placement for group %d names non-member %v", g, h)
+			}
+		}
+		validated[g] = append([]packet.Addr(nil), hops...)
+	}
+	if r.placed == nil {
+		r.placed = make(map[GroupID][]packet.Addr, len(validated))
+	}
+	for g, hops := range validated {
+		r.placed[g] = hops
+	}
+	return nil
+}
+
+// ClearPlacement removes the explicit placement of the given groups (all
+// overrides when called with no arguments), returning them to their
+// hash-derived chains.
+func (r *Ring) ClearPlacement(groups ...GroupID) {
+	if len(groups) == 0 {
+		r.placed = nil
+		return
+	}
+	for _, g := range groups {
+		delete(r.placed, g)
+	}
+}
+
+// Placed returns the explicitly placed chain of g, if any.
+func (r *Ring) Placed(g GroupID) (Chain, bool) {
+	hops, ok := r.placed[g]
+	if !ok {
+		return Chain{}, false
+	}
+	return Chain{Group: g, Hops: append([]packet.Addr(nil), hops...)}, true
+}
+
 // chainAt builds the chain anchored at vnode i: walk clockwise collecting
 // the first Replicas *distinct* switches. When two subsequent virtual nodes
-// live on the same switch the walk skips forward (§4.1).
+// live on the same switch the walk skips forward (§4.1). An explicit
+// placement set via SetPlacement takes precedence over the walk.
 func (r *Ring) chainAt(i int) Chain {
+	if hops, ok := r.placed[r.vnodes[i].group]; ok {
+		return Chain{Group: r.vnodes[i].group, Hops: append([]packet.Addr(nil), hops...)}
+	}
 	c := Chain{Group: r.vnodes[i].group}
 	seen := make(map[packet.Addr]bool, r.cfg.Replicas)
 	for j := 0; j < len(r.vnodes) && len(c.Hops) < r.cfg.Replicas; j++ {

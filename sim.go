@@ -14,27 +14,34 @@ import (
 	"netchain/internal/simclient"
 )
 
-// SimConfig sizes a simulated testbed (the paper's Fig. 8: four Tofino
-// switches, four servers).
+// SimConfig sizes a simulated cluster: the paper's Fig. 8 testbed (four
+// Tofino switches, four servers) by default, or a parameterized multi-tier
+// fabric via Topology.
 type SimConfig struct {
 	// Scale divides all rates for tractable event counts; 1 simulates true
 	// hardware rates. Default 1000.
 	Scale float64
-	// VNodesPerSwitch sets virtual-group granularity. Default 8.
+	// VNodesPerSwitch sets virtual-group granularity. Default 8 on the
+	// testbed, 4 on fabrics (which have many more member switches).
 	VNodesPerSwitch int
 	// Seed drives placement and loss determinism. Default 1.
 	Seed int64
+	// Topology picks the substrate: "ring" (default, the Fig. 8 testbed),
+	// "spine-leaf:SxL" or "fattree:k". Fabric clusters run two hosts per
+	// leaf, hold the last leaf out of the ring as the recovery spare, and
+	// install bottleneck-aware chain placement.
+	Topology string
 }
 
 func (c *SimConfig) defaults() {
 	if c.Scale == 0 {
 		c.Scale = 1000
 	}
-	if c.VNodesPerSwitch == 0 {
-		c.VNodesPerSwitch = 8
-	}
 	if c.Seed == 0 {
 		c.Seed = 1
+	}
+	if c.Topology == "" {
+		c.Topology = "ring"
 	}
 }
 
@@ -46,15 +53,36 @@ type SimCluster struct {
 	ap *experiments.AutopilotHarness
 }
 
-// NewSimCluster builds the simulated testbed.
+// NewSimCluster builds the simulated cluster on the configured topology.
 func NewSimCluster(cfg SimConfig) (*SimCluster, error) {
 	cfg.defaults()
-	d, err := experiments.NewDeployment(cfg.Scale, cfg.VNodesPerSwitch, cfg.Seed)
+	spec, err := netsim.ParseTopology(cfg.Topology)
+	if err != nil {
+		return nil, err
+	}
+	var d *experiments.Deployment
+	if spec.Kind == "ring" {
+		vn := cfg.VNodesPerSwitch
+		if vn == 0 {
+			vn = 8
+		}
+		d, err = experiments.NewDeployment(cfg.Scale, vn, cfg.Seed)
+	} else {
+		d, err = experiments.NewFabricDeployment(experiments.FabricOpts{
+			Spec: spec, Scale: cfg.Scale, VNodes: cfg.VNodesPerSwitch,
+			Seed: cfg.Seed, HostsPerLeaf: 2, SpareLeaves: 1,
+			Placement: "bottleneck",
+		})
+	}
 	if err != nil {
 		return nil, err
 	}
 	return &SimCluster{d: d}, nil
 }
+
+// Topology reports the substrate the cluster runs on ("ring" or the
+// fabric spec, e.g. "fattree:4").
+func (s *SimCluster) Topology() string { return s.d.Topology() }
 
 // Insert allocates a key on its chain.
 func (s *SimCluster) Insert(k Key) error {
@@ -79,8 +107,11 @@ func (s *SimCluster) runUntil(stop func() bool) {
 
 // FailSwitch fail-stops switch i and triggers failover after detectLag.
 func (s *SimCluster) FailSwitch(i int, detectLag time.Duration) error {
-	addr := s.d.TB.Switches[i]
-	if err := s.d.TB.Net.FailSwitch(addr); err != nil {
+	addr, err := s.switchAddr(i)
+	if err != nil {
+		return err
+	}
+	if err := s.d.Net.FailSwitch(addr); err != nil {
 		return err
 	}
 	var ferr error
@@ -97,9 +128,17 @@ func (s *SimCluster) FailSwitch(i int, detectLag time.Duration) error {
 
 // Recover restores switch i's chains onto the spare switch j.
 func (s *SimCluster) Recover(i, spare int) error {
+	failed, err := s.switchAddr(i)
+	if err != nil {
+		return err
+	}
+	pool, err := s.switchAddr(spare)
+	if err != nil {
+		return err
+	}
 	done := false
-	if err := s.d.Ctl.Recover(s.d.TB.Switches[i],
-		[]packet.Addr{s.d.TB.Switches[spare]}, func() { done = true }); err != nil {
+	if err := s.d.Ctl.Recover(failed,
+		[]packet.Addr{pool}, func() { done = true }); err != nil {
 		return err
 	}
 	s.runUntil(func() bool { return done })
@@ -109,16 +148,24 @@ func (s *SimCluster) Recover(i, spare int) error {
 	return nil
 }
 
-// switchAddr resolves a switch index: 0..3 are the testbed's S0..S3,
-// higher indexes are switches attached later.
+// switchAddr resolves a switch index. Testbed: 0..3 are S0..S3, higher
+// indexes are switches attached later. Fabric: build order — top tier
+// first (spines/cores), then per pod aggregation and edge switches.
 func (s *SimCluster) switchAddr(i int) (packet.Addr, error) {
-	if i >= 0 && i < len(s.d.TB.Switches) {
-		return s.d.TB.Switches[i], nil
+	if s.d.TB != nil {
+		if i >= 0 && i < len(s.d.TB.Switches) {
+			return s.d.TB.Switches[i], nil
+		}
+		if j := i - len(s.d.TB.Switches); j >= 0 && j < len(s.d.TB.Extra) {
+			return s.d.TB.Extra[j], nil
+		}
+		return 0, fmt.Errorf("netchain: switch %d out of range", i)
 	}
-	if j := i - len(s.d.TB.Switches); j >= 0 && j < len(s.d.TB.Extra) {
-		return s.d.TB.Extra[j], nil
+	sws := s.d.SwitchAddrs()
+	if i < 0 || i >= len(sws) {
+		return 0, fmt.Errorf("netchain: switch %d out of range", i)
 	}
-	return 0, fmt.Errorf("netchain: switch %d out of range", i)
+	return sws[i], nil
 }
 
 // AddSwitch live-migrates the cluster onto a layout that includes switch i
@@ -141,9 +188,15 @@ func (s *SimCluster) AddSwitch(i int) error {
 	return nil
 }
 
-// AttachSwitch cables a brand-new switch into the simulated fabric (linked
-// to S0 and S2 like the spare) and returns its index for AddSwitch.
+// AttachSwitch cables a brand-new switch into the simulated testbed
+// (linked to S0 and S2 like the spare) and returns its index for
+// AddSwitch. Fabrics size their switch population from the topology spec
+// and hold spare LEAVES instead — attaching ad-hoc switches is a testbed
+// verb.
 func (s *SimCluster) AttachSwitch() (int, error) {
+	if s.d.TB == nil {
+		return 0, fmt.Errorf("netchain: AttachSwitch needs the ring testbed, not %s", s.d.Topology())
+	}
 	if _, err := s.d.TB.AttachSwitch(); err != nil {
 		return 0, err
 	}
@@ -180,12 +233,14 @@ func (s *SimCluster) RemoveSwitch(i int) error {
 // handle nemesis schedules and route pins are built from.
 func (s *SimCluster) SwitchAddress(i int) (packet.Addr, error) { return s.switchAddr(i) }
 
-// HostAddress resolves host index h (0..3) to its fabric address.
+// HostAddress resolves host index h to its network address (testbed: 0..3;
+// fabric: leaf-major order).
 func (s *SimCluster) HostAddress(h int) (packet.Addr, error) {
-	if h < 0 || h >= len(s.d.TB.Hosts) {
+	hosts := s.d.HostAddrs()
+	if h < 0 || h >= len(hosts) {
 		return 0, fmt.Errorf("netchain: host %d out of range", h)
 	}
-	return s.d.TB.Hosts[h], nil
+	return hosts[h], nil
 }
 
 // EnableAutopilot starts the self-healing control plane: per-switch
@@ -217,7 +272,7 @@ func (s *SimCluster) KillSwitch(i int) error {
 	if err != nil {
 		return err
 	}
-	return s.d.TB.Net.FailSwitch(addr)
+	return s.d.Net.FailSwitch(addr)
 }
 
 // HealthSnapshot returns every switch's detector state — φ score, probe
@@ -246,12 +301,12 @@ func (s *SimCluster) RepairHistory() []controller.RepairEvent {
 // calls. The returned handle reports injection errors and keeps a
 // timestamped log of what the nemesis did.
 func (s *SimCluster) RunNemesis(sch netsim.Schedule) *netsim.Nemesis {
-	return netsim.RunSchedule(s.d.TB.Net, sch)
+	return netsim.RunSchedule(s.d.Net, sch)
 }
 
 // NetStats snapshots the fabric counters, including the nemesis's
 // drop/duplicate/reorder/partition/gray tallies.
-func (s *SimCluster) NetStats() netsim.Stats { return s.d.TB.Net.Stats() }
+func (s *SimCluster) NetStats() netsim.Stats { return s.d.Net.Stats() }
 
 // SimClient is a synchronous-feeling client over the simulation: each call
 // injects the query and runs the simulator until the reply (or timeout)

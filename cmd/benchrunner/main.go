@@ -46,6 +46,8 @@ func realMain() (code int) {
 	archive := flag.String("archive", "", "with -json: also archive the gated run as BENCH_<n>.json under this directory (perf trajectory across PRs)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file (go tool pprof)")
+	flag.IntVar(&udpSockets, "udp-sockets", 0, "SO_REUSEPORT ingest sockets for the real-UDP scenarios (0 = auto)")
+	flag.IntVar(&udpBatch, "udp-batch", 0, "datagrams per ingest syscall for the real-UDP scenarios (0 = 32)")
 	flag.Parse()
 
 	if *cpuprofile != "" {
@@ -280,10 +282,14 @@ func runFig10(vgroups int, full bool) error {
 	return nil
 }
 
+// udpSockets/udpBatch carry the -udp-sockets/-udp-batch flags into every
+// real-UDP scenario construction site.
+var udpSockets, udpBatch int
+
 // udpOpts sizes the real-UDP scenarios: quick points for CI, longer
 // windows under -full.
 func udpOpts(full bool) experiments.UDPBenchOpts {
-	o := experiments.UDPBenchOpts{}
+	o := experiments.UDPBenchOpts{Sockets: udpSockets, Batch: udpBatch}
 	if full {
 		o.Duration = 2 * time.Second
 	}

@@ -203,12 +203,17 @@ func clusterHealth(addr string) error {
 	if err := c.Call("Controller.ClusterHealth", transport.None{}, &rep); err != nil {
 		return err
 	}
-	fmt.Printf("%-12s %-9s %7s %6s %10s %10s %7s %7s %8s\n",
-		"switch", "verdict", "phi", "beats", "rtt µs", "base µs", "loss", "drops", "demoted")
+	fmt.Printf("%-12s %-9s %7s %6s %10s %10s %7s %7s %7s %9s %8s\n",
+		"switch", "verdict", "phi", "beats", "rtt µs", "base µs", "loss", "drops", "badpkt", "rcvbuf", "demoted")
 	for _, s := range rep.Switches {
-		fmt.Printf("%-12v %-9s %7.2f %6d %10.1f %10.1f %7.3f %7.3f %8v\n",
+		rcvbuf := "?"
+		if s.RcvBufBytes > 0 {
+			rcvbuf = fmt.Sprintf("%dK", s.RcvBufBytes/1024)
+		}
+		fmt.Printf("%-12v %-9s %7.2f %6d %10.1f %10.1f %7.3f %7.3f %7d %9s %8v\n",
 			s.Addr, s.Verdict, s.Phi, s.Heartbeats,
-			s.RTTEWMAus, s.RTTBaselineUs, s.ProbeLossEWMA, s.DropRateEWMA, s.Demoted)
+			s.RTTEWMAus, s.RTTBaselineUs, s.ProbeLossEWMA, s.DropRateEWMA,
+			s.DecodeErrs, rcvbuf, s.Demoted)
 	}
 	if len(rep.Repairs) == 0 {
 		fmt.Println("repair history: empty")

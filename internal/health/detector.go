@@ -211,6 +211,9 @@ type SwitchHealth struct {
 	ProbeReplies   uint64
 	ProbeLosses    uint64
 	LastProbeReply time.Duration
+
+	DecodeErrs  uint64 // from heartbeat payloads: undecodable datagrams at the switch socket
+	RcvBufBytes uint32 // from heartbeat payloads: kernel-effective SO_RCVBUF (0 = unknown)
 }
 
 // switchState is the per-switch accumulator.
@@ -557,6 +560,8 @@ func (d *Detector) Snapshot(now time.Duration) []SwitchHealth {
 			ProbeReplies:   st.probeReplies,
 			ProbeLosses:    st.probeLosses,
 			LastProbeReply: st.lastProbe,
+			DecodeErrs:     st.lastPay.DecodeErrs,
+			RcvBufBytes:    st.lastPay.RcvBuf,
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })

@@ -1,6 +1,7 @@
 package health
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sort"
@@ -114,17 +115,18 @@ func (m *Monitor) recvLoop() {
 	for {
 		sz, src, err := m.conn.ReadFromUDP(buf)
 		if err != nil {
-			return
-		}
-		data := buf[:sz]
-		for len(data) > 0 {
-			rest, err := packet.NextFrame(&f, data)
-			if err != nil {
-				break
+			// Only a closed socket ends monitoring. A transient error — an
+			// ICMP refusal bubbling up after a probed switch died, which is
+			// exactly when the monitor matters most — must not blind it.
+			if errors.Is(err, net.ErrClosed) {
+				return
 			}
-			data = rest
-			m.deliver(&f, src)
+			time.Sleep(20 * time.Microsecond)
+			continue
 		}
+		// A torn frame only loses the undecodable tail; heartbeats decoded
+		// before the corruption still land.
+		_, _ = packet.DecodeBatch(&f, buf[:sz], func(f *packet.Frame) { m.deliver(f, src) })
 	}
 }
 

@@ -24,14 +24,27 @@ type Payload struct {
 	// Retries counts duplicate writes the dataplane replayed — client
 	// retry pressure observed at the switch.
 	Retries uint64
+	// DecodeErrs counts datagrams whose bytes the switch could not decode
+	// — torn or corrupt frames observed at the socket, the wire-corruption
+	// signal the dataplane counters can never see (v2 field).
+	DecodeErrs uint64
+	// RcvBuf is the kernel's effective SO_RCVBUF for the switch's socket,
+	// in bytes; 0 when unknown. A value below the transport's request means
+	// the host clamped it and ingest may drop under bursts (v2 field).
+	RcvBuf uint32
 }
 
-// payloadLen is the wire size: version(1) queue(4) drops(8) processed(8)
-// retries(8).
-const payloadLen = 29
+// Wire sizes: v1 is version(1) queue(4) drops(8) processed(8) retries(8);
+// v2 appends decodeErrs(8) rcvBuf(4).
+const (
+	payloadLenV1 = 29
+	payloadLen   = payloadLenV1 + 12
+)
 
-// payloadVersion guards the encoding.
-const payloadVersion = 1
+// payloadVersion guards the encoding. Decoding still accepts v1 payloads
+// (the appended fields read as zero), so mixed-version clusters degrade
+// gracefully during rollouts.
+const payloadVersion = 2
 
 // Encode appends the wire form of p to buf.
 func (p Payload) Encode(buf []byte) []byte {
@@ -39,23 +52,38 @@ func (p Payload) Encode(buf []byte) []byte {
 	buf = binary.BigEndian.AppendUint32(buf, p.Queue)
 	buf = binary.BigEndian.AppendUint64(buf, p.Drops)
 	buf = binary.BigEndian.AppendUint64(buf, p.Processed)
-	return binary.BigEndian.AppendUint64(buf, p.Retries)
+	buf = binary.BigEndian.AppendUint64(buf, p.Retries)
+	buf = binary.BigEndian.AppendUint64(buf, p.DecodeErrs)
+	return binary.BigEndian.AppendUint32(buf, p.RcvBuf)
 }
 
-// DecodePayload parses a heartbeat value field.
+// DecodePayload parses a heartbeat value field (current or v1 legacy).
 func DecodePayload(b []byte) (Payload, error) {
-	if len(b) < payloadLen {
+	if len(b) < 1 {
 		return Payload{}, fmt.Errorf("health: payload truncated: %d bytes", len(b))
 	}
-	if b[0] != payloadVersion {
+	want := payloadLen
+	switch b[0] {
+	case 1:
+		want = payloadLenV1
+	case payloadVersion:
+	default:
 		return Payload{}, fmt.Errorf("health: unsupported payload version %d", b[0])
 	}
-	return Payload{
+	if len(b) < want {
+		return Payload{}, fmt.Errorf("health: payload truncated: %d bytes", len(b))
+	}
+	p := Payload{
 		Queue:     binary.BigEndian.Uint32(b[1:5]),
 		Drops:     binary.BigEndian.Uint64(b[5:13]),
 		Processed: binary.BigEndian.Uint64(b[13:21]),
 		Retries:   binary.BigEndian.Uint64(b[21:29]),
-	}, nil
+	}
+	if b[0] == payloadVersion {
+		p.DecodeErrs = binary.BigEndian.Uint64(b[29:37])
+		p.RcvBuf = binary.BigEndian.Uint32(b[37:41])
+	}
+	return p, nil
 }
 
 // ProbeKey is the reserved key health probes read. It is never inserted,

@@ -1,0 +1,66 @@
+package health
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// TestPayloadV2RoundTrip pins the v2 wire form: every field — including
+// the socket-level DecodeErrs/RcvBuf additions — survives encode→decode.
+func TestPayloadV2RoundTrip(t *testing.T) {
+	p := Payload{
+		Queue:      7,
+		Drops:      1 << 40,
+		Processed:  123456789,
+		Retries:    42,
+		DecodeErrs: 9001,
+		RcvBuf:     8 << 20,
+	}
+	wire := p.Encode(nil)
+	if len(wire) != payloadLen {
+		t.Fatalf("v2 payload is %d bytes, want %d", len(wire), payloadLen)
+	}
+	got, err := DecodePayload(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != p {
+		t.Fatalf("round trip drifted: %+v != %+v", got, p)
+	}
+}
+
+// TestPayloadDecodesV1 guards rollout compatibility: a v1 payload from an
+// older switch still decodes, with the v2 fields reading zero.
+func TestPayloadDecodesV1(t *testing.T) {
+	p := Payload{Queue: 3, Drops: 10, Processed: 99, Retries: 5}
+	// Hand-encode the 29-byte v1 form.
+	wire := []byte{1}
+	wire = binary.BigEndian.AppendUint32(wire, p.Queue)
+	wire = binary.BigEndian.AppendUint64(wire, p.Drops)
+	wire = binary.BigEndian.AppendUint64(wire, p.Processed)
+	wire = binary.BigEndian.AppendUint64(wire, p.Retries)
+	if len(wire) != payloadLenV1 {
+		t.Fatalf("v1 payload is %d bytes, want %d", len(wire), payloadLenV1)
+	}
+	got, err := DecodePayload(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != p {
+		t.Fatalf("v1 decode drifted: %+v != %+v", got, p)
+	}
+	if got.DecodeErrs != 0 || got.RcvBuf != 0 {
+		t.Fatalf("v1 payload grew v2 fields: %+v", got)
+	}
+}
+
+// TestPayloadRejectsGarbage: truncated and unknown-version payloads error
+// instead of decoding nonsense.
+func TestPayloadRejectsGarbage(t *testing.T) {
+	full := Payload{Queue: 1}.Encode(nil)
+	for _, b := range [][]byte{nil, {}, full[:5], full[:payloadLenV1], {99, 0, 0, 0, 0}} {
+		if _, err := DecodePayload(b); err == nil {
+			t.Errorf("decoded %d-byte payload (version %v) without error", len(b), b)
+		}
+	}
+}

@@ -146,6 +146,28 @@ func NextFrame(f *Frame, data []byte) (rest []byte, err error) {
 	return data[n:], nil
 }
 
+// DecodeBatch parses the back-to-back frames of one datagram, invoking fn
+// for each decoded frame. f is reused across calls and aliases data, so fn
+// must finish with (or detach) the frame before returning. It returns the
+// number of frames delivered and, when a torn or corrupt frame cut the
+// batch short, the decode error: frame boundaries are only discoverable by
+// parsing, so the bytes after the bad frame are undecodable — but every
+// frame before the corruption has already been delivered, and the caller
+// can account for the loss instead of silently discarding the tail.
+func DecodeBatch(f *Frame, data []byte, fn func(*Frame)) (int, error) {
+	n := 0
+	for len(data) > 0 {
+		rest, err := NextFrame(f, data)
+		if err != nil {
+			return n, err
+		}
+		data = rest
+		fn(f)
+		n++
+	}
+	return n, nil
+}
+
 // Clone deep-copies the frame.
 func (f *Frame) Clone() *Frame {
 	c := &Frame{}

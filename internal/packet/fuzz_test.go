@@ -179,3 +179,65 @@ func FuzzRoundTrip(f *testing.F) {
 		PutFrame(clean)
 	})
 }
+
+// FuzzDecodeBatch covers the batched-datagram decoder the transports run
+// on every received datagram: for arbitrary bytes it must never panic,
+// must deliver exactly the frames that precede any corruption, and its
+// count must match the number of callback invocations. Seeds include
+// multi-frame datagrams with partially-truncated trailing frames — the
+// torn-batch case whose tail used to be dropped without accounting.
+func FuzzDecodeBatch(f *testing.F) {
+	one := seedFrame(kv.OpRead, nil)
+	two := append(seedFrame(kv.OpWrite, []byte("hello"), AddrFrom4(10, 0, 0, 2)),
+		seedFrame(kv.OpDelete, nil)...)
+	three := append(append([]byte(nil), two...), seedFrame(kv.OpRead, nil)...)
+	f.Add(one)
+	f.Add(two)
+	f.Add(three)
+	// Good frames followed by a partial trailing frame, cut at assorted
+	// depths into the last frame.
+	for cut := 1; cut < len(one); cut += 9 {
+		f.Add(append(append([]byte(nil), two...), one[:cut]...))
+	}
+	// Mid-batch corruption: flip bits inside the second frame of three.
+	for i := len(one); i < len(two); i += 11 {
+		flip := append([]byte(nil), three...)
+		flip[i] ^= 0x80
+		f.Add(flip)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var fr Frame
+		calls := 0
+		n, err := DecodeBatch(&fr, data, func(g *Frame) {
+			if g != &fr {
+				t.Fatal("callback frame is not the caller's frame")
+			}
+			calls++
+		})
+		if n != calls {
+			t.Fatalf("DecodeBatch reported %d frames but delivered %d", n, calls)
+		}
+		if err == nil && len(data) > 0 && n == 0 {
+			t.Fatalf("no frames and no error from %d bytes", len(data))
+		}
+		// Reference walk: DecodeBatch must agree with NextFrame exactly.
+		refN := 0
+		rest := data
+		for len(rest) > 0 {
+			var rf Frame
+			next, rerr := NextFrame(&rf, rest)
+			if rerr != nil {
+				if err == nil {
+					t.Fatalf("NextFrame errs (%v) where DecodeBatch did not", rerr)
+				}
+				break
+			}
+			refN++
+			rest = next
+		}
+		if refN != n {
+			t.Fatalf("DecodeBatch delivered %d frames, reference walk %d", n, refN)
+		}
+	})
+}

@@ -1,0 +1,424 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"netchain/internal/core"
+	"netchain/internal/health"
+	"netchain/internal/kv"
+	"netchain/internal/packet"
+	"netchain/internal/query"
+)
+
+// flakyReader surfaces n transient errors before delegating to the real
+// reader — the regression fixture for the "any read error kills the loop
+// forever" bug: a loop with the old behavior exits on the first error and
+// every operation after it times out.
+type flakyReader struct {
+	inner batchReader
+	errs  int
+}
+
+func (r *flakyReader) ReadBatch(ring *recvRing) (int, error) {
+	if r.errs > 0 {
+		r.errs--
+		return 0, errors.New("transient: connection refused")
+	}
+	return r.inner.ReadBatch(ring)
+}
+
+// flakyNode boots one switch whose every ingest reader fails its first n
+// reads, plus a client routed straight at it.
+func flakyNode(t *testing.T, n int) (*SwitchNode, *Ops) {
+	t.Helper()
+	book := NewAddressBook()
+	addr := packet.AddrFrom4(10, 0, 0, 1)
+	sw, err := core.NewSwitch(addr, pipeCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := NewSwitchNode(sw, book, "127.0.0.1:0",
+		WithIngestSockets(1),
+		withReader(func(conn *net.UDPConn, ring *recvRing) batchReader {
+			return &flakyReader{inner: newBatchReader(conn, ring), errs: n}
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { node.Close() })
+	cl, err := NewClient(book, ClientConfig{
+		Addr:    packet.AddrFrom4(10, 1, 0, 1),
+		Gateway: addr,
+		Bind:    "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	rt := query.Route{Group: 0, Hops: []packet.Addr{addr}}
+	return node, &Ops{Client: cl, Dir: func(kv.Key) (query.Route, error) { return rt, nil }}
+}
+
+// TestSwitchSurvivesTransientReadErrors pins the first read-loop bugfix:
+// a switch whose socket surfaces transient errors (ICMP refusals, ENOBUFS)
+// must keep serving — before the fix, serve() treated every error as
+// "socket closed" and the node went silently deaf.
+func TestSwitchSurvivesTransientReadErrors(t *testing.T) {
+	const transientErrs = 3
+	node, ops := flakyNode(t, transientErrs)
+	key := kv.KeyFromString("survives-read-errors")
+	if err := node.Switch().InstallKey(key); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ops.Write(key, kv.Value("alive")); err != nil {
+		t.Fatalf("write through flaky ingest: %v", err)
+	}
+	v, _, err := ops.Read(key)
+	if err != nil || string(v) != "alive" {
+		t.Fatalf("read through flaky ingest: %q, %v", v, err)
+	}
+	if got := node.Stats().ReadErrors; got != transientErrs {
+		t.Fatalf("ReadErrors = %d, want %d", got, transientErrs)
+	}
+}
+
+// TestClientSurvivesTransientReadErrors is the same regression on the
+// client's receive loop: before the fix a single transient error stranded
+// every in-flight and future query until its retry timer drained.
+func TestClientSurvivesTransientReadErrors(t *testing.T) {
+	const transientErrs = 3
+	node, _ := singleNode(t, 2, 8)
+	cl, err := NewClient(node.book, ClientConfig{
+		Addr:    packet.AddrFrom4(10, 1, 0, 9),
+		Gateway: node.sw.Addr(),
+		Bind:    "127.0.0.1:0",
+		testReader: func(conn *net.UDPConn, ring *recvRing) batchReader {
+			return &flakyReader{inner: newBatchReader(conn, ring), errs: transientErrs}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	rt := query.Route{Group: 0, Hops: []packet.Addr{node.sw.Addr()}}
+	ops := &Ops{Client: cl, Dir: func(kv.Key) (query.Route, error) { return rt, nil }}
+	key := kv.KeyFromString("client-survives")
+	if err := node.Switch().InstallKey(key); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ops.Write(key, kv.Value("ack")); err != nil {
+		t.Fatalf("write with flaky client socket: %v", err)
+	}
+	v, _, err := ops.Read(key)
+	if err != nil || string(v) != "ack" {
+		t.Fatalf("read with flaky client socket: %q, %v", v, err)
+	}
+	if got := cl.Stats().ReadErrors; got != transientErrs {
+		t.Fatalf("client ReadErrors = %d, want %d", got, transientErrs)
+	}
+}
+
+// TestCorruptFrameMidBatchKeepsGoodFrames pins the second bugfix: a torn
+// frame inside a batched datagram must not silently discard the decodable
+// frames before it, and the loss must be counted. Two good writes ride in
+// front of garbage bytes; both must apply, and the node must report one
+// decode error on one truncated batch.
+func TestCorruptFrameMidBatchKeepsGoodFrames(t *testing.T) {
+	node, ops := singleNode(t, 2, 8)
+	k1 := kv.KeyFromString("good-frame-1")
+	k2 := kv.KeyFromString("good-frame-2")
+	for _, k := range []kv.Key{k1, k2} {
+		if err := node.Switch().InstallKey(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Build one datagram: write(k1) ++ write(k2) ++ junk.
+	src := packet.AddrFrom4(10, 9, 9, 9)
+	var data []byte
+	for i, k := range []kv.Key{k1, k2} {
+		f := packet.GetFrame()
+		f.NC = packet.NetChain{
+			Op: kv.OpWrite, QueryID: uint64(i + 1), Key: k,
+			Value: []byte(fmt.Sprintf("batched-%d", i)),
+		}
+		out := packet.NewQueryInto(f, src, node.sw.Addr(), packet.Port, &f.NC)
+		b, err := out.Serialize(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data = b
+		packet.PutFrame(f)
+	}
+	goodLen := len(data)
+	data = append(data, bytes.Repeat([]byte{0xFF}, 40)...)
+
+	raw, err := net.DialUDP("udp", nil, node.Endpoint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	if _, err := raw.Write(data); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		st := node.Stats()
+		if st.DecodeErrors >= 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	st := node.Stats()
+	if st.DecodeErrors != 1 || st.TruncatedBatches != 1 {
+		t.Fatalf("DecodeErrors=%d TruncatedBatches=%d, want 1 and 1 (datagram: %d good bytes + junk)",
+			st.DecodeErrors, st.TruncatedBatches, goodLen)
+	}
+	// Both frames ahead of the corruption were delivered: the writes
+	// landed even though the datagram's tail was garbage.
+	for i, k := range []kv.Key{k1, k2} {
+		want := fmt.Sprintf("batched-%d", i)
+		var v kv.Value
+		for time.Now().Before(deadline) {
+			var err error
+			v, _, err = ops.Read(k)
+			if err == nil && string(v) == want {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+		if string(v) != want {
+			t.Fatalf("key %d after torn batch: got %q, want %q", i, v, want)
+		}
+	}
+}
+
+// TestPortableBatchedEquivalence drives the identical interleaved write
+// sequence through a batched node and a portable-reference node: both must
+// end with the same per-key final value and version — the batched fast
+// path may reorder nothing a client could observe.
+func TestPortableBatchedEquivalence(t *testing.T) {
+	type outcome struct {
+		val string
+		ver kv.Version
+	}
+	const keys = 6
+	const writesPerKey = 40
+
+	run := func(t *testing.T, opts ...NodeOption) map[int]outcome {
+		book := NewAddressBook()
+		addr := packet.AddrFrom4(10, 0, 0, 1)
+		sw, err := core.NewSwitch(addr, pipeCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		node, err := NewSwitchNode(sw, book, "127.0.0.1:0", opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer node.Close()
+		cl, err := NewClient(book, ClientConfig{
+			Addr:    packet.AddrFrom4(10, 1, 0, 1),
+			Gateway: addr,
+			Bind:    "127.0.0.1:0",
+			Window:  16,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cl.Close()
+		rt := query.Route{Group: 0, Hops: []packet.Addr{addr}}
+		ops := &Ops{Client: cl, Dir: func(kv.Key) (query.Route, error) { return rt, nil }}
+		for k := 0; k < keys; k++ {
+			if err := sw.InstallKey(kv.KeyFromString(fmt.Sprintf("equiv-%d", k))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Interleave pipelined writes round-robin across keys: per-key
+		// order is the submission order regardless of path.
+		var wg sync.WaitGroup
+		for i := 1; i <= writesPerKey; i++ {
+			for k := 0; k < keys; k++ {
+				wg.Add(1)
+				key := kv.KeyFromString(fmt.Sprintf("equiv-%d", k))
+				ops.WriteAsync(key, kv.Value(fmt.Sprintf("w-%d-%d", k, i)),
+					func(_ kv.Version, err error) {
+						if err != nil {
+							t.Error(err)
+						}
+						wg.Done()
+					})
+			}
+		}
+		wg.Wait()
+		final := make(map[int]outcome, keys)
+		for k := 0; k < keys; k++ {
+			v, ver, err := ops.Read(kv.KeyFromString(fmt.Sprintf("equiv-%d", k)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			final[k] = outcome{val: string(v), ver: ver}
+		}
+		return final
+	}
+
+	batched := run(t)
+	portable := run(t, withPortableIO())
+	for k := 0; k < keys; k++ {
+		if batched[k] != portable[k] {
+			t.Fatalf("key %d diverged: batched=%+v portable=%+v", k, batched[k], portable[k])
+		}
+		want := fmt.Sprintf("w-%d-%d", k, writesPerKey)
+		if batched[k].val != want {
+			t.Fatalf("key %d final value %q, want %q", k, batched[k].val, want)
+		}
+	}
+}
+
+// TestIngestRingStress hammers one batched node from several concurrent
+// pipelined clients with mixed reads and writes — under -race this is the
+// memory-safety proof for the pooled receive ring and the inline read
+// path (frames alias ring slots that the next ReadBatch reuses).
+func TestIngestRingStress(t *testing.T) {
+	book := NewAddressBook()
+	addr := packet.AddrFrom4(10, 0, 0, 1)
+	sw, err := core.NewSwitch(addr, pipeCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := NewSwitchNode(sw, book, "127.0.0.1:0", WithRecvBatch(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	const nkeys = 16
+	for i := 0; i < nkeys; i++ {
+		if err := sw.InstallKey(kv.KeyFromUint64(uint64(i + 1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rt := query.Route{Group: 0, Hops: []packet.Addr{addr}}
+	const clients = 3
+	const opsPerClient = 300
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		cl, err := NewClient(book, ClientConfig{
+			Addr:    packet.AddrFrom4(10, 1, 0, byte(c+1)),
+			Gateway: addr,
+			Bind:    "127.0.0.1:0",
+			Window:  32,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cl.Close()
+		ops := &Ops{Client: cl, Dir: func(kv.Key) (query.Route, error) { return rt, nil }}
+		wg.Add(1)
+		go func(c int, ops *Ops) {
+			defer wg.Done()
+			var inner sync.WaitGroup
+			for i := 0; i < opsPerClient; i++ {
+				key := kv.KeyFromUint64(uint64(i%nkeys + 1))
+				inner.Add(1)
+				if i%4 == 0 {
+					ops.WriteAsync(key, kv.Value(fmt.Sprintf("s-%d-%d", c, i)),
+						func(_ kv.Version, err error) {
+							if err != nil {
+								t.Error(err)
+							}
+							inner.Done()
+						})
+				} else {
+					ops.ReadAsync(key, func(_ kv.Value, _ kv.Version, err error) {
+						if err != nil && !errors.Is(err, kv.StatusNotFound.Err()) {
+							// not-found races with the first writes; real
+							// transport errors are failures
+							t.Error(err)
+						}
+						inner.Done()
+					})
+				}
+			}
+			inner.Wait()
+		}(c, ops)
+	}
+	wg.Wait()
+}
+
+// TestRcvBufClamped covers the clamp predicate: Linux reads back 2× the
+// granted buffer, so anything below the request means rmem_max clamped it;
+// 0 means the platform could not read it back at all.
+func TestRcvBufClamped(t *testing.T) {
+	cases := []struct {
+		requested, effective int
+		want                 bool
+	}{
+		{4 << 20, 0, false},       // unknown: not provably clamped
+		{4 << 20, 8 << 20, false}, // kernel granted 2× request (Linux doubling)
+		{4 << 20, 4 << 20, false}, // granted exactly
+		{4 << 20, 425984, true},   // clamped to default rmem_max
+		{4 << 20, (4 << 20) - 1, true},
+	}
+	for _, c := range cases {
+		if got := rcvBufClamped(c.requested, c.effective); got != c.want {
+			t.Errorf("rcvBufClamped(%d, %d) = %v, want %v", c.requested, c.effective, got, c.want)
+		}
+	}
+}
+
+// TestRcvBufPlumbing checks the third bugfix end to end on Linux: the
+// effective SO_RCVBUF is read back (not discarded), surfaces in NodeStats,
+// and rides heartbeat payloads into the detector snapshot the operator
+// sees.
+func TestRcvBufPlumbing(t *testing.T) {
+	if runtime.GOOS != "linux" {
+		t.Skip("effective SO_RCVBUF readback is Linux-only")
+	}
+	book := NewAddressBook()
+	swAddr := packet.AddrFrom4(10, 0, 0, 1)
+	monAddr := packet.AddrFrom4(10, 255, 0, 1)
+	sw, err := core.NewSwitch(swAddr, pipeCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := NewSwitchNode(sw, book, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	if node.Stats().RcvBufBytes <= 0 {
+		t.Fatalf("RcvBufBytes = %d, want the kernel's readback > 0", node.Stats().RcvBufBytes)
+	}
+
+	det := health.NewDetector(health.Defaults(5 * time.Millisecond))
+	mon, err := health.NewMonitor("127.0.0.1:0", monAddr, det)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mon.Close()
+	book.Set(monAddr, mon.Endpoint())
+	if err := node.StartHeartbeats(monAddr, 5*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		snap := det.Snapshot(mon.Now())
+		if len(snap) == 1 && snap[0].RcvBufBytes > 0 {
+			if int(snap[0].RcvBufBytes) != node.Stats().RcvBufBytes {
+				t.Fatalf("snapshot RcvBufBytes %d != node's %d",
+					snap[0].RcvBufBytes, node.Stats().RcvBufBytes)
+			}
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("detector snapshot never carried the switch's receive-buffer size")
+}

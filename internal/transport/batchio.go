@@ -1,0 +1,168 @@
+package transport
+
+import (
+	"errors"
+	"net"
+
+	"netchain/internal/packet"
+)
+
+// isClosedErr reports whether err means the socket is gone for good — the
+// only read/write error that should stop a datagram loop.
+func isClosedErr(err error) bool { return errors.Is(err, net.ErrClosed) }
+
+// Batch datagram I/O. One syscall per datagram caps the real-UDP data
+// plane far below what the lock-free switch core can absorb, so ingest
+// and egress run in datagram batches: on Linux a single recvmmsg drains
+// up to a whole ring of datagrams and a single sendmmsg flushes a burst
+// of replies (batch_linux.go); everywhere else the same interfaces fall
+// back to the one-datagram-per-syscall loop the transport always had
+// (batch_other.go). The portable implementations also compile on Linux,
+// so tests can run both paths side by side and prove them equivalent.
+
+const (
+	// defaultRecvBatch is the number of datagrams one ReadBatch may drain
+	// per syscall. Past ~32 the syscall amortization flattens while the
+	// ring's cache footprint keeps growing.
+	defaultRecvBatch = 32
+
+	// recvSlotBytes is the capacity of one receive-ring slot. Our own
+	// senders never emit datagrams above maxBatchBytes (coalescing caps
+	// there, and single frames carry ≤128 B line-rate values), so 8 KB
+	// leaves generous headroom; an oversized foreign datagram truncates
+	// and surfaces as a counted decode error rather than silent loss.
+	recvSlotBytes = 8 << 10
+
+	// sendBatchMsgs caps the datagrams flushed by one WriteBatch — the
+	// egress mirror of defaultRecvBatch.
+	sendBatchMsgs = 32
+)
+
+// batchReader reads datagrams from one UDP socket in batches. Not safe
+// for concurrent use; each ingest goroutine owns one reader and one ring.
+type batchReader interface {
+	// ReadBatch blocks until at least one datagram is readable, fills the
+	// ring's slots, and returns the number of datagrams read. Errors pass
+	// through unwrapped: the caller distinguishes net.ErrClosed (socket
+	// gone, stop) from transient failures (count and continue).
+	ReadBatch(r *recvRing) (int, error)
+}
+
+// batchSender writes datagrams to one UDP socket in batches. Not safe for
+// concurrent use; each sending goroutine owns one sender.
+type batchSender interface {
+	// WriteBatch sends every message as its own datagram. Send failures
+	// on individual messages are dropped silently — on UDP a refused or
+	// unreachable destination is indistinguishable from loss anyway — but
+	// a closed socket returns net.ErrClosed.
+	WriteBatch(msgs []outFrame) error
+}
+
+// recvRing is the pooled message ring one ingest goroutine owns: batch
+// slots carved from a single backing array (sequential kernel fills stay
+// cache-friendly), reused for the lifetime of the goroutine. Frames
+// decoded from a slot alias it only until the next ReadBatch, which is
+// why non-detached processing must finish within the batch iteration.
+type recvRing struct {
+	bufs  [][]byte
+	sizes []int
+}
+
+func newRecvRing(batch int) *recvRing {
+	if batch < 1 {
+		batch = 1
+	}
+	r := &recvRing{bufs: make([][]byte, batch), sizes: make([]int, batch)}
+	backing := make([]byte, batch*recvSlotBytes)
+	for i := range r.bufs {
+		r.bufs[i] = backing[i*recvSlotBytes : (i+1)*recvSlotBytes : (i+1)*recvSlotBytes]
+	}
+	return r
+}
+
+// newBatchReader returns the fastest reader the platform offers for conn.
+func newBatchReader(conn *net.UDPConn, ring *recvRing) batchReader {
+	if r := newPlatformBatchReader(conn, ring); r != nil {
+		return r
+	}
+	return &portableReader{conn: conn}
+}
+
+// newBatchSender returns the fastest sender the platform offers for conn.
+func newBatchSender(conn *net.UDPConn) batchSender {
+	if s := newPlatformBatchSender(conn); s != nil {
+		return s
+	}
+	return &portableSender{conn: conn}
+}
+
+// portableReader is the fallback (and reference) implementation: one
+// blocking ReadFromUDP per ReadBatch — exactly the pre-batching loop.
+type portableReader struct{ conn *net.UDPConn }
+
+func (p *portableReader) ReadBatch(r *recvRing) (int, error) {
+	sz, _, err := p.conn.ReadFromUDP(r.bufs[0][:recvSlotBytes])
+	if err != nil {
+		return 0, err
+	}
+	r.sizes[0] = sz
+	return 1, nil
+}
+
+// portableSender is the fallback egress: one WriteToUDP per message.
+type portableSender struct{ conn *net.UDPConn }
+
+func (p *portableSender) WriteBatch(msgs []outFrame) error {
+	for _, m := range msgs {
+		if _, err := p.conn.WriteToUDP(*m.buf, m.ep); err != nil {
+			if isClosedErr(err) {
+				return err
+			}
+			// A refused/unreachable destination: drop, like the wire would.
+		}
+	}
+	return nil
+}
+
+// egressBatch accumulates serialized frames into datagrams and flushes
+// them with one WriteBatch per burst: consecutive frames bound for the
+// same endpoint fold into a single datagram (the receiver's DecodeBatch
+// separates them, DPDK-style burst batching) up to maxBatchBytes, and
+// distinct endpoints become separate messages of the same syscall. One
+// goroutine owns each egressBatch.
+type egressBatch struct {
+	snd  batchSender
+	msgs []outFrame
+}
+
+func newEgressBatch(snd batchSender) *egressBatch {
+	return &egressBatch{snd: snd, msgs: make([]outFrame, 0, sendBatchMsgs)}
+}
+
+// add queues one serialized frame, taking ownership of o.buf.
+func (e *egressBatch) add(o outFrame) {
+	if k := len(e.msgs); k > 0 {
+		last := &e.msgs[k-1]
+		if last.ep == o.ep && len(*last.buf)+len(*o.buf) <= maxBatchBytes {
+			*last.buf = append(*last.buf, *o.buf...)
+			packet.PutBuf(o.buf)
+			return
+		}
+	}
+	e.msgs = append(e.msgs, o)
+	if len(e.msgs) == cap(e.msgs) {
+		e.flush()
+	}
+}
+
+// flush sends everything queued and recycles the buffers.
+func (e *egressBatch) flush() {
+	if len(e.msgs) == 0 {
+		return
+	}
+	_ = e.snd.WriteBatch(e.msgs)
+	for i := range e.msgs {
+		packet.PutBuf(e.msgs[i].buf)
+	}
+	e.msgs = e.msgs[:0]
+}

@@ -249,6 +249,8 @@ type SwitchHealthWire struct {
 	ProbeLossEWMA float64
 	DropRateEWMA  float64
 	QueueEWMA     float64
+	DecodeErrs    uint64 // undecodable datagrams seen at the switch socket
+	RcvBufBytes   uint32 // kernel-effective SO_RCVBUF (0 = unknown)
 	Demoted       bool
 }
 
@@ -281,6 +283,8 @@ func BuildHealthReport(det *health.Detector, ap *controller.Autopilot, now time.
 			ProbeLossEWMA: h.ProbeLossEWMA,
 			DropRateEWMA:  h.DropRateEWMA,
 			QueueEWMA:     h.QueueEWMA,
+			DecodeErrs:    h.DecodeErrs,
+			RcvBufBytes:   h.RcvBufBytes,
 			Demoted:       ap != nil && ap.Demoted(h.Addr),
 		})
 	}

@@ -1,0 +1,6 @@
+//go:build linux && amd64
+
+package transport
+
+// sysSendmmsg is __NR_sendmmsg, absent from the stdlib syscall tables.
+const sysSendmmsg uintptr = 307

@@ -1,0 +1,7 @@
+//go:build linux && !amd64 && !arm64
+
+package transport
+
+// sysSendmmsg is unknown on this arch; 0 selects the portable egress path
+// (batched ingest via recvmmsg still applies — its number IS in stdlib).
+const sysSendmmsg uintptr = 0

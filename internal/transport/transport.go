@@ -19,6 +19,7 @@ package transport
 import (
 	"errors"
 	"fmt"
+	"log"
 	"net"
 	"runtime"
 	"sync"
@@ -74,46 +75,50 @@ type outFrame struct {
 	ep  *net.UDPAddr
 }
 
-// writeCoalesced sends o, first folding in any already-queued frames bound
-// for the same endpoint so a single sendto carries the burst. Endpoint
-// identity is pointer equality — the AddressBook hands out stable pointers.
-func writeCoalesced(conn *net.UDPConn, ch <-chan outFrame, o outFrame) {
-	flush := func() {
-		_, _ = conn.WriteToUDP(*o.buf, o.ep)
-		packet.PutBuf(o.buf)
-	}
-	for {
-		select {
-		case next, ok := <-ch:
-			if !ok {
-				flush()
-				return
-			}
-			if next.ep == o.ep && len(*o.buf)+len(*next.buf) <= maxBatchBytes {
-				*o.buf = append(*o.buf, *next.buf...)
-				packet.PutBuf(next.buf)
-				continue
-			}
-			flush()
-			o = next
-		default:
-			flush()
-			return
-		}
-	}
-}
-
 // NodeOption tunes a SwitchNode.
 type NodeOption func(*nodeConfig)
 
 type nodeConfig struct {
-	workers int
+	workers   int
+	sockets   int
+	batch     int
+	portable  bool                                      // force the pre-batching reference path
+	newReader func(*net.UDPConn, *recvRing) batchReader // test seam: inject read errors
 }
 
 // WithIngestWorkers sets the size of the node's dataplane worker pool.
 // n < 1 selects the default (GOMAXPROCS, capped at 8).
 func WithIngestWorkers(n int) NodeOption {
 	return func(c *nodeConfig) { c.workers = n }
+}
+
+// WithIngestSockets sets how many SO_REUSEPORT sockets share the node's
+// port, each owned by its own batch-reading ingest goroutine (the kernel
+// shards flows across them by 4-tuple hash, so one client's datagrams
+// always arrive in order on one socket). n < 1 selects the default (one
+// per schedulable core, capped at 4); platforms without SO_REUSEPORT
+// always run one socket.
+func WithIngestSockets(n int) NodeOption {
+	return func(c *nodeConfig) { c.sockets = n }
+}
+
+// WithRecvBatch sets the datagrams one ingest syscall may drain (the
+// receive-ring depth per socket). n < 1 selects the default (32).
+func WithRecvBatch(n int) NodeOption {
+	return func(c *nodeConfig) { c.batch = n }
+}
+
+// withPortableIO forces the portable single-socket, one-datagram-per-
+// syscall path on any platform — the reference the batched fast path is
+// tested for equivalence against.
+func withPortableIO() NodeOption {
+	return func(c *nodeConfig) { c.portable = true }
+}
+
+// withReader injects the ingest reader constructor (tests only): a
+// wrapping reader can surface transient socket errors on demand.
+func withReader(fn func(*net.UDPConn, *recvRing) batchReader) NodeOption {
+	return func(c *nodeConfig) { c.newReader = fn }
 }
 
 // defaultIngestWorkers sizes the pool for the machine: one worker per
@@ -130,39 +135,111 @@ func defaultIngestWorkers() int {
 	return n
 }
 
+// defaultIngestSockets sizes the ingest-socket shard count: ingest
+// goroutines also serve reads inline, so more sockets than cores just
+// adds scheduler churn.
+func defaultIngestSockets() int {
+	n := runtime.GOMAXPROCS(0)
+	if n > 4 {
+		n = 4
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
 // socketBufBytes is requested for the node's UDP socket in both
 // directions, absorbing multi-client bursts while the worker pool drains.
 const socketBufBytes = 4 << 20
 
-// SwitchNode runs one NetChain switch dataplane behind a real UDP socket.
-// Internally it is a pipeline — receive+decode, an N-worker dataplane
-// pool, serialize handled in the workers, and a coalescing send stage —
-// so the two syscalls overlap the match-action work and the per-packet
-// processing scales across cores. Mutating ops (write/delete/CAS/sync)
-// shard onto workers by key hash — all writes for one key serialize
-// through one worker, preserving per-key write ordering exactly as the
-// single-goroutine node did — while reads, replies and transit frames
-// spread round-robin so a hot key cannot head-of-line-block the pool
-// (the core serves reads lock-free; the seqlock snapshot linearizes
-// them regardless of arrival order).
+// warnRcvBufOnce rate-limits the clamped-receive-buffer warning: every
+// socket in a process hits the same rmem_max, so one line says it all.
+var warnRcvBufOnce sync.Once
+
+// rcvBufClamped reports whether the kernel granted less receive buffer
+// than requested. Linux reads back double the granted value, so any
+// effective reading below the request means net.core.rmem_max clamped it.
+// effective == 0 means the platform could not read it back.
+func rcvBufClamped(requested, effective int) bool {
+	return effective > 0 && effective < requested
+}
+
+// configureSocket requests the big socket buffers and reads back what the
+// kernel actually granted — the difference between "batching works" and
+// "mystery drops": a 4 MB request silently clamped to rmem_max's default
+// ~208 KB overflows under a single burst, so the clamp is surfaced both
+// in the log and (via NodeStats and heartbeat payloads) to the monitor.
+func configureSocket(conn *net.UDPConn) int {
+	if err := conn.SetReadBuffer(socketBufBytes); err != nil {
+		log.Printf("transport: SetReadBuffer(%d): %v", socketBufBytes, err)
+	}
+	_ = conn.SetWriteBuffer(socketBufBytes)
+	eff := effectiveRcvBuf(conn)
+	if rcvBufClamped(socketBufBytes, eff) {
+		warnRcvBufOnce.Do(func() {
+			log.Printf("transport: kernel clamped SO_RCVBUF to %d bytes (requested %d); "+
+				"raise it with `sysctl -w net.core.rmem_max=%d` or expect ingest drops under bursts",
+				eff, socketBufBytes, socketBufBytes)
+		})
+	}
+	return eff
+}
+
+// NodeStats counts transport-level events at a switch node's sockets —
+// the wire-health view that core.Switch.Stats cannot see, because bad
+// bytes never reach the dataplane.
+type NodeStats struct {
+	ReadErrors       uint64 // transient socket read errors survived (the loop kept running)
+	DecodeErrors     uint64 // datagrams containing undecodable bytes
+	TruncatedBatches uint64 // batched datagrams cut short by a corrupt frame after good ones
+	RecvBatches      uint64 // ingest syscalls that returned datagrams
+	RecvDatagrams    uint64 // datagrams those syscalls drained (ratio = batching effectiveness)
+	RecvFrames       uint64 // frames decoded off the wire
+	RcvBufBytes      int    // effective kernel SO_RCVBUF (0 = unknown); below 4 MB means clamped
+}
+
+// SwitchNode runs one NetChain switch dataplane behind real UDP sockets.
+// Ingest is sharded and batched: up to S SO_REUSEPORT sockets share the
+// node's port, each owned by a goroutine that drains whole datagram
+// batches per syscall (recvmmsg on Linux) into its own receive ring.
+// Reads, replies and transit frames are processed inline on the ingest
+// goroutine, zero-copy off the ring — the seqlock snapshot linearizes
+// reads regardless of arrival order — and their output leaves in one
+// batched send syscall per ingest wakeup. Mutating ops (write/delete/
+// CAS/sync) detach into pooled frames and shard onto W workers by key
+// hash: all writes for one key serialize through one worker, and because
+// the kernel pins each client flow to one ingest socket, per-client
+// per-key FIFO order is preserved exactly as the single-socket node
+// preserved it.
 type SwitchNode struct {
-	sw   *core.Switch
-	book *AddressBook
-	conn *net.UDPConn
+	sw    *core.Switch
+	book  *AddressBook
+	conn  *net.UDPConn   // primary socket (worker egress, heartbeats)
+	conns []*net.UDPConn // every ingest socket, conns[0] == conn
 
 	in  []chan *packet.Frame // per-worker queues, sharded by key hash
-	out chan outFrame        // serialized datagrams awaiting the wire
+	out chan outFrame        // worker-serialized datagrams awaiting the wire
+
+	readErrs     atomic.Uint64
+	decodeErrs   atomic.Uint64
+	truncBatches atomic.Uint64
+	recvBatches  atomic.Uint64
+	recvDgrams   atomic.Uint64
+	recvFrames   atomic.Uint64
+	rcvBuf       int
 
 	mu       sync.Mutex
 	closed   bool
+	recvWG   sync.WaitGroup
 	workerWG sync.WaitGroup
 	sendDone chan struct{}
 	hbStop   chan struct{}
 	hbDone   chan struct{}
 }
 
-// NewSwitchNode binds a UDP socket (pass "127.0.0.1:0" for tests), records
-// the mapping in the book, and starts serving.
+// NewSwitchNode binds the node's UDP socket(s) (pass "127.0.0.1:0" for
+// tests), records the mapping in the book, and starts serving.
 func NewSwitchNode(sw *core.Switch, book *AddressBook, bind string, opts ...NodeOption) (*SwitchNode, error) {
 	cfg := nodeConfig{}
 	for _, o := range opts {
@@ -171,21 +248,65 @@ func NewSwitchNode(sw *core.Switch, book *AddressBook, bind string, opts ...Node
 	if cfg.workers < 1 {
 		cfg.workers = defaultIngestWorkers()
 	}
-	laddr, err := net.ResolveUDPAddr("udp", bind)
-	if err != nil {
-		return nil, fmt.Errorf("transport: resolve %q: %w", bind, err)
+	if cfg.sockets < 1 {
+		cfg.sockets = defaultIngestSockets()
 	}
-	conn, err := net.ListenUDP("udp", laddr)
-	if err != nil {
-		return nil, fmt.Errorf("transport: listen: %w", err)
+	if cfg.batch < 1 {
+		cfg.batch = defaultRecvBatch
 	}
-	_ = conn.SetReadBuffer(socketBufBytes)
-	_ = conn.SetWriteBuffer(socketBufBytes)
+	if cfg.portable || !reusePortSupported {
+		// Without SO_REUSEPORT flow pinning, concurrent readers on one
+		// socket would interleave a client's datagrams and break per-key
+		// write ordering — so the fallback is one socket, one reader.
+		cfg.sockets = 1
+	}
+	if cfg.newReader == nil {
+		cfg.newReader = newBatchReader
+		if cfg.portable {
+			cfg.newReader = func(conn *net.UDPConn, _ *recvRing) batchReader {
+				return &portableReader{conn: conn}
+			}
+		}
+	}
+
+	var conns []*net.UDPConn
+	if cfg.sockets > 1 {
+		first, err := listenReusePort(bind)
+		if err != nil {
+			return nil, fmt.Errorf("transport: listen: %w", err)
+		}
+		conns = append(conns, first)
+		actual := first.LocalAddr().String()
+		for i := 1; i < cfg.sockets; i++ {
+			c, err := listenReusePort(actual)
+			if err != nil {
+				for _, pc := range conns {
+					pc.Close()
+				}
+				return nil, fmt.Errorf("transport: listen shard %d: %w", i, err)
+			}
+			conns = append(conns, c)
+		}
+	} else {
+		laddr, err := net.ResolveUDPAddr("udp", bind)
+		if err != nil {
+			return nil, fmt.Errorf("transport: resolve %q: %w", bind, err)
+		}
+		conn, err := net.ListenUDP("udp", laddr)
+		if err != nil {
+			return nil, fmt.Errorf("transport: listen: %w", err)
+		}
+		conns = append(conns, conn)
+	}
+
 	n := &SwitchNode{
-		sw: sw, book: book, conn: conn,
+		sw: sw, book: book, conn: conns[0], conns: conns,
 		in:       make([]chan *packet.Frame, cfg.workers),
 		out:      make(chan outFrame, switchQueueDepth),
 		sendDone: make(chan struct{}),
+	}
+	for _, c := range conns {
+		n.rcvBuf = configureSocket(c)
 	}
 	depth := switchQueueDepth / cfg.workers
 	if depth < 64 {
@@ -194,13 +315,24 @@ func NewSwitchNode(sw *core.Switch, book *AddressBook, bind string, opts ...Node
 	for i := range n.in {
 		n.in[i] = make(chan *packet.Frame, depth)
 	}
-	book.Set(sw.Addr(), conn.LocalAddr().(*net.UDPAddr))
+	book.Set(sw.Addr(), n.conn.LocalAddr().(*net.UDPAddr))
 	n.workerWG.Add(cfg.workers)
 	for i := range n.in {
 		go n.processLoop(n.in[i])
 	}
+	n.recvWG.Add(len(conns))
+	for _, c := range conns {
+		ring := newRecvRing(cfg.batch)
+		var snd batchSender
+		if cfg.portable {
+			snd = &portableSender{conn: c}
+		} else {
+			snd = newBatchSender(c)
+		}
+		go n.ingestLoop(cfg.newReader(c, ring), ring, snd)
+	}
+	go n.closeInWhenDrained()
 	go n.closeOutWhenDrained()
-	go n.recvLoop()
 	go n.sendLoop()
 	return n, nil
 }
@@ -232,9 +364,27 @@ func (n *SwitchNode) Close() error {
 		close(hbStop)
 		<-hbDone
 	}
-	err := n.conn.Close()
+	var err error
+	for _, c := range n.conns {
+		if cerr := c.Close(); err == nil {
+			err = cerr
+		}
+	}
 	<-n.sendDone
 	return err
+}
+
+// Stats returns a snapshot of the node's transport counters.
+func (n *SwitchNode) Stats() NodeStats {
+	return NodeStats{
+		ReadErrors:       n.readErrs.Load(),
+		DecodeErrors:     n.decodeErrs.Load(),
+		TruncatedBatches: n.truncBatches.Load(),
+		RecvBatches:      n.recvBatches.Load(),
+		RecvDatagrams:    n.recvDgrams.Load(),
+		RecvFrames:       n.recvFrames.Load(),
+		RcvBufBytes:      n.rcvBuf,
+	}
 }
 
 // QueueDepth returns the number of frames waiting in the node's ingest
@@ -300,6 +450,13 @@ func (n *SwitchNode) StartHeartbeats(monitor packet.Addr, every time.Duration) e
 				Drops:     0,
 				Processed: st.Processed,
 				Retries:   st.WritesReplayed,
+				// Wire-level corruption and the kernel's actual receive
+				// buffer ride along so the monitor can tell "this switch's
+				// links are tearing frames" and "this switch's socket was
+				// clamped below the batching working set" apart from
+				// protocol trouble.
+				DecodeErrs: n.decodeErrs.Load(),
+				RcvBuf:     uint32(n.rcvBuf),
 			})
 			out, err := f.Serialize(buf[:0])
 			if err != nil {
@@ -312,59 +469,79 @@ func (n *SwitchNode) StartHeartbeats(monitor packet.Addr, every time.Duration) e
 	return nil
 }
 
-// recvLoop reads datagrams, decodes every frame batched inside each, and
-// detaches them into pooled storage for the worker pool, sharding by key
-// hash. Closing the socket unwinds the pipeline: recv closes the worker
-// queues, the workers drain, the closer shuts the send queue, send
-// finishes.
-func (n *SwitchNode) recvLoop() {
-	defer func() {
-		for _, ch := range n.in {
-			close(ch)
-		}
-	}()
+// ingestLoop owns one socket: it drains whole datagram batches per
+// syscall into its ring, decodes every frame batched inside each
+// datagram, and splits the work — mutating ops detach into pooled frames
+// and shard onto workers by key hash (per-key FIFO through one worker),
+// while reads, replies and transit frames are processed inline, zero-copy
+// off the ring (the seqlock snapshot, not arrival order, linearizes
+// reads — and a client only issues a read-after-write once the write's
+// tail ack arrived, by which point the value is committed). Inline output
+// leaves through this socket's own batched sender, so a read's whole
+// lifetime is two amortized syscalls and no channel hops.
+//
+// Only a closed socket ends the loop; any other read error — an ICMP
+// refusal surfacing from a dead client, a transient ENOBUFS — is counted
+// and survived. Exiting on those killed the switch's whole data plane.
+func (n *SwitchNode) ingestLoop(rd batchReader, ring *recvRing, snd batchSender) {
+	defer n.recvWG.Done()
 	workers := len(n.in)
-	buf := make([]byte, 64*1024)
 	var f packet.Frame
-	rr := 0
-	for {
-		sz, _, err := n.conn.ReadFromUDP(buf)
-		if err != nil {
-			return // closed
-		}
-		data := buf[:sz]
-		for len(data) > 0 {
-			rest, err := packet.NextFrame(&f, data)
-			if err != nil {
-				break // not a NetChain frame (or a torn batch); drop the rest
-			}
-			data = rest
+	eg := newEgressBatch(snd)
+	emit := eg.add
+	handleInline := func(f *packet.Frame) {
+		switch f.NC.Op {
+		case kv.OpWrite, kv.OpDelete, kv.OpCAS, kv.OpSync:
 			g := packet.GetFrame()
-			f.CloneTo(g) // detach from buf before the next read lands in it
-			// Only mutating ops need per-key FIFO through one worker.
-			// Reads, replies and transit frames spread round-robin: a
-			// zipf-hot key must not funnel its read traffic through one
-			// worker and head-of-line-block the pool (the seqlock
-			// snapshot, not arrival order, linearizes reads — and a
-			// client only issues a read-after-write once the write's
-			// tail ack arrived, by which point the value is committed).
-			var w int
-			switch g.NC.Op {
-			case kv.OpWrite, kv.OpDelete, kv.OpCAS, kv.OpSync:
-				w = keyShard(g.NC.Key, workers)
-			default:
-				rr++
-				w = rr % workers
-			}
-			n.in[w] <- g
+			f.CloneTo(g) // detach from the ring before the next batch lands
+			n.in[keyShard(g.NC.Key, workers)] <- g
+		default:
+			n.handle(f, emit)
 		}
+	}
+	for {
+		k, err := rd.ReadBatch(ring)
+		if err != nil {
+			if isClosedErr(err) {
+				return
+			}
+			n.readErrs.Add(1)
+			time.Sleep(20 * time.Microsecond) // don't spin on an error storm
+			continue
+		}
+		n.recvBatches.Add(1)
+		n.recvDgrams.Add(uint64(k))
+		for i := 0; i < k; i++ {
+			frames, derr := packet.DecodeBatch(&f, ring.bufs[i][:ring.sizes[i]], handleInline)
+			n.recvFrames.Add(uint64(frames))
+			if derr != nil {
+				// A torn or corrupt frame: everything before it was
+				// delivered above; the undecodable tail is dropped with
+				// accounting so the monitor can see wire corruption.
+				n.decodeErrs.Add(1)
+				if frames > 0 {
+					n.truncBatches.Add(1)
+				}
+			}
+		}
+		eg.flush()
+	}
+}
+
+// closeInWhenDrained closes the worker queues once every ingest goroutine
+// has exited (all sockets closed), so the workers drain and exit.
+func (n *SwitchNode) closeInWhenDrained() {
+	n.recvWG.Wait()
+	for _, ch := range n.in {
+		close(ch)
 	}
 }
 
 func (n *SwitchNode) processLoop(in <-chan *packet.Frame) {
 	defer n.workerWG.Done()
+	emit := func(o outFrame) { n.out <- o }
 	for f := range in {
-		n.handle(f)
+		n.handle(f, emit)
 		packet.PutFrame(f)
 	}
 }
@@ -376,17 +553,37 @@ func (n *SwitchNode) closeOutWhenDrained() {
 	close(n.out)
 }
 
+// sendLoop drains worker egress, folding the whole queued burst into one
+// batched send syscall (coalescing same-endpoint frames into single
+// datagrams along the way).
 func (n *SwitchNode) sendLoop() {
 	defer close(n.sendDone)
+	eg := newEgressBatch(newBatchSender(n.conn))
 	for o := range n.out {
-		writeCoalesced(n.conn, n.out, o)
+		eg.add(o)
+	drain:
+		for {
+			select {
+			case o2, ok := <-n.out:
+				if !ok {
+					eg.flush()
+					return
+				}
+				eg.add(o2)
+			default:
+				break drain
+			}
+		}
+		eg.flush()
 	}
 }
 
 // handle runs the dataplane on a frame, looping through local processing
 // when egress rules retarget the frame at this very switch (the "N
-// overlaps with S0" case of §5.1).
-func (n *SwitchNode) handle(f *packet.Frame) {
+// overlaps with S0" case of §5.1). Output frames are serialized and
+// passed to emit while the frame's value may still alias dataplane
+// storage, matching the pre-pipeline ordering.
+func (n *SwitchNode) handle(f *packet.Frame, emit func(outFrame)) {
 	if f.IP.Dst == n.sw.Addr() && f.UDP.DstPort == packet.Port {
 		if d, _ := n.sw.ProcessLocal(f); d == core.Drop {
 			return
@@ -414,13 +611,6 @@ func (n *SwitchNode) handle(f *packet.Frame) {
 			return
 		}
 	}
-	n.forward(f)
-}
-
-// forward serializes in the processing stage — while the frame's value may
-// still alias dataplane storage, matching the pre-pipeline ordering — and
-// hands the finished datagram to the send stage.
-func (n *SwitchNode) forward(f *packet.Frame) {
 	ep, ok := n.book.Get(f.IP.Dst)
 	if !ok {
 		return
@@ -432,7 +622,7 @@ func (n *SwitchNode) forward(f *packet.Frame) {
 		return
 	}
 	*bp = out
-	n.out <- outFrame{buf: bp, ep: ep}
+	emit(outFrame{buf: bp, ep: ep})
 }
 
 // ErrClosed is returned by client operations after Close.
@@ -453,23 +643,34 @@ type pendingShard struct {
 // fresh QueryID so a late reply to an abandoned attempt can never be
 // mistaken for the current one — and it holds exactly one window slot from
 // Submit until its callback fires. Ownership discipline: whoever removes
-// the call's entry from its pending shard (reply, timer, or Close) is the
-// one that finishes it, so each call completes exactly once.
+// the call's entry from its pending shard (reply, timeout scan, or Close)
+// is the one that finishes it, so each call completes exactly once.
+//
+// Timeouts are not per-call runtime timers: at line rate, arming and
+// stopping a timer per query costs two timer-heap operations and an
+// allocation on the hot path. Instead each attempt records a coarse
+// deadline and one scanner goroutine per client sweeps the pending shards
+// every timeout/4 — a few hundred map entries every few milliseconds
+// instead of hundreds of thousands of timer ops per second. Retransmit
+// precision degrades by at most a quarter of the timeout, which is noise
+// against the timeout itself.
 type call struct {
-	c       *Client
-	build   func(qid uint64) (*packet.Frame, error)
-	done    func(*packet.Frame, error)
-	qid     uint64
-	attempt int
-	timer   *time.Timer
+	c        *Client
+	build    func(qid uint64) (*packet.Frame, error)
+	done     func(*packet.Frame, error)
+	qid      uint64
+	attempt  int
+	deadline time.Duration // on the client's monotonic since-start timeline
 }
 
 // ClientStats counts transport-level events since the client started.
 type ClientStats struct {
-	Sent     uint64 // datagrams handed to the socket (including retries)
-	Retries  uint64 // retransmitted attempts
-	Timeouts uint64 // calls that exhausted every attempt
-	Late     uint64 // replies matching no pending query (late or duplicate)
+	Sent         uint64 // datagrams handed to the socket (including retries)
+	Retries      uint64 // retransmitted attempts
+	Timeouts     uint64 // calls that exhausted every attempt
+	Late         uint64 // replies matching no pending query (late or duplicate)
+	ReadErrors   uint64 // transient socket read errors survived
+	DecodeErrors uint64 // datagrams with undecodable reply bytes
 }
 
 // Client is a pipelined NetChain client over real UDP: up to Window
@@ -486,6 +687,7 @@ type Client struct {
 	timeout time.Duration
 	retries int
 	window  chan struct{} // in-flight slots; nil = unlimited
+	start   time.Time     // the deadline timeline's zero
 
 	nextQID atomic.Uint64
 	shards  [pendingShards]pendingShard
@@ -493,13 +695,19 @@ type Client struct {
 	sendCh   chan outFrame
 	sendDone chan struct{}
 
-	sent     atomic.Uint64
-	retried  atomic.Uint64
-	timeouts atomic.Uint64
-	late     atomic.Uint64
+	sent       atomic.Uint64
+	retried    atomic.Uint64
+	timeouts   atomic.Uint64
+	late       atomic.Uint64
+	readErrs   atomic.Uint64
+	decodeErrs atomic.Uint64
 
 	closed atomic.Bool
 	done   chan struct{}
+
+	// newReader builds the receive loop's reader; tests inject transient
+	// read errors through it. nil means newBatchReader.
+	newReader func(*net.UDPConn, *recvRing) batchReader
 }
 
 // ClientConfig tunes the client.
@@ -518,6 +726,10 @@ type ClientConfig struct {
 	// 0 leaves admission uncapped (each blocking call still has exactly one
 	// outstanding query, so serial callers behave as before).
 	Window int
+
+	// testReader, when set (in-package tests only), replaces the receive
+	// loop's reader so transient socket errors can be injected.
+	testReader func(*net.UDPConn, *recvRing) batchReader
 }
 
 // NewClient binds a socket and registers the client's virtual address.
@@ -547,9 +759,15 @@ func NewClient(book *AddressBook, cfg ClientConfig) (*Client, error) {
 		gateway:  cfg.Gateway,
 		timeout:  cfg.Timeout,
 		retries:  cfg.Retries,
+		start:    time.Now(),
 		sendCh:   make(chan outFrame, switchQueueDepth),
 		sendDone: make(chan struct{}),
 		done:     make(chan struct{}),
+
+		newReader: cfg.testReader,
+	}
+	if c.newReader == nil {
+		c.newReader = newBatchReader
 	}
 	if cfg.Window > 0 {
 		c.window = make(chan struct{}, cfg.Window)
@@ -560,6 +778,7 @@ func NewClient(book *AddressBook, cfg ClientConfig) (*Client, error) {
 	book.Set(cfg.Addr, conn.LocalAddr().(*net.UDPAddr))
 	go c.serve()
 	go c.sendLoop()
+	go c.timeoutLoop()
 	return c, nil
 }
 
@@ -581,7 +800,6 @@ func (c *Client) Close() error {
 		}
 		sh.mu.Unlock()
 		for _, cl := range calls {
-			cl.timer.Stop()
 			c.finish(cl, nil, ErrClosed)
 		}
 	}
@@ -591,10 +809,12 @@ func (c *Client) Close() error {
 // Stats returns a snapshot of the transport counters.
 func (c *Client) Stats() ClientStats {
 	return ClientStats{
-		Sent:     c.sent.Load(),
-		Retries:  c.retried.Load(),
-		Timeouts: c.timeouts.Load(),
-		Late:     c.late.Load(),
+		Sent:         c.sent.Load(),
+		Retries:      c.retried.Load(),
+		Timeouts:     c.timeouts.Load(),
+		Late:         c.late.Load(),
+		ReadErrors:   c.readErrs.Load(),
+		DecodeErrors: c.decodeErrs.Load(),
 	}
 }
 
@@ -614,23 +834,33 @@ func (c *Client) shard(qid uint64) *pendingShard {
 	return &c.shards[qid&(pendingShards-1)]
 }
 
+// serve is the client's receive loop: one batched read drains a burst of
+// reply datagrams, and every frame batched inside each datagram is
+// delivered. Only a closed socket ends the loop — a transient error (an
+// ICMP port-unreachable surfacing after a switch died mid-failover, say)
+// is counted and survived, where exiting would silently strand every
+// in-flight and future query until its timer fired.
 func (c *Client) serve() {
 	defer close(c.done)
-	buf := make([]byte, 64*1024)
-	f := &packet.Frame{}
+	ring := newRecvRing(defaultRecvBatch)
+	rd := c.newReader(c.conn, ring)
+	var f packet.Frame
 	for {
-		sz, _, err := c.conn.ReadFromUDP(buf)
+		k, err := rd.ReadBatch(ring)
 		if err != nil {
-			return
-		}
-		data := buf[:sz]
-		for len(data) > 0 {
-			rest, err := packet.NextFrame(f, data)
-			if err != nil {
-				break
+			if isClosedErr(err) {
+				return
 			}
-			data = rest
-			c.deliver(f)
+			c.readErrs.Add(1)
+			time.Sleep(20 * time.Microsecond) // don't spin on an error storm
+			continue
+		}
+		for i := 0; i < k; i++ {
+			if _, derr := packet.DecodeBatch(&f, ring.bufs[i][:ring.sizes[i]], c.deliver); derr != nil {
+				// Frames before the corruption were already delivered;
+				// whatever the torn tail carried will retry on its timer.
+				c.decodeErrs.Add(1)
+			}
 		}
 	}
 }
@@ -650,22 +880,34 @@ func (c *Client) deliver(f *packet.Frame) {
 	sh.mu.Unlock()
 	if !ok {
 		// Duplicate delivery, or a reply to an attempt already abandoned
-		// by its timer: the qid is spent, so it cannot match anything.
+		// by the timeout scan: the qid is spent, so it cannot match
+		// anything.
 		c.late.Add(1)
 		return
 	}
-	cl.timer.Stop()
 	c.finish(cl, f, nil)
 }
 
-// sendLoop drains the client's outbound queue, coalescing queued frames
-// for the gateway into single datagrams when submissions outpace sendto.
+// sendLoop drains the client's outbound queue, folding each queued burst
+// into one batched send syscall (frames for the same gateway coalesce into
+// single datagrams along the way).
 func (c *Client) sendLoop() {
 	defer close(c.sendDone)
+	eg := newEgressBatch(newBatchSender(c.conn))
 	for {
 		select {
 		case o := <-c.sendCh:
-			writeCoalesced(c.conn, c.sendCh, o)
+			eg.add(o)
+		drain:
+			for {
+				select {
+				case o2 := <-c.sendCh:
+					eg.add(o2)
+				default:
+					break drain
+				}
+			}
+			eg.flush()
 		case <-c.done:
 			return
 		}
@@ -685,30 +927,47 @@ func (c *Client) Submit(build func(qid uint64) (*packet.Frame, error), done func
 		return
 	}
 	if c.window != nil {
+		// Fast path: a free slot needs no select machinery. Only a full
+		// window falls back to blocking (racing shutdown).
 		select {
 		case c.window <- struct{}{}:
-		case <-c.done:
-			done(nil, ErrClosed)
-			return
+		default:
+			select {
+			case c.window <- struct{}{}:
+			case <-c.done:
+				done(nil, ErrClosed)
+				return
+			}
 		}
 	}
-	cl := &call{c: c, build: build, done: done}
+	cl := callPool.Get().(*call)
+	cl.c, cl.build, cl.done, cl.attempt = c, build, done, 0
 	if err := cl.send(); err != nil {
 		c.finish(cl, nil, err)
 	}
 }
 
-// finish releases the call's window slot and delivers its outcome.
+// callPool recycles call structs: one per op at line rate is pure GC
+// pressure. A call re-enters the pool after its done callback returns —
+// with deadline-scan timeouts there is no detached timer callback that
+// could touch a recycled call.
+var callPool = sync.Pool{New: func() any { return new(call) }}
+
+// finish releases the call's window slot, delivers its outcome, and
+// recycles the call (no one holds a reference once done returns).
 func (c *Client) finish(cl *call, f *packet.Frame, err error) {
 	if c.window != nil {
 		<-c.window
 	}
-	cl.done(f, err)
+	done := cl.done
+	*cl = call{}
+	callPool.Put(cl)
+	done(f, err)
 }
 
-// send transmits one attempt: fresh qid, register, arm the per-request
-// timer, then write. Registration happens before the datagram leaves so
-// the reply can never race past its table entry.
+// send transmits one attempt: fresh qid, register with a fresh deadline,
+// then write. Registration happens before the datagram leaves so the reply
+// can never race past its table entry.
 func (cl *call) send() error {
 	c := cl.c
 	qid := c.nextQID.Add(1)
@@ -740,12 +999,8 @@ func (cl *call) send() error {
 		return ErrClosed
 	}
 	cl.qid = qid
+	cl.deadline = time.Since(c.start) + c.timeout
 	sh.m[qid] = cl
-	if cl.timer == nil {
-		cl.timer = time.AfterFunc(c.timeout, cl.onTimeout)
-	} else {
-		cl.timer.Reset(c.timeout)
-	}
 	sh.mu.Unlock()
 
 	// Hand the datagram to the send stage; past this point a lost write
@@ -759,19 +1014,48 @@ func (cl *call) send() error {
 	return nil
 }
 
-// onTimeout runs on the call's own timer: abandon the current attempt and
-// either retransmit or give up. If the reply won the race for the table
-// entry, the timer is a no-op.
-func (cl *call) onTimeout() {
-	c := cl.c
-	sh := c.shard(cl.qid)
-	sh.mu.Lock()
-	if sh.m[cl.qid] != cl {
-		sh.mu.Unlock()
-		return
+// timeoutLoop sweeps the pending shards every quarter-timeout, expiring
+// attempts whose deadline passed. The sweep removes each expired call from
+// its shard before acting on it, so it owns the call exactly as a reply
+// would — a reply that lands mid-sweep either wins the map entry first or
+// counts as late, never both.
+func (c *Client) timeoutLoop() {
+	every := c.timeout / 4
+	if every < time.Millisecond {
+		every = time.Millisecond
 	}
-	delete(sh.m, cl.qid)
-	sh.mu.Unlock()
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	var expired []*call
+	for {
+		select {
+		case <-c.done:
+			return
+		case <-tick.C:
+		}
+		now := time.Since(c.start)
+		expired = expired[:0]
+		for i := range c.shards {
+			sh := &c.shards[i]
+			sh.mu.Lock()
+			for qid, cl := range sh.m {
+				if cl.deadline <= now {
+					delete(sh.m, qid)
+					expired = append(expired, cl)
+				}
+			}
+			sh.mu.Unlock()
+		}
+		for _, cl := range expired {
+			cl.expire()
+		}
+	}
+}
+
+// expire handles one attempt whose deadline passed (the timeout sweep has
+// already removed it from its shard): retransmit or give up.
+func (cl *call) expire() {
+	c := cl.c
 	if c.closed.Load() {
 		c.finish(cl, nil, ErrClosed) // cancelled by Close, not a wire timeout
 		return

@@ -76,6 +76,14 @@ type ClusterConfig struct {
 	// (frames shard onto workers by key hash, preserving per-key order).
 	// 0 = one worker per schedulable core, capped at 8.
 	IngestWorkers int
+	// IngestSockets sets how many SO_REUSEPORT sockets share each switch
+	// node's port (the kernel shards client flows across them by 4-tuple
+	// hash). 0 = one per schedulable core, capped at 4; ignored on
+	// platforms without SO_REUSEPORT.
+	IngestSockets int
+	// RecvBatch sets the datagrams one ingest syscall may drain per socket
+	// (the receive-ring depth). 0 = 32.
+	RecvBatch int
 }
 
 func (c *ClusterConfig) defaults() {
@@ -184,7 +192,9 @@ func (c *Cluster) bootSwitch() (packet.Addr, error) {
 		return 0, err
 	}
 	node, err := transport.NewSwitchNode(sw, c.book, "127.0.0.1:0",
-		transport.WithIngestWorkers(c.cfg.IngestWorkers))
+		transport.WithIngestWorkers(c.cfg.IngestWorkers),
+		transport.WithIngestSockets(c.cfg.IngestSockets),
+		transport.WithRecvBatch(c.cfg.RecvBatch))
 	if err != nil {
 		return 0, err
 	}
@@ -335,9 +345,12 @@ type Client struct {
 
 // NewClient attaches a client through the given switch (its "ToR").
 func (c *Cluster) NewClient(gateway int) (*Client, error) {
+	c.mu.Lock()
 	c.nextCl++
+	claddr := packet.AddrFrom4(10, 1, 0, c.nextCl)
+	c.mu.Unlock()
 	tc, err := transport.NewClient(c.book, transport.ClientConfig{
-		Addr:    packet.AddrFrom4(10, 1, 0, c.nextCl),
+		Addr:    claddr,
 		Gateway: c.SwitchAddr(gateway),
 		Bind:    "127.0.0.1:0",
 		Window:  c.cfg.ClientWindow,

@@ -31,7 +31,7 @@ func main() { os.Exit(realMain()) }
 // experiment fails or the perf gate trips — the run where a profile is
 // most wanted.
 func realMain() (code int) {
-	exp := flag.String("exp", "all", "experiment: table1|fig9a|fig9b|fig9c|fig9d|fig9e|fig9f|fig10a|fig10b|fig11|resize|pipeline|tla|bench|udpbench|read-scaling|hot-key|value-sweep|mttr|chaos|placement|all")
+	exp := flag.String("exp", "all", "experiment: table1|fig9a|fig9b|fig9c|fig9d|fig9e|fig9f|fig10a|fig10b|fig11|resize|pipeline|tla|bench|udpbench|read-scaling|hot-key|value-sweep|mttr|watch|chaos|placement|all")
 	full := flag.Bool("full", false, "use longer windows / full parameter sweeps")
 	windows := flag.String("windows", "1,4,16,64", "outstanding-window sweep for -exp pipeline (comma-separated)")
 	window := flag.Int("window", 0, "client outstanding-query window for the fig9 experiments (0 = unbounded open loop)")
@@ -172,6 +172,14 @@ func realMain() (code int) {
 		fmt.Print(experiments.FormatMTTR(rows))
 		return nil
 	})
+	runOnly("watch", func() error {
+		results, err := experiments.WatchScale(watchOpts(*full))
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatWatchScale(results))
+		return nil
+	})
 	runOnly("udpbench", func() error {
 		results, err := experiments.UDPBench(udpOpts(*full))
 		if err != nil {
@@ -296,10 +304,22 @@ func udpOpts(full bool) experiments.UDPBenchOpts {
 	return o
 }
 
+// watchOpts sizes the watch-scale sweep: the acceptance population (10⁴
+// and 10⁵ subscribers) either way; -full publishes more events per point.
+func watchOpts(full bool) experiments.WatchScaleOpts {
+	o := experiments.WatchScaleOpts{}
+	if full {
+		o.Events = 8192
+	}
+	return o
+}
+
 // runBench executes the CI perf-gate scenarios — the deterministic
 // simulated trio, the wall-clock real-UDP scenarios (read-scaling,
-// hot-key, value-sweep), and the MTTR/availability scenarios (autopilot
-// detection + repair latency under every nemesis schedule) — optionally
+// hot-key, value-sweep), the watch-scale fan-out sweep (push-watch
+// delivery at 10⁴/10⁵ subscribers), and the MTTR/availability scenarios
+// (autopilot detection + repair latency under every nemesis schedule) —
+// optionally
 // writing the machine-readable artifact, an old-vs-new comparison table,
 // an archived BENCH_<n>.json snapshot, and enforcing the regression gate
 // against a committed baseline.
@@ -327,6 +347,12 @@ func runBench(seed int64, jsonPath, baselinePath, comparePath, archiveDir string
 	}
 	fmt.Print(experiments.FormatPlacement(placed))
 	results = append(results, experiments.PlacementBenchRows(placed)...)
+	ws, err := experiments.WatchScale(watchOpts(false))
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatWatchScale(ws))
+	results = append(results, ws...)
 	cur := benchjson.File{
 		Note: fmt.Sprintf("benchrunner -exp bench -seed %d; simulated-time scenarios are "+
 			"deterministic across machines; scenarios carrying a tol field are real-UDP "+

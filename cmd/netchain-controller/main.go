@@ -24,6 +24,7 @@ import (
 	"netchain/internal/controller"
 	"netchain/internal/health"
 	"netchain/internal/packet"
+	"netchain/internal/relay"
 	"netchain/internal/ring"
 	"netchain/internal/transport"
 )
@@ -61,6 +62,9 @@ func main() {
 	monitorVaddr := flag.String("monitor-vaddr", "10.255.0.1", "virtual NetChain address of the health monitor")
 	heartbeat := flag.Duration("heartbeat", 100*time.Millisecond, "expected heartbeat cadence (must match netchaind -heartbeat)")
 	repairBudget := flag.Int("repair-budget", 4, "max data-moving repairs (recover/demote/restore) per budget window")
+	relayBind := flag.String("relay-udp", "", "UDP bind for the push-watch relay tier (empty = relay off); netchaind -relay points at the printed ingest endpoint, netchainctl watch at the control endpoint")
+	relayVaddr := flag.String("relay-vaddr", "10.255.0.2", "virtual NetChain address of the relay")
+	relayMcast := flag.Bool("relay-multicast", false, "fan events out over per-group UDP multicast instead of unicast leases (needs multicast routing to subscribers)")
 	var members, spares switchList
 	flag.Var(&members, "switch", "ring member: virtual=agent host:port (repeatable)")
 	flag.Var(&spares, "spare", "spare switch: virtual=agent host:port (repeatable); the autopilot recovers failed switches onto these")
@@ -187,12 +191,34 @@ func main() {
 			mon.Endpoint(), len(spareAddrs))
 	}
 
+	// Push-watch relay tier: tails publish one event per applied mutation
+	// to the ingest endpoint; subscribers lease (or multicast-join) streams
+	// via the control endpoint.
+	relayLine := ""
+	if *relayBind != "" {
+		rv, err := packet.ParseAddr(*relayVaddr)
+		if err != nil {
+			log.Fatalf("netchain-controller: -relay-vaddr: %v", err)
+		}
+		mode := relay.ModeUnicast
+		if *relayMcast {
+			mode = relay.ModeMulticast
+		}
+		rs, err := relay.Start(relay.Config{Bind: *relayBind, Addr: rv, Mode: mode})
+		if err != nil {
+			log.Fatalf("netchain-controller: %v", err)
+		}
+		defer rs.Close()
+		relayLine = fmt.Sprintf(", relay %s ingest %v control %v",
+			rs.Mode(), rs.IngestEndpoint(), rs.ControlEndpoint())
+	}
+
 	addr, stop, err := transport.ServeControllerService(svc, *rpcBind)
 	if err != nil {
 		log.Fatalf("netchain-controller: %v", err)
 	}
-	fmt.Printf("netchain-controller: rpc %v, %d members, %d groups, replicas=%d%s\n",
-		addr, len(memberAddrs), r.Groups(), *replicas, apLine)
+	fmt.Printf("netchain-controller: rpc %v, %d members, %d groups, replicas=%d%s%s\n",
+		addr, len(memberAddrs), r.Groups(), *replicas, apLine, relayLine)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

@@ -11,6 +11,11 @@
 //	netchainctl ... unlock locks/a 42
 //	netchainctl ... del cfg/x
 //
+// Streaming watches (needs the controller's relay tier, see
+// netchain-controller -relay-udp):
+//
+//	netchainctl ... -relay 127.0.0.1:9401 watch cfg/x cfg/y
+//
 // Elastic membership and health (no -gateway needed; controller only):
 //
 //	netchainctl -controller 127.0.0.1:9200 add-switch 10.0.0.5=127.0.0.1:9105
@@ -19,19 +24,26 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"net/rpc"
 
 	"netchain/internal/kv"
 	"netchain/internal/packet"
+	"netchain/internal/query"
+	"netchain/internal/relay"
 	"netchain/internal/transport"
+	"netchain/internal/watch"
 )
 
 func main() {
@@ -39,6 +51,8 @@ func main() {
 	gateway := flag.String("gateway", "", "gateway switch: virtual=real UDP endpoint (required)")
 	clientAddr := flag.String("client", "10.1.0.1", "this client's virtual address")
 	bind := flag.String("bind", ":0", "local UDP bind address; switches must map the client's virtual address to it")
+	relayCtl := flag.String("relay", "", "relay control endpoint host:port (for the watch verb)")
+	relayMcast := flag.Bool("relay-multicast", false, "receive watch events over multicast groups instead of a unicast lease")
 	flag.Parse()
 	args := flag.Args()
 
@@ -103,6 +117,14 @@ func main() {
 
 	cmd, key := args[0], kv.KeyFromString(args[1])
 	switch cmd {
+	case "watch":
+		var keys []kv.Key
+		for _, a := range args[1:] {
+			keys = append(keys, kv.KeyFromString(a))
+		}
+		if err := watchKeys(ops, *relayCtl, *relayMcast, keys); err != nil {
+			log.Fatalf("watch: %v", err)
+		}
 	case "get":
 		v, ver, err := ops.Read(key)
 		if err != nil {
@@ -244,3 +266,86 @@ func insertViaController(addr string, k kv.Key) ([]packet.Addr, error) {
 }
 
 func dialRPC(addr string) (*rpc.Client, error) { return rpc.Dial("tcp", addr) }
+
+// watchKeys streams push events for keys to stdout until SIGINT: it
+// subscribes the watched virtual groups at the relay, resynchronizes on
+// stream gaps with linearizable reads, and runs a slow anti-entropy sweep
+// to bound the staleness of a lost final event.
+func watchKeys(ops *transport.Ops, relayCtl string, mcast bool, keys []kv.Key) error {
+	if relayCtl == "" {
+		return fmt.Errorf("the watch verb needs -relay (the controller prints the control endpoint)")
+	}
+	ctlEp, err := net.ResolveUDPAddr("udp", relayCtl)
+	if err != nil {
+		return err
+	}
+	sub := watch.NewSub(keys, func(k kv.Key) uint16 {
+		rt, derr := ops.Dir(k)
+		if derr != nil {
+			return 0
+		}
+		return rt.Group
+	}, 256)
+	defer sub.Close()
+	sig := make(chan struct{}, 1)
+	mode := relay.ModeUnicast
+	if mcast {
+		mode = relay.ModeMulticast
+	}
+	conn, err := relay.Subscribe(mode, ctlEp, sub.Groups(), func(ev query.Event) {
+		if sub.ApplyEvent(ev) {
+			select {
+			case sig <- struct{}{}:
+			default:
+			}
+		}
+	})
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+
+	readDirty := func() {
+		for _, k := range sub.TakeDirty() {
+			v, ver, rerr := ops.Read(k)
+			switch {
+			case rerr == nil:
+				sub.ApplyRead(k, true, v, ver)
+			case errors.Is(rerr, kv.ErrNotFound):
+				sub.ApplyRead(k, false, nil, ver)
+			default:
+				sub.MarkDirty(k)
+			}
+		}
+	}
+	readDirty() // initial state fetch
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
+	tick := time.NewTicker(200 * time.Millisecond)
+	defer tick.Stop()
+	sweep := time.NewTicker(10 * time.Second)
+	defer sweep.Stop()
+	for {
+		select {
+		case ev := <-sub.Events():
+			switch ev.Type {
+			case watch.Deleted:
+				fmt.Printf("%-8s %s (version %v)\n", "DELETED", ev.Key, ev.Version)
+			case watch.Created:
+				fmt.Printf("%-8s %s = %s (version %v)\n", "CREATED", ev.Key, ev.Value, ev.Version)
+			default:
+				fmt.Printf("%-8s %s = %s (version %v)\n", "UPDATED", ev.Key, ev.Value, ev.Version)
+			}
+		case <-sig:
+			readDirty()
+		case <-tick.C:
+			readDirty()
+		case <-sweep.C:
+			sub.MarkDirty()
+			readDirty()
+		case <-stop:
+			return nil
+		}
+	}
+}

@@ -46,6 +46,7 @@ func main() {
 	batch := flag.Int("batch", 0, "datagrams drained per ingest syscall (0 = 32)")
 	monitor := flag.String("monitor", "", "health monitor: virtual=host:port — the switch emits heartbeats there and routes probe replies to it")
 	heartbeat := flag.Duration("heartbeat", 100*time.Millisecond, "heartbeat cadence when -monitor is set")
+	relayFlag := flag.String("relay", "", "push-watch relay ingest: virtual=host:port — every applied mutation this switch commits publishes one event frame there")
 	var peers peerList
 	flag.Var(&peers, "peer", "virtual=real UDP endpoint of a peer (repeatable), e.g. 10.0.0.2=127.0.0.1:9002")
 	flag.Parse()
@@ -113,8 +114,25 @@ func main() {
 		}
 		hb = fmt.Sprintf(", heartbeats to %v every %v", mv, *heartbeat)
 	}
-	fmt.Printf("netchaind %v: dataplane %v, agent %v, %d slots/stage%s\n",
-		vaddr, node.Endpoint(), rpcAddr, *slots, hb)
+	ev := ""
+	if *relayFlag != "" {
+		parts := strings.SplitN(*relayFlag, "=", 2)
+		if len(parts) != 2 {
+			log.Fatal("netchaind: -relay must be virtual=host:port")
+		}
+		rv, err := packet.ParseAddr(parts[0])
+		if err != nil {
+			log.Fatalf("netchaind: relay %q: %v", *relayFlag, err)
+		}
+		rep, err := net.ResolveUDPAddr("udp", parts[1])
+		if err != nil {
+			log.Fatalf("netchaind: relay %q: %v", *relayFlag, err)
+		}
+		node.SetEventSink(rv, rep)
+		ev = fmt.Sprintf(", events to %v (%v)", rv, rep)
+	}
+	fmt.Printf("netchaind %v: dataplane %v, agent %v, %d slots/stage%s%s\n",
+		vaddr, node.Endpoint(), rpcAddr, *slots, hb, ev)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

@@ -1,11 +1,13 @@
 // Config-store: the configuration-management use case that motivates
 // coordination services (§1). A publisher rolls out configuration epochs
-// while many subscribers poll; chain replication guarantees every
-// subscriber sees a consistent, monotonically advancing version even
-// though reads and writes race freely.
+// while many subscribers follow along through server-push watches: every
+// applied write publishes one event at the chain tail, the relay tier
+// fans it out, and subscribers converge without polling — after the
+// initial state fetch they issue zero reads while the stream is healthy.
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"log"
@@ -17,15 +19,15 @@ import (
 )
 
 func main() {
-	if err := run(os.Stdout, 20, 4, 60); err != nil {
+	if err := run(os.Stdout, 20, 4); err != nil {
 		log.Fatal(err)
 	}
 }
 
-// run publishes epochs configuration versions while subscribers poll,
-// each issuing polls reads, and fails if any subscriber observes a
-// version regression.
-func run(out io.Writer, epochs, subscribers, polls int) error {
+// run publishes epochs configuration versions while subscribers watch,
+// and fails if any subscriber observes a version regression or issues a
+// single read beyond the initial state fetch.
+func run(out io.Writer, epochs, subscribers int) error {
 	cluster, err := netchain.StartLocalCluster(netchain.ClusterConfig{})
 	if err != nil {
 		return err
@@ -48,60 +50,93 @@ func run(out io.Writer, epochs, subscribers, polls int) error {
 	}
 	defer pub.Close()
 
-	// Publisher: configuration epochs across the keys.
+	// Subscribers first: each opens a push-watch stream over all keys and
+	// consumes events until it has seen the final epoch on every key. The
+	// anti-entropy sweep is disabled so the read budget is exact — the
+	// initial fetch is the only legal read traffic.
+	final := netchain.Value(fmt.Sprintf("epoch-%02d", epochs))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
 	var wg sync.WaitGroup
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		for e := 1; e <= epochs; e++ {
-			for _, k := range keys {
-				if _, err := pub.Write(k, netchain.Value(fmt.Sprintf("epoch-%02d", e))); err != nil {
-					log.Printf("publish: %v", err)
-				}
-			}
-		}
-	}()
-
-	// Subscribers: poll concurrently, assert versions never regress (the
-	// §4.5 monotonic-reads guarantee).
-	var regressions atomic.Int64
-	var reads atomic.Int64
+	var regressions, events, extraReads atomic.Int64
+	subErrs := make(chan error, subscribers)
+	ready := make(chan struct{}, subscribers)
 	for s := 0; s < subscribers; s++ {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
 			sub, err := cluster.NewClient(id % 2)
 			if err != nil {
-				log.Printf("subscriber %d: %v", id, err)
+				subErrs <- fmt.Errorf("subscriber %d: %w", id, err)
+				ready <- struct{}{}
 				return
 			}
 			defer sub.Close()
+			ch, err := sub.Watch(ctx, keys, netchain.WithAntiEntropy(0))
+			if err != nil {
+				subErrs <- fmt.Errorf("subscriber %d watch: %w", id, err)
+				ready <- struct{}{}
+				return
+			}
+			ready <- struct{}{}
 			last := map[netchain.Key]netchain.Version{}
-			for i := 0; i < polls; i++ {
-				k := keys[i%len(keys)]
-				_, ver, err := sub.Read(k)
-				if err != nil {
-					continue
-				}
-				reads.Add(1)
-				if ver.Less(last[k]) {
+			caughtUp := map[netchain.Key]bool{}
+			for ev := range ch {
+				events.Add(1)
+				if ev.Version.Less(last[ev.Key]) {
 					regressions.Add(1)
 				}
-				last[k] = ver
+				last[ev.Key] = ev.Version
+				if string(ev.Value) == string(final) {
+					caughtUp[ev.Key] = true
+					if len(caughtUp) == len(keys) {
+						break
+					}
+				}
+			}
+			// The stream replaced polling: beyond the one read per key of
+			// the initial fetch, this client must not have touched the wire.
+			st := sub.TransportStats()
+			if extra := int64(st.Sent) - int64(len(keys)) - int64(st.Retries); extra > 0 {
+				extraReads.Add(extra)
 			}
 		}(s)
 	}
-	wg.Wait()
+	for s := 0; s < subscribers; s++ {
+		<-ready
+	}
 
-	final, ver, err := pub.Read(keys[0])
+	// Publisher: configuration epochs across the keys, after every
+	// subscriber's stream is live.
+	for e := 1; e <= epochs; e++ {
+		for _, k := range keys {
+			if _, err := pub.Write(k, netchain.Value(fmt.Sprintf("epoch-%02d", e))); err != nil {
+				log.Printf("publish: %v", err)
+			}
+		}
+	}
+	wg.Wait()
+	close(subErrs)
+	for err := range subErrs {
+		return err
+	}
+
+	val, ver, err := pub.Read(keys[0])
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "final %s = %s (version %v)\n", keys[0], final, ver)
-	fmt.Fprintf(out, "%d subscriber reads, %d version regressions (must be 0)\n",
-		reads.Load(), regressions.Load())
+	rs := cluster.RelayStats()
+	fmt.Fprintf(out, "final %s = %s (version %v)\n", keys[0], val, ver)
+	fmt.Fprintf(out, "%d push events, %d version regressions (must be 0)\n",
+		events.Load(), regressions.Load())
+	fmt.Fprintf(out, "relay: %d events in, %d deduped, %d fanned out\n",
+		rs.EventsIn, rs.EventsDup, rs.EgressDatagrams)
+	fmt.Fprintf(out, "%d polling reads after initial fetch (must be 0)\n", extraReads.Load())
 	if regressions.Load() != 0 {
 		return fmt.Errorf("consistency violated: %d version regressions", regressions.Load())
+	}
+	if extraReads.Load() != 0 {
+		return fmt.Errorf("push watch fell back to polling: %d extra reads", extraReads.Load())
 	}
 	fmt.Fprintln(out, "done")
 	return nil

@@ -5,19 +5,23 @@ import (
 	"testing"
 )
 
-// TestConfigStore runs the publisher/subscriber race at reduced volume;
-// run itself fails the monotonic-version invariant, so a nil error plus
-// observed reads is the whole contract.
+// TestConfigStore is the push-watch smoke test: run itself fails on any
+// version regression AND on any read issued after the initial state
+// fetch, so a nil error proves the subscribers followed the publisher
+// without polling.
 func TestConfigStore(t *testing.T) {
 	if testing.Short() {
 		t.Skip("binds loopback UDP sockets; skipped with -short")
 	}
 	var out strings.Builder
-	if err := run(&out, 5, 2, 20); err != nil {
+	if err := run(&out, 5, 2); err != nil {
 		t.Fatalf("config-store: %v\noutput so far:\n%s", err, out.String())
 	}
 	if !strings.Contains(out.String(), "0 version regressions") {
 		t.Errorf("output missing regression count:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "0 polling reads after initial fetch") {
+		t.Errorf("output missing zero-polling proof:\n%s", out.String())
 	}
 	if !strings.Contains(out.String(), "done") {
 		t.Errorf("output missing done marker:\n%s", out.String())

@@ -278,6 +278,25 @@ func ChaosScheduleNames() []string {
 // ChaosScheduleDoc describes what a named schedule exercises.
 func ChaosScheduleDoc(name string) string { return chaosScenarios()[name].doc }
 
+// BuildSchedule instantiates the named nemesis schedule against d's
+// topology targets, for harnesses that drive their own workload (the
+// watch convergence tests). Note that "full-nemesis" also fail-stops a
+// switch when run through RunChaos; BuildSchedule returns only the
+// link/gray fault timeline — callers wanting the fail-stop inject it
+// themselves.
+func BuildSchedule(d *Deployment, name string) (netsim.Schedule, error) {
+	sc, ok := chaosScenarios()[name]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown chaos schedule %q (have %v)",
+			name, ChaosScheduleNames())
+	}
+	tg, err := chaosTargetsFor(d)
+	if err != nil {
+		return nil, err
+	}
+	return sc.build(tg), nil
+}
+
 // chaosController builds the fast-timing controller the chaos scenarios
 // (and the autopilot tests) run against: 1 ms rule programming, free
 // state sync — failure-window behavior without hour-long simulations.

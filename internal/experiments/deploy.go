@@ -41,6 +41,8 @@ type Deployment struct {
 	members   []packet.Addr // ring member leaves, build order
 	spares    []packet.Addr // leaves held out as the recovery pool
 	writeFrac float64       // planner's write share
+
+	relay *SimRelay // push-watch relay tier, nil until AttachRelay
 }
 
 // SwitchAddrs returns every switch address on either substrate.

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWatchScaleSmall runs the sweep at a toy population and checks the
+// row structure and the two scaling invariants in miniature: every
+// delivery row moves events, and the egress amplification is exactly the
+// members-per-group population ratio.
+func TestWatchScaleSmall(t *testing.T) {
+	rows, err := WatchScale(WatchScaleOpts{
+		Subscribers: []int{400}, Keys: 40, Groups: 8, Events: 200, Workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3 (relay, scale, amp)", len(rows))
+	}
+	by := map[string]float64{}
+	for _, r := range rows {
+		by[r.Scenario] = r.OpsPerSec
+		if !strings.HasPrefix(r.Scenario, "watch-") {
+			t.Fatalf("unexpected scenario %q", r.Scenario)
+		}
+	}
+	if by["watch-relay-400"] <= 0 || by["watch-scale-400"] <= 0 {
+		t.Fatalf("non-positive throughput: %v", by)
+	}
+	// 400 subscribers round-robined over 40 keys in 8 groups: every
+	// group has exactly 50 members, so each egress datagram reaches 50.
+	if amp := by["watch-egress-amp-400"]; amp != 50 {
+		t.Fatalf("egress amplification = %v, want 50", amp)
+	}
+	out := FormatWatchScale(rows)
+	if !strings.Contains(out, "watch-scale-400") {
+		t.Fatalf("format output missing row:\n%s", out)
+	}
+}
+
+// TestWatchScaleAmplificationGrowsWithPopulation is the scaling claim in
+// test form: egress amplification is linear in the subscriber count
+// (egress datagrams do not grow), which is what "delivery cost
+// independent of subscriber count" means for the relay.
+func TestWatchScaleAmplificationGrowsWithPopulation(t *testing.T) {
+	rows, err := WatchScale(WatchScaleOpts{
+		Subscribers: []int{200, 2000}, Keys: 40, Groups: 8, Events: 100, Workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	by := map[string]float64{}
+	for _, r := range rows {
+		by[r.Scenario] = r.OpsPerSec
+	}
+	small, large := by["watch-egress-amp-200"], by["watch-egress-amp-2k"]
+	if large != 10*small {
+		t.Fatalf("amplification %v → %v across a 10× population, want exactly 10×", small, large)
+	}
+}

@@ -110,6 +110,15 @@ const (
 	// field (internal/health.Payload). Switches never process heartbeats
 	// locally — they only transit them toward the monitor.
 	OpHeartbeat
+	// OpEvent is a server-push watch notification: the tail's transport
+	// agent publishes one event per applied mutation, the relay tier
+	// stamps a per-group stream sequence into QueryID and fans it out to
+	// subscribers. Switches only transit events; they never process them.
+	OpEvent
+	// OpWatch is a relay-tier subscription control message: subscribe /
+	// renew / unsubscribe a client endpoint for a set of virtual groups.
+	// The relay acks with the same op and an echoed QueryID nonce.
+	OpWatch
 )
 
 var opNames = map[Op]string{
@@ -122,6 +131,8 @@ var opNames = map[Op]string{
 	OpSync:   "sync",
 
 	OpHeartbeat: "heartbeat",
+	OpEvent:     "event",
+	OpWatch:     "watch",
 }
 
 func (o Op) String() string {
@@ -133,6 +144,18 @@ func (o Op) String() string {
 
 // Valid reports whether o is a defined operation code.
 func (o Op) Valid() bool { _, ok := opNames[o]; return ok }
+
+// IsMutation reports whether o is a client write-family operation whose
+// applied commit must produce a push-watch event. OpSync is excluded:
+// state transfer re-applies versions that were already published when
+// they first committed.
+func (o Op) IsMutation() bool {
+	switch o {
+	case OpWrite, OpInsert, OpDelete, OpCAS:
+		return true
+	}
+	return false
+}
 
 // Status is the result code carried in replies.
 type Status uint8

@@ -25,6 +25,7 @@ import (
 
 	"netchain/internal/core"
 	"netchain/internal/event"
+	"netchain/internal/kv"
 	"netchain/internal/packet"
 )
 
@@ -75,6 +76,13 @@ type Stats struct {
 	// serialization backlog exceeded the link's queue bound (transit
 	// congestion on multi-tier fabrics; see SetLinkCapacity).
 	LinkDrops uint64
+
+	// Multicast fan-out counters (push-watch relay tier): McastEgress is
+	// frames entering replication (the relay's cost — independent of
+	// membership), McastCopies the per-member deliveries the network
+	// fabricated from them.
+	McastEgress uint64
+	McastCopies uint64
 }
 
 // linkState is one direction of a capacity-metered link. Links are
@@ -139,6 +147,24 @@ type Network struct {
 	defFault   *LinkFault
 	partitions []*Partition
 	gray       map[packet.Addr]Gray
+
+	// Multicast group membership for the push-watch relay tier: frames
+	// addressed to a class-D address replicate to every joined member
+	// (dst rewritten per member), each copy taking the normal unicast
+	// path — so nemesis faults, congestion and loss apply per delivery
+	// path exactly as a real IGMP tree's last hops would.
+	mcast map[packet.Addr][]mcastMember
+
+	// commitHook, when set, observes every chain-tail commit: a switch
+	// converting a write-family query into an OK reply. The relay tier's
+	// sim deployment publishes event frames from it.
+	commitHook func(at packet.Addr, committed *packet.Frame, origOp kv.Op)
+}
+
+// mcastMember is one (host, UDP port) multicast group member.
+type mcastMember struct {
+	addr packet.Addr
+	port uint16
 }
 
 // New creates an empty network over the given simulator. seed drives loss
@@ -155,7 +181,53 @@ func New(sim *event.Sim, seed int64) *Network {
 		links:      make(map[routeKey]*linkState),
 		linkFaults: make(map[routeKey]LinkFault),
 		gray:       make(map[packet.Addr]Gray),
+		mcast:      make(map[packet.Addr][]mcastMember),
 	}
+}
+
+// SetCommitHook registers fn to run whenever a switch converts a
+// write-family query into an OK reply — the chain-tail commit point of
+// the push-watch pipeline. fn sees the reply frame (key, value, version
+// and group intact) plus the original opcode; it must not retain or
+// mutate the frame. Pass nil to disable.
+func (n *Network) SetCommitHook(fn func(at packet.Addr, committed *packet.Frame, origOp kv.Op)) {
+	n.commitHook = fn
+}
+
+// JoinGroup subscribes a host endpoint (member address + UDP destination
+// port) to a multicast group address. Frames forwarded to g replicate to
+// every member with the destination rewritten, one independent delivery
+// path each.
+func (n *Network) JoinGroup(g packet.Addr, member packet.Addr, port uint16) error {
+	if !g.IsMulticast() {
+		return fmt.Errorf("netsim: %v is not a multicast address", g)
+	}
+	nd, ok := n.nodes[member]
+	if !ok || nd.kind != KindHost {
+		return fmt.Errorf("netsim: %v is not a host", member)
+	}
+	for _, m := range n.mcast[g] {
+		if m.addr == member && m.port == port {
+			return nil
+		}
+	}
+	n.mcast[g] = append(n.mcast[g], mcastMember{addr: member, port: port})
+	return nil
+}
+
+// LeaveGroup removes a member endpoint from a multicast group.
+func (n *Network) LeaveGroup(g packet.Addr, member packet.Addr, port uint16) {
+	kept := n.mcast[g][:0]
+	for _, m := range n.mcast[g] {
+		if m.addr != member || m.port != port {
+			kept = append(kept, m)
+		}
+	}
+	if len(kept) == 0 {
+		delete(n.mcast, g)
+		return
+	}
+	n.mcast[g] = kept
 }
 
 // EnableECMP switches routing to equal-cost multi-path: ComputeRoutes
@@ -634,8 +706,28 @@ func (n *Network) NodeCounters(addr packet.Addr) (drops, processed uint64, backl
 	return nd.drops, nd.processed, backlog
 }
 
-// forward moves f from nd toward f.IP.Dst across one link.
+// forward moves f from nd toward f.IP.Dst across one link. Frames bound
+// for a multicast group replicate here: one deep copy per joined member,
+// destination rewritten, each taking its own faultable unicast path. The
+// sender is charged once (its node budget gated the original frame); the
+// copies model in-network replication.
 func (n *Network) forward(nd *node, f *packet.Frame) {
+	if f.IP.Dst.IsMulticast() {
+		members := n.mcast[f.IP.Dst]
+		if len(members) == 0 {
+			n.stats.RouteDrops++
+			return
+		}
+		n.stats.McastEgress++
+		for _, m := range members {
+			cp := f.Clone()
+			cp.IP.Dst = m.addr
+			cp.UDP.DstPort = m.port
+			n.stats.McastCopies++
+			n.forward(nd, cp)
+		}
+		return
+	}
 	if f.IP.Dst == nd.addr {
 		// Delivered to self (host loopback is not modelled).
 		n.stats.RouteDrops++
@@ -796,6 +888,7 @@ func (n *Network) process(nd *node, f *packet.Frame) {
 	}
 
 	// Switch node.
+	origOp := f.NC.Op
 	if f.IP.Dst == nd.addr && f.UDP.DstPort == packet.Port {
 		if !n.processLocal(nd, f) {
 			return
@@ -834,6 +927,12 @@ func (n *Network) process(nd *node, f *packet.Frame) {
 		if !n.processLocal(nd, f) {
 			return
 		}
+	}
+	// Chain-tail commit point (push watches): this switch just turned a
+	// mutation into an OK reply. The hook publishes an event frame toward
+	// the relay before the reply leaves.
+	if n.commitHook != nil && f.NC.Op == kv.OpReply && f.NC.Status == kv.StatusOK && origOp.IsMutation() {
+		n.commitHook(nd.addr, f, origOp)
 	}
 	n.forward(nd, f)
 }

@@ -57,6 +57,11 @@ func (a Addr) String() string {
 // IsZero reports whether a is the unspecified address.
 func (a Addr) IsZero() bool { return a == 0 }
 
+// IsMulticast reports whether a is an IPv4 class-D (multicast) address —
+// the watch relay's fan-out groups live in this range, and the simulator
+// replicates frames addressed to one toward every joined member.
+func (a Addr) IsMulticast() bool { return byte(a>>24)&0xf0 == 0xe0 }
+
 // MAC is a 48-bit Ethernet address.
 type MAC [6]byte
 

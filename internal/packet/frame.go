@@ -83,6 +83,11 @@ func (f *Frame) ToReply(status kv.Status) {
 	f.fixLengths()
 }
 
+// Finalize recomputes the carrier length fields after direct NC edits,
+// for frames assembled outside the NewQuery path (event/watch frames with
+// non-standard port pairs).
+func (f *Frame) Finalize() { f.fixLengths() }
+
 // fixLengths recomputes the IP and UDP length fields from the payload.
 func (f *Frame) fixLengths() {
 	nclen := f.NC.WireLen()

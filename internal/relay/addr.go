@@ -1,0 +1,40 @@
+package relay
+
+import (
+	"net"
+
+	"netchain/internal/packet"
+)
+
+// Multicast group addressing, in the style of cynix/multicast-relay's
+// endpoint plumbing: each NetChain virtual group maps deterministically
+// onto one administratively-scoped IPv4 multicast group, so a subscriber
+// derives its join set straight from the directory's key→group ring with
+// no extra lookup round.
+
+// McastPort is the UDP port event frames are multicast on. 0x4e45 spells
+// "NE" (NetChain events); distinct from packet.Port so a host can run a
+// switch and a subscriber side by side.
+const McastPort = 0x4e45
+
+// GroupAddr maps virtual group g into the 239.78.0.0/16 organization-local
+// scope ("N" = 78): one multicast group per virtual group.
+func GroupAddr(g uint16) packet.Addr {
+	return packet.AddrFrom4(239, 78, byte(g>>8), byte(g))
+}
+
+// GroupUDP returns the real multicast UDP endpoint for virtual group g.
+func GroupUDP(g uint16) *net.UDPAddr {
+	o := GroupAddr(g).Octets()
+	return &net.UDPAddr{IP: net.IPv4(o[0], o[1], o[2], o[3]), Port: McastPort}
+}
+
+// epKey packs a subscriber endpoint into one comparable integer
+// (host<<16|port, as in SNIPPET 3's Endpoint.Key) for lease bookkeeping.
+func epKey(ep *net.UDPAddr) uint64 {
+	var host uint32
+	if ip4 := ep.IP.To4(); ip4 != nil {
+		host = uint32(ip4[0])<<24 | uint32(ip4[1])<<16 | uint32(ip4[2])<<8 | uint32(ip4[3])
+	}
+	return uint64(host)<<16 | uint64(uint16(ep.Port))
+}

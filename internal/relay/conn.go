@@ -1,0 +1,158 @@
+package relay
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"netchain/internal/kv"
+	"netchain/internal/packet"
+	"netchain/internal/query"
+)
+
+// Conn is a subscriber's event intake: it joins the multicast groups for
+// the watched virtual groups (ModeMulticast) or leases a unicast
+// subscription at the relay's control endpoint and keeps it renewed
+// (ModeUnicast). Decoded events are handed to the deliver callback on the
+// receive goroutine(s); the watch engine behind it is lock-protected and
+// cheap, so no extra queue sits in between.
+type Conn struct {
+	mode   Mode
+	ctl    *net.UDPAddr
+	groups []uint16
+
+	conn   *net.UDPConn   // unicast: control + event intake
+	mconns []*net.UDPConn // multicast: one joined socket per group
+
+	received atomic.Uint64
+	acks     atomic.Uint64
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// Subscribe opens the event intake for the given virtual groups and
+// starts delivering events. ctl is the relay's control endpoint (unused
+// in multicast mode, may be nil then). deliver runs on internal
+// goroutines.
+func Subscribe(mode Mode, ctl *net.UDPAddr, groups []uint16, deliver func(query.Event)) (*Conn, error) {
+	c := &Conn{mode: mode, ctl: ctl, groups: append([]uint16(nil), groups...), stop: make(chan struct{})}
+	switch mode {
+	case ModeMulticast:
+		for _, g := range groups {
+			mc, err := net.ListenMulticastUDP("udp4", nil, GroupUDP(g))
+			if err != nil {
+				c.Close()
+				return nil, fmt.Errorf("relay: join group %d (%v): %w", g, GroupAddr(g), err)
+			}
+			c.mconns = append(c.mconns, mc)
+			c.wg.Add(1)
+			go c.recvLoop(mc, deliver)
+		}
+	case ModeUnicast:
+		if ctl == nil {
+			return nil, fmt.Errorf("relay: unicast subscription needs a control endpoint")
+		}
+		conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 0})
+		if err != nil {
+			return nil, fmt.Errorf("relay: listen: %w", err)
+		}
+		c.conn = conn
+		if err := c.sendControl(query.WatchSubscribe); err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.wg.Add(2)
+		go c.recvLoop(conn, deliver)
+		go c.renewLoop()
+	default:
+		return nil, fmt.Errorf("relay: unknown mode %d", mode)
+	}
+	return c, nil
+}
+
+// Received returns the count of event frames delivered so far.
+func (c *Conn) Received() uint64 { return c.received.Load() }
+
+// Acked returns the count of control acks seen (unicast lease health).
+func (c *Conn) Acked() uint64 { return c.acks.Load() }
+
+// Close tears the intake down; unicast leases are released eagerly.
+func (c *Conn) Close() error {
+	select {
+	case <-c.stop:
+	default:
+		close(c.stop)
+	}
+	if c.conn != nil {
+		_ = c.sendControl(query.WatchUnsubscribe)
+		c.conn.Close()
+	}
+	for _, mc := range c.mconns {
+		mc.Close()
+	}
+	c.wg.Wait()
+	return nil
+}
+
+func (c *Conn) recvLoop(conn *net.UDPConn, deliver func(query.Event)) {
+	defer c.wg.Done()
+	buf := make([]byte, 64<<10)
+	var f packet.Frame
+	for {
+		n, _, err := conn.ReadFromUDP(buf)
+		if err != nil {
+			if isClosed(err) {
+				return
+			}
+			time.Sleep(20 * time.Microsecond)
+			continue
+		}
+		_, _ = packet.DecodeBatch(&f, buf[:n], func(fr *packet.Frame) {
+			switch fr.NC.Op {
+			case kv.OpEvent:
+				if ev, perr := query.ParseEvent(fr); perr == nil {
+					c.received.Add(1)
+					deliver(ev)
+				}
+			case kv.OpWatch:
+				c.acks.Add(1)
+			}
+		})
+	}
+}
+
+// renewLoop re-subscribes at a third of the lease TTL so transient loss
+// of a control frame cannot silently expire the lease.
+func (c *Conn) renewLoop() {
+	defer c.wg.Done()
+	t := time.NewTicker(DefaultLeaseTTL / 3)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+			_ = c.sendControl(query.WatchSubscribe)
+		}
+	}
+}
+
+func (c *Conn) sendControl(verb byte) error {
+	f, err := query.NewWatch(0, 0, uint16(c.conn.LocalAddr().(*net.UDPAddr).Port), verb, uint64(time.Now().UnixNano()), c.groups)
+	if err != nil {
+		return err
+	}
+	defer packet.PutFrame(f)
+	bp := packet.GetBuf()
+	defer packet.PutBuf(bp)
+	out, serr := f.Serialize((*bp)[:0])
+	if serr != nil {
+		return serr
+	}
+	*bp = out
+	_, werr := c.conn.WriteToUDP(out, c.ctl)
+	return werr
+}

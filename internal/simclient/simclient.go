@@ -52,6 +52,20 @@ func (m *Mux) recv(f *packet.Frame) {
 	}
 }
 
+// Addr returns the simulated host the mux owns.
+func (m *Mux) Addr() packet.Addr { return m.addr }
+
+// Sink binds fn to a fresh UDP port on the mux's host and returns the
+// port plus a release func. Push-watch subscribers use this to claim the
+// endpoint they join multicast groups with; frames arriving on the port
+// (events, watch acks) go straight to fn.
+func (m *Mux) Sink(fn func(*packet.Frame)) (uint16, func()) {
+	port := m.nextPort
+	m.nextPort++
+	m.sinks[port] = fn
+	return port, func() { delete(m.sinks, port) }
+}
+
 // Config tunes one client.
 type Config struct {
 	// HostDelay is charged once on send and once on receive (the DPDK

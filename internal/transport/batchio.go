@@ -124,6 +124,58 @@ func (p *portableSender) WriteBatch(msgs []outFrame) error {
 	return nil
 }
 
+// BatchConn exposes the transport's platform batch datagram engine
+// (recvmmsg/sendmmsg on Linux, plain syscalls elsewhere) for other tiers —
+// the watch relay's event ingest and fan-out reuse it instead of growing a
+// second I/O stack. One goroutine owns a BatchConn.
+type BatchConn struct {
+	conn *net.UDPConn
+	ring *recvRing
+	rd   batchReader
+	eg   *egressBatch
+}
+
+// NewBatchConn wraps conn. batch sizes the receive ring (datagrams per
+// ReadBatch syscall); batch < 1 selects the default.
+func NewBatchConn(conn *net.UDPConn, batch int) *BatchConn {
+	if batch < 1 {
+		batch = defaultRecvBatch
+	}
+	ring := newRecvRing(batch)
+	return &BatchConn{
+		conn: conn,
+		ring: ring,
+		rd:   newBatchReader(conn, ring),
+		eg:   newEgressBatch(newBatchSender(conn)),
+	}
+}
+
+// ReadBatch blocks for at least one datagram, invokes fn for each datagram
+// drained by the syscall (the slice aliases the ring: fn must finish with
+// it before returning), and reports how many were delivered. A closed
+// socket returns net.ErrClosed; other errors are transient.
+func (b *BatchConn) ReadBatch(fn func(datagram []byte)) (int, error) {
+	k, err := b.rd.ReadBatch(b.ring)
+	if err != nil {
+		return 0, err
+	}
+	for i := 0; i < k; i++ {
+		fn(b.ring.bufs[i][:b.ring.sizes[i]])
+	}
+	return k, nil
+}
+
+// Queue adds one serialized datagram payload bound for ep, taking
+// ownership of buf (obtain it with packet.GetBuf). Consecutive payloads
+// for the same ep pointer coalesce into one datagram up to the batch
+// cap; a full message ring flushes automatically.
+func (b *BatchConn) Queue(buf *[]byte, ep *net.UDPAddr) {
+	b.eg.add(outFrame{buf: buf, ep: ep})
+}
+
+// Flush sends everything queued.
+func (b *BatchConn) Flush() { b.eg.flush() }
+
 // egressBatch accumulates serialized frames into datagrams and flushes
 // them with one WriteBatch per burst: consecutive frames bound for the
 // same endpoint fold into a single datagram (the receiver's DecodeBatch

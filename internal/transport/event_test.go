@@ -1,0 +1,152 @@
+package transport
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"netchain/internal/kv"
+	"netchain/internal/packet"
+	"netchain/internal/query"
+)
+
+// sinkListener plays the relay's ingest socket: it decodes OpEvent frames
+// off a loopback UDP port and hands them to a channel.
+func sinkListener(t *testing.T) (*net.UDPAddr, chan query.Event) {
+	t.Helper()
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	events := make(chan query.Event, 64)
+	go func() {
+		buf := make([]byte, 64<<10)
+		var f packet.Frame
+		for {
+			n, _, err := conn.ReadFromUDP(buf)
+			if err != nil {
+				return
+			}
+			_, _ = packet.DecodeBatch(&f, buf[:n], func(fr *packet.Frame) {
+				if fr.NC.Op != kv.OpEvent {
+					return
+				}
+				if ev, perr := query.ParseEvent(fr); perr == nil {
+					events <- ev
+				}
+			})
+		}
+	}()
+	return conn.LocalAddr().(*net.UDPAddr), events
+}
+
+func nextEvent(t *testing.T, ch chan query.Event, what string) query.Event {
+	t.Helper()
+	select {
+	case ev := <-ch:
+		return ev
+	case <-time.After(5 * time.Second):
+		t.Fatalf("no event (wanted %s)", what)
+	}
+	return query.Event{}
+}
+
+func assertQuiet(t *testing.T, ch chan query.Event, what string) {
+	t.Helper()
+	select {
+	case ev := <-ch:
+		t.Fatalf("unexpected event after %s: %+v", what, ev)
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+// TestCommitEmitsEventAtTail: every applied mutation produces exactly one
+// OpEvent from the committing tail — reads stay silent, deletes carry the
+// tombstone version, and the per-node counter tallies the publishes.
+func TestCommitEmitsEventAtTail(t *testing.T) {
+	d := newDeployment(t)
+	ep, events := sinkListener(t)
+	relayAddr := packet.AddrFrom4(10, 2, 0, 1)
+	for _, n := range d.nodes {
+		n.SetEventSink(relayAddr, ep)
+	}
+
+	k := kv.KeyFromString("evt/key")
+	if _, err := d.ctl.Insert(k); err != nil {
+		t.Fatal(err)
+	}
+
+	ver, err := d.ops.Write(k, kv.Value("v1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := nextEvent(t, events, "write event")
+	if ev.Key != k || ev.Deleted || string(ev.Value) != "v1" || ev.Version != ver {
+		t.Fatalf("write event = %+v, want key=%v ver=%v value=v1", ev, k, ver)
+	}
+	if ev.Group != d.ops.mustRoute(t, k).Group {
+		t.Fatalf("event group = %d, want the key's virtual group", ev.Group)
+	}
+
+	if _, _, err := d.ops.Read(k); err != nil {
+		t.Fatal(err)
+	}
+	assertQuiet(t, events, "read")
+
+	if err := d.ops.Delete(k); err != nil {
+		t.Fatal(err)
+	}
+	dev := nextEvent(t, events, "delete event")
+	if dev.Key != k || !dev.Deleted || len(dev.Value) != 0 {
+		t.Fatalf("delete event = %+v, want tombstone for %v", dev, k)
+	}
+	if !ev.Version.Less(dev.Version) {
+		t.Fatalf("tombstone version %v does not follow write version %v", dev.Version, ev.Version)
+	}
+	assertQuiet(t, events, "delete")
+
+	var published uint64
+	for _, n := range d.nodes {
+		published += n.Stats().EventsPublished
+	}
+	if published != 2 {
+		t.Fatalf("EventsPublished = %d, want 2 (one write, one delete)", published)
+	}
+}
+
+// mustRoute resolves a key's route or fails the test.
+func (o *Ops) mustRoute(t *testing.T, k kv.Key) query.Route {
+	t.Helper()
+	rt, err := o.Dir(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+// TestEventSinkDisabled: clearing the sink stops event egress.
+func TestEventSinkDisabled(t *testing.T) {
+	d := newDeployment(t)
+	ep, events := sinkListener(t)
+	relayAddr := packet.AddrFrom4(10, 2, 0, 1)
+	for _, n := range d.nodes {
+		n.SetEventSink(relayAddr, ep)
+	}
+	k := kv.KeyFromString("evt/off")
+	if _, err := d.ctl.Insert(k); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.ops.Write(k, kv.Value("v1")); err != nil {
+		t.Fatal(err)
+	}
+	nextEvent(t, events, "enabled write event")
+
+	for _, n := range d.nodes {
+		n.SetEventSink(0, nil)
+	}
+	if _, err := d.ops.Write(k, kv.Value("v2")); err != nil {
+		t.Fatal(err)
+	}
+	assertQuiet(t, events, "disabling the sink")
+}

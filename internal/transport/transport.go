@@ -30,6 +30,7 @@ import (
 	"netchain/internal/health"
 	"netchain/internal/kv"
 	"netchain/internal/packet"
+	"netchain/internal/query"
 )
 
 // AddressBook maps virtual NetChain addresses to real UDP endpoints.
@@ -196,6 +197,7 @@ type NodeStats struct {
 	RecvBatches      uint64 // ingest syscalls that returned datagrams
 	RecvDatagrams    uint64 // datagrams those syscalls drained (ratio = batching effectiveness)
 	RecvFrames       uint64 // frames decoded off the wire
+	EventsPublished  uint64 // push-watch events emitted to the relay sink
 	RcvBufBytes      int    // effective kernel SO_RCVBUF (0 = unknown); below 4 MB means clamped
 }
 
@@ -227,7 +229,10 @@ type SwitchNode struct {
 	recvBatches  atomic.Uint64
 	recvDgrams   atomic.Uint64
 	recvFrames   atomic.Uint64
+	evtPublished atomic.Uint64
 	rcvBuf       int
+
+	evtSink atomic.Pointer[eventSink] // push-watch egress target (nil = off)
 
 	mu       sync.Mutex
 	closed   bool
@@ -383,8 +388,30 @@ func (n *SwitchNode) Stats() NodeStats {
 		RecvBatches:      n.recvBatches.Load(),
 		RecvDatagrams:    n.recvDgrams.Load(),
 		RecvFrames:       n.recvFrames.Load(),
+		EventsPublished:  n.evtPublished.Load(),
 		RcvBufBytes:      n.rcvBuf,
 	}
+}
+
+// eventSink is where a node publishes push-watch events: the relay tier's
+// ingest endpoint plus the virtual address stamped into event frames.
+type eventSink struct {
+	addr packet.Addr
+	ep   *net.UDPAddr
+}
+
+// SetEventSink points the node's push-watch egress at a relay ingest
+// endpoint: from then on, every mutation this node commits (a write-family
+// query it converts into an OK reply — i.e. it acted as the chain tail)
+// additionally leaves as one OpEvent frame on the same batched egress path
+// the reply takes. A nil ep turns publishing off. Safe to call while the
+// node is serving.
+func (n *SwitchNode) SetEventSink(addr packet.Addr, ep *net.UDPAddr) {
+	if ep == nil {
+		n.evtSink.Store(nil)
+		return
+	}
+	n.evtSink.Store(&eventSink{addr: addr, ep: ep})
 }
 
 // QueueDepth returns the number of frames waiting in the node's ingest
@@ -584,6 +611,7 @@ func (n *SwitchNode) sendLoop() {
 // passed to emit while the frame's value may still alias dataplane
 // storage, matching the pre-pipeline ordering.
 func (n *SwitchNode) handle(f *packet.Frame, emit func(outFrame)) {
+	origOp := f.NC.Op
 	if f.IP.Dst == n.sw.Addr() && f.UDP.DstPort == packet.Port {
 		if d, _ := n.sw.ProcessLocal(f); d == core.Drop {
 			return
@@ -611,6 +639,16 @@ func (n *SwitchNode) handle(f *packet.Frame, emit func(outFrame)) {
 			return
 		}
 	}
+	// Commit point of the push-watch pipeline: this node just turned a
+	// write-family query into an OK reply, i.e. it acted as the chain
+	// tail for an applied mutation. Publish one event frame toward the
+	// relay sink on the same batched egress the reply takes. Replayed
+	// duplicates re-ack here too; the relay and subscribers suppress them
+	// by version.
+	if sink := n.evtSink.Load(); sink != nil && f.NC.Op == kv.OpReply &&
+		f.NC.Status == kv.StatusOK && origOp.IsMutation() {
+		n.emitEvent(f, origOp, sink, emit)
+	}
 	ep, ok := n.book.Get(f.IP.Dst)
 	if !ok {
 		return
@@ -623,6 +661,30 @@ func (n *SwitchNode) handle(f *packet.Frame, emit func(outFrame)) {
 	}
 	*bp = out
 	emit(outFrame{buf: bp, ep: ep})
+}
+
+// emitEvent serializes one OpEvent frame for the mutation whose OK reply
+// is in f and queues it for the relay sink. The event aliases f's value
+// only until Serialize copies it out, so it is safe against frame reuse.
+func (n *SwitchNode) emitEvent(f *packet.Frame, origOp kv.Op, sink *eventSink, emit func(outFrame)) {
+	ef := packet.GetFrame()
+	defer packet.PutFrame(ef)
+	query.EventInto(ef, n.sw.Addr(), sink.addr, packet.Port, packet.Port, query.Event{
+		Key:     f.NC.Key,
+		Value:   f.NC.Value,
+		Version: f.NC.Version(),
+		Group:   f.NC.Group,
+		Deleted: origOp == kv.OpDelete,
+	})
+	bp := packet.GetBuf()
+	out, err := ef.Serialize((*bp)[:0])
+	if err != nil {
+		packet.PutBuf(bp)
+		return
+	}
+	*bp = out
+	emit(outFrame{buf: bp, ep: sink.ep})
+	n.evtPublished.Add(1)
 }
 
 // ErrClosed is returned by client operations after Close.

@@ -1,28 +1,39 @@
-// Package watch adds ZooKeeper-style watches on top of the NetChain
-// key-value API — one of the features the paper explicitly defers ("e.g.
-// hierarchical name space ..., watches (which notify clients when watched
-// values are updated)", §6).
+// Package watch implements server-push watches on top of the NetChain
+// key-value protocol — one of the features the paper explicitly defers
+// ("e.g. hierarchical name space ..., watches (which notify clients when
+// watched values are updated)", §6).
 //
-// NetChain's dataplane cannot push notifications (switches cannot
-// originate packets), so watches are client-side: a poller reads watched
-// keys and publishes an event whenever the stored *version* advances —
-// the protocol's monotonic (session, seq) pairs make change detection
-// exact: no false positives from value re-writes of identical bytes, no
-// missed updates between polls beyond coalescing (like ZooKeeper, watches
-// coalesce rapid updates; subscribers always converge to the latest
-// state).
+// The push pipeline: every applied mutation leaves the chain tail as one
+// OpEvent frame (published by the tail's transport agent — switches cannot
+// originate packets, their co-located agents can), a relay tier stamps a
+// per-group stream sequence on each event and fans it out to subscribers
+// over multicast groups keyed by virtual group. This package is the
+// subscriber half: Sub is the substrate-neutral subscription state machine
+// (version-exact dedup, stream-gap detection, versioned-read resync), fed
+// by the real transport's watch socket, the simulator's multicast
+// delivery, or a plain poller.
+//
+// The protocol's monotonic (session, seq) pairs make change detection
+// exact: no false positives from value re-writes of identical bytes, and
+// any dropped, duplicated or reordered event frame is either suppressed by
+// the version order or surfaced as a stream-sequence hole that triggers a
+// linearizable read — so subscribers always converge to the store's state,
+// even when nemesis faults eat events.
+//
+// Watcher remains as the deprecated poll-only driver (it feeds the same
+// Sub engine from periodic reads) for callers migrating from the old
+// client-side polling API.
 package watch
 
 import (
 	"fmt"
-	"sync"
-	"time"
 
 	"netchain/internal/kv"
 )
 
-// Reader is the read capability watches poll — satisfied by the real
-// client (transport.Ops), the simulation client and test fakes.
+// Reader is the versioned read capability used for initial fetches, gap
+// resyncs and poll fallback — satisfied by the real client
+// (transport.Ops), the simulation client and test fakes.
 type Reader interface {
 	Read(k kv.Key) (kv.Value, kv.Version, error)
 }
@@ -31,12 +42,12 @@ type Reader interface {
 type EventType uint8
 
 const (
-	// Created fires on the first successful read of a key (or its
+	// Created fires on the first observed existence of a key (or its
 	// reappearance after deletion).
 	Created EventType = iota
 	// Updated fires when the version advances on an existing key.
 	Updated
-	// Deleted fires when a previously present key reads as not-found.
+	// Deleted fires when a previously present key is removed.
 	Deleted
 )
 
@@ -58,164 +69,4 @@ type Event struct {
 	Key     kv.Key
 	Value   kv.Value
 	Version kv.Version
-}
-
-// Watcher polls a Reader and fans change events out to subscribers.
-type Watcher struct {
-	r        Reader
-	interval time.Duration
-
-	mu      sync.Mutex
-	keys    map[kv.Key]*keyState
-	stopped bool
-	stopCh  chan struct{}
-	wg      sync.WaitGroup
-}
-
-type keyState struct {
-	present bool
-	version kv.Version
-	subs    map[int]chan Event
-	nextSub int
-}
-
-// New builds a watcher polling at the given interval.
-func New(r Reader, interval time.Duration) (*Watcher, error) {
-	if r == nil {
-		return nil, fmt.Errorf("watch: nil reader")
-	}
-	if interval <= 0 {
-		return nil, fmt.Errorf("watch: non-positive interval %v", interval)
-	}
-	w := &Watcher{
-		r:        r,
-		interval: interval,
-		keys:     make(map[kv.Key]*keyState),
-		stopCh:   make(chan struct{}),
-	}
-	w.wg.Add(1)
-	go w.loop()
-	return w, nil
-}
-
-// Watch subscribes to changes of k. The returned channel receives events
-// until cancel is called or the watcher stops; it is buffered, and slow
-// subscribers coalesce (an undelivered event is replaced by the newer
-// one being dropped — subscribers re-read on demand via Poll).
-func (w *Watcher) Watch(k kv.Key) (<-chan Event, func(), error) {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	if w.stopped {
-		return nil, nil, fmt.Errorf("watch: watcher stopped")
-	}
-	st, ok := w.keys[k]
-	if !ok {
-		st = &keyState{subs: make(map[int]chan Event)}
-		w.keys[k] = st
-	}
-	id := st.nextSub
-	st.nextSub++
-	ch := make(chan Event, 16)
-	st.subs[id] = ch
-	cancel := func() {
-		w.mu.Lock()
-		defer w.mu.Unlock()
-		if cur, ok := w.keys[k]; ok {
-			if sub, live := cur.subs[id]; live {
-				delete(cur.subs, id)
-				close(sub)
-				if len(cur.subs) == 0 {
-					delete(w.keys, k)
-				}
-			}
-		}
-	}
-	return ch, cancel, nil
-}
-
-// Poll forces one synchronous scan (tests; catch-up after reconnect).
-func (w *Watcher) Poll() { w.scan() }
-
-// Stop terminates the poll loop and closes all subscriber channels.
-func (w *Watcher) Stop() {
-	w.mu.Lock()
-	if w.stopped {
-		w.mu.Unlock()
-		return
-	}
-	w.stopped = true
-	close(w.stopCh)
-	for k, st := range w.keys {
-		for id, ch := range st.subs {
-			delete(st.subs, id)
-			close(ch)
-		}
-		delete(w.keys, k)
-	}
-	w.mu.Unlock()
-	w.wg.Wait()
-}
-
-func (w *Watcher) loop() {
-	defer w.wg.Done()
-	t := time.NewTicker(w.interval)
-	defer t.Stop()
-	for {
-		select {
-		case <-w.stopCh:
-			return
-		case <-t.C:
-			w.scan()
-		}
-	}
-}
-
-// scan reads every watched key outside the lock, then publishes diffs.
-func (w *Watcher) scan() {
-	w.mu.Lock()
-	keys := make([]kv.Key, 0, len(w.keys))
-	for k := range w.keys {
-		keys = append(keys, k)
-	}
-	w.mu.Unlock()
-
-	for _, k := range keys {
-		val, ver, err := w.r.Read(k)
-		switch {
-		case err == nil:
-			w.publish(k, true, val, ver)
-		case err == kv.ErrNotFound:
-			w.publish(k, false, nil, kv.Version{})
-		default:
-			// Transient failure (timeout, reconfiguration): retry next tick.
-		}
-	}
-}
-
-func (w *Watcher) publish(k kv.Key, present bool, val kv.Value, ver kv.Version) {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	st, ok := w.keys[k]
-	if !ok {
-		return // all subscribers cancelled mid-scan
-	}
-	var ev Event
-	switch {
-	case present && !st.present:
-		ev = Event{Type: Created, Key: k, Value: val, Version: ver}
-	case present && st.version.Less(ver):
-		ev = Event{Type: Updated, Key: k, Value: val, Version: ver}
-	case !present && st.present:
-		ev = Event{Type: Deleted, Key: k, Version: st.version}
-	default:
-		return // no change
-	}
-	st.present = present
-	st.version = ver
-	for _, ch := range st.subs {
-		select {
-		case ch <- ev:
-		default: // coalesce on slow subscriber
-		}
-	}
 }

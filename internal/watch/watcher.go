@@ -1,0 +1,149 @@
+package watch
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"netchain/internal/kv"
+)
+
+// Watcher polls a Reader and fans change events out to subscribers.
+//
+// Deprecated: Watcher is the pre-push polling driver, kept so existing
+// callers compile; it now feeds the same Sub engine the push path uses.
+// New code should use the streaming Watch API (netchain.Client.Watch /
+// SimClient.Watch), which delivers relay-pushed events and only reads for
+// resync.
+type Watcher struct {
+	r        Reader
+	interval time.Duration
+
+	mu      sync.Mutex
+	subs    map[kv.Key]map[int]*Sub
+	nextID  int
+	stopped bool
+	stopCh  chan struct{}
+	wg      sync.WaitGroup
+}
+
+// watcherBuffer matches the historical 16-slot per-subscriber channel.
+const watcherBuffer = 16
+
+// New builds a watcher polling at the given interval.
+func New(r Reader, interval time.Duration) (*Watcher, error) {
+	if r == nil {
+		return nil, fmt.Errorf("watch: nil reader")
+	}
+	if interval <= 0 {
+		return nil, fmt.Errorf("watch: non-positive interval %v", interval)
+	}
+	w := &Watcher{
+		r:        r,
+		interval: interval,
+		subs:     make(map[kv.Key]map[int]*Sub),
+		stopCh:   make(chan struct{}),
+	}
+	w.wg.Add(1)
+	go w.loop()
+	return w, nil
+}
+
+// Watch subscribes to changes of k. The returned channel receives events
+// until cancel is called or the watcher stops; it is buffered, and slow
+// subscribers coalesce (an undelivered event is dropped — subscribers
+// converge on the next poll's resync).
+func (w *Watcher) Watch(k kv.Key) (<-chan Event, func(), error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.stopped {
+		return nil, nil, fmt.Errorf("watch: watcher stopped")
+	}
+	sub := NewSub([]kv.Key{k}, func(kv.Key) uint16 { return 0 }, watcherBuffer)
+	id := w.nextID
+	w.nextID++
+	if w.subs[k] == nil {
+		w.subs[k] = make(map[int]*Sub)
+	}
+	w.subs[k][id] = sub
+	cancel := func() {
+		w.mu.Lock()
+		defer w.mu.Unlock()
+		if cur, ok := w.subs[k]; ok {
+			if s, live := cur[id]; live {
+				delete(cur, id)
+				s.Close()
+				if len(cur) == 0 {
+					delete(w.subs, k)
+				}
+			}
+		}
+	}
+	return sub.Events(), cancel, nil
+}
+
+// Poll forces one synchronous scan (tests; catch-up after reconnect).
+func (w *Watcher) Poll() { w.scan() }
+
+// Stop terminates the poll loop and closes all subscriber channels.
+func (w *Watcher) Stop() {
+	w.mu.Lock()
+	if w.stopped {
+		w.mu.Unlock()
+		return
+	}
+	w.stopped = true
+	close(w.stopCh)
+	for k, subs := range w.subs {
+		for id, s := range subs {
+			delete(subs, id)
+			s.Close()
+		}
+		delete(w.subs, k)
+	}
+	w.mu.Unlock()
+	w.wg.Wait()
+}
+
+func (w *Watcher) loop() {
+	defer w.wg.Done()
+	t := time.NewTicker(w.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.stopCh:
+			return
+		case <-t.C:
+			w.scan()
+		}
+	}
+}
+
+// scan reads every watched key once outside the lock, then applies the
+// result to each subscription of that key (the Sub engine turns it into
+// at most one Created/Updated/Deleted event per subscriber).
+func (w *Watcher) scan() {
+	w.mu.Lock()
+	keys := make([]kv.Key, 0, len(w.subs))
+	for k := range w.subs {
+		keys = append(keys, k)
+	}
+	w.mu.Unlock()
+
+	for _, k := range keys {
+		val, ver, err := w.r.Read(k)
+		present := err == nil
+		if err != nil && err != kv.ErrNotFound {
+			continue // transient failure (timeout, reconfiguration): retry next tick
+		}
+		w.mu.Lock()
+		subs := make([]*Sub, 0, len(w.subs[k]))
+		for _, s := range w.subs[k] {
+			subs = append(subs, s)
+		}
+		w.mu.Unlock()
+		for _, s := range subs {
+			s.ApplyRead(k, present, val, ver)
+		}
+	}
+}

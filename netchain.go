@@ -25,6 +25,7 @@ import (
 	"netchain/internal/kv"
 	"netchain/internal/packet"
 	"netchain/internal/query"
+	"netchain/internal/relay"
 	"netchain/internal/ring"
 	"netchain/internal/swsim"
 	"netchain/internal/transport"
@@ -105,11 +106,12 @@ func (c *ClusterConfig) defaults() {
 // dataplane goroutine behind its own UDP socket, and the controller drives
 // them through net/rpc agents exactly as a multi-process deployment would.
 type Cluster struct {
-	cfg    ClusterConfig
-	book   *transport.AddressBook
-	ctl    *controller.Controller
-	ringV  *ring.Ring
-	nextCl byte
+	cfg      ClusterConfig
+	book     *transport.AddressBook
+	ctl      *controller.Controller
+	ringV    *ring.Ring
+	relaySrv *relay.Server
+	nextCl   byte
 
 	// mu guards the mutable topology: AddSwitch/RemoveSwitch run while the
 	// controller resolves agents from its own goroutines.
@@ -131,6 +133,15 @@ func StartLocalCluster(cfg ClusterConfig) (*Cluster, error) {
 		book:   transport.NewAddressBook(),
 		agents: make(map[packet.Addr]transport.RPCAgent),
 	}
+	// The push-watch relay tier boots first so every switch node can point
+	// its event sink at it from birth. Unicast-lease fan-out: loopback has
+	// no multicast routing.
+	rs, err := relay.Start(relay.Config{Addr: packet.AddrFrom4(10, 2, 0, 1)})
+	if err != nil {
+		return nil, err
+	}
+	cl.relaySrv = rs
+	cl.stops = append(cl.stops, rs.Close)
 	var members []packet.Addr
 	for i := 0; i < cfg.Switches; i++ {
 		addr, err := cl.bootSwitch()
@@ -198,6 +209,9 @@ func (c *Cluster) bootSwitch() (packet.Addr, error) {
 	if err != nil {
 		return 0, err
 	}
+	if c.relaySrv != nil {
+		node.SetEventSink(c.relaySrv.Addr(), c.relaySrv.IngestEndpoint())
+	}
 	c.nodes = append(c.nodes, node)
 	c.stops = append(c.stops, node.Close)
 
@@ -255,6 +269,10 @@ func (c *Cluster) GC(k Key) error { return c.ctl.GC(k) }
 
 // Controller exposes the control plane for advanced use.
 func (c *Cluster) Controller() *controller.Controller { return c.ctl }
+
+// RelayStats snapshots the push-watch relay tier's counters: events
+// ingested/deduplicated/sequenced, fan-out datagrams, live leases.
+func (c *Cluster) RelayStats() relay.Stats { return c.relaySrv.Stats() }
 
 // FailSwitch kills switch i (fail-stop) and runs fast failover
 // (Algorithm 2). Returns when the neighbor rules are installed.
@@ -339,8 +357,9 @@ func (c *Cluster) RemoveSwitch(i int) error {
 // Client is a blocking NetChain client: the agent of §3 translating API
 // calls to in-network queries with retries.
 type Client struct {
-	ops    *transport.Ops
-	client *transport.Client
+	ops     *transport.Ops
+	client  *transport.Client
+	cluster *Cluster
 }
 
 // NewClient attaches a client through the given switch (its "ToR").
@@ -364,7 +383,7 @@ func (c *Cluster) NewClient(gateway int) (*Client, error) {
 		rt := c.ctl.Route(k)
 		return query.Route{Group: rt.Group, Hops: rt.Hops}, nil
 	}}
-	return &Client{ops: ops, client: tc}, nil
+	return &Client{ops: ops, client: tc, cluster: c}, nil
 }
 
 // Close releases the client socket.

@@ -304,6 +304,19 @@ func (s *SimCluster) RunNemesis(sch netsim.Schedule) *netsim.Nemesis {
 	return netsim.RunSchedule(s.d.Net, sch)
 }
 
+// RunNamedNemesis registers one of the named chaos schedules (see
+// experiments.ChaosScheduleNames: reorder-dup, asym-partition, gray-tail,
+// full-nemesis) against the cluster's simulator. The schedule carries
+// only the fault timeline; "full-nemesis" callers inject the fail-stop
+// themselves via FailSwitch/Recover.
+func (s *SimCluster) RunNamedNemesis(name string) (*netsim.Nemesis, error) {
+	sch, err := experiments.BuildSchedule(s.d, name)
+	if err != nil {
+		return nil, err
+	}
+	return netsim.RunSchedule(s.d.Net, sch), nil
+}
+
 // NetStats snapshots the fabric counters, including the nemesis's
 // drop/duplicate/reorder/partition/gray tallies.
 func (s *SimCluster) NetStats() netsim.Stats { return s.d.Net.Stats() }
@@ -312,8 +325,9 @@ func (s *SimCluster) NetStats() netsim.Stats { return s.d.Net.Stats() }
 // injects the query and runs the simulator until the reply (or timeout)
 // resolves, so examples and tests read top-to-bottom.
 type SimClient struct {
-	s *SimCluster
-	c *simclient.Client
+	s   *SimCluster
+	c   *simclient.Client
+	mux *simclient.Mux
 }
 
 // NewClient binds a client to host h (0..3).
@@ -325,7 +339,7 @@ func (s *SimCluster) NewClient(h int) (*SimClient, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &SimClient{s: s, c: c}, nil
+	return &SimClient{s: s, c: c, mux: s.d.Muxes[h]}, nil
 }
 
 func (sc *SimClient) run(issue func(done func(simclient.Result))) (simclient.Result, error) {

@@ -31,7 +31,7 @@ func main() { os.Exit(realMain()) }
 // experiment fails or the perf gate trips — the run where a profile is
 // most wanted.
 func realMain() (code int) {
-	exp := flag.String("exp", "all", "experiment: table1|fig9a|fig9b|fig9c|fig9d|fig9e|fig9f|fig10a|fig10b|fig11|resize|pipeline|tla|bench|udpbench|read-scaling|hot-key|value-sweep|mttr|watch|chaos|placement|all")
+	exp := flag.String("exp", "all", "experiment: table1|fig9a|fig9b|fig9c|fig9d|fig9e|fig9f|fig10a|fig10b|fig11|resize|pipeline|tla|bench|udpbench|read-scaling|hot-key|value-sweep|mttr|watch|chaos|realchaos|placement|all")
 	full := flag.Bool("full", false, "use longer windows / full parameter sweeps")
 	windows := flag.String("windows", "1,4,16,64", "outstanding-window sweep for -exp pipeline (comma-separated)")
 	window := flag.Int("window", 0, "client outstanding-query window for the fig9 experiments (0 = unbounded open loop)")
@@ -213,6 +213,9 @@ func realMain() (code int) {
 		return nil
 	})
 	run("chaos", func() error { return runChaos(*schedule, *seed, *autopilot, *topology) })
+	// Reachable only by name: the wire twin boots live sockets and runs
+	// on the wall clock, so "all" (the quick sim sweep) must not pay it.
+	runOnly("realchaos", func() error { return runRealChaos(*schedule, *seed) })
 	run("placement", func() error {
 		r, err := experiments.RunPlacementScaling(experiments.PlacementOpts{Seed: *seed})
 		if err != nil {
@@ -432,6 +435,46 @@ func runChaos(schedule string, seed int64, autopilot bool, topology string) erro
 			if !res.FailStopInjected && res.Failovers > 0 {
 				return fmt.Errorf("chaos %s seed %d: %d false fail-stop evictions", name, seed, res.Failovers)
 			}
+		}
+	}
+	return nil
+}
+
+// runRealChaos executes nemesis schedules against the live-UDP cluster
+// (see experiments.RunRealChaos). The run fails on a non-linearizable
+// history (dumped for CI upload), an unrepaired chain after a schedule
+// fail-stop, a false eviction, or a diverged push-watch stream.
+func runRealChaos(schedule string, seed int64) error {
+	names := []string{schedule}
+	if schedule == "all" {
+		names = experiments.ChaosScheduleNames()
+	}
+	for _, name := range names {
+		res, err := experiments.RunRealChaos(experiments.RealChaosOpts{
+			Schedule: name, Seed: seed,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Format())
+		if !res.Lin.OK {
+			dump := fmt.Sprintf("realchaos-failure-%s-seed%d.txt", name, seed)
+			if werr := os.WriteFile(dump, []byte(res.DumpHistory()), 0o644); werr != nil {
+				fmt.Fprintf(os.Stderr, "could not dump history: %v\n", werr)
+			} else {
+				fmt.Fprintf(os.Stderr, "history dumped to %s\n", dump)
+			}
+			return fmt.Errorf("realchaos %s seed %d: history not linearizable (key %s): %s",
+				name, seed, res.Lin.Key, res.Lin.Reason)
+		}
+		if res.FailStopInjected && !res.ChainsRepaired {
+			return fmt.Errorf("realchaos %s seed %d: autopilot left the chain unrepaired", name, seed)
+		}
+		if res.FalseEvictions > 0 {
+			return fmt.Errorf("realchaos %s seed %d: %d false fail-stop evictions", name, seed, res.FalseEvictions)
+		}
+		if !res.WatchConverged {
+			return fmt.Errorf("realchaos %s seed %d: push-watch stream did not converge", name, seed)
 		}
 	}
 	return nil

@@ -1,0 +1,336 @@
+package faultconn_test
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"netchain/internal/core"
+	"netchain/internal/event"
+	"netchain/internal/faultconn"
+	"netchain/internal/health"
+	"netchain/internal/kv"
+	"netchain/internal/netsim"
+	"netchain/internal/packet"
+	"netchain/internal/query"
+	"netchain/internal/swsim"
+	"netchain/internal/transport"
+)
+
+// TestPacketConnShim exercises the net.PacketConn wrapper over real UDP
+// sockets: clean pass-through, a directed link cut, fail-stop, and gray
+// ingress loss — each fault silently consuming datagrams the way a lossy
+// kernel would (writes still report full length).
+func TestPacketConnShim(t *testing.T) {
+	aAddr := packet.AddrFrom4(10, 0, 0, 1)
+	bAddr := packet.AddrFrom4(10, 0, 0, 2)
+	inj := faultconn.New(5)
+	defer inj.Stop()
+
+	listen := func() *net.UDPConn {
+		t.Helper()
+		c, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	ac, bc := listen(), listen()
+	sender := inj.WrapPacketConn(aAddr, ac)
+	receiver := inj.WrapPacketConn(bAddr, bc)
+	defer sender.Close()
+	defer receiver.Close()
+	inj.RegisterEndpoint(aAddr, ac.LocalAddr().(*net.UDPAddr))
+	inj.RegisterEndpoint(bAddr, bc.LocalAddr().(*net.UDPAddr))
+	bEp := bc.LocalAddr().(*net.UDPAddr)
+
+	recv := func(wait time.Duration) (string, bool) {
+		t.Helper()
+		buf := make([]byte, 256)
+		receiver.SetReadDeadline(time.Now().Add(wait))
+		n, _, err := receiver.ReadFromUDP(buf)
+		if err != nil {
+			return "", false
+		}
+		return string(buf[:n]), true
+	}
+	send := func(msg string) {
+		t.Helper()
+		n, err := sender.WriteToUDP([]byte(msg), bEp)
+		if err != nil || n != len(msg) {
+			t.Fatalf("WriteToUDP(%q) = (%d, %v), want (%d, nil)", msg, n, err, len(msg))
+		}
+	}
+
+	// Clean link: the shim is a pass-through.
+	send("plain")
+	if got, ok := recv(2 * time.Second); !ok || got != "plain" {
+		t.Fatalf("clean delivery failed: got %q ok=%v", got, ok)
+	}
+
+	// Directed cut a→b: the write is consumed, nothing arrives.
+	inj.SetLinkFault(aAddr, bAddr, netsim.LinkFault{Drop: 1})
+	send("cut")
+	if got, ok := recv(120 * time.Millisecond); ok {
+		t.Fatalf("datagram %q crossed a fully cut link", got)
+	}
+	inj.ClearLinkFault(aAddr, bAddr)
+
+	// Fail-stop of the sender: its egress dies at the socket.
+	inj.FailStop(aAddr)
+	send("dead")
+	if got, ok := recv(120 * time.Millisecond); ok {
+		t.Fatalf("fail-stopped node transmitted %q", got)
+	}
+	inj.Restore(aAddr)
+
+	// Gray ingress loss on the receiver: the wire delivers, the wrapped
+	// read loop eats every arrival.
+	inj.SetGray(bAddr, netsim.Gray{Loss: 1})
+	send("gray")
+	if got, ok := recv(120 * time.Millisecond); ok {
+		t.Fatalf("gray-lossy ingress delivered %q", got)
+	}
+	inj.ClearGray(bAddr)
+
+	// Healed: traffic flows again on the same sockets.
+	send("healed")
+	if got, ok := recv(2 * time.Second); !ok || got != "healed" {
+		t.Fatalf("post-heal delivery failed: got %q ok=%v", got, ok)
+	}
+	st := inj.Stats()
+	if st.ChaosDrops == 0 || st.FailDrops == 0 || st.GrayDrops == 0 {
+		t.Fatalf("expected every fault class to count a drop: %+v", st)
+	}
+}
+
+// wireNode is a one-switch live-UDP deployment with every socket behind
+// the injector — the smallest cluster that exercises client retry pacing
+// and the health plane against real wire faults.
+type wireNode struct {
+	inj  *faultconn.Injector
+	book *transport.AddressBook
+	addr packet.Addr
+	node *transport.SwitchNode
+}
+
+func newWireNode(t *testing.T, seed int64) *wireNode {
+	t.Helper()
+	w := &wireNode{
+		inj:  faultconn.New(seed),
+		book: transport.NewAddressBook(),
+		addr: packet.AddrFrom4(10, 0, 0, 1),
+	}
+	t.Cleanup(w.inj.Stop)
+	sw, err := core.NewSwitch(w.addr, swsim.Config{
+		Stages: 8, SlotBytes: 16, SlotsPerStage: 64, PPS: 1e9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.node, err = transport.NewSwitchNode(sw, w.book, "127.0.0.1:0",
+		transport.WithFaultPipe(w.inj.Pipe(w.addr)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { w.node.Close() })
+	w.inj.RegisterEndpoint(w.addr, w.node.Endpoint())
+	k := kv.KeyFromString("wire/k")
+	if err := sw.InstallKey(k); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func (w *wireNode) client(t *testing.T, cfg transport.ClientConfig) *transport.Ops {
+	t.Helper()
+	cfg.Gateway = w.addr
+	cfg.Bind = "127.0.0.1:0"
+	cfg.Faults = w.inj.Pipe(cfg.Addr)
+	tc, err := transport.NewClient(w.book, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tc.Close() })
+	w.inj.RegisterEndpoint(cfg.Addr, tc.LocalEndpoint())
+	route := func(kv.Key) (query.Route, error) {
+		return query.Route{Group: 1, Hops: []packet.Addr{w.addr}}, nil
+	}
+	return &transport.Ops{Client: tc, Dir: route}
+}
+
+// TestPartitionBoundsRetryVolume: during an asymmetric partition the
+// exponential backoff must keep the client's retransmit rate bounded by
+// the cap — the same number of probes as the fixed-interval legacy
+// pacing, spread over a multiple of the time. Both clients run the same
+// attempt budget into the same dead link; the backoff client's probe rate
+// (attempts per elapsed second) must come out well under the control's.
+func TestPartitionBoundsRetryVolume(t *testing.T) {
+	w := newWireNode(t, 9)
+	k := kv.KeyFromString("wire/k")
+
+	timeout := 15 * time.Millisecond
+	const retries = 6
+	backoff := w.client(t, transport.ClientConfig{
+		Addr: packet.AddrFrom4(10, 1, 0, 1), Timeout: timeout, Retries: retries,
+		BackoffFactor: 2, BackoffCap: 8 * timeout, BackoffJitter: -1,
+	})
+	control := w.client(t, transport.ClientConfig{
+		Addr: packet.AddrFrom4(10, 1, 0, 2), Timeout: timeout, Retries: retries,
+		BackoffFactor: 1, BackoffJitter: -1,
+	})
+
+	// Seed while the link is clean.
+	if _, err := backoff.Write(k, kv.Value("v0")); err != nil {
+		t.Fatalf("seed write: %v", err)
+	}
+
+	// Cut clients→switch. Replies can't even be generated: every attempt
+	// is consumed at the client's own egress.
+	w.inj.AddPartition(netsim.NewPartition(
+		[]packet.Addr{packet.AddrFrom4(10, 1, 0, 1), packet.AddrFrom4(10, 1, 0, 2)},
+		[]packet.Addr{w.addr}))
+
+	run := func(o *transport.Ops) (attempts uint64, elapsed time.Duration) {
+		before := o.Client.Stats()
+		start := time.Now()
+		if _, _, err := o.Read(k); err == nil {
+			t.Fatal("read through a full partition succeeded")
+		}
+		after := o.Client.Stats()
+		if after.Timeouts != before.Timeouts+1 {
+			t.Fatalf("expected one exhausted call, stats %+v -> %+v", before, after)
+		}
+		return after.Sent - before.Sent, time.Since(start)
+	}
+	bSent, bElapsed := run(backoff)
+	cSent, cElapsed := run(control)
+
+	// Identical probe budgets: retries+1 attempts each, no storm.
+	if bSent != retries+1 || cSent != retries+1 {
+		t.Fatalf("attempt counts: backoff=%d control=%d, want %d each", bSent, cSent, retries+1)
+	}
+	// Backoff spreads them: 15+30+60+120+120+120+120 = 585 ms of deadline
+	// versus the control's flat 7×15 = 105 ms. Generous slack for sweep
+	// granularity and CI scheduling, but the separation must be decisive.
+	if bElapsed < 2*cElapsed {
+		t.Fatalf("backoff pacing not slower than fixed pacing: %v vs %v", bElapsed, cElapsed)
+	}
+	if bElapsed < 400*time.Millisecond {
+		t.Fatalf("backoff client exhausted its budget too fast: %v", bElapsed)
+	}
+	if cElapsed > 350*time.Millisecond {
+		t.Fatalf("control client unexpectedly slow: %v", cElapsed)
+	}
+}
+
+// TestMonitorResilientToGrayAndBurst: the φ-accrual monitor must ride out
+// burst loss windows and a gray (lossy, slow) member without declaring
+// anyone fail-stopped — and still detect a real fail-stop promptly once
+// the chaos is over. False evictions under mere packet loss are exactly
+// the failure mode φ-accrual plus probe corroboration exists to prevent.
+func TestMonitorResilientToGrayAndBurst(t *testing.T) {
+	const hb = 10 * time.Millisecond
+	inj := faultconn.New(17)
+	defer inj.Stop()
+	book := transport.NewAddressBook()
+
+	addrs := []packet.Addr{packet.AddrFrom4(10, 0, 0, 1), packet.AddrFrom4(10, 0, 0, 2)}
+	var nodes []*transport.SwitchNode
+	for _, a := range addrs {
+		sw, err := core.NewSwitch(a, swsim.Config{
+			Stages: 8, SlotBytes: 16, SlotsPerStage: 64, PPS: 1e9,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := transport.NewSwitchNode(sw, book, "127.0.0.1:0",
+			transport.WithFaultPipe(inj.Pipe(a)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer n.Close()
+		inj.RegisterEndpoint(a, n.Endpoint())
+		nodes = append(nodes, n)
+	}
+
+	mv := packet.AddrFrom4(10, 255, 0, 1)
+	det := health.NewDetector(health.Defaults(hb))
+	mon, err := health.NewMonitor("127.0.0.1:0", mv, det,
+		health.WithMonitorFaults(inj.Pipe(mv)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mon.Close()
+	inj.RegisterEndpoint(mv, mon.Endpoint())
+	book.Set(mv, mon.Endpoint())
+	for _, a := range addrs {
+		det.Track(a, mon.Now())
+		mon.Watch(a)
+	}
+	mon.StartProbes(2*hb, 8*hb)
+	for _, n := range nodes {
+		if err := n.StartHeartbeats(mv, hb); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Let the detector reach steady state on a clean wire.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if det.VerdictFor(addrs[0], mon.Now()) == health.Healthy &&
+			det.VerdictFor(addrs[1], mon.Now()) == health.Healthy {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cluster never went healthy: %+v", det.Snapshot(mon.Now()))
+		}
+		time.Sleep(hb)
+	}
+
+	// One second of burst loss (40 ms blackouts every 250 ms, cluster-wide)
+	// with node A simultaneously gray: 15% ingress loss and inflated probe
+	// latency. Heartbeats thin out; none of it is fail-stop.
+	window := event.Time(time.Second)
+	if err := inj.RunSchedule(netsim.Schedule{
+		{Name: "burst", At: 0, For: window, Fault: netsim.ClusterChaos{F: netsim.LinkFault{
+			BurstEvery: event.Time(250 * time.Millisecond),
+			BurstFor:   event.Time(40 * time.Millisecond),
+		}}},
+		{Name: "gray", At: 0, For: window, Fault: netsim.GraySwitch{
+			Addr: addrs[0],
+			G:    netsim.Gray{Loss: 0.15, ExtraDelay: event.Time(2 * time.Millisecond)},
+		}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	chaosEnd := time.Now().Add(time.Duration(window))
+	for time.Now().Before(chaosEnd) {
+		for _, a := range addrs {
+			if v := det.VerdictFor(a, mon.Now()); v == health.FailStop {
+				t.Fatalf("false eviction: %v declared fail-stop under gray+burst (φ=%.1f)",
+					a, det.Phi(a, mon.Now()))
+			}
+		}
+		time.Sleep(hb)
+	}
+
+	// Chaos healed; now kill node B for real. The detector must converge
+	// to FailStop — and promptly, not after minutes of suspicion.
+	killed := time.Now()
+	inj.FailStop(addrs[1])
+	deadline = killed.Add(10 * time.Second)
+	for det.VerdictFor(addrs[1], mon.Now()) != health.FailStop {
+		if time.Now().After(deadline) {
+			t.Fatalf("real fail-stop never detected: φ=%.1f %+v",
+				det.Phi(addrs[1], mon.Now()), det.Snapshot(mon.Now()))
+		}
+		time.Sleep(hb)
+	}
+	if d := time.Since(killed); d > 5*time.Second {
+		t.Fatalf("fail-stop detection took %v, want well under 5s at hb=%v", d, hb)
+	}
+	if v := det.VerdictFor(addrs[0], mon.Now()); v == health.FailStop {
+		t.Fatalf("survivor evicted alongside the real failure (verdict %v)", v)
+	}
+}

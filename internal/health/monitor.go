@@ -22,12 +22,33 @@ import (
 // heartbeats and probes straight into the Detector under simulated time —
 // but both substrates share the Detector, the payload codec, the frame
 // builders and the ProbeTable, so verdict behavior is identical.
+// FaultPipe is the wire-nemesis hook the monitor's sockets honor. It
+// mirrors transport.FaultPipe structurally — health sits below transport
+// in the import graph, so the interface is restated here and the
+// faultconn injector's Pipe satisfies both.
+type FaultPipe interface {
+	Egress(buf []byte, ep *net.UDPAddr, send func(buf []byte, ep *net.UDPAddr)) bool
+	Ingress(buf []byte) bool
+}
+
+// MonitorOption tunes a Monitor.
+type MonitorOption func(*Monitor)
+
+// WithMonitorFaults routes every heartbeat the monitor receives and
+// every probe it sends through the wire nemesis — the path that proves
+// φ-accrual verdicts hold under gray loss and burst windows on real
+// sockets.
+func WithMonitorFaults(p FaultPipe) MonitorOption {
+	return func(m *Monitor) { m.fault = p }
+}
+
 type Monitor struct {
 	det    *Detector
 	conn   *net.UDPConn
 	virt   packet.Addr
 	start  time.Time
 	probes *ProbeTable
+	fault  FaultPipe
 
 	mu      sync.Mutex
 	eps     map[packet.Addr]*net.UDPAddr
@@ -41,7 +62,7 @@ type Monitor struct {
 // NewMonitor binds the health endpoint and starts receiving. virt is the
 // monitor's virtual NetChain address (what switches address heartbeats
 // and probe replies to).
-func NewMonitor(bind string, virt packet.Addr, det *Detector) (*Monitor, error) {
+func NewMonitor(bind string, virt packet.Addr, det *Detector, opts ...MonitorOption) (*Monitor, error) {
 	laddr, err := net.ResolveUDPAddr("udp", bind)
 	if err != nil {
 		return nil, fmt.Errorf("health: resolve %q: %w", bind, err)
@@ -60,6 +81,9 @@ func NewMonitor(bind string, virt packet.Addr, det *Detector) (*Monitor, error) 
 		removed:  make(map[packet.Addr]bool),
 		closed:   make(chan struct{}),
 		recvDone: make(chan struct{}),
+	}
+	for _, o := range opts {
+		o(m)
 	}
 	go m.recvLoop()
 	return m, nil
@@ -122,6 +146,9 @@ func (m *Monitor) recvLoop() {
 				return
 			}
 			time.Sleep(20 * time.Microsecond)
+			continue
+		}
+		if m.fault != nil && !m.fault.Ingress(buf[:sz]) {
 			continue
 		}
 		// A torn frame only loses the undecodable tail; heartbeats decoded
@@ -201,6 +228,14 @@ func (m *Monitor) probeOnce(timeout time.Duration) {
 			continue
 		}
 		buf = out
+		if m.fault != nil && !m.fault.Egress(out, t.ep, m.rawSend) {
+			continue
+		}
 		_, _ = m.conn.WriteToUDP(out, t.ep)
 	}
 }
+
+// rawSend is the monitor's single-datagram sender, used by the fault
+// pipe for delayed probe delivery (probes must leave the monitor's own
+// socket so replies come back to it).
+func (m *Monitor) rawSend(b []byte, ep *net.UDPAddr) { _, _ = m.conn.WriteToUDP(b, ep) }

@@ -24,6 +24,7 @@ package netsim
 
 import (
 	"fmt"
+	"math/rand"
 
 	"netchain/internal/event"
 	"netchain/internal/packet"
@@ -46,11 +47,24 @@ type LinkFault struct {
 	// (8x the link latency if zero), letting later frames overtake it.
 	Reorder      float64
 	ReorderDelay event.Time
+	// BurstEvery/BurstFor model bursty loss: every BurstEvery of link
+	// time, the link goes totally dark for BurstFor (phase-aligned to
+	// t=0). The windows are a pure function of the clock — no rng draws —
+	// so adding a burst never perturbs the drop/dup/reorder decision
+	// stream of a seeded run.
+	BurstEvery event.Time
+	BurstFor   event.Time
 }
 
 // active reports whether the fault perturbs anything.
 func (f LinkFault) active() bool {
-	return f.Drop > 0 || f.Dup > 0 || f.Jitter > 0 || f.Reorder > 0
+	return f.Drop > 0 || f.Dup > 0 || f.Jitter > 0 || f.Reorder > 0 ||
+		(f.BurstEvery > 0 && f.BurstFor > 0)
+}
+
+// inBurst reports whether now falls inside a burst-loss window.
+func (f LinkFault) inBurst(now event.Time) bool {
+	return f.BurstEvery > 0 && f.BurstFor > 0 && now%f.BurstEvery < f.BurstFor
 }
 
 // merge combines two faults acting on the same traversal: drop/dup/reorder
@@ -63,14 +77,84 @@ func (f LinkFault) merge(g LinkFault) LinkFault {
 		}
 		return b
 	}
-	return LinkFault{
+	out := LinkFault{
 		Drop:         or(f.Drop, g.Drop),
 		Dup:          or(f.Dup, g.Dup),
 		DupDelay:     max(f.DupDelay, g.DupDelay),
 		Jitter:       max(f.Jitter, g.Jitter),
 		Reorder:      or(f.Reorder, g.Reorder),
 		ReorderDelay: max(f.ReorderDelay, g.ReorderDelay),
+		BurstEvery:   f.BurstEvery,
+		BurstFor:     f.BurstFor,
 	}
+	// Burst windows don't compose as probabilities; the per-link burst
+	// wins, a cluster-wide one applies where no per-link burst exists.
+	if out.BurstEvery == 0 || out.BurstFor == 0 {
+		out.BurstEvery, out.BurstFor = g.BurstEvery, g.BurstFor
+	}
+	return out
+}
+
+// Merge combines two faults acting on the same traversal — exported for
+// the wire-side applier (internal/faultconn), which resolves per-link +
+// cluster-wide faults exactly the way faultFor does.
+func (f LinkFault) Merge(g LinkFault) LinkFault { return f.merge(g) }
+
+// Active reports whether the fault perturbs anything — the wire-side
+// applier uses it to skip the decision core on healthy directions without
+// consuming rng draws.
+func (f LinkFault) Active() bool { return f.active() }
+
+// FaultDecision is the outcome of applying a LinkFault to one frame
+// traversal. Delays are in the fault's own time base (simulated
+// nanoseconds); wire appliers scale them to wall clock.
+type FaultDecision struct {
+	Drop      bool
+	Burst     bool       // Drop came from a burst-loss window
+	Delay     event.Time // extra delay added to the traversal (jitter + hold-back)
+	Reordered bool
+	Dup       bool
+	DupDelay  event.Time // duplicate's extra delay past the original's Delay
+}
+
+// Decide draws the fault outcome for one traversal of a faulty link.
+// This is the single decision core shared by the simulator's transmit
+// path and the wire-side injector (internal/faultconn): the check order
+// and the rng draw order are load-bearing. Burst windows are consulted
+// first (clock-driven, no draw), then Drop, Jitter, Reorder and Dup draw
+// from rng in exactly this sequence — TestNemesisDeterminism pins the
+// resulting sim fingerprints and FuzzScheduleWire pins sim/wire parity,
+// so any reordering here is a breaking change to both.
+func (f LinkFault) Decide(rng *rand.Rand, now, lat event.Time) (d FaultDecision) {
+	if f.inBurst(now) {
+		d.Drop, d.Burst = true, true
+		return
+	}
+	if f.Drop > 0 && rng.Float64() < f.Drop {
+		d.Drop = true
+		return
+	}
+	if f.Jitter > 0 {
+		d.Delay += event.Time(rng.Int63n(int64(f.Jitter) + 1))
+	}
+	if f.Reorder > 0 && rng.Float64() < f.Reorder {
+		// Hold the frame back long enough that frames sent after it
+		// overtake — out-of-order delivery without loss.
+		rd := f.ReorderDelay
+		if rd == 0 {
+			rd = 8 * lat
+		}
+		d.Delay += rd
+		d.Reordered = true
+	}
+	if f.Dup > 0 && rng.Float64() < f.Dup {
+		dd := f.DupDelay
+		if dd == 0 {
+			dd = lat
+		}
+		d.Dup, d.DupDelay = true, dd
+	}
+	return
 }
 
 // Gray degrades a node without failing it: the switch keeps forwarding and
@@ -111,6 +195,12 @@ func NewPartition(from, to []packet.Addr) *Partition {
 func (p *Partition) matches(src, dst packet.Addr) bool {
 	return p.from[src] && p.to[dst]
 }
+
+// Matches reports whether a frame with the given virtual src/dst headers
+// is cut by this partition — exported for the wire-side applier
+// (internal/faultconn), which evaluates the same Partition values against
+// serialized frame headers instead of simulated ones.
+func (p *Partition) Matches(src, dst packet.Addr) bool { return p.matches(src, dst) }
 
 // ---------------------------------------------------------------------------
 // Network fault management.

@@ -70,6 +70,7 @@ type Stats struct {
 	DupCopies      uint64 // extra frame copies injected by LinkFault.Dup
 	Reordered      uint64 // frames held back by LinkFault.Reorder
 	PartitionDrops uint64 // frames dropped by an asymmetric partition
+	BurstDrops     uint64 // frames dropped inside a burst-loss window
 	GrayDrops      uint64 // frames lost at a gray-degraded switch
 
 	// LinkDrops counts frames tail-dropped at a capacity-metered link whose
@@ -780,34 +781,25 @@ func (n *Network) transmit(from, via packet.Addr, f *packet.Frame) {
 		n.Sim.After(lat, func() { n.arrive(next, f) })
 		return
 	}
-	if flt.Drop > 0 && n.rng.Float64() < flt.Drop {
-		n.stats.ChaosDrops++
+	dec := flt.Decide(n.rng, n.Sim.Now(), lat)
+	if dec.Drop {
+		if dec.Burst {
+			n.stats.BurstDrops++
+		} else {
+			n.stats.ChaosDrops++
+		}
 		return
 	}
-	d := lat
-	if flt.Jitter > 0 {
-		d += event.Time(n.rng.Int63n(int64(flt.Jitter) + 1))
-	}
-	if flt.Reorder > 0 && n.rng.Float64() < flt.Reorder {
-		// Hold the frame back long enough that frames sent after it
-		// overtake — out-of-order delivery without loss.
-		rd := flt.ReorderDelay
-		if rd == 0 {
-			rd = 8 * lat
-		}
-		d += rd
+	d := lat + dec.Delay
+	if dec.Reordered {
 		n.stats.Reordered++
 	}
-	if flt.Dup > 0 && n.rng.Float64() < flt.Dup {
+	if dec.Dup {
 		// The copy must be deep: the dataplane rewrites frames in place,
 		// and both copies will be processed independently.
-		dd := flt.DupDelay
-		if dd == 0 {
-			dd = lat
-		}
 		cp := f.Clone()
 		n.stats.DupCopies++
-		n.Sim.After(d+dd, func() { n.arrive(next, cp) })
+		n.Sim.After(d+dec.DupDelay, func() { n.arrive(next, cp) })
 	}
 	n.Sim.After(d, func() { n.arrive(next, f) })
 }

@@ -12,14 +12,37 @@ import (
 // observed at the chain tail. Version is the per-key (Session, Seq) pair
 // stamped by the chain head; StreamSeq is the relay's per-group fan-out
 // sequence (0 until the relay stamps it), which subscribers use for gap
-// detection.
+// detection. Epoch identifies one incarnation of the relay's sequencer:
+// a restarted relay stamps a fresh nonzero epoch, so a subscriber that
+// sees the epoch change knows the stream seq restarted from 1 and treats
+// the boundary as a gap instead of a stretch of duplicates.
 type Event struct {
 	Key       kv.Key
 	Value     kv.Value
 	Version   kv.Version
 	Group     uint16
 	StreamSeq uint64
+	Epoch     uint16
 	Deleted   bool
+}
+
+// Epoch and stream seq share the QueryID field on the wire: epoch in the
+// top 16 bits, seq in the low 48 (2^48 events per group per relay
+// incarnation outlasts any deployment). Pre-epoch senders put a bare seq
+// in QueryID, which decodes as epoch 0 — old frames stay valid.
+const (
+	streamSeqBits = 48
+	streamSeqMask = (uint64(1) << streamSeqBits) - 1
+)
+
+// PackStreamSeq encodes (epoch, seq) into a QueryID.
+func PackStreamSeq(epoch uint16, seq uint64) uint64 {
+	return uint64(epoch)<<streamSeqBits | seq&streamSeqMask
+}
+
+// UnpackStreamSeq splits a QueryID into (epoch, seq).
+func UnpackStreamSeq(qid uint64) (epoch uint16, seq uint64) {
+	return uint16(qid >> streamSeqBits), qid & streamSeqMask
 }
 
 // EventInto assembles an OpEvent frame into f. The value is copied via the
@@ -34,7 +57,7 @@ func EventInto(f *packet.Frame, src, dst packet.Addr, srcPort, dstPort uint16, e
 		nc.Status = kv.StatusNotFound
 	}
 	nc.Group = ev.Group
-	nc.QueryID = ev.StreamSeq
+	nc.QueryID = PackStreamSeq(ev.Epoch, ev.StreamSeq)
 	nc.Key = ev.Key
 	nc.SetVersion(ev.Version)
 	nc.Value = ev.Value
@@ -59,11 +82,13 @@ func ParseEvent(f *packet.Frame) (Event, error) {
 	if f.NC.Op != kv.OpEvent {
 		return Event{}, fmt.Errorf("query: frame is %v, not an event", f.NC.Op)
 	}
+	epoch, seq := UnpackStreamSeq(f.NC.QueryID)
 	ev := Event{
 		Key:       f.NC.Key,
 		Version:   f.NC.Version(),
 		Group:     f.NC.Group,
-		StreamSeq: f.NC.QueryID,
+		StreamSeq: seq,
+		Epoch:     epoch,
 		Deleted:   f.NC.Status == kv.StatusNotFound,
 	}
 	if !ev.Deleted {

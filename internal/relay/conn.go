@@ -10,6 +10,7 @@ import (
 	"netchain/internal/kv"
 	"netchain/internal/packet"
 	"netchain/internal/query"
+	"netchain/internal/transport"
 )
 
 // Conn is a subscriber's event intake: it joins the multicast groups for
@@ -26,6 +27,9 @@ type Conn struct {
 	conn   *net.UDPConn   // unicast: control + event intake
 	mconns []*net.UDPConn // multicast: one joined socket per group
 
+	renewEvery time.Duration
+	fault      transport.FaultPipe
+
 	received atomic.Uint64
 	acks     atomic.Uint64
 
@@ -33,12 +37,40 @@ type Conn struct {
 	wg   sync.WaitGroup
 }
 
+// SubOption tunes a subscriber Conn.
+type SubOption func(*Conn)
+
+// WithRenewEvery sets the unicast lease renew cadence. Default is
+// DefaultLeaseTTL/3; a relay configured with a shorter LeaseTTL needs
+// its subscribers renewing at TTL/3, or a relay restart (which loses the
+// lease table) silences them until the next slow renew.
+func WithRenewEvery(d time.Duration) SubOption {
+	return func(c *Conn) {
+		if d > 0 {
+			c.renewEvery = d
+		}
+	}
+}
+
+// WithSubFaults routes the subscriber's event intake and control frames
+// through the wire nemesis (see transport.FaultPipe).
+func WithSubFaults(p transport.FaultPipe) SubOption {
+	return func(c *Conn) { c.fault = p }
+}
+
 // Subscribe opens the event intake for the given virtual groups and
 // starts delivering events. ctl is the relay's control endpoint (unused
 // in multicast mode, may be nil then). deliver runs on internal
 // goroutines.
-func Subscribe(mode Mode, ctl *net.UDPAddr, groups []uint16, deliver func(query.Event)) (*Conn, error) {
-	c := &Conn{mode: mode, ctl: ctl, groups: append([]uint16(nil), groups...), stop: make(chan struct{})}
+func Subscribe(mode Mode, ctl *net.UDPAddr, groups []uint16, deliver func(query.Event), opts ...SubOption) (*Conn, error) {
+	c := &Conn{
+		mode: mode, ctl: ctl, groups: append([]uint16(nil), groups...),
+		renewEvery: DefaultLeaseTTL / 3,
+		stop:       make(chan struct{}),
+	}
+	for _, o := range opts {
+		o(c)
+	}
 	switch mode {
 	case ModeMulticast:
 		for _, g := range groups {
@@ -110,6 +142,9 @@ func (c *Conn) recvLoop(conn *net.UDPConn, deliver func(query.Event)) {
 			time.Sleep(20 * time.Microsecond)
 			continue
 		}
+		if c.fault != nil && !c.fault.Ingress(buf[:n]) {
+			continue
+		}
 		_, _ = packet.DecodeBatch(&f, buf[:n], func(fr *packet.Frame) {
 			switch fr.NC.Op {
 			case kv.OpEvent:
@@ -125,10 +160,11 @@ func (c *Conn) recvLoop(conn *net.UDPConn, deliver func(query.Event)) {
 }
 
 // renewLoop re-subscribes at a third of the lease TTL so transient loss
-// of a control frame cannot silently expire the lease.
+// of a control frame cannot silently expire the lease. The same cadence
+// re-establishes the lease after a relay restart wipes its table.
 func (c *Conn) renewLoop() {
 	defer c.wg.Done()
-	t := time.NewTicker(DefaultLeaseTTL / 3)
+	t := time.NewTicker(c.renewEvery)
 	defer t.Stop()
 	for {
 		select {
@@ -153,6 +189,11 @@ func (c *Conn) sendControl(verb byte) error {
 		return serr
 	}
 	*bp = out
+	if c.fault != nil && !c.fault.Egress(out, c.ctl, c.rawSend) {
+		return nil // consumed by the nemesis: dropped or delayed
+	}
 	_, werr := c.conn.WriteToUDP(out, c.ctl)
 	return werr
 }
+
+func (c *Conn) rawSend(b []byte, ep *net.UDPAddr) { _, _ = c.conn.WriteToUDP(b, ep) }

@@ -54,6 +54,15 @@ type Config struct {
 	LeaseTTL time.Duration
 	// RecvBatch sizes the ingest ring (datagrams per syscall); 0 default.
 	RecvBatch int
+	// Epoch identifies this incarnation of the relay's sequencer in every
+	// fanned-out event; subscribers treat an epoch change as a gap and
+	// resync (a restarted relay's per-group sequences start over from 1).
+	// 0 derives a nonzero epoch from the wall clock, so two incarnations
+	// of the same relay virtually never share one.
+	Epoch uint16
+	// Faults, when set, routes the relay's ingest, fan-out and control
+	// datagrams through the wire nemesis (see transport.FaultPipe).
+	Faults transport.FaultPipe
 }
 
 // Stats counts the relay's traffic. Sequencer counters come from Core.
@@ -98,6 +107,18 @@ func Start(cfg Config) (*Server, error) {
 	}
 	if cfg.LeaseTTL <= 0 {
 		cfg.LeaseTTL = DefaultLeaseTTL
+	}
+	if cfg.Epoch == 0 {
+		// Nanosecond wall clock folded to 16 bits: effectively random per
+		// process start, so even a crash-restart within the same second
+		// lands on a fresh epoch — a subscriber must see the sequencer
+		// reset as an epoch change (gap + resync), never mistake the new
+		// stream's low sequence numbers for stale reordering. 0 is
+		// reserved for "no epoch" (pre-epoch frames, the sim).
+		cfg.Epoch = uint16(time.Now().UnixNano())
+		if cfg.Epoch == 0 {
+			cfg.Epoch = 1
+		}
 	}
 	laddr, err := net.ResolveUDPAddr("udp", cfg.Bind)
 	if err != nil {
@@ -180,6 +201,9 @@ func (s *Server) Close() error {
 func (s *Server) ingestLoop() {
 	defer s.wg.Done()
 	bio := transport.NewBatchConn(s.conn, s.cfg.RecvBatch)
+	if s.cfg.Faults != nil {
+		bio.SetFaults(s.cfg.Faults)
+	}
 	var f packet.Frame
 	ef := packet.GetFrame()
 	defer packet.PutFrame(ef)
@@ -214,6 +238,7 @@ func (s *Server) handleEvent(fr *packet.Frame, scratch *packet.Frame, bio *trans
 		return
 	}
 	ev.StreamSeq = seq
+	ev.Epoch = s.cfg.Epoch
 	if s.cfg.Mode == ModeMulticast {
 		query.EventInto(scratch, s.cfg.Addr, GroupAddr(ev.Group), packet.Port, McastPort, ev)
 		s.queueSerialized(scratch, GroupUDP(ev.Group), bio)
@@ -264,6 +289,9 @@ func (s *Server) controlLoop() {
 				return
 			}
 			time.Sleep(20 * time.Microsecond)
+			continue
+		}
+		if s.cfg.Faults != nil && !s.cfg.Faults.Ingress(buf[:n]) {
 			continue
 		}
 		if derr := f.Decode(buf[:n]); derr != nil {
@@ -337,10 +365,14 @@ func (s *Server) ack(dst *net.UDPAddr, nonce uint64, groups []uint16) {
 	bp := packet.GetBuf()
 	out, serr := f.Serialize((*bp)[:0])
 	if serr == nil {
-		_, _ = s.ctl.WriteToUDP(out, dst)
+		if s.cfg.Faults == nil || s.cfg.Faults.Egress(out, dst, s.rawCtlSend) {
+			_, _ = s.ctl.WriteToUDP(out, dst)
+		}
 	}
 	*bp = out
 	packet.PutBuf(bp)
 }
+
+func (s *Server) rawCtlSend(b []byte, ep *net.UDPAddr) { _, _ = s.ctl.WriteToUDP(b, ep) }
 
 func isClosed(err error) bool { return errors.Is(err, net.ErrClosed) }

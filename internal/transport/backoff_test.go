@@ -1,0 +1,98 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"netchain/internal/packet"
+)
+
+// newBackoffClient builds a client with the given retry-pacing knobs; no
+// traffic flows, so the timeout goroutine never touches backoffRng and
+// the test may call retryDelay directly.
+func newBackoffClient(t *testing.T, cfg ClientConfig) *Client {
+	t.Helper()
+	cfg.Addr = packet.AddrFrom4(10, 9, 0, 1)
+	cfg.Gateway = packet.AddrFrom4(10, 0, 0, 1)
+	cfg.Bind = "127.0.0.1:0"
+	c, err := NewClient(NewAddressBook(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// TestRetryDelayGrowthAndCap: attempt 0 waits exactly Timeout, then the
+// interval doubles per retry until the cap — the shape that turns a
+// partition's retry storm into a bounded probe rate.
+func TestRetryDelayGrowthAndCap(t *testing.T) {
+	timeout := 10 * time.Millisecond
+	c := newBackoffClient(t, ClientConfig{
+		Timeout: timeout, BackoffFactor: 2, BackoffCap: 8 * timeout,
+		BackoffJitter: -1, // disable jitter: exact values under test
+	})
+	want := []time.Duration{
+		timeout,     // attempt 0: no backoff, no rng
+		2 * timeout, // exponential growth...
+		4 * timeout,
+		8 * timeout, // ...capped
+		8 * timeout,
+		8 * timeout,
+	}
+	for attempt, w := range want {
+		if got := c.retryDelay(attempt); got != w {
+			t.Fatalf("retryDelay(%d) = %v, want %v", attempt, got, w)
+		}
+	}
+}
+
+// TestRetryDelayDefaults: the zero config must yield factor 2, cap
+// 4×Timeout and ±20% jitter — every retry lands inside the jitter band
+// and attempt 0 stays exactly Timeout.
+func TestRetryDelayDefaults(t *testing.T) {
+	timeout := 20 * time.Millisecond
+	c := newBackoffClient(t, ClientConfig{Timeout: timeout})
+	if got := c.retryDelay(0); got != timeout {
+		t.Fatalf("retryDelay(0) = %v, want %v", got, timeout)
+	}
+	base := []time.Duration{0, 2 * timeout, 4 * timeout, 4 * timeout, 4 * timeout}
+	for attempt := 1; attempt < len(base); attempt++ {
+		lo := time.Duration(float64(base[attempt]) * 0.8)
+		hi := time.Duration(float64(base[attempt]) * 1.2)
+		for trial := 0; trial < 100; trial++ {
+			got := c.retryDelay(attempt)
+			if got < lo || got > hi {
+				t.Fatalf("retryDelay(%d) = %v outside jitter band [%v, %v]", attempt, got, lo, hi)
+			}
+		}
+	}
+}
+
+// TestRetryDelayJitterSpreads: jitter must actually vary the interval —
+// lockstep retransmit bursts from clients that timed out together are
+// the failure mode the randomization exists for.
+func TestRetryDelayJitterSpreads(t *testing.T) {
+	c := newBackoffClient(t, ClientConfig{Timeout: 10 * time.Millisecond})
+	seen := map[time.Duration]bool{}
+	for trial := 0; trial < 50; trial++ {
+		seen[c.retryDelay(2)] = true
+	}
+	if len(seen) < 10 {
+		t.Fatalf("jittered retryDelay produced only %d distinct values in 50 draws", len(seen))
+	}
+}
+
+// TestRetryDelayFactorOne: BackoffFactor 1 restores the legacy
+// fixed-interval retransmit pacing.
+func TestRetryDelayFactorOne(t *testing.T) {
+	timeout := 15 * time.Millisecond
+	c := newBackoffClient(t, ClientConfig{
+		Timeout: timeout, BackoffFactor: 1, BackoffJitter: -1,
+	})
+	for attempt := 0; attempt < 5; attempt++ {
+		if got := c.retryDelay(attempt); got != timeout {
+			t.Fatalf("retryDelay(%d) = %v, want fixed %v", attempt, got, timeout)
+		}
+	}
+}

@@ -129,10 +129,11 @@ func (p *portableSender) WriteBatch(msgs []outFrame) error {
 // the watch relay's event ingest and fan-out reuse it instead of growing a
 // second I/O stack. One goroutine owns a BatchConn.
 type BatchConn struct {
-	conn *net.UDPConn
-	ring *recvRing
-	rd   batchReader
-	eg   *egressBatch
+	conn  *net.UDPConn
+	ring  *recvRing
+	rd    batchReader
+	eg    *egressBatch
+	fault FaultPipe
 }
 
 // NewBatchConn wraps conn. batch sizes the receive ring (datagrams per
@@ -150,9 +151,17 @@ func NewBatchConn(conn *net.UDPConn, batch int) *BatchConn {
 	}
 }
 
+// SetFaults routes every datagram the BatchConn reads or queues through
+// p (see FaultPipe). Call before serving; the owning goroutine is the
+// only reader of the field afterwards.
+func (b *BatchConn) SetFaults(p FaultPipe) {
+	b.fault = p
+	b.eg.withFault(p, rawSender(b.conn))
+}
+
 // ReadBatch blocks for at least one datagram, invokes fn for each datagram
 // drained by the syscall (the slice aliases the ring: fn must finish with
-// it before returning), and reports how many were delivered. A closed
+// it before returning), and reports how many were read. A closed
 // socket returns net.ErrClosed; other errors are transient.
 func (b *BatchConn) ReadBatch(fn func(datagram []byte)) (int, error) {
 	k, err := b.rd.ReadBatch(b.ring)
@@ -160,7 +169,11 @@ func (b *BatchConn) ReadBatch(fn func(datagram []byte)) (int, error) {
 		return 0, err
 	}
 	for i := 0; i < k; i++ {
-		fn(b.ring.bufs[i][:b.ring.sizes[i]])
+		dgram := b.ring.bufs[i][:b.ring.sizes[i]]
+		if b.fault != nil && !b.fault.Ingress(dgram) {
+			continue
+		}
+		fn(dgram)
 	}
 	return k, nil
 }
@@ -183,16 +196,24 @@ func (b *BatchConn) Flush() { b.eg.flush() }
 // distinct endpoints become separate messages of the same syscall. One
 // goroutine owns each egressBatch.
 type egressBatch struct {
-	snd  batchSender
-	msgs []outFrame
+	snd   batchSender
+	msgs  []outFrame
+	fault FaultPipe                  // nil in production: one branch per add
+	raw   func([]byte, *net.UDPAddr) // owner's raw sender for delayed re-injection
 }
 
 func newEgressBatch(snd batchSender) *egressBatch {
 	return &egressBatch{snd: snd, msgs: make([]outFrame, 0, sendBatchMsgs)}
 }
 
-// add queues one serialized frame, taking ownership of o.buf.
+// add queues one serialized frame, taking ownership of o.buf. The fault
+// verdict runs here, before coalescing, so per-directed-endpoint faults
+// judge real frame boundaries rather than merged datagrams.
 func (e *egressBatch) add(o outFrame) {
+	if e.fault != nil && !e.fault.Egress(*o.buf, o.ep, e.raw) {
+		packet.PutBuf(o.buf)
+		return
+	}
 	if k := len(e.msgs); k > 0 {
 		last := &e.msgs[k-1]
 		if last.ep == o.ep && len(*last.buf)+len(*o.buf) <= maxBatchBytes {

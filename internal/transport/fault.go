@@ -1,0 +1,44 @@
+package transport
+
+import "net"
+
+// FaultPipe is the socket-boundary fault filter the wire nemesis
+// (internal/faultconn) binds to one socket owner. The transport threads
+// it through every real-path datagram so a chaos schedule perturbs the
+// actual syscall boundary instead of a model of it:
+//
+//   - Egress judges one serialized frame (or coalesced datagram) about to
+//     leave toward ep. true means "send it yourself, now" — the healthy
+//     zero-copy path. false means the pipe consumed it: dropped, or held
+//     for delayed/duplicated delivery through send, the owner's raw
+//     single-datagram sender — delayed copies must leave the owner's own
+//     socket so receivers that learn endpoints from datagram sources (the
+//     health monitor, the relay's lease table) never see a foreign one.
+//   - Ingress judges one received datagram before decode; false drops it.
+//
+// A nil FaultPipe everywhere is the production configuration; every hook
+// below is one nil check on the hot path.
+type FaultPipe interface {
+	Egress(buf []byte, ep *net.UDPAddr, send func(buf []byte, ep *net.UDPAddr)) bool
+	Ingress(buf []byte) bool
+}
+
+// WithFaultPipe routes every datagram the node sends or receives through
+// p — ingest drops before decode, egress verdicts per serialized frame
+// (before coalescing, so per-frame faults see frame boundaries).
+func WithFaultPipe(p FaultPipe) NodeOption {
+	return func(c *nodeConfig) { c.fault = p }
+}
+
+// withFault attaches a fault filter to the egress batch; raw is the
+// owner's single-datagram sender for injector-delayed deliveries.
+func (e *egressBatch) withFault(p FaultPipe, raw func([]byte, *net.UDPAddr)) *egressBatch {
+	e.fault, e.raw = p, raw
+	return e
+}
+
+// rawSender returns conn's single-datagram send, the delayed-delivery
+// path a FaultPipe re-injects held frames through.
+func rawSender(conn *net.UDPConn) func([]byte, *net.UDPAddr) {
+	return func(b []byte, ep *net.UDPAddr) { _, _ = conn.WriteToUDP(b, ep) }
+}

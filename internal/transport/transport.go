@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"math/rand"
 	"net"
 	"runtime"
 	"sync"
@@ -85,6 +86,7 @@ type nodeConfig struct {
 	batch     int
 	portable  bool                                      // force the pre-batching reference path
 	newReader func(*net.UDPConn, *recvRing) batchReader // test seam: inject read errors
+	fault     FaultPipe                                 // wire nemesis hook (nil = healthy)
 }
 
 // WithIngestWorkers sets the size of the node's dataplane worker pool.
@@ -233,6 +235,7 @@ type SwitchNode struct {
 	rcvBuf       int
 
 	evtSink atomic.Pointer[eventSink] // push-watch egress target (nil = off)
+	fault   FaultPipe                 // wire nemesis hook (nil = healthy)
 
 	mu       sync.Mutex
 	closed   bool
@@ -309,6 +312,7 @@ func NewSwitchNode(sw *core.Switch, book *AddressBook, bind string, opts ...Node
 		in:       make([]chan *packet.Frame, cfg.workers),
 		out:      make(chan outFrame, switchQueueDepth),
 		sendDone: make(chan struct{}),
+		fault:    cfg.fault,
 	}
 	for _, c := range conns {
 		n.rcvBuf = configureSocket(c)
@@ -490,6 +494,12 @@ func (n *SwitchNode) StartHeartbeats(monitor packet.Addr, every time.Duration) e
 				continue
 			}
 			buf = out
+			// Heartbeats bypass the batched egress, so the fault verdict
+			// runs here: a blackholed (fail-stopped) node falls silent to
+			// the monitor exactly like a dead socket would.
+			if n.fault != nil && !n.fault.Egress(out, ep, rawSender(n.conn)) {
+				continue
+			}
 			_, _ = n.conn.WriteToUDP(out, ep)
 		}
 	}()
@@ -515,6 +525,12 @@ func (n *SwitchNode) ingestLoop(rd batchReader, ring *recvRing, snd batchSender)
 	workers := len(n.in)
 	var f packet.Frame
 	eg := newEgressBatch(snd)
+	if n.fault != nil {
+		// Delayed re-injection uses the primary socket: every ingest
+		// socket shares the node's port (SO_REUSEPORT), so the source
+		// endpoint receivers see is unchanged.
+		eg.withFault(n.fault, rawSender(n.conn))
+	}
 	emit := eg.add
 	handleInline := func(f *packet.Frame) {
 		switch f.NC.Op {
@@ -539,6 +555,9 @@ func (n *SwitchNode) ingestLoop(rd batchReader, ring *recvRing, snd batchSender)
 		n.recvBatches.Add(1)
 		n.recvDgrams.Add(uint64(k))
 		for i := 0; i < k; i++ {
+			if n.fault != nil && !n.fault.Ingress(ring.bufs[i][:ring.sizes[i]]) {
+				continue
+			}
 			frames, derr := packet.DecodeBatch(&f, ring.bufs[i][:ring.sizes[i]], handleInline)
 			n.recvFrames.Add(uint64(frames))
 			if derr != nil {
@@ -586,6 +605,9 @@ func (n *SwitchNode) closeOutWhenDrained() {
 func (n *SwitchNode) sendLoop() {
 	defer close(n.sendDone)
 	eg := newEgressBatch(newBatchSender(n.conn))
+	if n.fault != nil {
+		eg.withFault(n.fault, rawSender(n.conn))
+	}
 	for o := range n.out {
 		eg.add(o)
 	drain:
@@ -701,9 +723,10 @@ type pendingShard struct {
 	m  map[uint64]*call
 }
 
-// call is one logical request. It survives retries — every attempt gets a
-// fresh QueryID so a late reply to an abandoned attempt can never be
-// mistaken for the current one — and it holds exactly one window slot from
+// call is one logical request. It survives retries — every attempt reuses
+// the call's QueryID so the switch's duplicate-adjudication ring recognizes
+// a retransmit and replays the pinned verdict instead of re-applying the
+// op (see send) — and it holds exactly one window slot from
 // Submit until its callback fires. Ownership discipline: whoever removes
 // the call's entry from its pending shard (reply, timeout scan, or Close)
 // is the one that finishes it, so each call completes exactly once.
@@ -751,6 +774,13 @@ type Client struct {
 	window  chan struct{} // in-flight slots; nil = unlimited
 	start   time.Time     // the deadline timeline's zero
 
+	backoffFactor float64
+	backoffCap    time.Duration
+	backoffJitter float64
+	backoffRng    *rand.Rand // owned by the timeout goroutine (expire→send)
+
+	fault FaultPipe // wire nemesis hook (nil = healthy)
+
 	nextQID atomic.Uint64
 	shards  [pendingShards]pendingShard
 
@@ -789,6 +819,22 @@ type ClientConfig struct {
 	// outstanding query, so serial callers behave as before).
 	Window int
 
+	// Retry pacing. The first attempt waits Timeout; each retry multiplies
+	// the interval by BackoffFactor (default 2) up to BackoffCap (default
+	// 4×Timeout), with a ±BackoffJitter fraction of randomization (default
+	// 0.2, retries only) so clients that timed out together don't
+	// retransmit in lockstep. During a partition the window's worth of
+	// retries therefore decays to a bounded probe rate instead of
+	// retransmitting at full tilt every Timeout. BackoffFactor 1 restores
+	// the fixed-interval behavior; BackoffJitter < 0 disables jitter.
+	BackoffFactor float64
+	BackoffCap    time.Duration
+	BackoffJitter float64
+
+	// Faults, when set, routes every datagram the client sends or
+	// receives through the wire nemesis (see FaultPipe).
+	Faults FaultPipe
+
 	// testReader, when set (in-package tests only), replaces the receive
 	// loop's reader so transient socket errors can be injected.
 	testReader func(*net.UDPConn, *recvRing) batchReader
@@ -804,6 +850,21 @@ func NewClient(book *AddressBook, cfg ClientConfig) (*Client, error) {
 	}
 	if cfg.Retries == 0 {
 		cfg.Retries = 5
+	}
+	if cfg.BackoffFactor == 0 {
+		cfg.BackoffFactor = 2
+	}
+	if cfg.BackoffCap == 0 {
+		cfg.BackoffCap = 4 * cfg.Timeout
+	}
+	if cfg.BackoffCap < cfg.Timeout {
+		cfg.BackoffCap = cfg.Timeout
+	}
+	if cfg.BackoffJitter == 0 {
+		cfg.BackoffJitter = 0.2
+	}
+	if cfg.BackoffJitter < 0 {
+		cfg.BackoffJitter = 0
 	}
 	laddr, err := net.ResolveUDPAddr("udp", cfg.Bind)
 	if err != nil {
@@ -825,6 +886,12 @@ func NewClient(book *AddressBook, cfg ClientConfig) (*Client, error) {
 		sendCh:   make(chan outFrame, switchQueueDepth),
 		sendDone: make(chan struct{}),
 		done:     make(chan struct{}),
+
+		backoffFactor: cfg.BackoffFactor,
+		backoffCap:    cfg.BackoffCap,
+		backoffJitter: cfg.BackoffJitter,
+		backoffRng:    rand.New(rand.NewSource(time.Now().UnixNano() ^ int64(cfg.Addr))),
+		fault:         cfg.Faults,
 
 		newReader: cfg.testReader,
 	}
@@ -918,6 +985,9 @@ func (c *Client) serve() {
 			continue
 		}
 		for i := 0; i < k; i++ {
+			if c.fault != nil && !c.fault.Ingress(ring.bufs[i][:ring.sizes[i]]) {
+				continue
+			}
 			if _, derr := packet.DecodeBatch(&f, ring.bufs[i][:ring.sizes[i]], c.deliver); derr != nil {
 				// Frames before the corruption were already delivered;
 				// whatever the torn tail carried will retry on its timer.
@@ -956,6 +1026,9 @@ func (c *Client) deliver(f *packet.Frame) {
 func (c *Client) sendLoop() {
 	defer close(c.sendDone)
 	eg := newEgressBatch(newBatchSender(c.conn))
+	if c.fault != nil {
+		eg.withFault(c.fault, rawSender(c.conn))
+	}
 	for {
 		select {
 		case o := <-c.sendCh:
@@ -976,9 +1049,11 @@ func (c *Client) sendLoop() {
 	}
 }
 
-// Submit issues one request asynchronously: build is called with a fresh
-// QueryID (again on every retry, so retries pick up new chains), and done
-// fires exactly once with the reply frame or an error. The reply frame is
+// Submit issues one request asynchronously: build is called with the
+// call's QueryID (fresh on the first attempt, then reused on every retry
+// so the dataplane's duplicate adjudication recognizes retransmits;
+// build itself still runs per attempt, so retries pick up new chains),
+// and done fires exactly once with the reply frame or an error. The reply frame is
 // valid only for the duration of the callback — it aliases the receive
 // buffer, so the callback must copy anything it keeps. done runs on the
 // receive or timer goroutine and must not block; Submit itself blocks
@@ -1027,12 +1102,26 @@ func (c *Client) finish(cl *call, f *packet.Frame, err error) {
 	done(f, err)
 }
 
-// send transmits one attempt: fresh qid, register with a fresh deadline,
-// then write. Registration happens before the datagram leaves so the reply
-// can never race past its table entry.
+// send transmits one attempt: register with a fresh deadline, then write.
+// Registration happens before the datagram leaves so the reply can never
+// race past its table entry.
+//
+// Every attempt of a call carries the SAME QueryID. The switch adjudicates
+// write/CAS duplicates by (src, port, qid, op, value hash) — a retransmit
+// that presented a fresh qid would look like a brand-new operation, get
+// stamped with a fresh version, and could re-apply after a competing write
+// to the same key, resurrecting an already-overwritten value (observable
+// as a non-linearizable history under a slow gray tail). Reusing the qid
+// makes the dataplane replay the pinned verdict instead, and it means a
+// late reply to an abandoned attempt answers the retry's table entry —
+// harmless, since any adjudicated reply to this identity is valid. The
+// simulator's client retries the same way.
 func (cl *call) send() error {
 	c := cl.c
-	qid := c.nextQID.Add(1)
+	qid := cl.qid
+	if qid == 0 {
+		qid = c.nextQID.Add(1)
+	}
 	f, err := cl.build(qid)
 	if err != nil {
 		return err
@@ -1061,7 +1150,7 @@ func (cl *call) send() error {
 		return ErrClosed
 	}
 	cl.qid = qid
-	cl.deadline = time.Since(c.start) + c.timeout
+	cl.deadline = time.Since(c.start) + c.retryDelay(cl.attempt)
 	sh.m[qid] = cl
 	sh.mu.Unlock()
 
@@ -1074,6 +1163,29 @@ func (cl *call) send() error {
 		packet.PutBuf(bp)
 	}
 	return nil
+}
+
+// retryDelay returns attempt's wait-for-reply interval: Timeout for the
+// first send, then exponential growth by backoffFactor capped at
+// backoffCap, randomized ±backoffJitter. Attempt 0 never touches the
+// rng — Submit calls send concurrently; retries run only on the timeout
+// goroutine, which owns backoffRng.
+func (c *Client) retryDelay(attempt int) time.Duration {
+	if attempt == 0 {
+		return c.timeout
+	}
+	d := float64(c.timeout)
+	cap := float64(c.backoffCap)
+	for i := 0; i < attempt && d < cap; i++ {
+		d *= c.backoffFactor
+	}
+	if d > cap {
+		d = cap
+	}
+	if c.backoffJitter > 0 {
+		d *= 1 + c.backoffJitter*(2*c.backoffRng.Float64()-1)
+	}
+	return time.Duration(d)
 }
 
 // timeoutLoop sweeps the pending shards every quarter-timeout, expiring
@@ -1138,3 +1250,8 @@ var errTimeout = errors.New("transport: query timed out")
 
 // Endpoint returns the client identity used in frames.
 func (c *Client) Endpoint() (packet.Addr, uint16) { return c.addr, c.port }
+
+// LocalEndpoint returns the client's UDP socket address — the wire
+// nemesis registers it so directed link faults can target switch→client
+// traffic.
+func (c *Client) LocalEndpoint() *net.UDPAddr { return c.conn.LocalAddr().(*net.UDPAddr) }

@@ -150,10 +150,13 @@ func TestDuplicateReplyDropped(t *testing.T) {
 	}
 }
 
-// A reply that arrives after its attempt timed out must be discarded: the
-// retry owns a fresh qid, and only its answer reaches the caller even when
-// the stale reply is delivered first.
-func TestLateReplyAfterAbandonAndRetryReorder(t *testing.T) {
+// A retransmit must reuse its call's QueryID — the switch's duplicate
+// adjudication keys on (src, port, qid, value hash), so a fresh qid per
+// attempt would let a retried write re-apply with a new version after a
+// competing write. A late reply to the abandoned first attempt therefore
+// matches the retry's table entry and completes the call (any adjudicated
+// reply to the shared identity is valid); the second copy counts as late.
+func TestRetryReusesQueryID(t *testing.T) {
 	book := NewAddressBook()
 	gw := packet.AddrFrom4(10, 0, 0, 1)
 	s := newFakeSwitch(t, book, gw)
@@ -169,18 +172,18 @@ func TestLateReplyAfterAbandonAndRetryReorder(t *testing.T) {
 		if !ok {
 			return
 		}
-		if q2.NC.QueryID == q1.NC.QueryID {
-			t.Error("retry reused the abandoned qid")
+		if q2.NC.QueryID != q1.NC.QueryID {
+			t.Error("retry minted a fresh qid; duplicate adjudication needs the same one")
 		}
-		s.reply(q1, []byte("stale")) // reordered: the abandoned attempt answers first
-		s.reply(q2, []byte("fresh"))
+		s.reply(q1, []byte("answer")) // the abandoned attempt's reply lands first
+		s.reply(q2, []byte("answer")) // the retransmit's copy is a duplicate
 	}()
 	v, _, err := ops.Read(kv.KeyFromString("late"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if string(v) != "fresh" {
-		t.Fatalf("read = %q, want the retry's reply", v)
+	if string(v) != "answer" {
+		t.Fatalf("read = %q, want the adjudicated reply", v)
 	}
 	st := c.Stats()
 	if st.Retries == 0 {

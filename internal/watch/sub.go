@@ -26,13 +26,30 @@ import (
 type Sub struct {
 	mu       sync.Mutex
 	keys     map[kv.Key]*keyView
-	groups   map[uint16][]kv.Key // group → watched keys, for gap resync
-	groupSeq map[uint16]uint64   // last relay stream seq seen per group
-	dirty    map[kv.Key]struct{} // keys needing a versioned-read resync
+	groups   map[uint16][]kv.Key  // group → watched keys, for gap resync
+	groupSeq map[uint16]streamPos // last relay (epoch, seq) seen per group
+	dirty    map[kv.Key]struct{}  // keys needing a versioned-read resync
 	ch       chan Event
 	closed   bool
 	stats    SubStats
 }
+
+// streamPos is a subscription's position in one group's relay stream:
+// which incarnation of the relay's sequencer (epoch) and how far into
+// its per-group sequence.
+type streamPos struct {
+	epoch uint16
+	seq   uint64
+}
+
+// reorderSlack bounds how far behind the adopted position a same-epoch
+// frame may arrive and still count as a duplicate/reordered delivery.
+// Anything further back cannot be wire reordering (the egress path never
+// holds a frame while dozens of successors pass it) — it means an
+// epoch-less sequencer restarted, so the Sub treats it as a gap and
+// resyncs instead of swallowing every post-restart event as "stale"
+// until the sequence catches up, which for a busy group is forever.
+const reorderSlack = 64
 
 type keyView struct {
 	present bool
@@ -41,11 +58,12 @@ type keyView struct {
 
 // SubStats counts a subscription's event-plane activity.
 type SubStats struct {
-	Events  uint64 // change events published to the channel
-	Dropped uint64 // events coalesced away by a slow subscriber
-	Stale   uint64 // duplicate/reordered frames suppressed by version
-	Gaps    uint64 // stream-sequence holes observed
-	Resyncs uint64 // read results applied
+	Events   uint64 // change events published to the channel
+	Dropped  uint64 // events coalesced away by a slow subscriber
+	Stale    uint64 // duplicate/reordered frames suppressed by version
+	Gaps     uint64 // stream-sequence holes observed (includes restarts)
+	Restarts uint64 // relay restarts observed (epoch change / seq regression)
+	Resyncs  uint64 // read results applied
 }
 
 // NewSub builds a subscription over the given keys. groupOf maps each key
@@ -59,7 +77,7 @@ func NewSub(keys []kv.Key, groupOf func(kv.Key) uint16, buffer int) *Sub {
 	s := &Sub{
 		keys:     make(map[kv.Key]*keyView, len(keys)),
 		groups:   make(map[uint16][]kv.Key),
-		groupSeq: make(map[uint16]uint64),
+		groupSeq: make(map[uint16]streamPos),
 		dirty:    make(map[kv.Key]struct{}, len(keys)),
 		ch:       make(chan Event, buffer),
 	}
@@ -116,19 +134,47 @@ func (s *Sub) ApplyEvent(ev query.Event) (gap bool) {
 		return false
 	}
 	if ev.StreamSeq != 0 {
-		last := s.groupSeq[ev.Group]
+		pos, seen := s.groupSeq[ev.Group]
+		next := streamPos{epoch: ev.Epoch, seq: ev.StreamSeq}
 		switch {
-		case last == 0 || ev.StreamSeq == last+1:
-			s.groupSeq[ev.Group] = ev.StreamSeq
-		case ev.StreamSeq <= last:
-			// Duplicate or reordered-behind frame: the version check
-			// below suppresses any stale publish; do not move the
+		case !seen || (pos.epoch == ev.Epoch && ev.StreamSeq == pos.seq+1):
+			s.groupSeq[ev.Group] = next
+		case pos.epoch != ev.Epoch:
+			// The relay's sequencer restarted (or we failed over to a
+			// different relay): continuity across the boundary is
+			// unprovable — anything committed while the relay was down
+			// produced no event at all. Adopt the new incarnation and
+			// resync the group.
+			s.groupSeq[ev.Group] = next
+			s.stats.Gaps++
+			s.stats.Restarts++
+			gap = true
+			for _, k := range s.groups[ev.Group] {
+				s.dirty[k] = struct{}{}
+			}
+		case ev.StreamSeq <= pos.seq:
+			if pos.seq-ev.StreamSeq > reorderSlack {
+				// A same-epoch sequence this far behind is not wire
+				// reordering — it is an epoch-less restarted relay
+				// counting from 1 again. Without this, every restarted
+				// event reads as "duplicate" and the subscription stalls
+				// until the new sequence overtakes the old one.
+				s.groupSeq[ev.Group] = next
+				s.stats.Gaps++
+				s.stats.Restarts++
+				gap = true
+				for _, k := range s.groups[ev.Group] {
+					s.dirty[k] = struct{}{}
+				}
+			}
+			// Otherwise: duplicate or reordered-behind frame. The version
+			// check below suppresses any stale publish; do not move the
 			// sequence backwards.
 		default:
-			// Hole: events were lost between last and StreamSeq. Adopt
+			// Hole: events were lost between pos.seq and StreamSeq. Adopt
 			// the new position and schedule reads for every watched key
 			// in the group — the reads, not the lost events, converge us.
-			s.groupSeq[ev.Group] = ev.StreamSeq
+			s.groupSeq[ev.Group] = next
 			s.stats.Gaps++
 			gap = true
 			for _, k := range s.groups[ev.Group] {

@@ -1,0 +1,102 @@
+package watch
+
+import (
+	"testing"
+
+	"netchain/internal/kv"
+	"netchain/internal/query"
+)
+
+func epochEv(key uint64, seq, stream uint64, epoch uint16, val string) query.Event {
+	e := ev(key, seq, stream, val)
+	e.Epoch = epoch
+	return e
+}
+
+// A relay restart announces itself as an epoch change. Continuity across
+// the boundary is unprovable (events committed while the relay was down
+// were never sequenced), so the sub must treat the first new-epoch frame
+// as a gap, resync the group, and then follow the new incarnation's
+// sequence without further alarms.
+func TestSubEpochChangeIsRestartGap(t *testing.T) {
+	k := kv.KeyFromUint64(4)
+	s := NewSub([]kv.Key{k}, groupMod4, 64)
+	defer s.Close()
+	s.TakeDirty()
+
+	s.ApplyEvent(epochEv(4, 1, 1, 7, "a"))
+	s.ApplyEvent(epochEv(4, 2, 2, 7, "b"))
+	if gap := s.ApplyEvent(epochEv(4, 3, 1, 8, "c")); !gap {
+		t.Fatal("epoch change must report a gap")
+	}
+	if dirty := s.TakeDirty(); len(dirty) != 1 || dirty[0] != k {
+		t.Fatalf("dirty = %v, want [%v]", dirty, k)
+	}
+	if st := s.Stats(); st.Gaps != 1 || st.Restarts != 1 {
+		t.Fatalf("stats = %+v, want 1 gap / 1 restart", st)
+	}
+	// The new incarnation is adopted: its next sequential frame is clean.
+	if gap := s.ApplyEvent(epochEv(4, 4, 2, 8, "d")); gap {
+		t.Fatal("post-adoption sequential frame must not report a gap")
+	}
+	if st := s.Stats(); st.Gaps != 1 {
+		t.Fatalf("spurious extra gap: %+v", st)
+	}
+}
+
+// An epoch-less restarted sequencer (legacy relay, or a proxy stripping
+// the epoch) restarts its per-group sequence from 1. A same-epoch
+// regression deeper than the reorder slack cannot be wire reordering —
+// the sub must adopt the reset stream and resync rather than suppress
+// every post-restart event as "stale" until the new count overtakes the
+// old one.
+func TestSubDeepSeqRegressionIsRestartGap(t *testing.T) {
+	k := kv.KeyFromUint64(4)
+	s := NewSub([]kv.Key{k}, groupMod4, 64)
+	defer s.Close()
+	s.TakeDirty()
+
+	s.ApplyEvent(ev(4, 1, 200, "a"))
+	if gap := s.ApplyEvent(ev(4, 2, 1, "b")); !gap {
+		t.Fatal("deep same-epoch regression must report a gap")
+	}
+	if st := s.Stats(); st.Gaps != 1 || st.Restarts != 1 {
+		t.Fatalf("stats = %+v, want 1 gap / 1 restart", st)
+	}
+	// The reset position was adopted — the restarted stream now advances.
+	if gap := s.ApplyEvent(ev(4, 3, 2, "c")); gap {
+		t.Fatal("restarted stream's next frame must not report a gap")
+	}
+	if present, ver, _ := s.State(k); !present || ver.Seq != 3 {
+		t.Fatalf("state = %v %v, want present at seq 3", present, ver)
+	}
+}
+
+// A shallow same-epoch regression is ordinary wire behavior — a duplicate
+// or a frame overtaken in flight. It must be suppressed quietly: no gap,
+// no restart, and the adopted position must not move backwards.
+func TestSubShallowSeqRegressionIsStale(t *testing.T) {
+	k := kv.KeyFromUint64(4)
+	s := NewSub([]kv.Key{k}, groupMod4, 64)
+	defer s.Close()
+	s.TakeDirty()
+
+	s.ApplyEvent(ev(4, 1, 1, "a"))
+	for i := uint64(2); i <= 10; i++ {
+		s.ApplyEvent(ev(4, i, i, "x"))
+	}
+	// A duplicate of frame 9 arrives late: within the slack, stale.
+	if gap := s.ApplyEvent(ev(4, 9, 9, "x")); gap {
+		t.Fatal("shallow regression must not report a gap")
+	}
+	if st := s.Stats(); st.Restarts != 0 {
+		t.Fatalf("shallow regression counted as restart: %+v", st)
+	}
+	// Position held at 10: the next in-order frame is clean.
+	if gap := s.ApplyEvent(ev(4, 11, 11, "y")); gap {
+		t.Fatal("position moved backwards on a stale frame")
+	}
+	if dirty := s.TakeDirty(); len(dirty) != 0 {
+		t.Fatalf("stale frame dirtied keys: %v", dirty)
+	}
+}

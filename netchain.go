@@ -17,11 +17,13 @@ package netchain
 
 import (
 	"fmt"
+	"net"
 	"sync"
 	"time"
 
 	"netchain/internal/controller"
 	"netchain/internal/core"
+	"netchain/internal/faultconn"
 	"netchain/internal/kv"
 	"netchain/internal/packet"
 	"netchain/internal/query"
@@ -85,6 +87,16 @@ type ClusterConfig struct {
 	// RecvBatch sets the datagrams one ingest syscall may drain per socket
 	// (the receive-ring depth). 0 = 32.
 	RecvBatch int
+	// RelayLeaseTTL bounds the relay's unicast watch leases (0 selects
+	// relay.DefaultLeaseTTL). Watch subscribers renew at a third of it, so
+	// chaos tests shorten it to make a restarted relay — whose lease table
+	// starts empty — re-learn its subscribers quickly.
+	RelayLeaseTTL time.Duration
+	// Faults, when set, threads the wire nemesis through every socket the
+	// cluster opens: switch ingest workers, the relay's ingest and control
+	// sockets, client sockets, watch subscriptions, and the controller's
+	// agent RPC streams. nil is the production configuration.
+	Faults *faultconn.Injector
 }
 
 func (c *ClusterConfig) defaults() {
@@ -136,12 +148,31 @@ func StartLocalCluster(cfg ClusterConfig) (*Cluster, error) {
 	// The push-watch relay tier boots first so every switch node can point
 	// its event sink at it from birth. Unicast-lease fan-out: loopback has
 	// no multicast routing.
-	rs, err := relay.Start(relay.Config{Addr: packet.AddrFrom4(10, 2, 0, 1)})
+	relayAddr := packet.AddrFrom4(10, 2, 0, 1)
+	rcfg := relay.Config{Addr: relayAddr, LeaseTTL: cfg.RelayLeaseTTL}
+	if cfg.Faults != nil {
+		rcfg.Faults = cfg.Faults.Pipe(relayAddr)
+	}
+	rs, err := relay.Start(rcfg)
 	if err != nil {
 		return nil, err
 	}
 	cl.relaySrv = rs
-	cl.stops = append(cl.stops, rs.Close)
+	if cfg.Faults != nil {
+		cfg.Faults.RegisterEndpoint(relayAddr, rs.IngestEndpoint())
+		cfg.Faults.RegisterEndpoint(relayAddr, rs.ControlEndpoint())
+	}
+	// The stop hook resolves the relay indirectly: RestartRelay swaps in a
+	// fresh incarnation, and cluster shutdown must close that one.
+	cl.stops = append(cl.stops, func() error {
+		cl.mu.RLock()
+		cur := cl.relaySrv
+		cl.mu.RUnlock()
+		if cur != nil {
+			return cur.Close()
+		}
+		return nil
+	})
 	var members []packet.Addr
 	for i := 0; i < cfg.Switches; i++ {
 		addr, err := cl.bootSwitch()
@@ -202,15 +233,23 @@ func (c *Cluster) bootSwitch() (packet.Addr, error) {
 	if err != nil {
 		return 0, err
 	}
-	node, err := transport.NewSwitchNode(sw, c.book, "127.0.0.1:0",
+	nodeOpts := []transport.NodeOption{
 		transport.WithIngestWorkers(c.cfg.IngestWorkers),
 		transport.WithIngestSockets(c.cfg.IngestSockets),
-		transport.WithRecvBatch(c.cfg.RecvBatch))
+		transport.WithRecvBatch(c.cfg.RecvBatch),
+	}
+	if c.cfg.Faults != nil {
+		nodeOpts = append(nodeOpts, transport.WithFaultPipe(c.cfg.Faults.Pipe(addr)))
+	}
+	node, err := transport.NewSwitchNode(sw, c.book, "127.0.0.1:0", nodeOpts...)
 	if err != nil {
 		return 0, err
 	}
 	if c.relaySrv != nil {
 		node.SetEventSink(c.relaySrv.Addr(), c.relaySrv.IngestEndpoint())
+	}
+	if c.cfg.Faults != nil {
+		c.cfg.Faults.RegisterEndpoint(addr, node.Endpoint())
 	}
 	c.nodes = append(c.nodes, node)
 	c.stops = append(c.stops, node.Close)
@@ -220,7 +259,11 @@ func (c *Cluster) bootSwitch() (packet.Addr, error) {
 		return 0, err
 	}
 	c.stops = append(c.stops, stop)
-	agent, err := transport.DialAgent(rpcAddr.String())
+	var wrap func(net.Conn) net.Conn
+	if c.cfg.Faults != nil {
+		wrap = c.cfg.Faults.WrapStream(addr)
+	}
+	agent, err := transport.DialAgentWrapped(rpcAddr.String(), wrap)
 	if err != nil {
 		return 0, err
 	}
@@ -272,7 +315,52 @@ func (c *Cluster) Controller() *controller.Controller { return c.ctl }
 
 // RelayStats snapshots the push-watch relay tier's counters: events
 // ingested/deduplicated/sequenced, fan-out datagrams, live leases.
-func (c *Cluster) RelayStats() relay.Stats { return c.relaySrv.Stats() }
+func (c *Cluster) RelayStats() relay.Stats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.relaySrv.Stats()
+}
+
+// RestartRelay kills the relay tier and boots a fresh incarnation on the
+// same endpoints: new sequencer epoch, empty lease table, per-group
+// sequences back to 1 — the crash-restart failure push-watch subscribers
+// must survive. Live subscriptions keep renewing against the same control
+// endpoint, so the new incarnation re-learns them within one renew
+// cadence; the epoch change makes every subscriber treat the boundary as
+// a gap and resync (watch.Sub).
+func (c *Cluster) RestartRelay() error {
+	c.mu.Lock()
+	old := c.relaySrv
+	c.mu.Unlock()
+	if old == nil {
+		return fmt.Errorf("netchain: cluster has no relay tier")
+	}
+	bind := old.IngestEndpoint().String()
+	relayAddr := old.Addr()
+	if err := old.Close(); err != nil {
+		return err
+	}
+	rcfg := relay.Config{Bind: bind, Addr: relayAddr, LeaseTTL: c.cfg.RelayLeaseTTL}
+	if c.cfg.Faults != nil {
+		rcfg.Faults = c.cfg.Faults.Pipe(relayAddr)
+	}
+	rs, err := relay.Start(rcfg)
+	if err != nil {
+		return fmt.Errorf("netchain: relay restart: %w", err)
+	}
+	c.mu.Lock()
+	c.relaySrv = rs
+	nodes := append([]*transport.SwitchNode(nil), c.nodes...)
+	c.mu.Unlock()
+	for _, n := range nodes {
+		n.SetEventSink(rs.Addr(), rs.IngestEndpoint())
+	}
+	if c.cfg.Faults != nil {
+		c.cfg.Faults.RegisterEndpoint(relayAddr, rs.IngestEndpoint())
+		c.cfg.Faults.RegisterEndpoint(relayAddr, rs.ControlEndpoint())
+	}
+	return nil
+}
 
 // FailSwitch kills switch i (fail-stop) and runs fast failover
 // (Algorithm 2). Returns when the neighbor rules are installed.
@@ -368,16 +456,23 @@ func (c *Cluster) NewClient(gateway int) (*Client, error) {
 	c.nextCl++
 	claddr := packet.AddrFrom4(10, 1, 0, c.nextCl)
 	c.mu.Unlock()
-	tc, err := transport.NewClient(c.book, transport.ClientConfig{
+	ccfg := transport.ClientConfig{
 		Addr:    claddr,
 		Gateway: c.SwitchAddr(gateway),
 		Bind:    "127.0.0.1:0",
 		Window:  c.cfg.ClientWindow,
 		Timeout: c.cfg.ClientTimeout,
 		Retries: c.cfg.ClientRetries,
-	})
+	}
+	if c.cfg.Faults != nil {
+		ccfg.Faults = c.cfg.Faults.Pipe(claddr)
+	}
+	tc, err := transport.NewClient(c.book, ccfg)
 	if err != nil {
 		return nil, err
+	}
+	if c.cfg.Faults != nil {
+		c.cfg.Faults.RegisterEndpoint(claddr, tc.LocalEndpoint())
 	}
 	ops := &transport.Ops{Client: tc, Dir: func(k kv.Key) (query.Route, error) {
 		rt := c.ctl.Route(k)

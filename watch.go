@@ -107,8 +107,19 @@ func (cl *Client) Watch(ctx context.Context, keys []Key, opts ...WatchOption) (<
 		}
 	}
 	var conn *relay.Conn
-	if rs := cl.cluster.relaySrv; rs != nil {
-		c, err := relay.Subscribe(rs.Mode(), rs.ControlEndpoint(), sub.Groups(), deliver)
+	cl.cluster.mu.RLock()
+	rs := cl.cluster.relaySrv
+	cl.cluster.mu.RUnlock()
+	if rs != nil {
+		var subOpts []relay.SubOption
+		if ttl := cl.cluster.cfg.RelayLeaseTTL; ttl > 0 {
+			subOpts = append(subOpts, relay.WithRenewEvery(ttl/3))
+		}
+		if inj := cl.cluster.cfg.Faults; inj != nil {
+			claddr, _ := cl.client.Endpoint()
+			subOpts = append(subOpts, relay.WithSubFaults(inj.Pipe(claddr)))
+		}
+		c, err := relay.Subscribe(rs.Mode(), rs.ControlEndpoint(), sub.Groups(), deliver, subOpts...)
 		if err != nil && o.pollInterval == 0 {
 			sub.Close()
 			return nil, err

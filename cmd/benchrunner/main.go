@@ -31,7 +31,7 @@ func main() { os.Exit(realMain()) }
 // experiment fails or the perf gate trips — the run where a profile is
 // most wanted.
 func realMain() (code int) {
-	exp := flag.String("exp", "all", "experiment: table1|fig9a|fig9b|fig9c|fig9d|fig9e|fig9f|fig10a|fig10b|fig11|resize|pipeline|tla|bench|udpbench|read-scaling|hot-key|value-sweep|mttr|watch|chaos|realchaos|placement|all")
+	exp := flag.String("exp", "all", "experiment: table1|fig9a|fig9b|fig9c|fig9d|fig9e|fig9f|fig10a|fig10b|fig11|resize|pipeline|tla|bench|udpbench|read-scaling|hot-key|value-sweep|trace|mttr|watch|chaos|realchaos|placement|all")
 	full := flag.Bool("full", false, "use longer windows / full parameter sweeps")
 	windows := flag.String("windows", "1,4,16,64", "outstanding-window sweep for -exp pipeline (comma-separated)")
 	window := flag.Int("window", 0, "client outstanding-query window for the fig9 experiments (0 = unbounded open loop)")
@@ -212,6 +212,14 @@ func realMain() (code int) {
 		fmt.Print(experiments.FormatUDPBench(results))
 		return nil
 	})
+	runOnly("trace", func() error {
+		results, err := experiments.TraceBench(traceOpts(*full))
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatTraceBench(results))
+		return nil
+	})
 	run("chaos", func() error { return runChaos(*schedule, *seed, *autopilot, *topology) })
 	// Reachable only by name: the wire twin boots live sockets and runs
 	// on the wall clock, so "all" (the quick sim sweep) must not pay it.
@@ -307,6 +315,17 @@ func udpOpts(full bool) experiments.UDPBenchOpts {
 	return o
 }
 
+// traceOpts sizes the latency-breakdown experiment: quick windows for
+// CI, longer measurement and more A/B windows under -full.
+func traceOpts(full bool) experiments.TraceBenchOpts {
+	o := experiments.TraceBenchOpts{}
+	if full {
+		o.Duration = 2 * time.Second
+		o.ABWindows = 5
+	}
+	return o
+}
+
 // watchOpts sizes the watch-scale sweep: the acceptance population (10⁴
 // and 10⁵ subscribers) either way; -full publishes more events per point.
 func watchOpts(full bool) experiments.WatchScaleOpts {
@@ -356,6 +375,12 @@ func runBench(seed int64, jsonPath, baselinePath, comparePath, archiveDir string
 	}
 	fmt.Print(experiments.FormatWatchScale(ws))
 	results = append(results, ws...)
+	tr, err := experiments.TraceBench(traceOpts(false))
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatTraceBench(tr))
+	results = append(results, tr...)
 	cur := benchjson.File{
 		Note: fmt.Sprintf("benchrunner -exp bench -seed %d; simulated-time scenarios are "+
 			"deterministic across machines; scenarios carrying a tol field are real-UDP "+

@@ -26,6 +26,7 @@ import (
 	"netchain/internal/packet"
 	"netchain/internal/relay"
 	"netchain/internal/ring"
+	"netchain/internal/telemetry"
 	"netchain/internal/transport"
 )
 
@@ -65,6 +66,7 @@ func main() {
 	relayBind := flag.String("relay-udp", "", "UDP bind for the push-watch relay tier (empty = relay off); netchaind -relay points at the printed ingest endpoint, netchainctl watch at the control endpoint")
 	relayVaddr := flag.String("relay-vaddr", "10.255.0.2", "virtual NetChain address of the relay")
 	relayMcast := flag.Bool("relay-multicast", false, "fan events out over per-group UDP multicast instead of unicast leases (needs multicast routing to subscribers)")
+	debugAddr := flag.String("debug-addr", "", "HTTP bind for the metrics plane: /metrics (Prometheus text), /debug/vars (expvar), /debug/pprof (empty = disabled)")
 	var members, spares switchList
 	flag.Var(&members, "switch", "ring member: virtual=agent host:port (repeatable)")
 	flag.Var(&spares, "spare", "spare switch: virtual=agent host:port (repeatable); the autopilot recovers failed switches onto these")
@@ -139,6 +141,11 @@ func main() {
 		return nil
 	}
 
+	// Metrics plane: components register into one registry as they come
+	// up; -debug-addr exposes it (plus expvar and pprof) over HTTP.
+	reg := telemetry.NewRegistry()
+	var ap *controller.Autopilot
+
 	// Self-healing: health monitor (heartbeats in, probes out), φ-accrual
 	// detector, and the reconcile loop that repairs convicted switches.
 	svc := &transport.ControllerService{Ctl: ctl, Register: register}
@@ -164,7 +171,8 @@ func main() {
 			det.Track(sw, mon.Now())
 		}
 		mon.StartProbes(2*(*heartbeat), 8*(*heartbeat))
-		ap := controller.NewAutopilot(ctl, det, controller.WallClock{}, mon.Now,
+		mon.RegisterMetrics(reg)
+		ap = controller.NewAutopilot(ctl, det, controller.WallClock{}, mon.Now,
 			controller.AutopilotConfig{
 				Interval:     *heartbeat,
 				Spares:       spareAddrs,
@@ -209,16 +217,28 @@ func main() {
 			log.Fatalf("netchain-controller: %v", err)
 		}
 		defer rs.Close()
+		rs.RegisterMetrics(reg)
 		relayLine = fmt.Sprintf(", relay %s ingest %v control %v",
 			rs.Mode(), rs.IngestEndpoint(), rs.ControlEndpoint())
+	}
+
+	dbgLine := ""
+	if *debugAddr != "" {
+		controller.RegisterMetrics(reg, ctl, ap)
+		srv, err := telemetry.Serve(*debugAddr, reg)
+		if err != nil {
+			log.Fatalf("netchain-controller: debug server: %v", err)
+		}
+		defer srv.Close()
+		dbgLine = fmt.Sprintf(", metrics http://%s/metrics", srv.Addr)
 	}
 
 	addr, stop, err := transport.ServeControllerService(svc, *rpcBind)
 	if err != nil {
 		log.Fatalf("netchain-controller: %v", err)
 	}
-	fmt.Printf("netchain-controller: rpc %v, %d members, %d groups, replicas=%d%s%s\n",
-		addr, len(memberAddrs), r.Groups(), *replicas, apLine, relayLine)
+	fmt.Printf("netchain-controller: rpc %v, %d members, %d groups, replicas=%d%s%s%s\n",
+		addr, len(memberAddrs), r.Groups(), *replicas, apLine, relayLine, dbgLine)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

@@ -1,0 +1,70 @@
+// Command netchain-relay runs the push-watch fan-out tier standalone:
+// tails publish one event frame per applied mutation to the ingest
+// endpoint, and subscribers lease (or multicast-join) ordered event
+// streams via the control endpoint. Deployments that don't co-locate the
+// relay with the controller run it here, next to the subscribers it
+// serves.
+//
+// Example:
+//
+//	netchain-relay -udp 127.0.0.1:9400 -addr 10.255.0.2 -debug-addr 127.0.0.1:9490
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"netchain/internal/packet"
+	"netchain/internal/relay"
+	"netchain/internal/telemetry"
+)
+
+func main() {
+	bind := flag.String("udp", "127.0.0.1:9400", "UDP bind for event ingest (control binds the next port up)")
+	addrFlag := flag.String("addr", "10.255.0.2", "virtual NetChain address of the relay")
+	mcast := flag.Bool("multicast", false, "fan events out over per-group UDP multicast instead of unicast leases")
+	batch := flag.Int("batch", 0, "datagrams drained per ingest syscall (0 = default)")
+	debugAddr := flag.String("debug-addr", "", "HTTP bind for the metrics plane: /metrics (Prometheus text), /debug/vars (expvar), /debug/pprof (empty = disabled)")
+	flag.Parse()
+
+	vaddr, err := packet.ParseAddr(*addrFlag)
+	if err != nil {
+		log.Fatalf("netchain-relay: %v", err)
+	}
+	mode := relay.ModeUnicast
+	if *mcast {
+		mode = relay.ModeMulticast
+	}
+	rs, err := relay.Start(relay.Config{
+		Bind:      *bind,
+		Addr:      vaddr,
+		Mode:      mode,
+		RecvBatch: *batch,
+	})
+	if err != nil {
+		log.Fatalf("netchain-relay: %v", err)
+	}
+	defer rs.Close()
+
+	dbg := ""
+	if *debugAddr != "" {
+		reg := telemetry.NewRegistry()
+		rs.RegisterMetrics(reg)
+		srv, err := telemetry.Serve(*debugAddr, reg)
+		if err != nil {
+			log.Fatalf("netchain-relay: debug server: %v", err)
+		}
+		defer srv.Close()
+		dbg = fmt.Sprintf(", metrics http://%s/metrics", srv.Addr)
+	}
+	fmt.Printf("netchain-relay %v: %s ingest %v, control %v%s\n",
+		vaddr, rs.Mode(), rs.IngestEndpoint(), rs.ControlEndpoint(), dbg)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+}

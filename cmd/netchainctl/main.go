@@ -21,6 +21,10 @@
 //	netchainctl -controller 127.0.0.1:9200 add-switch 10.0.0.5=127.0.0.1:9105
 //	netchainctl -controller 127.0.0.1:9200 remove-switch 10.0.0.2
 //	netchainctl -controller 127.0.0.1:9200 cluster health
+//
+// Live metrics dashboard (scrapes the daemons' -debug-addr endpoints):
+//
+//	netchainctl -interval 1s top 127.0.0.1:9901 127.0.0.1:9902 127.0.0.1:9990
 package main
 
 import (
@@ -53,8 +57,25 @@ func main() {
 	bind := flag.String("bind", ":0", "local UDP bind address; switches must map the client's virtual address to it")
 	relayCtl := flag.String("relay", "", "relay control endpoint host:port (for the watch verb)")
 	relayMcast := flag.Bool("relay-multicast", false, "receive watch events over multicast groups instead of a unicast lease")
+	topInterval := flag.Duration("interval", time.Second, "refresh interval for the top verb")
+	topSamples := flag.Int("samples", 0, "render this many frames then exit (top verb; 0 = until interrupted)")
 	flag.Parse()
 	args := flag.Args()
+
+	// The top verb needs neither controller nor gateway — just the
+	// -debug-addr metrics endpoints of the daemons to watch.
+	if len(args) >= 1 && args[0] == "top" {
+		if err := topLoop(args[1:], *topInterval, *topSamples); err != nil {
+			log.Fatalf("top: %v", err)
+		}
+		return
+	}
+	if len(args) >= 1 && args[0] == "metrics-check" {
+		if err := metricsCheck(args[1:]); err != nil {
+			log.Fatalf("metrics-check: %v", err)
+		}
+		return
+	}
 
 	// Membership and health verbs only need the controller; handle them
 	// before the UDP client plumbing.
@@ -79,6 +100,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: netchainctl -gateway V=HOST:PORT [flags] {get|put|del|insert|lock|unlock} KEY [VALUE|OWNER]")
 		fmt.Fprintln(os.Stderr, "       netchainctl -controller HOST:PORT {add-switch V=AGENTHOST:PORT | remove-switch V}")
 		fmt.Fprintln(os.Stderr, "       netchainctl -controller HOST:PORT cluster health")
+		fmt.Fprintln(os.Stderr, "       netchainctl [-interval 1s] [-samples N] top DEBUGADDR...")
 		os.Exit(2)
 	}
 

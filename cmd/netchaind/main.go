@@ -25,6 +25,7 @@ import (
 	"netchain/internal/core"
 	"netchain/internal/packet"
 	"netchain/internal/swsim"
+	"netchain/internal/telemetry"
 	"netchain/internal/transport"
 )
 
@@ -47,6 +48,7 @@ func main() {
 	monitor := flag.String("monitor", "", "health monitor: virtual=host:port — the switch emits heartbeats there and routes probe replies to it")
 	heartbeat := flag.Duration("heartbeat", 100*time.Millisecond, "heartbeat cadence when -monitor is set")
 	relayFlag := flag.String("relay", "", "push-watch relay ingest: virtual=host:port — every applied mutation this switch commits publishes one event frame there")
+	debugAddr := flag.String("debug-addr", "", "HTTP bind for the metrics plane: /metrics (Prometheus text), /debug/vars (expvar), /debug/pprof (empty = disabled)")
 	var peers peerList
 	flag.Var(&peers, "peer", "virtual=real UDP endpoint of a peer (repeatable), e.g. 10.0.0.2=127.0.0.1:9002")
 	flag.Parse()
@@ -131,8 +133,19 @@ func main() {
 		node.SetEventSink(rv, rep)
 		ev = fmt.Sprintf(", events to %v (%v)", rv, rep)
 	}
-	fmt.Printf("netchaind %v: dataplane %v, agent %v, %d slots/stage%s%s\n",
-		vaddr, node.Endpoint(), rpcAddr, *slots, hb, ev)
+	dbg := ""
+	if *debugAddr != "" {
+		reg := telemetry.NewRegistry()
+		node.RegisterMetrics(reg)
+		srv, err := telemetry.Serve(*debugAddr, reg)
+		if err != nil {
+			log.Fatalf("netchaind: debug server: %v", err)
+		}
+		defer srv.Close()
+		dbg = fmt.Sprintf(", metrics http://%s/metrics", srv.Addr)
+	}
+	fmt.Printf("netchaind %v: dataplane %v, agent %v, %d slots/stage%s%s%s\n",
+		vaddr, node.Endpoint(), rpcAddr, *slots, hb, ev, dbg)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 	"unsafe"
 
 	"netchain/internal/kv"
@@ -362,6 +363,49 @@ func (s *Switch) ItemCount() int { return s.pipe.ItemCount() }
 // frame has been rewritten in place: either retargeted at the next chain
 // hop or turned into a reply to the client.
 func (s *Switch) ProcessLocal(f *packet.Frame) (Disposition, int) {
+	if f.NC.Traced {
+		return s.processLocalTraced(f)
+	}
+	return s.processLocal(f)
+}
+
+// processLocalTraced wraps the dataplane with in-band telemetry stamping:
+// it captures enough pre-state to classify the hop's chain role, runs the
+// untouched fast path, and appends the hop record in place — the INT
+// pattern of stamping metadata onto a packet the switch already forwards.
+// Ingress defaults to the transport's receive stamp when one exists, so
+// the record covers socket/dispatch queueing, not just register time.
+func (s *Switch) processLocalTraced(f *packet.Frame) (Disposition, int) {
+	origOp := f.NC.Op
+	freshWrite := f.NC.Seq == 0 && f.NC.Session == 0
+	ingress := f.TraceIngress
+	if ingress == 0 {
+		ingress = time.Now().UnixNano()
+	}
+	d, passes := s.processLocal(f)
+	var stage packet.TraceStage
+	switch {
+	case origOp == kv.OpRead:
+		stage = packet.StageRead
+	case f.NC.Op == kv.OpReply:
+		stage = packet.StageTail
+	case freshWrite:
+		stage = packet.StageHead
+	default:
+		stage = packet.StageMid
+	}
+	f.AppendTraceHop(packet.TraceHop{
+		SwitchID:  uint32(s.addr),
+		Stage:     stage,
+		IngressNs: ingress,
+		EgressNs:  time.Now().UnixNano(),
+		Queue:     f.TraceQueue,
+		Shard:     f.TraceShard,
+	})
+	return d, passes
+}
+
+func (s *Switch) processLocal(f *packet.Frame) (Disposition, int) {
 	st := s.stats.at(f)
 	st.processed.Add(1)
 	passes := s.cfg.PassesFor(len(f.NC.Value))
@@ -713,7 +757,24 @@ func (s *Switch) ApplyEgressRules(f *packet.Frame) Disposition {
 // Transit records a plain forwarding traversal of f (for switch-capacity
 // accounting in the simulator). The stripe comes from the frame so
 // concurrent forwarding workers do not convoy on one counter line.
-func (s *Switch) Transit(f *packet.Frame) { s.stats.at(f).transits.Add(1) }
+func (s *Switch) Transit(f *packet.Frame) {
+	s.stats.at(f).transits.Add(1)
+	if f.NC.Traced {
+		now := time.Now().UnixNano()
+		ingress := f.TraceIngress
+		if ingress == 0 {
+			ingress = now
+		}
+		f.AppendTraceHop(packet.TraceHop{
+			SwitchID:  uint32(s.addr),
+			Stage:     packet.StageTransit,
+			IngressNs: ingress,
+			EgressNs:  now,
+			Queue:     f.TraceQueue,
+			Shard:     f.TraceShard,
+		})
+	}
+}
 
 // cloneRules deep-copies the published rule table for mutation.
 func (s *Switch) cloneRules() ruleTable {

@@ -16,6 +16,7 @@ import (
 	"netchain/internal/ring"
 	"netchain/internal/stats"
 	"netchain/internal/swsim"
+	"netchain/internal/trace"
 	"netchain/internal/transport"
 )
 
@@ -63,6 +64,12 @@ type UDPBenchOpts struct {
 	Workers   int           // switch ingest workers, 0 = auto (per core)
 	Sockets   int           // SO_REUSEPORT ingest sockets, 0 = auto (per core, Linux)
 	Batch     int           // datagrams per ingest syscall, 0 = 32
+
+	// Tracer, when set, enables in-band telemetry on every client at
+	// TraceSampleRate (0 = the client default, 1/1024) — used by the
+	// trace experiment's A/B overhead measurement.
+	Tracer          *trace.Collector
+	TraceSampleRate float64
 }
 
 func (o *UDPBenchOpts) defaults() {
@@ -139,12 +146,14 @@ func newUDPCluster(o UDPBenchOpts) (*udpCluster, error) {
 	}
 	for i := 0; i < o.Clients; i++ {
 		tc, err := transport.NewClient(c.book, transport.ClientConfig{
-			Addr:    packet.AddrFrom4(10, 1, 0, byte(i+1)),
-			Gateway: addr,
-			Bind:    "127.0.0.1:0",
-			Window:  o.Window,
-			Timeout: 250 * time.Millisecond,
-			Retries: 8,
+			Addr:            packet.AddrFrom4(10, 1, 0, byte(i+1)),
+			Gateway:         addr,
+			Bind:            "127.0.0.1:0",
+			Window:          o.Window,
+			Timeout:         250 * time.Millisecond,
+			Retries:         8,
+			Tracer:          o.Tracer,
+			TraceSampleRate: o.TraceSampleRate,
 		})
 		if err != nil {
 			c.Close()
@@ -218,9 +227,16 @@ func (c *udpCluster) reseed(n int) error {
 // API so the window keeps the pipe full), and the result counts toward
 // throughput and the latency histogram on success.
 func (c *udpCluster) drive(d time.Duration, writeRatio float64, zipfS float64, valueSize int) (opsPerSec float64, lat *stats.Histogram, err error) {
+	return driveOps(c.ops, c.keys, d, writeRatio, zipfS, valueSize)
+}
+
+// driveOps is the shared load generator behind the real-UDP scenarios:
+// every Ops client runs at full pipeline depth until the deadline, with
+// the given write ratio and (optional) zipfian key popularity.
+func driveOps(clients []*transport.Ops, keys []kv.Key, d time.Duration, writeRatio float64, zipfS float64, valueSize int) (opsPerSec float64, lat *stats.Histogram, err error) {
 	var done atomic.Uint64
 	var failed atomic.Uint64
-	hists := make([]*stats.Histogram, len(c.ops))
+	hists := make([]*stats.Histogram, len(clients))
 	var wg sync.WaitGroup
 	start := time.Now()
 	deadline := start.Add(d)
@@ -228,7 +244,7 @@ func (c *udpCluster) drive(d time.Duration, writeRatio float64, zipfS float64, v
 	for i := range writeVal {
 		writeVal[i] = byte(i * 5)
 	}
-	for ci, ops := range c.ops {
+	for ci, ops := range clients {
 		wg.Add(1)
 		hist := stats.NewLatencyHistogram()
 		hists[ci] = hist
@@ -237,7 +253,7 @@ func (c *udpCluster) drive(d time.Duration, writeRatio float64, zipfS float64, v
 			rng := rand.New(rand.NewSource(int64(ci) + 1))
 			var zipf *rand.Zipf
 			if zipfS > 0 {
-				zipf = rand.NewZipf(rng, zipfS, 1, uint64(len(c.keys)-1))
+				zipf = rand.NewZipf(rng, zipfS, 1, uint64(len(keys)-1))
 			}
 			var inner sync.WaitGroup
 			for {
@@ -249,9 +265,9 @@ func (c *udpCluster) drive(d time.Duration, writeRatio float64, zipfS float64, v
 				}
 				var k kv.Key
 				if zipf != nil {
-					k = c.keys[zipf.Uint64()]
+					k = keys[zipf.Uint64()]
 				} else {
-					k = c.keys[rng.Intn(len(c.keys))]
+					k = keys[rng.Intn(len(keys))]
 				}
 				inner.Add(1)
 				record := func(err error) {

@@ -6,10 +6,12 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"netchain/internal/kv"
 	"netchain/internal/packet"
+	"netchain/internal/telemetry"
 )
 
 // Monitor is the wall-clock half of the detector: a UDP endpoint that
@@ -49,6 +51,10 @@ type Monitor struct {
 	start  time.Time
 	probes *ProbeTable
 	fault  FaultPipe
+
+	heartbeats    atomic.Uint64
+	probesSent    atomic.Uint64
+	probeTimeouts atomic.Uint64
 
 	mu      sync.Mutex
 	eps     map[packet.Addr]*net.UDPAddr
@@ -175,12 +181,34 @@ func (m *Monitor) deliver(f *packet.Frame, src *net.UDPAddr) {
 		if retired {
 			return // a drained switch beating until shutdown is not news
 		}
+		m.heartbeats.Add(1)
 		m.det.Heartbeat(sw, now, p)
 	case kv.OpReply:
 		if sw, sentAt, ok := m.probes.Match(f.NC.QueryID, f.IP.Src); ok {
 			m.det.ProbeReply(sw, now, now-sentAt)
 		}
 	}
+}
+
+// RegisterMetrics publishes the monitor's counters and the detector's
+// live suspect count (non-healthy, non-unknown verdicts) through reg.
+func (m *Monitor) RegisterMetrics(reg *telemetry.Registry) {
+	reg.Help(telemetry.MonitorHeartbeats, "heartbeat frames accepted from watched switches")
+	reg.Help(telemetry.MonitorProbes, "active probes sent to learned endpoints")
+	reg.Help(telemetry.MonitorProbeTimeouts, "probes unanswered within the timeout")
+	reg.Help(telemetry.MonitorSuspects, "switches whose verdict is currently not healthy")
+	reg.Collect(func(emit func(telemetry.Sample)) {
+		suspects := 0
+		for _, sh := range m.det.Snapshot(m.Now()) {
+			if sh.Verdict != Healthy && sh.Verdict != Unknown {
+				suspects++
+			}
+		}
+		emit(telemetry.Sample{Name: telemetry.MonitorHeartbeats, Kind: telemetry.KindCounter, Value: float64(m.heartbeats.Load())})
+		emit(telemetry.Sample{Name: telemetry.MonitorProbes, Kind: telemetry.KindCounter, Value: float64(m.probesSent.Load())})
+		emit(telemetry.Sample{Name: telemetry.MonitorProbeTimeouts, Kind: telemetry.KindCounter, Value: float64(m.probeTimeouts.Load())})
+		emit(telemetry.Sample{Name: telemetry.MonitorSuspects, Kind: telemetry.KindGauge, Value: float64(suspects)})
+	})
 }
 
 // StartProbes begins probing every learned switch endpoint each interval;
@@ -205,6 +233,7 @@ func (m *Monitor) StartProbes(interval, timeout time.Duration) {
 func (m *Monitor) probeOnce(timeout time.Duration) {
 	now := m.Now()
 	for _, sw := range m.probes.Expire(now, timeout) {
+		m.probeTimeouts.Add(1)
 		m.det.ProbeLost(sw, now)
 	}
 	type target struct {
@@ -228,6 +257,7 @@ func (m *Monitor) probeOnce(timeout time.Duration) {
 			continue
 		}
 		buf = out
+		m.probesSent.Add(1)
 		if m.fault != nil && !m.fault.Egress(out, t.ep, m.rawSend) {
 			continue
 		}

@@ -20,6 +20,21 @@ type Frame struct {
 	// of fresh heap allocations. It survives Reset, so pooled frames stop
 	// allocating once warmed to the workload's value size.
 	valBuf []byte
+
+	// traceBuf is the frame's reusable storage for in-band telemetry hop
+	// records (see traceext.go). Like valBuf it survives Reset. traceOwned
+	// tracks whether NC.Trace points into traceBuf (appendable in place)
+	// or aliases a decode buffer (copy on first append).
+	traceBuf   []byte
+	traceOwned bool
+
+	// Non-wire telemetry context a transport stamps at ingress so the hop
+	// record appended after processing can attribute queueing: receive
+	// timestamp, pending depth at arrival, and the worker shard. Zero on
+	// untraced frames and on substrates that don't stamp them.
+	TraceIngress int64
+	TraceQueue   uint16
+	TraceShard   uint8
 }
 
 // ValueScratch exposes the frame's reusable value buffer for zero-copy
@@ -54,6 +69,7 @@ func NewQueryInto(f *Frame, src, first Addr, srcPort uint16, nc *NetChain) *Fram
 	f.NC = *nc
 	n := copy(f.NC.chainBuf[:], nc.Chain)
 	f.NC.Chain = f.NC.chainBuf[:n]
+	f.traceOwned = false // NC.Trace (if any) aliases the caller's header
 	f.SetAddrs(src, first, srcPort, Port)
 	f.fixLengths()
 	return f
@@ -133,6 +149,7 @@ func (f *Frame) Decode(data []byte) error {
 	if f.UDP.DstPort != Port && f.UDP.SrcPort != Port {
 		return fmt.Errorf("packet: neither UDP port is the NetChain port")
 	}
+	f.traceOwned = false // a decoded NC.Trace aliases data
 	return f.NC.DecodeFromBytes(data[UDPLen:f.UDP.Length])
 }
 
@@ -184,22 +201,37 @@ func (f *Frame) Clone() *Frame {
 // detaching Value and Chain from any buffers f aliases.
 func (f *Frame) CloneTo(dst *Frame) {
 	dst.Eth, dst.IP, dst.UDP = f.Eth, f.IP, f.UDP
-	vb := dst.valBuf // keep dst's grown-once value storage
+	vb, tb := dst.valBuf, dst.traceBuf // keep dst's grown-once storage
 	dst.NC = f.NC
-	dst.valBuf = vb
+	dst.valBuf, dst.traceBuf = vb, tb
 	if f.NC.Value != nil {
 		dst.NC.Value = dst.setValue(f.NC.Value)
 	}
+	dst.NC.Trace = nil
+	dst.traceOwned = false
+	if f.NC.Traced {
+		if cap(dst.traceBuf) < len(f.NC.Trace) {
+			dst.traceBuf = make([]byte, len(f.NC.Trace), MaxTraceHops*TraceRecLen)
+		}
+		dst.traceBuf = dst.traceBuf[:len(f.NC.Trace)]
+		copy(dst.traceBuf, f.NC.Trace)
+		dst.NC.Trace = dst.traceBuf
+		dst.traceOwned = true
+	}
 	n := copy(dst.NC.chainBuf[:], f.NC.Chain)
 	dst.NC.Chain = dst.NC.chainBuf[:n]
+	dst.TraceIngress, dst.TraceQueue, dst.TraceShard = f.TraceIngress, f.TraceQueue, f.TraceShard
 }
 
 // Reset zeroes the frame for reuse, retaining the value buffer's capacity
 // so pooled frames stay allocation-free in steady state.
 func (f *Frame) Reset() {
-	vb := f.valBuf
+	vb, tb := f.valBuf, f.traceBuf
 	*f = Frame{}
 	if vb != nil {
 		f.valBuf = vb[:0]
+	}
+	if tb != nil {
+		f.traceBuf = tb[:0]
 	}
 }

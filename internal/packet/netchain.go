@@ -44,6 +44,13 @@ type NetChain struct {
 	Value   []byte // decoded views alias the input buffer; copy to retain
 	Chain   []Addr // remaining hops, nearest first
 
+	// In-band telemetry extension (see traceext.go). Traced mirrors the
+	// TraceFlag wire bit; Trace holds the raw hop records (a multiple of
+	// TraceRecLen bytes). Decoded views alias the input buffer; hops are
+	// appended via Frame.AppendTraceHop, which copies on first append.
+	Traced bool
+	Trace  []byte
+
 	chainBuf [MaxChainHops]Addr // backing storage to keep decode alloc-free
 }
 
@@ -59,7 +66,11 @@ func (h *NetChain) SetVersion(v kv.Version) {
 
 // WireLen returns the serialized size of the header in bytes.
 func (h *NetChain) WireLen() int {
-	return netchainFixedLen + len(h.Value) + 4*len(h.Chain)
+	n := netchainFixedLen + len(h.Value) + 4*len(h.Chain)
+	if h.Traced {
+		n += 1 + len(h.Trace)
+	}
+	return n
 }
 
 // PopChain removes and returns the first remaining hop. ok is false when
@@ -106,7 +117,9 @@ func (h *NetChain) DecodeFromBytes(data []byte) error {
 		return fmt.Errorf("packet: invalid op %d", data[3])
 	}
 	h.Status = kv.Status(data[4])
-	sc := int(data[5])
+	scByte := data[5]
+	h.Traced = scByte&TraceFlag != 0
+	sc := int(scByte &^ TraceFlag)
 	vlen := int(binary.BigEndian.Uint16(data[6:8]))
 	h.Group = binary.BigEndian.Uint16(data[8:10])
 	h.Seq = binary.BigEndian.Uint64(data[10:18])
@@ -129,6 +142,23 @@ func (h *NetChain) DecodeFromBytes(data []byte) error {
 		h.chainBuf[i] = Addr(binary.BigEndian.Uint32(data[off+4*i:]))
 	}
 	h.Chain = h.chainBuf[:sc]
+	h.Trace = nil
+	if h.Traced {
+		if len(data) < need+1 {
+			return fmt.Errorf("packet: trace extension truncated: missing hop count")
+		}
+		tn := int(data[need])
+		if tn > MaxTraceHops {
+			return fmt.Errorf("packet: trace hop count %d exceeds max %d", tn, MaxTraceHops)
+		}
+		tlen := tn * TraceRecLen
+		if len(data) < need+1+tlen {
+			return fmt.Errorf("packet: trace records truncated: have %d, need %d", len(data)-need-1, tlen)
+		}
+		if tlen > 0 {
+			h.Trace = data[need+1 : need+1+tlen]
+		}
+	}
 	return nil
 }
 
@@ -140,8 +170,18 @@ func (h *NetChain) SerializeTo(buf []byte) ([]byte, error) {
 	if len(h.Value) > 0xffff {
 		return nil, fmt.Errorf("packet: value of %d bytes exceeds field", len(h.Value))
 	}
+	scByte := byte(len(h.Chain))
+	if h.Traced {
+		if len(h.Trace)%TraceRecLen != 0 {
+			return nil, fmt.Errorf("packet: trace length %d not a whole number of records", len(h.Trace))
+		}
+		if len(h.Trace)/TraceRecLen > MaxTraceHops {
+			return nil, fmt.Errorf("packet: %d trace hops exceeds max %d", len(h.Trace)/TraceRecLen, MaxTraceHops)
+		}
+		scByte |= TraceFlag
+	}
 	buf = binary.BigEndian.AppendUint16(buf, Magic)
-	buf = append(buf, VersionWire, byte(h.Op), byte(h.Status), byte(len(h.Chain)))
+	buf = append(buf, VersionWire, byte(h.Op), byte(h.Status), scByte)
 	buf = binary.BigEndian.AppendUint16(buf, uint16(len(h.Value)))
 	buf = binary.BigEndian.AppendUint16(buf, h.Group)
 	buf = binary.BigEndian.AppendUint64(buf, h.Seq)
@@ -151,6 +191,10 @@ func (h *NetChain) SerializeTo(buf []byte) ([]byte, error) {
 	buf = append(buf, h.Value...)
 	for _, hop := range h.Chain {
 		buf = binary.BigEndian.AppendUint32(buf, uint32(hop))
+	}
+	if h.Traced {
+		buf = append(buf, byte(len(h.Trace)/TraceRecLen))
+		buf = append(buf, h.Trace...)
 	}
 	return buf, nil
 }
@@ -162,6 +206,9 @@ func (h *NetChain) Clone() *NetChain {
 	*c = *h
 	if h.Value != nil {
 		c.Value = append([]byte(nil), h.Value...)
+	}
+	if h.Trace != nil {
+		c.Trace = append([]byte(nil), h.Trace...)
 	}
 	n := copy(c.chainBuf[:], h.Chain)
 	c.Chain = c.chainBuf[:n]

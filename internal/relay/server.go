@@ -10,6 +10,7 @@ import (
 
 	"netchain/internal/packet"
 	"netchain/internal/query"
+	"netchain/internal/telemetry"
 	"netchain/internal/transport"
 )
 
@@ -185,6 +186,27 @@ func (s *Server) Stats() Stats {
 	}
 }
 
+// RegisterMetrics publishes the relay's counters through reg — the same
+// Stats() snapshot the CLI health path reads, so /metrics and
+// `netchainctl cluster health` can never disagree about the relay.
+func (s *Server) RegisterMetrics(reg *telemetry.Registry) {
+	reg.Help(telemetry.RelayEventsIn, "event frames ingested from tail agents")
+	reg.Help(telemetry.RelayEventsDup, "ingested events suppressed as duplicates")
+	reg.Help(telemetry.RelayEventsOut, "fresh events accepted for fan-out")
+	reg.Help(telemetry.RelayEgressDatagrams, "fan-out datagrams queued to subscribers")
+	reg.Help(telemetry.RelaySubscribers, "live unicast leases (0 in multicast mode)")
+	reg.Help(telemetry.RelayDecodeErrors, "undecodable ingest or control frames")
+	reg.Collect(func(emit func(telemetry.Sample)) {
+		st := s.Stats()
+		emit(telemetry.Sample{Name: telemetry.RelayEventsIn, Kind: telemetry.KindCounter, Value: float64(st.EventsIn)})
+		emit(telemetry.Sample{Name: telemetry.RelayEventsDup, Kind: telemetry.KindCounter, Value: float64(st.EventsDup)})
+		emit(telemetry.Sample{Name: telemetry.RelayEventsOut, Kind: telemetry.KindCounter, Value: float64(st.EventsOut)})
+		emit(telemetry.Sample{Name: telemetry.RelayEgressDatagrams, Kind: telemetry.KindCounter, Value: float64(st.EgressDatagrams)})
+		emit(telemetry.Sample{Name: telemetry.RelaySubscribers, Kind: telemetry.KindGauge, Value: float64(st.Subscribers)})
+		emit(telemetry.Sample{Name: telemetry.RelayDecodeErrors, Kind: telemetry.KindCounter, Value: float64(st.DecodeErrors)})
+	})
+}
+
 // Close stops the relay.
 func (s *Server) Close() error {
 	err := s.conn.Close()
@@ -228,6 +250,10 @@ func (s *Server) ingestLoop() {
 
 // handleEvent sequences one ingested event and queues its fan-out.
 func (s *Server) handleEvent(fr *packet.Frame, scratch *packet.Frame, bio *transport.BatchConn) {
+	var ingressNs int64
+	if fr.NC.Traced {
+		ingressNs = time.Now().UnixNano()
+	}
 	ev, err := query.ParseEvent(fr)
 	if err != nil {
 		s.decodeErr.Add(1)
@@ -241,6 +267,7 @@ func (s *Server) handleEvent(fr *packet.Frame, scratch *packet.Frame, bio *trans
 	ev.Epoch = s.cfg.Epoch
 	if s.cfg.Mode == ModeMulticast {
 		query.EventInto(scratch, s.cfg.Addr, GroupAddr(ev.Group), packet.Port, McastPort, ev)
+		s.stampRelayHop(scratch, fr, ingressNs)
 		s.queueSerialized(scratch, GroupUDP(ev.Group), bio)
 		return
 	}
@@ -258,8 +285,26 @@ func (s *Server) handleEvent(fr *packet.Frame, scratch *packet.Frame, bio *trans
 	s.mu.Unlock()
 	for _, ep := range eps {
 		query.EventInto(scratch, s.cfg.Addr, GroupAddr(ev.Group), packet.Port, uint16(ep.Port), ev)
+		s.stampRelayHop(scratch, fr, ingressNs)
 		s.queueSerialized(scratch, ep, bio)
 	}
+}
+
+// stampRelayHop propagates a traced event's telemetry onto the fanned-out
+// frame and appends the relay's own hop record, so watch subscribers see
+// the full head→tail→relay path of the mutation that reached them.
+func (s *Server) stampRelayHop(out *packet.Frame, in *packet.Frame, ingressNs int64) {
+	if !in.NC.Traced {
+		return
+	}
+	out.CopyTraceFrom(in)
+	out.AppendTraceHop(packet.TraceHop{
+		SwitchID:  uint32(s.cfg.Addr),
+		Stage:     packet.StageRelay,
+		IngressNs: ingressNs,
+		EgressNs:  time.Now().UnixNano(),
+	})
+	out.Finalize()
 }
 
 func (s *Server) queueSerialized(f *packet.Frame, ep *net.UDPAddr, bio *transport.BatchConn) {

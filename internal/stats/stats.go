@@ -8,21 +8,29 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 )
 
 // Histogram is a log-bucketed latency histogram: buckets grow by a fixed
 // ratio so percentiles stay within a few percent of exact across eight
 // orders of magnitude, in O(1) memory — the standard HDR approach.
+//
+// Observe is safe for concurrent use: bucket counts and the scalar
+// aggregates are maintained with atomics, so the metrics plane can feed a
+// single histogram from many goroutines without a lock. Readers (Quantile,
+// Mean, Merge, ...) see a near-consistent snapshot — individual bucket
+// loads may straddle in-flight observations, which skews a quantile by at
+// most the observations that landed mid-read.
 type Histogram struct {
 	min     float64 // lowest representable value
 	growth  float64 // bucket ratio
 	logG    float64
 	counts  []uint64
-	total   uint64
-	sum     float64
-	maxSeen float64
-	minSeen float64
+	total   atomic.Uint64
+	sum     atomic.Uint64 // float64 bits
+	maxSeen atomic.Uint64 // float64 bits
+	minSeen atomic.Uint64 // float64 bits
 }
 
 // NewHistogram returns a histogram covering [min, max] with the given
@@ -32,13 +40,14 @@ func NewHistogram(min, max, growth float64) *Histogram {
 		panic(fmt.Sprintf("stats: bad histogram config min=%v max=%v growth=%v", min, max, growth))
 	}
 	n := int(math.Ceil(math.Log(max/min)/math.Log(growth))) + 1
-	return &Histogram{
-		min:     min,
-		growth:  growth,
-		logG:    math.Log(growth),
-		counts:  make([]uint64, n),
-		minSeen: math.Inf(1),
+	h := &Histogram{
+		min:    min,
+		growth: growth,
+		logG:   math.Log(growth),
+		counts: make([]uint64, n),
 	}
+	h.minSeen.Store(math.Float64bits(math.Inf(1)))
+	return h
 }
 
 // NewLatencyHistogram covers 100 ns .. 100 s at 2% resolution — suitable
@@ -49,15 +58,45 @@ func NewLatencyHistogram() *Histogram {
 
 // Observe records one value (clamped to the histogram range).
 func (h *Histogram) Observe(v float64) {
-	h.total++
-	h.sum += v
-	if v > h.maxSeen {
-		h.maxSeen = v
+	h.total.Add(1)
+	atomicAddFloat(&h.sum, v)
+	atomicMaxFloat(&h.maxSeen, v)
+	atomicMinFloat(&h.minSeen, v)
+	atomic.AddUint64(&h.counts[h.bucket(v)], 1)
+}
+
+func atomicAddFloat(a *atomic.Uint64, v float64) {
+	for {
+		old := a.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if a.CompareAndSwap(old, next) {
+			return
+		}
 	}
-	if v < h.minSeen {
-		h.minSeen = v
+}
+
+func atomicMaxFloat(a *atomic.Uint64, v float64) {
+	for {
+		old := a.Load()
+		if v <= math.Float64frombits(old) {
+			return
+		}
+		if a.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
 	}
-	h.counts[h.bucket(v)]++
+}
+
+func atomicMinFloat(a *atomic.Uint64, v float64) {
+	for {
+		old := a.Load()
+		if v >= math.Float64frombits(old) {
+			return
+		}
+		if a.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
 }
 
 // ObserveDuration records a duration in nanoseconds.
@@ -75,34 +114,36 @@ func (h *Histogram) bucket(v float64) int {
 }
 
 // Count returns the number of observations.
-func (h *Histogram) Count() uint64 { return h.total }
+func (h *Histogram) Count() uint64 { return h.total.Load() }
 
 // Mean returns the arithmetic mean of observations (0 when empty).
 func (h *Histogram) Mean() float64 {
-	if h.total == 0 {
+	n := h.total.Load()
+	if n == 0 {
 		return 0
 	}
-	return h.sum / float64(h.total)
+	return math.Float64frombits(h.sum.Load()) / float64(n)
 }
 
 // Max and Min return observed extremes (0 when empty).
 func (h *Histogram) Max() float64 {
-	if h.total == 0 {
+	if h.total.Load() == 0 {
 		return 0
 	}
-	return h.maxSeen
+	return math.Float64frombits(h.maxSeen.Load())
 }
 
 func (h *Histogram) Min() float64 {
-	if h.total == 0 {
+	if h.total.Load() == 0 {
 		return 0
 	}
-	return h.minSeen
+	return math.Float64frombits(h.minSeen.Load())
 }
 
 // Quantile returns the value at quantile q in [0,1] (bucket upper bound).
 func (h *Histogram) Quantile(q float64) float64 {
-	if h.total == 0 {
+	total := h.total.Load()
+	if total == 0 {
 		return 0
 	}
 	if q < 0 {
@@ -111,18 +152,18 @@ func (h *Histogram) Quantile(q float64) float64 {
 	if q > 1 {
 		q = 1
 	}
-	rank := uint64(q * float64(h.total))
-	if rank >= h.total {
-		rank = h.total - 1
+	rank := uint64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
 	}
 	var cum uint64
-	for i, c := range h.counts {
-		cum += c
+	for i := range h.counts {
+		cum += atomic.LoadUint64(&h.counts[i])
 		if cum > rank {
 			return h.min * math.Pow(h.growth, float64(i+1))
 		}
 	}
-	return h.maxSeen
+	return h.Max()
 }
 
 // P50, P99 are convenience accessors.
@@ -130,21 +171,25 @@ func (h *Histogram) P50() float64 { return h.Quantile(0.50) }
 func (h *Histogram) P99() float64 { return h.Quantile(0.99) }
 
 // Merge adds other's observations into h. Both histograms must share a
-// configuration.
+// configuration. Merging while other is still being observed folds in a
+// near-consistent snapshot of it.
 func (h *Histogram) Merge(other *Histogram) error {
 	if len(h.counts) != len(other.counts) || h.min != other.min || h.growth != other.growth {
 		return fmt.Errorf("stats: merging incompatible histograms")
 	}
-	for i, c := range other.counts {
-		h.counts[i] += c
+	var moved uint64
+	for i := range other.counts {
+		c := atomic.LoadUint64(&other.counts[i])
+		if c != 0 {
+			atomic.AddUint64(&h.counts[i], c)
+			moved += c
+		}
 	}
-	h.total += other.total
-	h.sum += other.sum
-	if other.maxSeen > h.maxSeen {
-		h.maxSeen = other.maxSeen
-	}
-	if other.minSeen < h.minSeen {
-		h.minSeen = other.minSeen
+	h.total.Add(moved)
+	atomicAddFloat(&h.sum, math.Float64frombits(other.sum.Load()))
+	if other.total.Load() > 0 {
+		atomicMaxFloat(&h.maxSeen, other.Max())
+		atomicMinFloat(&h.minSeen, other.Min())
 	}
 	return nil
 }
@@ -205,11 +250,12 @@ func (ts *TimeSeries) FormatSeries() string {
 
 // Summary is a one-line latency digest used in experiment tables.
 func (h *Histogram) Summary() string {
-	if h.total == 0 {
+	n := h.total.Load()
+	if n == 0 {
 		return "n=0"
 	}
 	return fmt.Sprintf("n=%d mean=%.1fµs p50=%.1fµs p99=%.1fµs max=%.1fµs",
-		h.total, h.Mean()/1e3, h.P50()/1e3, h.P99()/1e3, h.Max()/1e3)
+		n, h.Mean()/1e3, h.P50()/1e3, h.P99()/1e3, h.Max()/1e3)
 }
 
 // Percentile sorts a small sample slice and returns the q-quantile — for

@@ -3,6 +3,7 @@ package stats
 import (
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
 	"time"
 )
@@ -138,5 +139,111 @@ func TestPercentileHelper(t *testing.T) {
 	}
 	if s[0] != 5 {
 		t.Fatal("input must not be mutated")
+	}
+}
+
+func TestHistogramMergeEdgeCases(t *testing.T) {
+	// Mismatched min.
+	a := NewHistogram(100, 1e6, 1.05)
+	b := NewHistogram(200, 1e6, 1.05)
+	if err := a.Merge(b); err == nil {
+		t.Fatal("mismatched min must fail")
+	}
+	// Mismatched growth.
+	c := NewHistogram(100, 1e6, 1.1)
+	if err := a.Merge(c); err == nil {
+		t.Fatal("mismatched growth must fail")
+	}
+	// A failed merge must leave the target untouched.
+	if a.Count() != 0 || a.Max() != 0 {
+		t.Fatalf("failed merge mutated target: n=%d", a.Count())
+	}
+
+	// Empty-into-nonempty: aggregates unchanged, including min/max.
+	d := NewHistogram(100, 1e6, 1.05)
+	d.Observe(500)
+	d.Observe(700)
+	empty := NewHistogram(100, 1e6, 1.05)
+	if err := d.Merge(empty); err != nil {
+		t.Fatal(err)
+	}
+	if d.Count() != 2 || d.Min() != 500 || d.Max() != 700 || d.Mean() != 600 {
+		t.Fatalf("empty merge changed stats: n=%d min=%v max=%v mean=%v", d.Count(), d.Min(), d.Max(), d.Mean())
+	}
+
+	// Nonempty-into-empty must adopt extremes.
+	e := NewHistogram(100, 1e6, 1.05)
+	if err := e.Merge(d); err != nil {
+		t.Fatal(err)
+	}
+	if e.Count() != 2 || e.Min() != 500 || e.Max() != 700 {
+		t.Fatalf("into-empty merge: n=%d min=%v max=%v", e.Count(), e.Min(), e.Max())
+	}
+
+	// Quantiles after merging two disjoint populations: everything below
+	// the split must come from the lower population, and p99 from the
+	// upper one.
+	lo, hi := NewLatencyHistogram(), NewLatencyHistogram()
+	for i := 0; i < 1000; i++ {
+		lo.Observe(10e3) // 10 µs
+		hi.Observe(1e6)  // 1 ms
+	}
+	if err := lo.Merge(hi); err != nil {
+		t.Fatal(err)
+	}
+	if lo.Count() != 2000 {
+		t.Fatalf("merged count = %d", lo.Count())
+	}
+	p49, p99 := lo.Quantile(0.49), lo.P99()
+	if p49 < 9e3 || p49 > 12e3 {
+		t.Fatalf("merged p49 = %v, want ~10µs", p49)
+	}
+	if p99 < 0.9e6 || p99 > 1.2e6 {
+		t.Fatalf("merged p99 = %v, want ~1ms", p99)
+	}
+}
+
+// TestHistogramConcurrentObserve pins the concurrency contract: many
+// goroutines observing (and one merging + reading quantiles) must be
+// race-free and lose no observations. Run under -race in CI.
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewLatencyHistogram()
+	const goroutines = 8
+	const perG = 20000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < perG; i++ {
+				h.Observe(1e3 + rng.Float64()*1e6)
+			}
+		}(int64(g))
+	}
+	// Concurrent readers exercise Quantile/Mean/Merge against in-flight writes.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			snap := NewLatencyHistogram()
+			_ = snap.Merge(h)
+			_ = h.Quantile(0.99)
+			_ = h.Mean()
+			_ = h.Summary()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if h.Count() != goroutines*perG {
+		t.Fatalf("lost observations: %d != %d", h.Count(), goroutines*perG)
+	}
+	if h.Min() < 1e3 || h.Max() > 1e3+1e6 {
+		t.Fatalf("extremes out of range: min=%v max=%v", h.Min(), h.Max())
+	}
+	// Sum must be exact: CAS-add loses nothing.
+	mean := h.Mean()
+	if mean < 1e3 || mean > 1e3+1e6 {
+		t.Fatalf("mean out of range: %v", mean)
 	}
 }

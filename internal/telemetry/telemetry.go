@@ -1,0 +1,196 @@
+// Package telemetry is the metrics plane: lock-free counters and gauges,
+// concurrency-safe histograms (stats.Histogram is atomic), and a registry
+// that renders everything in Prometheus text exposition format. Transport
+// nodes, clients, the relay, the health monitor and the controller all
+// register here; netchainctl top and the CI metrics smoke both consume
+// the same canonical names (names.go), so the dashboard and /metrics can
+// never disagree about what a series is called.
+package telemetry
+
+import (
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"netchain/internal/stats"
+)
+
+func floatBits(v float64) uint64     { return math.Float64bits(v) }
+func floatFromBits(b uint64) float64 { return math.Float64frombits(b) }
+
+// Counter is a monotonically increasing lock-free counter.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a lock-free instantaneous value.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(floatBits(v)) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return floatFromBits(g.bits.Load()) }
+
+// Kind distinguishes sample semantics in the exposition format.
+type Kind uint8
+
+const (
+	KindCounter Kind = iota
+	KindGauge
+)
+
+func (k Kind) String() string {
+	if k == KindCounter {
+		return "counter"
+	}
+	return "gauge"
+}
+
+// Sample is one exported series value.
+type Sample struct {
+	Name  string
+	Kind  Kind
+	Value float64
+}
+
+// CollectFunc lets a component export an existing stats snapshot without
+// double accounting: the registry calls it at scrape time and the
+// component emits its counters straight from its own Stats() struct.
+type CollectFunc func(emit func(Sample))
+
+// Registry holds a process's exported series.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	hists      map[string]*stats.Histogram
+	collectors []CollectFunc
+	help       map[string]string
+}
+
+// NewRegistry returns an empty registry with the process collector
+// (goroutines, heap) pre-installed.
+func NewRegistry() *Registry {
+	r := &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*stats.Histogram),
+		help:     make(map[string]string),
+	}
+	r.Collect(func(emit func(Sample)) {
+		emit(Sample{Name: GoGoroutines, Kind: KindGauge, Value: float64(runtime.NumGoroutine())})
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		emit(Sample{Name: GoHeapBytes, Kind: KindGauge, Value: float64(ms.HeapAlloc)})
+	})
+	return r
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name, help string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	r.setHelp(name, help)
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	r.setHelp(name, help)
+	return g
+}
+
+// Histogram registers a concurrency-safe histogram under name. Snapshots
+// expand it to <name>_count, <name>_p50, <name>_p99, <name>_mean and
+// <name>_max series.
+func (r *Registry) Histogram(name, help string, h *stats.Histogram) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.hists[name] = h
+	r.setHelp(name, help)
+}
+
+// Collect installs a pull-time collector.
+func (r *Registry) Collect(fn CollectFunc) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.collectors = append(r.collectors, fn)
+}
+
+// Help registers help text for a series emitted by a collector.
+func (r *Registry) Help(name, help string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.setHelp(name, help)
+}
+
+func (r *Registry) setHelp(name, help string) {
+	if help != "" && r.help[name] == "" {
+		r.help[name] = help
+	}
+}
+
+// Snapshot renders every registered series, sorted by name. Later emits
+// win on duplicate names, so a collector can override a static series.
+func (r *Registry) Snapshot() []Sample {
+	r.mu.Lock()
+	collectors := append([]CollectFunc(nil), r.collectors...)
+	byName := make(map[string]Sample, len(r.counters)+len(r.gauges)+5*len(r.hists))
+	for name, c := range r.counters {
+		byName[name] = Sample{Name: name, Kind: KindCounter, Value: float64(c.Value())}
+	}
+	for name, g := range r.gauges {
+		byName[name] = Sample{Name: name, Kind: KindGauge, Value: g.Value()}
+	}
+	for name, h := range r.hists {
+		byName[name+"_count"] = Sample{Name: name + "_count", Kind: KindCounter, Value: float64(h.Count())}
+		byName[name+"_p50"] = Sample{Name: name + "_p50", Kind: KindGauge, Value: h.P50()}
+		byName[name+"_p99"] = Sample{Name: name + "_p99", Kind: KindGauge, Value: h.P99()}
+		byName[name+"_mean"] = Sample{Name: name + "_mean", Kind: KindGauge, Value: h.Mean()}
+		byName[name+"_max"] = Sample{Name: name + "_max", Kind: KindGauge, Value: h.Max()}
+	}
+	r.mu.Unlock()
+
+	for _, fn := range collectors {
+		fn(func(s Sample) { byName[s.Name] = s })
+	}
+	out := make([]Sample, 0, len(byName))
+	for _, s := range byName {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// helpFor returns a copy of the help map for rendering.
+func (r *Registry) helpFor() map[string]string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := make(map[string]string, len(r.help))
+	for k, v := range r.help {
+		h[k] = v
+	}
+	return h
+}

@@ -1,0 +1,178 @@
+package telemetry
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"netchain/internal/stats"
+)
+
+func TestRegistryInstruments(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("netchain_test_ops_total", "ops")
+	g := r.Gauge("netchain_test_depth", "depth")
+	h := stats.NewLatencyHistogram()
+	h.Observe(1000)
+	h.Observe(3000)
+	r.Histogram("netchain_test_lat_ns", "latency", h)
+	c.Add(5)
+	c.Inc()
+	g.Set(7.5)
+
+	// Same name returns the same instrument.
+	if r.Counter("netchain_test_ops_total", "") != c {
+		t.Fatal("counter not idempotent")
+	}
+	if r.Gauge("netchain_test_depth", "") != g {
+		t.Fatal("gauge not idempotent")
+	}
+
+	m := snapshotMap(r)
+	if m["netchain_test_ops_total"] != 6 {
+		t.Fatalf("counter = %v", m["netchain_test_ops_total"])
+	}
+	if m["netchain_test_depth"] != 7.5 {
+		t.Fatalf("gauge = %v", m["netchain_test_depth"])
+	}
+	if m["netchain_test_lat_ns_count"] != 2 {
+		t.Fatalf("hist count = %v", m["netchain_test_lat_ns_count"])
+	}
+	if m["netchain_test_lat_ns_mean"] != 2000 {
+		t.Fatalf("hist mean = %v", m["netchain_test_lat_ns_mean"])
+	}
+	// Process collector rides along.
+	if m[GoGoroutines] < 1 {
+		t.Fatalf("goroutines = %v", m[GoGoroutines])
+	}
+}
+
+func snapshotMap(r *Registry) map[string]float64 {
+	m := make(map[string]float64)
+	for _, s := range r.Snapshot() {
+		m[s.Name] = s.Value
+	}
+	return m
+}
+
+func TestCollectorOverridesAndConcurrency(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("netchain_test_n_total", "")
+	r.Collect(func(emit func(Sample)) {
+		emit(Sample{Name: "netchain_test_pull", Kind: KindGauge, Value: 42})
+	})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				_ = r.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	m := snapshotMap(r)
+	if m["netchain_test_n_total"] != 4000 {
+		t.Fatalf("counter = %v", m["netchain_test_n_total"])
+	}
+	if m["netchain_test_pull"] != 42 {
+		t.Fatalf("pull = %v", m["netchain_test_pull"])
+	}
+}
+
+func TestPromRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("netchain_rt_total", "help text here").Add(3)
+	r.Gauge("netchain_rt_depth", "").Set(1.25)
+	var buf bytes.Buffer
+	if err := WriteProm(&buf, r.Snapshot(), r.helpFor()); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if !strings.Contains(text, "# HELP netchain_rt_total help text here") {
+		t.Fatalf("missing help:\n%s", text)
+	}
+	if !strings.Contains(text, "# TYPE netchain_rt_total counter") {
+		t.Fatalf("missing type:\n%s", text)
+	}
+	m, err := ParseProm(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["netchain_rt_total"] != 3 || m["netchain_rt_depth"] != 1.25 {
+		t.Fatalf("parsed = %v", m)
+	}
+}
+
+func TestParsePromForms(t *testing.T) {
+	good := `
+# comment
+name_a 1
+name_b{label="x",other="y"} 2.5
+name_c 3 1700000000
+name_inf +Inf
+`
+	m, err := ParseProm(strings.NewReader(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["name_a"] != 1 || m[`name_b{label="x",other="y"}`] != 2.5 || m["name_c"] != 3 {
+		t.Fatalf("parsed = %v", m)
+	}
+	for _, bad := range []string{
+		"0badname 1",
+		"name",
+		"name notafloat",
+		"name 1 2 3",
+		"name{unterminated 1",
+		"name 1 badts",
+	} {
+		if _, err := ParseProm(strings.NewReader(bad)); err == nil {
+			t.Fatalf("parse accepted %q", bad)
+		}
+	}
+}
+
+func TestServeDebugEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("netchain_serve_total", "").Add(9)
+	d, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", d.Addr, path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+
+	code, body := get("/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics status %d", code)
+	}
+	m, err := ParseProm(strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("/metrics does not parse: %v", err)
+	}
+	if m["netchain_serve_total"] != 9 {
+		t.Fatalf("scraped = %v", m["netchain_serve_total"])
+	}
+	if code, body := get("/debug/vars"); code != 200 || !strings.Contains(body, "memstats") {
+		t.Fatalf("/debug/vars status %d", code)
+	}
+	if code, body := get("/debug/pprof/"); code != 200 || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof status %d", code)
+	}
+}

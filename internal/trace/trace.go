@@ -1,0 +1,228 @@
+// Package trace reconstructs in-band telemetry hop records (the packet
+// trace extension) into span trees and per-stage latency aggregates — the
+// client-side half of the INT story: switches stamp, clients attribute.
+//
+// Timestamps in hop records are wall-clock nanoseconds from each hop's
+// host. On the single-host clusters the experiments run (and the paper's
+// testbed, where switch clocks are PTP-disciplined), client and switch
+// stamps share a timebase, so inter-hop gaps measure wire+stack transit
+// directly. Components that come out negative under skew are clamped to
+// zero and counted, so Coverage() deviates measurably from 1 instead of
+// lying.
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"netchain/internal/packet"
+	"netchain/internal/stats"
+)
+
+// Span is one node of a reconstructed query timeline.
+type Span struct {
+	Name     string
+	StartNs  int64
+	EndNs    int64
+	Children []*Span
+}
+
+// Duration returns the span's length (zero-clamped).
+func (s *Span) Duration() time.Duration {
+	if s.EndNs < s.StartNs {
+		return 0
+	}
+	return time.Duration(s.EndNs - s.StartNs)
+}
+
+// Format renders the tree indented, one span per line.
+func (s *Span) Format() string {
+	var b strings.Builder
+	s.format(&b, 0)
+	return b.String()
+}
+
+func (s *Span) format(b *strings.Builder, depth int) {
+	fmt.Fprintf(b, "%s%-18s %8.1fµs\n", strings.Repeat("  ", depth), s.Name,
+		float64(s.Duration().Nanoseconds())/1e3)
+	for _, c := range s.Children {
+		c.format(b, depth+1)
+	}
+}
+
+// Build reconstructs the span tree for one traced query: a root covering
+// client send→receive, with alternating wire-transit and hop-processing
+// children in path order.
+func Build(hops []packet.TraceHop, sendNs, recvNs int64) *Span {
+	root := &Span{Name: "query", StartNs: sendNs, EndNs: recvNs}
+	prev := sendNs
+	for i, h := range hops {
+		root.Children = append(root.Children,
+			&Span{Name: fmt.Sprintf("wire[%d]", i), StartNs: prev, EndNs: h.IngressNs},
+			&Span{
+				Name:    fmt.Sprintf("%s@%d", h.Stage, h.SwitchID),
+				StartNs: h.IngressNs,
+				EndNs:   h.EgressNs,
+			})
+		prev = h.EgressNs
+	}
+	root.Children = append(root.Children,
+		&Span{Name: fmt.Sprintf("wire[%d]", len(hops)), StartNs: prev, EndNs: recvNs})
+	return root
+}
+
+// Breakdown attributes one query's end-to-end latency to stages. All
+// fields are nanoseconds.
+type Breakdown struct {
+	ByStage [8]int64 // indexed by packet.TraceStage; processing time per stage
+	Wire    int64    // sum of inter-hop gaps (client→hop1, hopN→client, ...)
+	Total   int64    // recvNs - sendNs
+	Clamped int      // number of negative components zero-clamped
+}
+
+// HopSum is the latency accounted for by stamps: per-stage processing plus
+// wire gaps. With sane stamps it telescopes to Total exactly; skewed or
+// reordered stamps shrink it (clamping), making Coverage < 1.
+func (b *Breakdown) HopSum() int64 {
+	s := b.Wire
+	for _, v := range b.ByStage {
+		s += v
+	}
+	return s
+}
+
+// Coverage is HopSum/Total — the acceptance check "hop-sum ≈ end-to-end
+// within 10%" in ratio form. Returns 0 for empty totals.
+func (b *Breakdown) Coverage() float64 {
+	if b.Total <= 0 {
+		return 0
+	}
+	return float64(b.HopSum()) / float64(b.Total)
+}
+
+func clamp(v int64, clamped *int) int64 {
+	if v < 0 {
+		*clamped++
+		return 0
+	}
+	return v
+}
+
+// Compute attributes the query's latency across hops.
+func Compute(hops []packet.TraceHop, sendNs, recvNs int64) Breakdown {
+	b := Breakdown{Total: recvNs - sendNs}
+	prev := sendNs
+	for _, h := range hops {
+		b.Wire += clamp(h.IngressNs-prev, &b.Clamped)
+		if int(h.Stage) < len(b.ByStage) {
+			b.ByStage[h.Stage] += clamp(h.EgressNs-h.IngressNs, &b.Clamped)
+		}
+		prev = h.EgressNs
+	}
+	b.Wire += clamp(recvNs-prev, &b.Clamped)
+	return b
+}
+
+// Collector aggregates sampled traces into per-stage concurrent
+// histograms — safe for Record from many client goroutines.
+type Collector struct {
+	// Stage[s] holds processing time at TraceStage s (head, mid, tail,
+	// read-serve, transit, ingest, relay).
+	Stage [8]*stats.Histogram
+	// Wire is summed inter-hop transit per query; Queue is client-side
+	// submit→wire queueing (window wait); Retry is per-retry backoff wait;
+	// Total is end-to-end for sampled queries.
+	Wire  *stats.Histogram
+	Queue *stats.Histogram
+	Retry *stats.Histogram
+	Total *stats.Histogram
+
+	Traces     atomic.Uint64 // traced replies recorded
+	Hopless    atomic.Uint64 // traced replies that came back with zero hops
+	Clamped    atomic.Uint64 // negative stamp components zero-clamped
+	Retries    atomic.Uint64 // retry attempts on sampled queries
+	RetryNs    atomic.Int64  // total backoff-wait ns on sampled queries
+	CoveragePM atomic.Int64  // running sum of coverage in parts-per-mille
+}
+
+// NewCollector allocates a collector with standard latency histograms.
+func NewCollector() *Collector {
+	c := &Collector{
+		Wire:  stats.NewLatencyHistogram(),
+		Queue: stats.NewLatencyHistogram(),
+		Retry: stats.NewLatencyHistogram(),
+		Total: stats.NewLatencyHistogram(),
+	}
+	for i := range c.Stage {
+		c.Stage[i] = stats.NewLatencyHistogram()
+	}
+	return c
+}
+
+// Record folds one traced reply into the aggregates. queueNs is the
+// client-side wait between submit and first wire send; retryWaitNs is the
+// cumulative backoff wait across retries (0 when the first attempt won).
+func (c *Collector) Record(hops []packet.TraceHop, sendNs, recvNs int64, queueNs, retryWaitNs int64, retries int) {
+	c.Traces.Add(1)
+	if len(hops) == 0 {
+		c.Hopless.Add(1)
+		return
+	}
+	b := Compute(hops, sendNs, recvNs)
+	for s, v := range b.ByStage {
+		if v > 0 {
+			c.Stage[s].Observe(float64(v))
+		}
+	}
+	c.Wire.Observe(float64(b.Wire))
+	c.Total.Observe(float64(b.Total))
+	if queueNs > 0 {
+		c.Queue.Observe(float64(queueNs))
+	}
+	if retries > 0 {
+		c.Retries.Add(uint64(retries))
+		c.RetryNs.Add(retryWaitNs)
+		if retryWaitNs > 0 {
+			c.Retry.Observe(float64(retryWaitNs))
+		}
+	}
+	if b.Clamped > 0 {
+		c.Clamped.Add(uint64(b.Clamped))
+	}
+	c.CoveragePM.Add(int64(b.Coverage() * 1000))
+}
+
+// MeanCoverage returns the average hop-sum/end-to-end ratio across
+// recorded traces (1.0 = stamps fully account for the latency).
+func (c *Collector) MeanCoverage() float64 {
+	n := c.Traces.Load() - c.Hopless.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(c.CoveragePM.Load()) / 1000 / float64(n)
+}
+
+// RetryShare returns the fraction of sampled end-to-end time spent waiting
+// in retry backoff.
+func (c *Collector) RetryShare() float64 {
+	tot := c.Total.Count()
+	if tot == 0 {
+		return 0
+	}
+	sum := c.Total.Mean() * float64(tot)
+	if sum <= 0 {
+		return 0
+	}
+	return float64(c.RetryNs.Load()) / sum
+}
+
+// StageHist returns the histogram for a stage (nil-safe for callers
+// iterating all stages).
+func (c *Collector) StageHist(s packet.TraceStage) *stats.Histogram {
+	if int(s) >= len(c.Stage) {
+		return nil
+	}
+	return c.Stage[s]
+}

@@ -1,0 +1,137 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"netchain/internal/packet"
+)
+
+// chainHops builds a clean head→mid→tail stamp sequence: send at 0,
+// 10µs wire gaps, 5µs processing per hop.
+func chainHops() (hops []packet.TraceHop, sendNs, recvNs int64) {
+	stages := []packet.TraceStage{packet.StageHead, packet.StageMid, packet.StageTail}
+	t := int64(0)
+	for i, st := range stages {
+		in := t + 10_000 // wire gap
+		out := in + 5_000
+		hops = append(hops, packet.TraceHop{
+			SwitchID: uint32(i + 1), Stage: st, IngressNs: in, EgressNs: out,
+		})
+		t = out
+	}
+	return hops, 0, t + 10_000
+}
+
+func TestComputeTelescopes(t *testing.T) {
+	hops, send, recv := chainHops()
+	b := Compute(hops, send, recv)
+	if b.Total != recv-send {
+		t.Fatalf("total = %d", b.Total)
+	}
+	if b.Wire != 40_000 {
+		t.Fatalf("wire = %d, want 40000", b.Wire)
+	}
+	for _, st := range []packet.TraceStage{packet.StageHead, packet.StageMid, packet.StageTail} {
+		if b.ByStage[st] != 5_000 {
+			t.Fatalf("stage %s = %d", st, b.ByStage[st])
+		}
+	}
+	if b.HopSum() != b.Total {
+		t.Fatalf("hop sum %d != total %d (must telescope exactly)", b.HopSum(), b.Total)
+	}
+	if c := b.Coverage(); c < 0.999 || c > 1.001 {
+		t.Fatalf("coverage = %v", c)
+	}
+	if b.Clamped != 0 {
+		t.Fatalf("clamped = %d", b.Clamped)
+	}
+}
+
+func TestComputeClampsSkew(t *testing.T) {
+	// A hop whose stamps run backwards must clamp, not go negative, and
+	// coverage must drop below 1.
+	hops := []packet.TraceHop{
+		{SwitchID: 1, Stage: packet.StageTail, IngressNs: 50_000, EgressNs: 20_000},
+	}
+	b := Compute(hops, 0, 100_000)
+	if b.Clamped == 0 {
+		t.Fatal("skew not counted")
+	}
+	if b.ByStage[packet.StageTail] != 0 {
+		t.Fatalf("negative processing leaked: %d", b.ByStage[packet.StageTail])
+	}
+	if c := b.Coverage(); c > 0.999 && c < 1.001 {
+		t.Fatalf("coverage %v must deviate from 1 under skew", c)
+	}
+}
+
+func TestBuildSpanTree(t *testing.T) {
+	hops, send, recv := chainHops()
+	root := Build(hops, send, recv)
+	if root.Duration().Nanoseconds() != recv-send {
+		t.Fatalf("root duration %v", root.Duration())
+	}
+	// 3 hops → 3 wire spans before hops + 1 trailing = 7 children.
+	if len(root.Children) != 7 {
+		t.Fatalf("children = %d", len(root.Children))
+	}
+	out := root.Format()
+	for _, want := range []string{"query", "head@1", "mid@2", "tail@3", "wire[0]", "wire[3]"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("formatted tree missing %q:\n%s", want, out)
+		}
+	}
+	// Child spans must tile the root exactly.
+	var sum int64
+	for _, c := range root.Children {
+		sum += c.Duration().Nanoseconds()
+	}
+	if sum != recv-send {
+		t.Fatalf("span tiling: %d != %d", sum, recv-send)
+	}
+}
+
+func TestCollectorAggregates(t *testing.T) {
+	c := NewCollector()
+	hops, send, recv := chainHops()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 250; i++ {
+				c.Record(hops, send, recv, 2_000, 0, 0)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Traces.Load() != 1000 {
+		t.Fatalf("traces = %d", c.Traces.Load())
+	}
+	if n := c.Stage[packet.StageHead].Count(); n != 1000 {
+		t.Fatalf("head observations = %d", n)
+	}
+	if p50 := c.Stage[packet.StageTail].P50(); p50 < 4_000 || p50 > 6_000 {
+		t.Fatalf("tail p50 = %v", p50)
+	}
+	if cov := c.MeanCoverage(); cov < 0.99 || cov > 1.01 {
+		t.Fatalf("mean coverage = %v", cov)
+	}
+	if c.RetryShare() != 0 {
+		t.Fatalf("retry share = %v", c.RetryShare())
+	}
+
+	// Hopless replies are counted but not aggregated.
+	c.Record(nil, 0, 1000, 0, 0, 0)
+	if c.Hopless.Load() != 1 {
+		t.Fatal("hopless not counted")
+	}
+
+	// Retry accounting feeds the share.
+	c.Record(hops, send, recv, 0, (recv-send)/2, 1)
+	if c.Retries.Load() != 1 || c.RetryShare() <= 0 {
+		t.Fatalf("retries=%d share=%v", c.Retries.Load(), c.RetryShare())
+	}
+}

@@ -32,6 +32,9 @@ import (
 	"netchain/internal/kv"
 	"netchain/internal/packet"
 	"netchain/internal/query"
+	"netchain/internal/stats"
+	"netchain/internal/telemetry"
+	"netchain/internal/trace"
 )
 
 // AddressBook maps virtual NetChain addresses to real UDP endpoints.
@@ -234,6 +237,12 @@ type SwitchNode struct {
 	evtPublished atomic.Uint64
 	rcvBuf       int
 
+	// procHist samples handle() wall time (roughly 1/1024 inline frames,
+	// 1/256 worker mutations — each loop keeps its own non-atomic tick so
+	// the fast path pays nothing). Exported via the metrics registry as
+	// the node's per-hop processing percentiles.
+	procHist *stats.Histogram
+
 	evtSink atomic.Pointer[eventSink] // push-watch egress target (nil = off)
 	fault   FaultPipe                 // wire nemesis hook (nil = healthy)
 
@@ -313,6 +322,7 @@ func NewSwitchNode(sw *core.Switch, book *AddressBook, bind string, opts ...Node
 		out:      make(chan outFrame, switchQueueDepth),
 		sendDone: make(chan struct{}),
 		fault:    cfg.fault,
+		procHist: stats.NewLatencyHistogram(),
 	}
 	for _, c := range conns {
 		n.rcvBuf = configureSocket(c)
@@ -394,6 +404,74 @@ func (n *SwitchNode) Stats() NodeStats {
 		RecvFrames:       n.recvFrames.Load(),
 		EventsPublished:  n.evtPublished.Load(),
 		RcvBufBytes:      n.rcvBuf,
+	}
+}
+
+// clampQueue saturates a queue depth into the hop record's uint16 field.
+func clampQueue(d int) uint16 {
+	if d < 0 {
+		return 0
+	}
+	if d > 0xffff {
+		return 0xffff
+	}
+	return uint16(d)
+}
+
+// ProcHist returns the node's sampled processing-time histogram
+// (concurrency-safe; feed it to a metrics registry or read percentiles
+// directly).
+func (n *SwitchNode) ProcHist() *stats.Histogram { return n.procHist }
+
+// RegisterMetrics exports the node's socket-layer counters and its
+// switch's dataplane counters under the canonical telemetry series names.
+// netchainctl cluster health and /metrics read the same snapshots, so
+// their values can only differ by scrape timing, never by naming.
+func (n *SwitchNode) RegisterMetrics(reg *telemetry.Registry) {
+	reg.Histogram(telemetry.NodeProcNs, "sampled handle() wall time in ns", n.procHist)
+	reg.Collect(func(emit func(telemetry.Sample)) {
+		counter := func(name string, v uint64) {
+			emit(telemetry.Sample{Name: name, Kind: telemetry.KindCounter, Value: float64(v)})
+		}
+		gauge := func(name string, v float64) {
+			emit(telemetry.Sample{Name: name, Kind: telemetry.KindGauge, Value: v})
+		}
+		s := n.Stats()
+		counter(telemetry.NodeReadErrors, s.ReadErrors)
+		counter(telemetry.NodeDecodeErrors, s.DecodeErrors)
+		counter(telemetry.NodeTruncatedBatches, s.TruncatedBatches)
+		counter(telemetry.NodeRecvBatches, s.RecvBatches)
+		counter(telemetry.NodeRecvDatagrams, s.RecvDatagrams)
+		counter(telemetry.NodeRecvFrames, s.RecvFrames)
+		counter(telemetry.NodeEventsPublished, s.EventsPublished)
+		gauge(telemetry.NodeRcvBufBytes, float64(s.RcvBufBytes))
+		gauge(telemetry.NodeQueueDepth, float64(n.QueueDepth()))
+		cs := n.sw.Stats()
+		counter(telemetry.SwitchReads, cs.Reads)
+		counter(telemetry.SwitchWritesHead, cs.WritesHead)
+		counter(telemetry.SwitchWritesApply, cs.WritesApply)
+		counter(telemetry.SwitchWritesStale, cs.WritesStale)
+		counter(telemetry.SwitchWritesReplayed, cs.WritesReplayed)
+		counter(telemetry.SwitchWritesFrozen, cs.WritesFrozen)
+		counter(telemetry.SwitchCASFails, cs.CASFails)
+		counter(telemetry.SwitchReplies, cs.Replies)
+		counter(telemetry.SwitchRuleHits, cs.RuleHits)
+		counter(telemetry.SwitchRuleDrops, cs.RuleDrops)
+		counter(telemetry.SwitchNotFound, cs.NotFound)
+		counter(telemetry.SwitchTransits, cs.Transits)
+		counter(telemetry.SwitchProcessed, cs.Processed)
+	})
+	for name, help := range map[string]string{
+		telemetry.NodeReadErrors:       "transient socket read errors survived",
+		telemetry.NodeDecodeErrors:     "datagrams containing undecodable bytes",
+		telemetry.NodeTruncatedBatches: "batched datagrams cut short by a corrupt frame",
+		telemetry.NodeRecvFrames:       "frames decoded off the wire",
+		telemetry.NodeQueueDepth:       "frames waiting in ingest worker queues",
+		telemetry.SwitchReads:          "read queries served here",
+		telemetry.SwitchProcessed:      "NetChain queries processed locally",
+		telemetry.SwitchTransits:       "frames forwarded without local processing",
+	} {
+		reg.Help(name, help)
 	}
 }
 
@@ -532,13 +610,29 @@ func (n *SwitchNode) ingestLoop(rd batchReader, ring *recvRing, snd batchSender)
 		eg.withFault(n.fault, rawSender(n.conn))
 	}
 	emit := eg.add
+	var procTick uint32 // loop-local sampling tick, no hot-path atomics
 	handleInline := func(f *packet.Frame) {
+		if f.NC.Traced {
+			// In-band telemetry ingest stamp: receive time, queue depth at
+			// arrival, worker shard. Carried as frame context until the
+			// dataplane appends the hop record.
+			f.TraceIngress = time.Now().UnixNano()
+			f.TraceQueue = clampQueue(n.QueueDepth())
+		}
 		switch f.NC.Op {
 		case kv.OpWrite, kv.OpDelete, kv.OpCAS, kv.OpSync:
 			g := packet.GetFrame()
 			f.CloneTo(g) // detach from the ring before the next batch lands
-			n.in[keyShard(g.NC.Key, workers)] <- g
+			shard := keyShard(g.NC.Key, workers)
+			g.TraceShard = uint8(shard)
+			n.in[shard] <- g
 		default:
+			if procTick++; procTick&1023 == 0 {
+				t0 := time.Now()
+				n.handle(f, emit)
+				n.procHist.ObserveDuration(time.Since(t0))
+				return
+			}
 			n.handle(f, emit)
 		}
 	}
@@ -586,8 +680,15 @@ func (n *SwitchNode) closeInWhenDrained() {
 func (n *SwitchNode) processLoop(in <-chan *packet.Frame) {
 	defer n.workerWG.Done()
 	emit := func(o outFrame) { n.out <- o }
+	var procTick uint32
 	for f := range in {
-		n.handle(f, emit)
+		if procTick++; procTick&255 == 0 {
+			t0 := time.Now()
+			n.handle(f, emit)
+			n.procHist.ObserveDuration(time.Since(t0))
+		} else {
+			n.handle(f, emit)
+		}
 		packet.PutFrame(f)
 	}
 }
@@ -746,6 +847,15 @@ type call struct {
 	qid      uint64
 	attempt  int
 	deadline time.Duration // on the client's monotonic since-start timeline
+
+	// In-band telemetry state for sampled calls (zero when untraced):
+	// submit→firstSend is client queueing, firstSend→lastSend is time
+	// burned on lost attempts (retry/backoff share), lastSend→receive is
+	// the window the reply's hop records decompose.
+	traced      bool
+	submitNs    int64
+	firstSendNs int64
+	lastSendNs  int64
 }
 
 // ClientStats counts transport-level events since the client started.
@@ -756,6 +866,7 @@ type ClientStats struct {
 	Late         uint64 // replies matching no pending query (late or duplicate)
 	ReadErrors   uint64 // transient socket read errors survived
 	DecodeErrors uint64 // datagrams with undecodable reply bytes
+	Traces       uint64 // sampled traced replies recorded
 }
 
 // Client is a pipelined NetChain client over real UDP: up to Window
@@ -793,6 +904,14 @@ type Client struct {
 	late       atomic.Uint64
 	readErrs   atomic.Uint64
 	decodeErrs atomic.Uint64
+	traces     atomic.Uint64
+
+	// In-band telemetry sampling: every traceEvery-th Submit is traced
+	// (0 = tracing off). tracer receives the reconstructed per-hop
+	// breakdowns.
+	traceEvery uint64
+	traceTick  atomic.Uint64
+	tracer     *trace.Collector
 
 	closed atomic.Bool
 	done   chan struct{}
@@ -830,6 +949,17 @@ type ClientConfig struct {
 	BackoffFactor float64
 	BackoffCap    time.Duration
 	BackoffJitter float64
+
+	// TraceSampleRate samples queries for in-band telemetry: a rate r
+	// traces roughly one query in 1/r (the sampler is deterministic
+	// counter-based, so r=0.001 traces exactly every 1000th Submit).
+	// 0 selects the default 1/1024; negative disables tracing. Traced
+	// queries carry the packet trace extension, every hop appends its
+	// record, and the reply's breakdown lands in Tracer.
+	TraceSampleRate float64
+	// Tracer aggregates sampled traces (per-stage histograms, coverage,
+	// retry share). nil disables tracing regardless of TraceSampleRate.
+	Tracer *trace.Collector
 
 	// Faults, when set, routes every datagram the client sends or
 	// receives through the wire nemesis (see FaultPipe).
@@ -895,6 +1025,20 @@ func NewClient(book *AddressBook, cfg ClientConfig) (*Client, error) {
 
 		newReader: cfg.testReader,
 	}
+	if cfg.Tracer != nil && cfg.TraceSampleRate >= 0 {
+		rate := cfg.TraceSampleRate
+		if rate == 0 {
+			rate = 1.0 / 1024
+		}
+		if rate > 1 {
+			rate = 1
+		}
+		c.traceEvery = uint64(1 / rate)
+		if c.traceEvery == 0 {
+			c.traceEvery = 1
+		}
+		c.tracer = cfg.Tracer
+	}
 	if c.newReader == nil {
 		c.newReader = newBatchReader
 	}
@@ -944,7 +1088,26 @@ func (c *Client) Stats() ClientStats {
 		Late:         c.late.Load(),
 		ReadErrors:   c.readErrs.Load(),
 		DecodeErrors: c.decodeErrs.Load(),
+		Traces:       c.traces.Load(),
 	}
+}
+
+// RegisterMetrics exports the client's transport counters under the
+// canonical telemetry series names.
+func (c *Client) RegisterMetrics(reg *telemetry.Registry) {
+	reg.Collect(func(emit func(telemetry.Sample)) {
+		counter := func(name string, v uint64) {
+			emit(telemetry.Sample{Name: name, Kind: telemetry.KindCounter, Value: float64(v)})
+		}
+		s := c.Stats()
+		counter(telemetry.ClientSent, s.Sent)
+		counter(telemetry.ClientRetries, s.Retries)
+		counter(telemetry.ClientTimeouts, s.Timeouts)
+		counter(telemetry.ClientLate, s.Late)
+		counter(telemetry.ClientReadErrors, s.ReadErrors)
+		counter(telemetry.ClientDecodeErrors, s.DecodeErrors)
+		counter(telemetry.ClientTraces, s.Traces)
+	})
 }
 
 // InFlight returns the number of queries currently awaiting a reply.
@@ -1063,6 +1226,13 @@ func (c *Client) Submit(build func(qid uint64) (*packet.Frame, error), done func
 		done(nil, ErrClosed)
 		return
 	}
+	// Telemetry sampling decides before the window wait so a traced call's
+	// queueing span covers admission backpressure too.
+	traced := c.traceEvery > 0 && c.traceTick.Add(1)%c.traceEvery == 0
+	var submitNs int64
+	if traced {
+		submitNs = time.Now().UnixNano()
+	}
 	if c.window != nil {
 		// Fast path: a free slot needs no select machinery. Only a full
 		// window falls back to blocking (racing shutdown).
@@ -1079,6 +1249,7 @@ func (c *Client) Submit(build func(qid uint64) (*packet.Frame, error), done func
 	}
 	cl := callPool.Get().(*call)
 	cl.c, cl.build, cl.done, cl.attempt = c, build, done, 0
+	cl.traced, cl.submitNs = traced, submitNs
 	if err := cl.send(); err != nil {
 		c.finish(cl, nil, err)
 	}
@@ -1091,8 +1262,18 @@ func (c *Client) Submit(build func(qid uint64) (*packet.Frame, error), done func
 var callPool = sync.Pool{New: func() any { return new(call) }}
 
 // finish releases the call's window slot, delivers its outcome, and
-// recycles the call (no one holds a reference once done returns).
+// recycles the call (no one holds a reference once done returns). Traced
+// replies are reconstructed into the collector first — the hop records
+// alias the receive buffer, which is only valid during this delivery.
 func (c *Client) finish(cl *call, f *packet.Frame, err error) {
+	if cl.traced && err == nil && f != nil && c.tracer != nil && f.NC.Traced {
+		var hopBuf [packet.MaxTraceHops]packet.TraceHop
+		hops := f.NC.TraceHops(hopBuf[:0])
+		recvNs := time.Now().UnixNano()
+		c.tracer.Record(hops, cl.lastSendNs, recvNs,
+			cl.firstSendNs-cl.submitNs, cl.lastSendNs-cl.firstSendNs, cl.attempt)
+		c.traces.Add(1)
+	}
 	if c.window != nil {
 		<-c.window
 	}
@@ -1125,6 +1306,14 @@ func (cl *call) send() error {
 	f, err := cl.build(qid)
 	if err != nil {
 		return err
+	}
+	if cl.traced {
+		f.EnableTrace() // sampled: serialize with the telemetry extension
+		now := time.Now().UnixNano()
+		cl.lastSendNs = now
+		if cl.attempt == 0 {
+			cl.firstSendNs = now
+		}
 	}
 	gw, ok := c.book.Get(c.gateway)
 	if !ok {
